@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the block-tuning ablation."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_ablation_blocks(benchmark):
+    """Block re-tuning study: print the rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-blocks"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of cache-contention ablation."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_ablation_contention(benchmark):
+    """cache-contention ablation: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-contention"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of FFT-exclusion ablation (kernel-size crossover)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_ablation_fft(benchmark):
+    """FFT-exclusion ablation (kernel-size crossover): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-fft"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

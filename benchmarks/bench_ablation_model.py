@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of model-mechanism ablation."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_ablation_model(benchmark):
+    """model-mechanism ablation: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-model"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

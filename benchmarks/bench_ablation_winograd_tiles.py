@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the Winograd tile-size accuracy study."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_ablation_winograd_tiles(benchmark):
+    """Winograd tile-size accuracy: print the rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-winograd-tiles"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.data["largest_ok"] == 6

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the depthwise-convolution extension."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_extension_depthwise(benchmark):
+    """Depthwise conv study: print the rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("extension-depthwise"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

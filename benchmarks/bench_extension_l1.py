@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the extension-l1 study."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_extension_l1(benchmark):
+    """extension-l1: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("extension-l1"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

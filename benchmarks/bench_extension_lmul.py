@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the LMUL-vs-VLEN co-design study."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_extension_lmul(benchmark):
+    """LMUL study: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("extension-lmul"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of ViT attention extension."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_extension_vit(benchmark):
+    """ViT attention extension: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("extension-vit"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig. 1 (VGG-16 per-layer comparison @512b/1MB)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_fig01_vgg_baseline(benchmark):
+    """Fig. 1 (VGG-16 per-layer comparison @512b/1MB): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig01"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig. 3 (VGG-16 vector-length sweep)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_fig03_vgg_vl_sweep(benchmark):
+    """Fig. 3 (VGG-16 vector-length sweep): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig03"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig. 6 (VGG-16 L2 sweep @4096b)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_fig06_vgg_cache_sweep_4096(benchmark):
+    """Fig. 6 (VGG-16 L2 sweep @4096b): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig06"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig. 7 (YOLOv3 L2 sweep @512b)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_fig07_yolo_cache_sweep(benchmark):
+    """Fig. 7 (YOLOv3 L2 sweep @512b): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig07"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,34 @@
+"""Benchmark + regeneration of Figs. 9-10 (single vs Optimal vs Predicted).
+
+Shares one trained selector across both figures (training is benchmarked
+separately in bench_selection_training).
+"""
+
+from conftest import emit
+
+from repro.experiments.fig09_vgg_selection import run as run_fig09
+from repro.experiments.fig10_yolo_selection import run as run_fig10
+
+
+def test_fig09_vgg_selection(benchmark, trained_selector):
+    """Fig. 9: VGG-16 network time per policy over the 16-config grid."""
+    result = benchmark.pedantic(
+        lambda: run_fig09(selector=trained_selector), rounds=1, iterations=1
+    )
+    emit(result)
+    ratios = result.data["max_speedup_vs_single"]
+    print(f"Optimal speedup vs Direct: up to {ratios['direct']:.2f}x "
+          f"(paper: 1.85x); vs GEMM-6: up to {ratios['im2col_gemm6']:.2f}x "
+          f"(paper: 1.73x)")
+
+
+def test_fig10_yolo_selection(benchmark, trained_selector):
+    """Fig. 10: YOLOv3 network time per policy over the 16-config grid."""
+    result = benchmark.pedantic(
+        lambda: run_fig10(selector=trained_selector), rounds=1, iterations=1
+    )
+    emit(result)
+    ratios = result.data["max_speedup_vs_single"]
+    print(f"Optimal speedup vs Direct: up to {ratios['direct']:.2f}x "
+          f"(paper: 1.33x); vs GEMM-6: up to {ratios['im2col_gemm6']:.2f}x "
+          f"(paper: 2.11x)")

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig. 11 (performance-area Pareto, single VGG-16)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_fig11_pareto(benchmark):
+    """Fig. 11 (performance-area Pareto, single VGG-16): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig11"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Fig. 12 (throughput-area, co-located serving)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_fig12_colocation(benchmark):
+    """Fig. 12 (throughput-area, co-located serving): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig12"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

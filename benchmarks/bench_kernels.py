@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the library's own hot paths.
+
+These time the *reproduction's* kernels (functional algorithms, the
+analytical model, the functional vector machine) — useful for keeping the
+experiment harnesses fast as the library evolves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm, layer_cycles
+from repro.isa import VectorMachine
+from repro.nn.layer import ConvSpec
+from repro.nn.models import vgg16_conv_specs
+from repro.simulator.hwconfig import HardwareConfig
+
+SPEC = ConvSpec(ic=32, oc=32, ih=56, iw=56, kh=3, kw=3, index=1)
+RNG = np.random.default_rng(0)
+X = RNG.standard_normal((SPEC.ic, SPEC.ih, SPEC.iw)).astype(np.float32)
+W = (0.3 * RNG.standard_normal((SPEC.oc, SPEC.ic, 3, 3))).astype(np.float32)
+
+
+@pytest.mark.parametrize(
+    "name", ["direct", "im2col_gemm3", "im2col_gemm6", "winograd"]
+)
+def test_functional_conv(benchmark, name):
+    """Functional execution of one mid-size conv layer."""
+    algo = get_algorithm(name)
+    out = benchmark(lambda: algo.run(SPEC, X, W))
+    assert out.shape == (SPEC.oc, SPEC.oh, SPEC.ow)
+
+
+def test_analytical_model_full_grid(benchmark):
+    """All 4 algorithms x 13 VGG layers on one config — the experiment
+    harnesses' inner loop."""
+    hw = HardwareConfig.paper2_rvv(512, 1.0)
+    specs = vgg16_conv_specs()
+
+    def grid():
+        return sum(
+            layer_cycles(name, s, hw).cycles
+            for s in specs
+            for name in ("direct", "im2col_gemm3", "im2col_gemm6", "winograd")
+        )
+
+    total = benchmark(grid)
+    assert total > 0
+
+
+def test_vector_machine_saxpy(benchmark):
+    """Functional-machine instruction throughput (SAXPY, 4K elements)."""
+    def saxpy():
+        m = VectorMachine(512, trace=False)
+        x = m.alloc_from("x", np.arange(4096, dtype=np.float32))
+        y = m.alloc("y", 4096)
+        i = 0
+        while i < 4096:
+            gvl = m.vsetvl(4096 - i)
+            m.vload(0, x, i)
+            m.vfmacc_vf(0, 2.0, 0)
+            m.vstore(0, y, i)
+            i += gvl
+        return m.trace.stats.total_instrs
+
+    assert benchmark(saxpy) > 0
+
+
+def test_winograd_transform_generation(benchmark):
+    """Exact Cook-Toom construction of F(6,3)."""
+    from repro.algorithms.winograd_transforms import winograd_matrices
+
+    wm = benchmark(lambda: winograd_matrices(6, 3))
+    assert wm.alpha == 8

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the paper1-archcompare study."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_archcompare(benchmark):
+    """paper1-archcompare: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-archcompare"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I Table II (block-size tuning)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_blocksize(benchmark):
+    """Paper I Table II (block-size tuning): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-table2"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I Fig. 7 (L2 sweep to 256MB)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_cache_sweep(benchmark):
+    """Paper I Fig. 7 (L2 sweep to 256MB): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-cache"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I lanes study."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_lanes(benchmark):
+    """Paper I lanes study: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-lanes"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I Fig. 11 (VRF-only Pareto)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_pareto(benchmark):
+    """Paper I Fig. 11 (VRF-only Pareto): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-pareto"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I Table IV (AI + sustained performance)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_roofline(benchmark):
+    """Paper I Table IV (AI + sustained performance): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-roofline"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

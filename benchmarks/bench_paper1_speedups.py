@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I speedup ladder (manual vs autovec)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_speedups(benchmark):
+    """Paper I speedup ladder (manual vs autovec): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-speedups"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

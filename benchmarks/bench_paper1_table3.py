@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I Table III (avg VL + L2 miss rates)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_table3(benchmark):
+    """Paper I Table III (avg VL + L2 miss rates): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-table3"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I Fig. 6 (VL sweep to 16384b)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_vl_sweep(benchmark):
+    """Paper I Fig. 6 (VL sweep to 16384b): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-vl"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

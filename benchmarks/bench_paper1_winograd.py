@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I Figs. 9-10 (Winograd sweeps)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_winograd(benchmark):
+    """Paper I Figs. 9-10 (Winograd sweeps): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-winograd"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

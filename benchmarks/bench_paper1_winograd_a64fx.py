@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Paper I's A64FX Winograd headlines."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_paper1_winograd_a64fx(benchmark):
+    """Winograd vs im2col+GEMM on the A64FX: print rows and time the run."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("paper1-winograd-a64fx"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

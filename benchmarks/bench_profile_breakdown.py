@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the inference-time profile."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_profile_breakdown(benchmark):
+    """Conv/FC/other shares: print the rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("profile-breakdown"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

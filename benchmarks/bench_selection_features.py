@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the selection-features study."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_selection_features(benchmark):
+    """selection-features: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("selection-features"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

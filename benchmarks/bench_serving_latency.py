@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of serving latency under load."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_serving_latency(benchmark):
+    """serving latency under load: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("serving-latency"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the mixed-model serving study."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_serving_mixed(benchmark):
+    """Mixed-model serving: print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("serving-mixed"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of Table 1 (layer dimensions)."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_table1_layers(benchmark):
+    """Table 1 (layer dimensions): print the reproduced rows and time the harness."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("table1"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.table.rows

@@ -1,0 +1,14 @@
+"""Benchmark + regeneration of the reproduction-verdict report."""
+
+from conftest import emit
+
+from repro.experiments.cli import run_experiment
+
+
+def test_verdict(benchmark):
+    """The paper-anchor audit: print the table and time the full audit."""
+    result = benchmark.pedantic(
+        lambda: run_experiment("verdict"), rounds=1, iterations=1
+    )
+    emit(result)
+    assert result.data["passed"] == result.data["total"]

@@ -1,0 +1,27 @@
+"""Shared fixtures/helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one paper artifact: it prints the same
+rows/series the paper's table or figure reports and benchmarks the harness
+run with pytest-benchmark.  Expensive shared state (the trained selector)
+is session-scoped.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def trained_selector():
+    from repro.selection.dataset import build_dataset
+    from repro.selection.predictor import AlgorithmSelector
+
+    selector = AlgorithmSelector(n_estimators=60)
+    selector.train(build_dataset())
+    return selector
+
+
+def emit(result) -> None:
+    """Print a reproduced artifact (shown with pytest -s)."""
+    print()
+    print(result.render())

@@ -1,0 +1,102 @@
+"""Define a custom CNN with a Darknet-style cfg and run it end to end.
+
+Demonstrates the mini-Darknet substrate: the cfg parser builds the layer
+graph with shape tracking, inference runs functionally with a *different
+convolution algorithm per layer* (picked by the analytical model for a
+target hardware configuration), and the result is numerically identical to
+the reference execution.
+
+Run:  python examples/custom_network.py
+"""
+
+import numpy as np
+
+from repro import HardwareConfig, best_algorithm, get_algorithm
+from repro.nn import parse_cfg
+from repro.utils.tables import Table
+
+CFG = """
+# A small detector-style backbone
+[net]
+channels=3
+height=64
+width=64
+
+[convolutional]
+filters=16
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=32
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[convolutional]
+filters=16
+size=1
+stride=1
+activation=leaky
+
+[convolutional]
+filters=32
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[shortcut]
+from=-3
+
+[convolutional]
+filters=64
+size=3
+stride=2
+pad=1
+activation=leaky
+
+[avgpool]
+
+[connected]
+output=10
+activation=linear
+
+[softmax]
+"""
+
+
+def main() -> None:
+    net = parse_cfg(CFG, name="mini-detector")
+    print(net.describe(), "\n")
+
+    hw = HardwareConfig.paper2_rvv(1024, 4.0)
+    table = Table(["layer", "chosen algorithm", "est. cycles (x1e6)"],
+                  title=f"Per-layer algorithm choice for {hw.label()}")
+    conv_fns = {}
+    for spec in net.conv_specs():
+        name, cycles = best_algorithm(spec, hw)
+        conv_fns[spec.index] = get_algorithm(name).conv_fn()
+        table.add_row([spec.describe(), name, cycles[name] / 1e6])
+    print(table.render())
+
+    rng = np.random.default_rng(42)
+    image = rng.standard_normal((3, 64, 64)).astype(np.float32)
+    mixed = net.forward(image, conv_fns=conv_fns)
+    reference = net.forward(image)
+    err = float(np.abs(mixed - reference).max())
+    print(f"class probabilities (top-3): "
+          f"{np.sort(mixed)[::-1][:3].round(4).tolist()}")
+    print(f"max |mixed - reference| = {err:.2e}  "
+          f"(per-layer algorithm mixing is numerically safe)")
+
+
+if __name__ == "__main__":
+    main()

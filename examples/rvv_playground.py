@@ -1,0 +1,88 @@
+"""Program the functional RVV machine directly (vector-length agnostic).
+
+Writes SAXPY and a tiled GEMM against the EPI-style intrinsics, runs them at
+several vector lengths without changing a line (the VLA property the paper's
+kernels rely on), and replays the traces on two timing models — the
+integrated Paper II unit and the decoupled Paper I unit — to show why the
+same code performs differently on the two microarchitectures.
+
+Run:  python examples/rvv_playground.py
+"""
+
+import numpy as np
+
+from repro.isa import EpiIntrinsics, VectorMachine
+from repro.simulator.hwconfig import HardwareConfig
+from repro.simulator.timing import TraceTimingModel
+from repro.utils.tables import Table
+
+
+def saxpy(machine: VectorMachine, n: int) -> np.ndarray:
+    """y = a*x + y, strip-mined with vsetvl (VLA)."""
+    epi = EpiIntrinsics(machine)
+    x = machine.alloc_from("x", np.arange(n, dtype=np.float32))
+    y = machine.alloc_from("y", np.ones(n, dtype=np.float32))
+    i = 0
+    while i < n:
+        gvl = epi.vsetvl_e32(n - i)
+        epi.vload(0, y, i)
+        epi.vload(1, x, i)
+        epi.vfmacc_vf(0, 2.0, 1)
+        epi.vstore(0, y, i)
+        i += gvl
+    return y.array
+
+
+def tiny_gemm(machine: VectorMachine, m: int, k: int, n: int) -> np.ndarray:
+    """C = A @ B with the paper's jik strip-mined structure."""
+    epi = EpiIntrinsics(machine)
+    rng = np.random.default_rng(1)
+    a = rng.standard_normal((m, k)).astype(np.float32)
+    a_buf = machine.alloc_from("A", a)
+    b_buf = machine.alloc_from("B", rng.standard_normal((k, n)).astype(np.float32))
+    c_buf = machine.alloc("C", m * n)
+    j = 0
+    while j < n:
+        gvl = epi.vsetvl_e32(n - j)
+        for i in range(m):
+            epi.vbroadcast(1, 0.0)
+            for kk in range(k):
+                epi.vload(0, b_buf, kk * n + j)
+                epi.vfmacc_vf(1, float(a[i, kk]), 0)
+            epi.vstore(1, c_buf, i * n + j)
+        j += gvl
+    return c_buf.array.reshape(m, n)
+
+
+def main() -> None:
+    print("SAXPY at three vector lengths (same code, VLA strip-mining):\n")
+    table = Table(["VLEN", "instructions", "avg VL",
+                   "integrated cycles", "decoupled cycles"])
+    for vlen in (256, 1024, 4096):
+        machine = VectorMachine(vlen)
+        result = saxpy(machine, 10_000)
+        assert np.allclose(result, 1.0 + 2.0 * np.arange(10_000))
+        integrated = TraceTimingModel(
+            HardwareConfig.paper2_rvv(vlen, 1.0)
+        ).run(machine.trace)
+        decoupled = TraceTimingModel(
+            HardwareConfig.paper1_riscvv(vlen, 1.0)
+        ).run(machine.trace)
+        stats = machine.trace.stats
+        table.add_row(
+            [vlen, stats.total_instrs, f"{stats.average_vl():.0f}",
+             f"{integrated.cycles:.0f}", f"{decoupled.cycles:.0f}"]
+        )
+    print(table.render())
+    print("Longer vectors shrink the instruction stream; the decoupled unit")
+    print("pays L2-latency on every access, the integrated one hits its L1.\n")
+
+    machine = VectorMachine(512)
+    c = tiny_gemm(machine, 8, 16, 120)
+    print(f"tiny GEMM on 512-bit vectors: C shape {c.shape}, "
+          f"{machine.trace.stats.total_instrs} instructions, "
+          f"avg VL {machine.trace.stats.average_vl():.1f} elements")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Full reproduction driver: tests, every paper artifact, benchmarks.
+# Usage: scripts/reproduce.sh [output-dir]   (default: results/)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+OUT="${1:-results}"
+mkdir -p "$OUT"
+
+echo "== 1/4 test suite =="
+python -m pytest tests/ | tee "$OUT/test_output.txt"
+
+echo "== 2/4 Paper II artifacts (tables + figures as text/CSV) =="
+python -m repro.experiments.cli --out "$OUT" | tee "$OUT/paper2_artifacts.txt"
+
+echo "== 3/4 Paper I extensions, ablations, serving studies =="
+python -m repro.experiments.cli \
+  paper1-table2 paper1-table3 paper1-vl paper1-cache paper1-lanes \
+  paper1-winograd paper1-winograd-a64fx paper1-archcompare \
+  paper1-roofline paper1-speedups paper1-pareto \
+  ablation-fft ablation-model ablation-contention \
+  ablation-winograd-tiles ablation-fusion ablation-blocks \
+  serving-latency serving-mixed profile-breakdown \
+  extension-vit extension-depthwise extension-energy \
+  extension-l1 extension-lmul extension-tile-tradeoff \
+  selection-features layer-report verdict \
+  --out "$OUT" | tee "$OUT/extensions.txt"
+
+echo "== 4/4 benchmarks =="
+python -m pytest benchmarks/ --benchmark-only | tee "$OUT/bench_output.txt"
+
+echo "All artifacts written to $OUT/"

@@ -1,0 +1,42 @@
+"""Convolution algorithms: Direct, im2col+GEMM (3/6-loop), Winograd.
+
+Each algorithm exposes a fast functional path (correctness), an
+intrinsics-level path on the RVV machine (instruction-mix fidelity), and an
+analytical schedule (full-size layer timing).  See DESIGN.md §3-4.
+"""
+
+from repro.algorithms.base import ConvAlgorithm
+from repro.algorithms.direct import DirectConv
+from repro.algorithms.im2col import im2col, im2col_vectorized
+from repro.algorithms.im2col_gemm import Im2colGemm3, Im2colGemm6, Im2colGemmNaive
+from repro.algorithms.winograd import WinogradConv
+from repro.algorithms.winograd_transforms import winograd_matrices, f63
+from repro.algorithms.registry import (
+    ALGORITHM_NAMES,
+    all_algorithms,
+    best_algorithm,
+    effective_algorithm,
+    get_algorithm,
+    layer_cycles,
+    register,
+)
+
+__all__ = [
+    "ConvAlgorithm",
+    "DirectConv",
+    "Im2colGemm3",
+    "Im2colGemm6",
+    "Im2colGemmNaive",
+    "WinogradConv",
+    "im2col",
+    "im2col_vectorized",
+    "winograd_matrices",
+    "f63",
+    "ALGORITHM_NAMES",
+    "all_algorithms",
+    "best_algorithm",
+    "effective_algorithm",
+    "get_algorithm",
+    "layer_cycles",
+    "register",
+]

@@ -1,0 +1,78 @@
+"""Convolution-algorithm interface.
+
+Each algorithm provides three faces:
+
+* ``run(spec, x, w)`` — fast functional execution (NumPy), used for
+  correctness testing and network inference;
+* ``run_vectorized(spec, x, w, machine)`` — the kernel written against the
+  RVV intrinsics of :mod:`repro.isa`, mirroring the paper's C code loop
+  structure; executable (slowly) on small shapes and traced for the
+  trace-driven timing validation;
+* ``schedule(spec, hw)`` — the analytical-model description (phases and data
+  streams) used by the co-design experiments on full-size layers.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import NotApplicableError
+from repro.isa.machine import VectorMachine
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.phases import Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class ConvAlgorithm(abc.ABC):
+    """Base class for convolution implementations."""
+
+    #: Unique registry name, e.g. ``"im2col_gemm6"``.
+    name: str = "abstract"
+    #: Human-readable label used in experiment tables (papers' legend names).
+    label: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # applicability
+    # ------------------------------------------------------------------ #
+    def applicability_reason(self, spec: ConvSpec) -> str | None:
+        """None if applicable, else a human-readable reason."""
+        return None
+
+    def applicable(self, spec: ConvSpec) -> bool:
+        return self.applicability_reason(spec) is None
+
+    def check_applicable(self, spec: ConvSpec) -> None:
+        reason = self.applicability_reason(spec)
+        if reason is not None:
+            raise NotApplicableError(f"{self.name} on {spec.describe()}: {reason}")
+
+    # ------------------------------------------------------------------ #
+    # the three faces
+    # ------------------------------------------------------------------ #
+    @abc.abstractmethod
+    def run(self, spec: ConvSpec, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Functional execution: (IC,IH,IW), (OC,IC,KH,KW) -> (OC,OH,OW)."""
+
+    @abc.abstractmethod
+    def run_vectorized(
+        self, spec: ConvSpec, x: np.ndarray, w: np.ndarray, machine: VectorMachine
+    ) -> np.ndarray:
+        """Intrinsics-level execution on the functional vector machine."""
+
+    @abc.abstractmethod
+    def schedule(self, spec: ConvSpec, hw: HardwareConfig) -> list[Phase]:
+        """Analytical-model schedule for a full-size layer."""
+
+    # ------------------------------------------------------------------ #
+    def conv_fn(self):
+        """Adapter matching :data:`repro.nn.network.ConvFn`."""
+        def fn(spec: ConvSpec, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+            return self.run(spec, x, w)
+        fn.__name__ = f"conv_{self.name}"
+        return fn
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"

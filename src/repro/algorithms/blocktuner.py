@@ -1,0 +1,70 @@
+"""Analytical block-size tuning for the 6-loop GEMM.
+
+Paper I tuned the BLIS-like blocks to 16x512x128 *for a 1 MB L2* and both
+papers carry that choice across every cache size they sweep.  This module
+asks the follow-up question: what does re-tuning the blocks to each cache
+buy?  ``tune_blocks`` searches a small grid with the analytical model
+(exactly how BLIS picks blocks from cache parameters, but empirical), and
+the ``ablation-blocks`` study compares fixed-vs-tuned across the L2 sweep.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.algorithms.gemm_kernels import BLOCK_K, BLOCK_M, BLOCK_N, gemm6_phases
+from repro.errors import ConfigError
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+
+#: Candidate grid (powers of two around the paper's Table II values).
+BLOCK_M_CANDIDATES: tuple[int, ...] = (16, 32)
+BLOCK_N_CANDIDATES: tuple[int, ...] = (256, 512, 1024, 2048)
+BLOCK_K_CANDIDATES: tuple[int, ...] = (64, 128, 256, 512)
+
+#: The papers' fixed choice.
+PAPER_BLOCKS: tuple[int, int, int] = (BLOCK_M, BLOCK_N, BLOCK_K)
+
+
+def gemm6_cycles(
+    m: int, k: int, n: int, hw: HardwareConfig, blocks: tuple[int, int, int]
+) -> float:
+    """Analytical 6-loop GEMM cycles at the given block sizes."""
+    bm, bn, bk = blocks
+    if min(bm, bn, bk) < 1:
+        raise ConfigError(f"block sizes must be positive, got {blocks}")
+    phases = gemm6_phases(m, k, n, hw, block_m=bm, block_n=bn, block_k=bk)
+    return AnalyticalTimingModel(hw).evaluate("gemm6", phases).cycles
+
+
+@lru_cache(maxsize=4096)
+def tune_blocks(
+    m: int, k: int, n: int, vlen_bits: int, l2_mib: float
+) -> tuple[int, int, int]:
+    """The cycle-optimal (blockM, blockN, blockK) for one GEMM and config.
+
+    Exhaustive over the candidate grid, skipping combinations whose packed-B
+    block exceeds the L2 (they always thrash).
+    """
+    hw = HardwareConfig.paper2_rvv(vlen_bits, l2_mib)
+    best = PAPER_BLOCKS
+    best_cycles = gemm6_cycles(m, k, n, hw, PAPER_BLOCKS)
+    for bm in BLOCK_M_CANDIDATES:
+        for bn in BLOCK_N_CANDIDATES:
+            for bk in BLOCK_K_CANDIDATES:
+                if bk * bn * 4 > hw.l2_bytes:
+                    continue
+                cycles = gemm6_cycles(m, k, n, hw, (bm, bn, bk))
+                if cycles < best_cycles:
+                    best, best_cycles = (bm, bn, bk), cycles
+    return best
+
+
+def tuned_speedup(
+    m: int, k: int, n: int, hw: HardwareConfig
+) -> tuple[tuple[int, int, int], float]:
+    """(best blocks, fixed-blocks time / tuned time) for one GEMM."""
+    blocks = tune_blocks(m, k, n, hw.vlen_bits, hw.l2_mib)
+    fixed = gemm6_cycles(m, k, n, hw, PAPER_BLOCKS)
+    tuned = gemm6_cycles(m, k, n, hw, blocks)
+    return blocks, fixed / tuned

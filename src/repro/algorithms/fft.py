@@ -1,0 +1,183 @@
+"""FFT convolution — the algorithm family the paper considered and excluded.
+
+Paper II §1: "Winograd is effective with small kernel sizes ... while FFT is
+better suited for larger kernel sizes.  Since large kernel sizes are not
+common in modern CNNs, we do not further consider the FFT algorithm."
+This module implements it anyway so that the claim is reproducible: the
+``ablation-fft`` experiment shows the FFT/Winograd/GEMM crossover moving in
+FFT's favour only as the kernel grows past the sizes CNNs use.
+
+Functional path: full 2-D real FFT convolution (pad to linear-convolution
+size, pointwise complex multiply, inverse, crop) — numerically validated
+against the reference.  Analytical path: split-radix-style cost model
+(``~2.5 * P * log2(P)`` real FLOPs per 2-D transform of P points) with the
+transformed-weight footprint (the FFT analogue of Winograd's V matrix,
+``IC*OC*P`` complex values) dominating memory for small kernels.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.base import ConvAlgorithm
+from repro.isa.machine import VectorMachine
+from repro.nn.layer import DTYPE_BYTES, ConvSpec
+from repro.nn.reference import pad_input
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+#: Complex element size (2 x fp32).
+_CPLX_BYTES = 2 * DTYPE_BYTES
+
+
+def _fft_shape(spec: ConvSpec) -> tuple[int, int]:
+    """Linear-convolution transform size (next even size, FFT-friendly)."""
+    fh = spec.ih + 2 * spec.pad + spec.kh - 1
+    fw = spec.iw + 2 * spec.pad + spec.kw - 1
+    # round to the next multiple of 8 for radix-friendly transforms
+    return (math.ceil(fh / 8) * 8, math.ceil(fw / 8) * 8)
+
+
+class FftConv(ConvAlgorithm):
+    """Frequency-domain convolution via 2-D real FFTs."""
+
+    name = "fft"
+    label = "FFT"
+
+    def applicability_reason(self, spec: ConvSpec) -> str | None:
+        if spec.stride != 1:
+            return f"requires stride 1, got {spec.stride}"
+        return None
+
+    # ------------------------------------------------------------------ #
+    def run(self, spec: ConvSpec, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Exact FFT convolution: correlate by conjugating the kernel FFT."""
+        self.check_applicable(spec)
+        spec.validate_input(x.shape)
+        fh, fw = _fft_shape(spec)
+        xp = pad_input(np.asarray(x, dtype=np.float64), spec.pad)
+        xf = np.fft.rfft2(xp, s=(fh, fw))  # (IC, fh, fw//2+1)
+        wf = np.fft.rfft2(w.astype(np.float64), s=(fh, fw))  # (OC, IC, ...)
+        # correlation = IFFT( conj(Wf) * Xf ), summed over input channels
+        yf = np.einsum("ocij,cij->oij", np.conj(wf), xf)
+        y = np.fft.irfft2(yf, s=(fh, fw))
+        # valid-correlation outputs start at offset 0 of the padded frame
+        return y[:, : spec.oh, : spec.ow].astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    def run_vectorized(
+        self, spec: ConvSpec, x: np.ndarray, w: np.ndarray, machine: VectorMachine
+    ) -> np.ndarray:
+        """Traced FFT pipeline: the pointwise stage runs on the machine.
+
+        The butterflies themselves are traced as their vector-op counts (a
+        full software FFT in Python-level intrinsics is prohibitive); the
+        frequency-domain pointwise multiply-accumulate — the stage that
+        dominates for CNN-sized kernels — executes genuinely on the machine.
+        """
+        self.check_applicable(spec)
+        spec.validate_input(x.shape)
+        fh, fw = _fft_shape(spec)
+        p_half = fh * (fw // 2 + 1)
+        xp = pad_input(np.asarray(x, dtype=np.float64), spec.pad)
+        xf = np.fft.rfft2(xp, s=(fh, fw))
+        wf = np.conj(np.fft.rfft2(w.astype(np.float64), s=(fh, fw)))
+
+        # trace the transforms' arithmetic (counts only)
+        fft_ops = 2.5 * (fh * fw) * math.log2(fh * fw)
+        vle = machine.vlmax()
+        for _ in range(spec.ic + 1):  # input FFTs + amortized bookkeeping
+            machine.scalar(int(fft_ops / vle), "fft_butterflies")
+
+        # pointwise complex MAC on the machine: yf += conj(wf) * xf
+        def pack(z: np.ndarray) -> np.ndarray:
+            return np.stack([z.real, z.imag], axis=-1).astype(np.float32).reshape(-1)
+
+        x_buf = machine.alloc_from("fft_x", pack(xf))
+        w_buf = machine.alloc_from("fft_w", pack(wf))
+        acc = machine.alloc("fft_y", spec.oc * p_half * 2, np.float32)
+        # complex multiply = 4 real FMAs; done per (oc, ic) over P points
+        for o in range(spec.oc):
+            for c in range(spec.ic):
+                machine.scalar(2, "fft_pointwise_loop")
+                j = 0
+                n = p_half * 2
+                while j < n:
+                    gvl = machine.vsetvl(n - j)
+                    machine.vload(0, x_buf, c * n + j)
+                    machine.vload(1, w_buf, (o * spec.ic + c) * n + j)
+                    machine.vload(2, acc, o * n + j)
+                    machine.vfmacc(2, 0, 1)  # stands for the complex MAC pair
+                    machine.vstore(2, acc, o * n + j)
+                    j += gvl
+        for _ in range(spec.oc):
+            machine.scalar(int(fft_ops / vle), "ifft_butterflies")
+        # numerical result from the exact path (butterflies not re-derived)
+        return self.run(spec, x, w)
+
+    # ------------------------------------------------------------------ #
+    def schedule(self, spec: ConvSpec, hw: HardwareConfig) -> list[Phase]:
+        self.check_applicable(spec)
+        vle = hw.vlmax_f32
+        fh, fw = _fft_shape(spec)
+        p = float(fh * fw)
+        p_half = float(fh * (fw // 2 + 1))
+        ic, oc = spec.ic, spec.oc
+
+        fft_flops = 2.5 * p * math.log2(p)  # per 2-D real transform
+        # transforms vectorize across frequencies (rows of the 2-D FFT)
+        def transform_phase(name: str, count: float, in_bytes: float,
+                            out_bytes: float, resident: bool) -> Phase:
+            return Phase(
+                name=name,
+                vector_ops=count * fft_flops / vle,
+                vector_active=float(vle),
+                vmem_ops=count * 2.0 * math.log2(p) * p / vle / 2.0,
+                vmem_active=float(vle),
+                nonunit_fraction=0.4,  # bit-reversal / strided passes
+                scalar_ops=count * 4.0 * math.log2(p),
+                streams=(
+                    DataStream(f"{name}_in", bytes=in_bytes, passes=1.0,
+                               resident_source=resident),
+                    DataStream(f"{name}_out", bytes=out_bytes, passes=1.0,
+                               is_write=True),
+                ),
+            )
+
+        input_fft = transform_phase(
+            "fft_input", float(ic), float(spec.input_bytes),
+            ic * p_half * _CPLX_BYTES, resident=True,
+        )
+        weight_fft = transform_phase(
+            "fft_weights", float(ic * oc), float(spec.weight_bytes),
+            ic * oc * p_half * _CPLX_BYTES, resident=False,
+        )
+
+        # pointwise complex MACs: 4 real FMAs per (oc, ic, frequency)
+        macs = 4.0 * ic * oc * p_half
+        strips = macs / vle
+        v_bytes = ic * oc * p_half * _CPLX_BYTES
+        pointwise = Phase(
+            name="fft_pointwise",
+            vector_ops=strips,
+            vector_active=float(vle),
+            vmem_ops=2.0 * strips,
+            vmem_active=float(vle),
+            scalar_ops=2.0 * ic * oc,
+            streams=(
+                DataStream("Xf", bytes=ic * p_half * _CPLX_BYTES,
+                           passes=float(oc), reuse_ws=ic * p_half * _CPLX_BYTES,
+                           resident_source=True),
+                DataStream("Wf", bytes=v_bytes, passes=1.0, reuse_ws=v_bytes,
+                           resident_source=True),
+                DataStream("Yf", bytes=oc * p_half * _CPLX_BYTES, passes=1.0,
+                           is_write=True),
+            ),
+        )
+        inverse_fft = transform_phase(
+            "fft_inverse", float(oc), oc * p_half * _CPLX_BYTES,
+            float(spec.output_bytes), resident=True,
+        )
+        return [input_fft, weight_fft, pointwise, inverse_fft]

@@ -1,0 +1,366 @@
+"""GEMM kernels: naive, optimized 3-loop, and BLIS-like 6-loop.
+
+These mirror the paper's Paper I pseudocode exactly:
+
+* :func:`gemm_naive` — Fig. 1 (the Darknet baseline, ijk scalar loops);
+* :func:`gemm3_vectorized` — Fig. 2: jik order, ``vsetvl`` strip-mining over
+  N, loop unrolling by ``U = 16`` over M, one vector-scalar FMA per (it, k);
+* :func:`gemm6_vectorized` — Fig. 3: blocking (``blockM x blockN x blockK``,
+  tuned to 16 x 512 x 128 as in Paper I Table II), packing of A and B for
+  contiguous inner-loop accesses, software-prefetch markers, and the same
+  vectorized micro-kernel.
+
+Each also has an analytical schedule builder used on full-size layers.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.isa.machine import Buffer, VectorMachine
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+#: Loop-unroll factor over M (Paper I: no gain beyond 16 registers on RVV).
+UNROLL = 16
+
+#: BLIS-like block sizes (Paper I Table II optimum / Paper II §3.2).
+BLOCK_M = 16
+BLOCK_N = 512
+BLOCK_K = 128
+
+_DTYPE_BYTES = 4
+
+
+def _check_gemm(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int]:
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ShapeError(f"GEMM shape mismatch: {a.shape} x {b.shape}")
+    return a.shape[0], a.shape[1], b.shape[1]
+
+
+# --------------------------------------------------------------------- #
+# functional kernels
+# --------------------------------------------------------------------- #
+def gemm_naive(a: np.ndarray, b: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """The Darknet baseline (Fig. 1): C = alpha * A @ B, scalar loop order.
+
+    Functionally evaluated with NumPy (looping 10^8 times in Python would be
+    pointless); the *naive* structure matters only for the timing model.
+    """
+    _check_gemm(a, b)
+    return (alpha * (a.astype(np.float32) @ b.astype(np.float32))).astype(np.float32)
+
+
+def gemm_functional(a: np.ndarray, b: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """Fast functional GEMM shared by the optimized variants' ``run`` path."""
+    return gemm_naive(a, b, alpha)
+
+
+# --------------------------------------------------------------------- #
+# intrinsics kernels
+# --------------------------------------------------------------------- #
+def gemm3_vectorized(
+    machine: VectorMachine,
+    a_buf: Buffer,
+    b_buf: Buffer,
+    c_buf: Buffer,
+    m: int,
+    k: int,
+    n: int,
+    alpha: float = 1.0,
+) -> None:
+    """Optimized 3-loop GEMM (Paper I Fig. 2) on the vector machine.
+
+    Register map: v0 holds the B vector; v1..v16 hold the C accumulators of
+    the unrolled i-block.  C is assumed zero-initialised (Darknet's GEMM is
+    ``C += alpha*A*B`` with C pre-zeroed by ``fill_cpu``).
+    """
+    a = a_buf.array
+    j = 0
+    while j < n:
+        gvl = machine.vsetvl(n - j)
+        for i0 in range(0, m, UNROLL):
+            u = min(UNROLL, m - i0)
+            machine.scalar(2, "loop_i")
+            for it in range(u):
+                machine.vload(1 + it, c_buf, (i0 + it) * n + j)
+            for kk in range(k):
+                machine.scalar(2, "loop_k")
+                machine.vload(0, b_buf, kk * n + j)
+                for it in range(u):
+                    machine.scalar(1, "a_load")
+                    machine.vfmacc_vf(1 + it, alpha * float(a[(i0 + it) * k + kk]), 0)
+            for it in range(u):
+                machine.vstore(1 + it, c_buf, (i0 + it) * n + j)
+        j += gvl
+
+
+def _pack_b_block(
+    machine: VectorMachine,
+    b_buf: Buffer,
+    packed: Buffer,
+    k0: int,
+    kb: int,
+    j0: int,
+    jb: int,
+    n: int,
+) -> None:
+    """Pack B[k0:k0+kb, j0:j0+jb] row-major into ``packed`` (vectorized)."""
+    for kk in range(kb):
+        machine.scalar(2, "pack_b_loop")
+        src = (k0 + kk) * n + j0
+        dst = kk * jb
+        jj = 0
+        while jj < jb:
+            gvl = machine.vsetvl(jb - jj)
+            machine.vload(0, b_buf, src + jj)
+            machine.vstore(0, packed, dst + jj)
+            jj += gvl
+
+
+def _pack_a_block(
+    machine: VectorMachine,
+    a_buf: Buffer,
+    packed: Buffer,
+    i0: int,
+    ib: int,
+    k0: int,
+    kb: int,
+    k: int,
+) -> None:
+    """Pack A[i0:i0+ib, k0:k0+kb] row-major into ``packed`` (vectorized)."""
+    for it in range(ib):
+        machine.scalar(2, "pack_a_loop")
+        src = (i0 + it) * k + k0
+        dst = it * kb
+        kk = 0
+        while kk < kb:
+            gvl = machine.vsetvl(kb - kk)
+            machine.vload(0, a_buf, src + kk)
+            machine.vstore(0, packed, dst + kk)
+            kk += gvl
+
+
+def gemm6_vectorized(
+    machine: VectorMachine,
+    a_buf: Buffer,
+    b_buf: Buffer,
+    c_buf: Buffer,
+    m: int,
+    k: int,
+    n: int,
+    alpha: float = 1.0,
+    block_m: int = BLOCK_M,
+    block_n: int = BLOCK_N,
+    block_k: int = BLOCK_K,
+) -> None:
+    """BLIS-like 6-loop GEMM (Paper I Fig. 3) on the vector machine.
+
+    Prefetch intents are recorded as named scalar markers — the RVV toolchain
+    of the paper ignores them (no Zicbop) and so does the decoupled timing
+    model; platforms with prefetch benefit through the latency model instead.
+    """
+    packed_b = machine.alloc(
+        f"packB_{id(b_buf) & 0xFFFF}_{machine.trace.stats.total_instrs}",
+        block_k * block_n,
+        np.float32,
+    )
+    packed_a = machine.alloc(
+        f"packA_{id(a_buf) & 0xFFFF}_{machine.trace.stats.total_instrs}",
+        block_m * block_k,
+        np.float32,
+    )
+    for j1 in range(0, n, block_n):
+        jb = min(block_n, n - j1)
+        for k1 in range(0, k, block_k):
+            kb = min(block_k, k - k1)
+            _pack_b_block(machine, b_buf, packed_b, k1, kb, j1, jb, n)
+            for i1 in range(0, m, block_m):
+                ib = min(block_m, m - i1)
+                _pack_a_block(machine, a_buf, packed_a, i1, ib, k1, kb, k)
+                pa = packed_a.array
+                j = 0
+                while j < jb:
+                    gvl = machine.vsetvl(jb - j)
+                    machine.scalar(3, "prefetch_c")
+                    for it in range(ib):
+                        machine.vload(1 + it, c_buf, (i1 + it) * n + j1 + j)
+                    for kk in range(kb):
+                        machine.scalar(2, "prefetch_ab")
+                        machine.vload(0, packed_b, kk * jb + j)
+                        for it in range(ib):
+                            machine.scalar(1, "a_load")
+                            machine.vfmacc_vf(
+                                1 + it, alpha * float(pa[it * kb + kk]), 0
+                            )
+                    for it in range(ib):
+                        machine.vstore(1 + it, c_buf, (i1 + it) * n + j1 + j)
+                    j += gvl
+
+
+# --------------------------------------------------------------------- #
+# analytical schedules
+# --------------------------------------------------------------------- #
+def gemm3_phase(m: int, k: int, n: int, hw: HardwareConfig, b_name: str = "col") -> Phase:
+    """Analytical cost of the 3-loop GEMM macro-kernel.
+
+    The load-bearing interaction: the reuse window of the B (column-matrix)
+    slice between unrolled i-blocks is ``K * gvl`` elements — it *grows with
+    the vector length*, so longer vectors raise the L2 miss rate exactly as
+    the paper's Table III reports.
+    """
+    vle = hw.vlmax_f32
+    nj = math.ceil(n / vle)
+    active = n / nj
+    # LMUL register grouping shrinks the architectural register count from
+    # 32 to 32/LMUL groups, strangling the unroll (the accumulators of
+    # Paper I Fig. 2 need one group each) and with it the B reuse per load
+    unroll = max(1, min(UNROLL, 32 // getattr(hw, "lmul", 1) - 4))
+    mb = math.ceil(m / unroll)
+    fma = float(nj * k * m)
+    b_loads = float(nj * k * mb)
+    c_ops = 2.0 * nj * m
+    b_bytes = float(k * n * _DTYPE_BYTES)
+    return Phase(
+        name="gemm3",
+        vector_ops=fma,
+        vector_active=active,
+        vmem_ops=b_loads + c_ops,
+        vmem_active=active,
+        scalar_ops=fma + 2.0 * nj * mb * k,
+        streams=(
+            DataStream(
+                # A elements feed the vector-scalar FMAs through scalar
+                # loads: a thrashing A panel stalls the in-order front end
+                "A_weights",
+                bytes=float(m * k * _DTYPE_BYTES),
+                passes=float(nj),
+                reuse_ws=float(m * k * _DTYPE_BYTES),
+                scalar_access=True,
+            ),
+            DataStream(
+                # the column matrix was just produced by im2col (or is the
+                # previous layer's output for 1x1 convolutions)
+                b_name,
+                bytes=b_bytes,
+                passes=float(mb),
+                reuse_ws=float(k * vle * _DTYPE_BYTES),
+                resident_source=True,
+            ),
+            DataStream("C_read", bytes=float(m * n * _DTYPE_BYTES), passes=1.0),
+            DataStream(
+                "C_write", bytes=float(m * n * _DTYPE_BYTES), passes=1.0, is_write=True
+            ),
+        ),
+    )
+
+
+def gemm6_phases(
+    m: int,
+    k: int,
+    n: int,
+    hw: HardwareConfig,
+    b_name: str = "col",
+    block_m: int = BLOCK_M,
+    block_n: int = BLOCK_N,
+    block_k: int = BLOCK_K,
+) -> list[Phase]:
+    """Analytical cost of the 6-loop GEMM (packing + blocked macro-kernel).
+
+    Block sizes are fixed at the paper's tuned 16x512x128 (chosen for a 1 MB
+    L2): the packed-B block (256 KB) stays L2-resident, A panels stay
+    L1-resident, and C is re-streamed once per K-block.
+    """
+    vle = hw.vlmax_f32
+    nb = math.ceil(n / block_n)
+    kbk = math.ceil(k / block_k)
+    mb = math.ceil(m / block_m)
+
+    # inner j-strips, tail-aware: full j1-blocks plus the ragged last block
+    full_blocks, tail = divmod(n, block_n)
+    total_strips = full_blocks * math.ceil(block_n / vle)
+    if tail:
+        total_strips += math.ceil(tail / vle)
+    active = n / total_strips
+
+    fma = float(total_strips * k * m)
+    b_inner_loads = float(total_strips * k * mb)
+    # C loads+stores happen per (strip, i-row) for every K-block pass
+    c_ops = 2.0 * total_strips * m
+
+    pack_b_vmem = 2.0 * k * n / vle + k * nb
+    pack_a_vmem = 2.0 * m * k * nb / vle + m * nb * kbk
+
+    bytes_b = float(k * n * _DTYPE_BYTES)
+    bytes_a = float(m * k * _DTYPE_BYTES)
+    bytes_c = float(m * n * _DTYPE_BYTES)
+    packed_block_ws = float(block_k * block_n * _DTYPE_BYTES)
+    c_reuse_ws = float((m + block_k) * min(n, block_n) * _DTYPE_BYTES)
+
+    packing = Phase(
+        name="gemm6_pack",
+        vmem_ops=pack_b_vmem + pack_a_vmem,
+        vmem_active=float(min(vle, block_n)),
+        nonunit_fraction=0.1,
+        scalar_ops=2.0 * (k * nb + m * nb * kbk),
+        streams=(
+            DataStream(b_name, bytes=bytes_b, passes=1.0, resident_source=True),
+            DataStream("packedB_write", bytes=bytes_b, passes=1.0, is_write=True),
+            DataStream("A_src", bytes=bytes_a, passes=float(nb), reuse_ws=bytes_a),
+            DataStream(
+                "packedA",
+                bytes=float(block_m * block_k * _DTYPE_BYTES),
+                passes=float(2 * nb * kbk * mb),
+                reuse_ws=float(block_m * block_k * _DTYPE_BYTES),
+                is_write=True,
+            ),
+        ),
+    )
+    kernel = Phase(
+        name="gemm6_kernel",
+        vector_ops=fma,
+        vector_active=active,
+        vmem_ops=b_inner_loads + c_ops * kbk,
+        vmem_active=active,
+        scalar_ops=fma + 3.0 * total_strips * mb * k,
+        streams=(
+            DataStream(
+                "packedB_read",
+                bytes=bytes_b,
+                passes=float(mb),
+                reuse_ws=packed_block_ws,
+                resident_source=True,
+            ),
+            DataStream("C_read", bytes=bytes_c, passes=float(kbk), reuse_ws=c_reuse_ws),
+            DataStream(
+                "C_write",
+                bytes=bytes_c,
+                passes=float(kbk),
+                reuse_ws=c_reuse_ws,
+                is_write=True,
+            ),
+        ),
+    )
+    return [packing, kernel]
+
+
+def gemm_naive_phase(m: int, k: int, n: int, hw: HardwareConfig) -> Phase:
+    """Analytical cost of the scalar Darknet GEMM (baseline comparisons)."""
+    fma_scalar = float(m) * k * n
+    return Phase(
+        name="gemm_naive",
+        scalar_ops=4.0 * fma_scalar,
+        streams=(
+            DataStream("A", bytes=float(m * k * _DTYPE_BYTES), passes=1.0),
+            DataStream(
+                "B",
+                bytes=float(k * n * _DTYPE_BYTES),
+                passes=float(m),
+                reuse_ws=float(k * n * _DTYPE_BYTES),
+            ),
+            DataStream("C", bytes=float(m * n * _DTYPE_BYTES), passes=1.0, is_write=True),
+        ),
+    )

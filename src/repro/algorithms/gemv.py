@@ -1,0 +1,81 @@
+"""GEMV timing for fully connected layers.
+
+Paper II's background: "the fully connected layers also use compute
+intensive kernels similar to convolutional layers" — VGG-16 carries three
+of them.  A batch-1 FC layer is a GEMV, which vectorizes over the *input*
+dimension (dot products with a final reduction) rather than over N like the
+conv GEMMs, and is memory-bound: every weight byte is read exactly once per
+inference (arithmetic intensity ~0.5 FLOP/byte).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.isa.machine import VectorMachine
+from repro.nn.layer import DTYPE_BYTES, ConnectedSpec
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+
+def gemv_phase(spec: ConnectedSpec, hw: HardwareConfig) -> Phase:
+    """Analytical cost of ``y = W x`` with (outputs, inputs) weights.
+
+    Per output row: strip-mined FMAs over the input vector, then a
+    log-depth reduction.  The weight matrix streams from DRAM (no reuse —
+    batch 1), which binds the phase for all realistic sizes.
+    """
+    vle = hw.vlmax_f32
+    m, k = spec.outputs, spec.inputs
+    strips = math.ceil(k / vle)
+    active = k / strips
+    fma = float(m * strips)
+    reductions = float(m * math.ceil(math.log2(max(2, vle))))
+    w_bytes = float(m * k * DTYPE_BYTES)
+    return Phase(
+        name="gemv",
+        vector_ops=fma + reductions,
+        vector_active=active,
+        vmem_ops=2.0 * fma,  # weight row strip + input strip
+        vmem_active=active,
+        scalar_ops=4.0 * m,
+        streams=(
+            DataStream("fc_weights", bytes=w_bytes, passes=1.0),
+            DataStream(
+                "fc_input",
+                bytes=float(k * DTYPE_BYTES),
+                passes=float(min(m, 64)),  # re-read per row, small ws
+                reuse_ws=float(k * DTYPE_BYTES),
+                resident_source=True,
+            ),
+            DataStream(
+                "fc_output", bytes=float(m * DTYPE_BYTES), passes=1.0,
+                is_write=True,
+            ),
+        ),
+    )
+
+
+def gemv_vectorized(
+    machine: VectorMachine, w: np.ndarray, x: np.ndarray
+) -> np.ndarray:
+    """Intrinsics-level GEMV: per-row dot products with ``vredsum``."""
+    m, k = w.shape
+    w_buf = machine.alloc_from(f"gemv_w_{id(w) & 0xFFFF}", w)
+    x_buf = machine.alloc_from(f"gemv_x_{id(x) & 0xFFFF}", x)
+    out = np.empty(m, dtype=np.float32)
+    for row in range(m):
+        machine.scalar(2, "gemv_row")
+        acc = 0.0
+        i = 0
+        while i < k:
+            gvl = machine.vsetvl(k - i)
+            machine.vload(0, w_buf, row * k + i)
+            machine.vload(1, x_buf, i)
+            machine.vfmul(2, 0, 1)
+            acc += machine.vredsum(2)
+            i += gvl
+        out[row] = acc
+    return out

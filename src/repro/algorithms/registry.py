@@ -1,0 +1,114 @@
+"""Algorithm registry and per-layer evaluation helpers.
+
+The four contenders of Paper II: Direct, im2col+GEMM (3- and 6-loop) and
+Winograd.  ``winograd_star`` implements the paper's "Winograd*" network
+policy: Winograd where applicable (3x3, stride 1), falling back to the
+optimized im2col+GEMM elsewhere.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.algorithms.autovec import Im2colGemmAutovec
+from repro.algorithms.base import ConvAlgorithm
+from repro.algorithms.direct import DirectConv
+from repro.algorithms.fft import FftConv
+from repro.algorithms.im2col_gemm import Im2colGemm3, Im2colGemm6, Im2colGemmNaive
+from repro.algorithms.winograd import WinogradConv
+from repro.errors import AlgorithmError
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.model import AnalyticalTimingModel, LayerCycles
+from repro.simulator.hwconfig import HardwareConfig
+
+#: Paper II's four contenders, in the papers' legend order.
+ALGORITHM_NAMES: tuple[str, ...] = (
+    "direct",
+    "im2col_gemm3",
+    "im2col_gemm6",
+    "winograd",
+)
+
+_REGISTRY: dict[str, ConvAlgorithm] = {}
+
+
+def register(algorithm: ConvAlgorithm) -> ConvAlgorithm:
+    """Add an algorithm instance to the registry (idempotent by name)."""
+    _REGISTRY[algorithm.name] = algorithm
+    return algorithm
+
+
+register(DirectConv())
+register(Im2colGemm3())
+register(Im2colGemm6())
+register(Im2colGemmNaive())
+register(Im2colGemmAutovec())
+register(Im2colGemmAutovec(unrolled=True))
+register(FftConv())
+register(WinogradConv())
+
+
+def get_algorithm(name: str) -> ConvAlgorithm:
+    """Look up an algorithm by registry name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; known: {sorted(_REGISTRY)}"
+        )
+
+
+def all_algorithms() -> list[ConvAlgorithm]:
+    """The four Paper II contenders."""
+    return [_REGISTRY[n] for n in ALGORITHM_NAMES]
+
+
+def effective_algorithm(name: str, spec: ConvSpec) -> ConvAlgorithm:
+    """The algorithm actually executed for a layer under a network policy.
+
+    Winograd falls back to the 6-loop im2col+GEMM for layers it does not
+    support (the paper's "Winograd*"); the others apply everywhere.
+    """
+    algo = get_algorithm(name)
+    if not algo.applicable(spec):
+        return get_algorithm("im2col_gemm6")
+    return algo
+
+
+def layer_cycles(
+    name: str,
+    spec: ConvSpec,
+    hw: HardwareConfig,
+    fallback: bool = True,
+    calibration=None,
+) -> LayerCycles:
+    """Analytical cycle estimate of one layer under one algorithm/config.
+
+    With ``fallback`` (default), inapplicable layers use the Winograd*
+    policy; without it, :class:`repro.errors.NotApplicableError` is raised.
+    ``calibration`` overrides the model constants (used by the ablations).
+    """
+    algo = effective_algorithm(name, spec) if fallback else get_algorithm(name)
+    algo.check_applicable(spec)
+    model = AnalyticalTimingModel(hw, calibration=calibration)
+    return model.evaluate(algo.name, algo.schedule(spec, hw))
+
+
+def best_algorithm(
+    spec: ConvSpec, hw: HardwareConfig, candidates: Iterable[str] = ALGORITHM_NAMES
+) -> tuple[str, dict[str, float]]:
+    """The cycle-optimal algorithm for a layer and all candidates' cycles.
+
+    Candidates that are not applicable to the layer are excluded (matching
+    the paper's evaluation, which plots Winograd only on 3x3/stride-1
+    layers).
+    """
+    cycles: dict[str, float] = {}
+    for name in candidates:
+        algo = get_algorithm(name)
+        if not algo.applicable(spec):
+            continue
+        cycles[name] = layer_cycles(name, spec, hw, fallback=False).cycles
+    if not cycles:
+        raise AlgorithmError(f"no applicable algorithm for {spec.describe()}")
+    return min(cycles, key=cycles.get), cycles

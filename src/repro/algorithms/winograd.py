@@ -1,0 +1,484 @@
+"""Winograd F(6x6, 3x3) convolution with inter-tile channel parallelism.
+
+Reproduces the paper's NNPACK-derived Winograd kernel (Paper I §IV-B,
+Paper II §3.2):
+
+* fixed 8x8 input tiles producing 6x6 outputs — larger tiles would lose
+  fp32 accuracy, so the tile size never grows with the vector length;
+* **inter-tile parallelism**: to feed long vectors, the input/output
+  transforms pack one 8x8 tile *per channel*, 4 elements per half-row, so a
+  vector of ``VL`` bits spans ``VL/128`` channels (4 channels at 512 bits,
+  16 at 2048 bits — Fig. 2.1 of the thesis); the scheme needs at least 4
+  channels, which is why it degrades on 3-channel first layers;
+* the tuple (element-wise tile) multiplication is vectorized over the 64
+  tile positions — bounded at 64 f32 = 2048 bits, which is why Winograd
+  stops scaling beyond 2048-bit vectors (Paper II §4.2.1);
+* the weight transform is charged online by default (Paper II's serving
+  setting) or hoisted offline (``online_weight_transform=False``, Paper I's
+  inference study);
+* tuple/transform memory costs depend on the ISA: ARM-SVE's zip/transpose
+  intrinsics enable register blocking, RVV's missing permutes force the
+  buffer+gather workaround of Paper I §VII (``HardwareConfig.isa``).
+
+Applicability follows Paper II by default: 3x3 kernels with stride 1.
+``allow_strided=True`` reproduces Paper I's stride-2 treatment (compute at
+stride 1, subsample — measurably slower than im2col+GEMM).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.base import ConvAlgorithm
+from repro.algorithms.winograd_transforms import f63
+from repro.isa.machine import Buffer, VectorMachine
+from repro.nn.layer import DTYPE_BYTES, ConvSpec
+from repro.nn.reference import pad_input
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+#: Output tile (m), filter taps (r), input tile (alpha).
+TILE_M = 6
+TILE_R = 3
+TILE_ALPHA = 8
+#: Tile positions in the element-wise (tuple) multiplication.
+TUPLE_ELEMS = TILE_ALPHA * TILE_ALPHA  # 64 -> caps useful VL at 2048 bits
+#: Elements per channel half-row in the packed inter-tile layout.
+PACK_ELEMS = 4
+#: Minimum channels for the inter-tile vector path.
+MIN_CHANNELS = 4
+
+#: Vector-arithmetic instruction counts of one packed transform group
+#: (two buffers, two 8x8 linear-combination stages + repack arithmetic:
+#: 2 stages x 2 half-buffers x 8 rows x ~8 FMAs, plus transpose shuffles).
+INPUT_TRANSFORM_OPS = 280.0
+OUTPUT_TRANSFORM_OPS = 230.0
+#: Vector memory ops per transform group (pack + repack + store).
+TRANSFORM_VMEM_OPS = 40.0
+#: Scalar bookkeeping per (tile, channel) in the packing loops
+#: (Paper I Fig. 4, lines 9-16).
+PACK_SCALARS = 6.0
+#: Tile block size amortizing transformed-weight (V) reuse in tuple GEMM.
+TILE_BLOCK = 64
+#: Vector memory instructions per tuple FMA (U + V loads, partially
+#: amortized by the 4-element micro-blocking of the paper's scheme) on RVV,
+#: where the missing permute/zip intrinsics force temporary buffers and
+#: gather loads (Paper I §VII).
+TUPLE_VMEM_PER_FMA = 1.6
+#: On ARM-SVE the zip/transpose intrinsics enable register blocking in the
+#: tuple stage: far fewer memory operations per FMA.
+TUPLE_VMEM_PER_FMA_SVE = 0.6
+
+
+def tile_counts(spec: ConvSpec) -> tuple[int, int]:
+    """(tiles_y, tiles_x): 6x6 output tiles covering the output plane."""
+    return math.ceil(spec.oh / TILE_M), math.ceil(spec.ow / TILE_M)
+
+
+class WinogradConv(ConvAlgorithm):
+    """F(6x6, 3x3) Winograd with inter-tile channel vectorization.
+
+    ``online_weight_transform`` controls whether the G g G^T weight transform
+    is charged per layer execution.  Paper II's model-serving setting keeps
+    weights in the framework's native layout and transforms at layer entry
+    (the IC*OC-quadratic term that makes Winograd uncompetitive on deep,
+    high-channel layers); Paper I's inference study hoists it offline —
+    the Paper I extension experiments pass ``False``.
+    """
+
+    name = "winograd"
+    label = "Winograd"
+
+    def __init__(
+        self,
+        online_weight_transform: bool = True,
+        allow_strided: bool = False,
+    ) -> None:
+        self.online_weight_transform = online_weight_transform
+        #: Paper I evaluated stride-2 3x3 layers with Winograd by computing
+        #: the stride-1 result and subsampling — ~4x wasted tile work, which
+        #: is why it measured 1.4x *slower* than im2col+GEMM there.  Paper II
+        #: therefore treats stride 2 as inapplicable (the default here).
+        self.allow_strided = allow_strided
+
+    # ------------------------------------------------------------------ #
+    def applicability_reason(self, spec: ConvSpec) -> str | None:
+        if (spec.kh, spec.kw) != (TILE_R, TILE_R):
+            return f"requires 3x3 kernels, got {spec.kh}x{spec.kw}"
+        if spec.stride == 2 and self.allow_strided:
+            return None
+        if spec.stride != 1:
+            return f"requires stride 1, got {spec.stride}"
+        return None
+
+    @staticmethod
+    def _unit_stride_twin(spec: ConvSpec) -> ConvSpec:
+        """The stride-1 layer whose subsampled output equals ``spec``'s."""
+        return ConvSpec(
+            ic=spec.ic, oc=spec.oc, ih=spec.ih, iw=spec.iw,
+            kh=spec.kh, kw=spec.kw, stride=1, pad=spec.pad, index=spec.index,
+        )
+
+    # ------------------------------------------------------------------ #
+    # functional path
+    # ------------------------------------------------------------------ #
+    def transform_weights(self, spec: ConvSpec, w: np.ndarray) -> np.ndarray:
+        """Offline weight transform: (OC, IC, 3, 3) -> (OC, IC, 8, 8)."""
+        wm = f63()
+        g = w.astype(np.float64)
+        return np.einsum("ij,ocjk,lk->ocil", wm.G, g, wm.G).astype(np.float32)
+
+    def run(self, spec: ConvSpec, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Functional Winograd convolution (tile-batched NumPy)."""
+        self.check_applicable(spec)
+        if spec.stride == 2:
+            full = self.run(self._unit_stride_twin(spec), x, w)
+            return np.ascontiguousarray(full[:, ::2, ::2][:, : spec.oh, : spec.ow])
+        spec.validate_input(x.shape)
+        wm = f63()
+        ty, tx = tile_counts(spec)
+        # pad so the tile grid covers the input the tiles need:
+        # tile (i, j) reads input rows [6i - pad, 6i - pad + 8)
+        xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+        need_h = (ty - 1) * TILE_M + TILE_ALPHA
+        need_w = (tx - 1) * TILE_M + TILE_ALPHA
+        xp = np.pad(
+            xp, ((0, 0), (0, max(0, need_h - xp.shape[1])),
+                 (0, max(0, need_w - xp.shape[2])))
+        )
+        # gather tiles: (ty, tx, IC, 8, 8)
+        sic, sih, siw = xp.strides
+        tiles = np.lib.stride_tricks.as_strided(
+            xp,
+            shape=(ty, tx, spec.ic, TILE_ALPHA, TILE_ALPHA),
+            strides=(TILE_M * sih, TILE_M * siw, sic, sih, siw),
+            writeable=False,
+        ).astype(np.float64)
+        # input transform U = BT d B : (ty, tx, IC, 8, 8)
+        u = np.einsum("ij,yxcjk,lk->yxcil", wm.BT, tiles, wm.BT)
+        # weight transform (offline for inference)
+        v = self.transform_weights(spec, w).astype(np.float64)
+        # tuple multiplication: M[y,x,oc] = sum_ic U[y,x,ic] * V[oc,ic]
+        mmat = np.einsum("yxcij,ocij->yxoij", u, v)
+        # output transform Y = AT m A : (ty, tx, OC, 6, 6)
+        y = np.einsum("ij,yxojk,lk->yxoil", wm.AT, mmat, wm.AT)
+        out = np.zeros(
+            (spec.oc, ty * TILE_M, tx * TILE_M), dtype=np.float64
+        )
+        # scatter tiles back: (ty,tx,oc,6,6) -> (oc, ty*6, tx*6)
+        out = (
+            y.transpose(2, 0, 3, 1, 4).reshape(spec.oc, ty * TILE_M, tx * TILE_M)
+        )
+        return out[:, : spec.oh, : spec.ow].astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    # intrinsics path
+    # ------------------------------------------------------------------ #
+    def run_vectorized(
+        self, spec: ConvSpec, x: np.ndarray, w: np.ndarray, machine: VectorMachine
+    ) -> np.ndarray:
+        """Inter-tile-parallel Winograd on the vector machine.
+
+        The paper's kernel packs half-rows (4 elements) of one 8x8 tile per
+        channel into long vectors (Paper I Figs. 4-5), applies the B^T/A^T
+        linear row combinations with vector-scalar FMAs, transposes, repeats,
+        and strip-mines the 64-position tuple multiplication.  This method
+        executes that kernel: packing uses indexed gathers, both transform
+        stages run as traced vector arithmetic, and a host-side transpose
+        stands in for the register-permute intrinsics (RVV lacks them — the
+        paper notes the same limitation and uses buffers + gathers).
+        """
+        self.check_applicable(spec)
+        if spec.stride == 2:
+            full = self.run_vectorized(
+                self._unit_stride_twin(spec), x, w, machine
+            )
+            return np.ascontiguousarray(
+                full[:, ::2, ::2][:, : spec.oh, : spec.ow]
+            )
+        spec.validate_input(x.shape)
+        wm = f63()
+        ty, tx = tile_counts(spec)
+        ntiles = ty * tx
+        ic, oc = spec.ic, spec.oc
+        vlmax = machine.vlmax()
+
+        xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+        need_h = (ty - 1) * TILE_M + TILE_ALPHA
+        need_w = (tx - 1) * TILE_M + TILE_ALPHA
+        xp = np.pad(
+            xp, ((0, 0), (0, max(0, need_h - xp.shape[1])),
+                 (0, max(0, need_w - xp.shape[2])))
+        )
+        src = machine.alloc_from(f"wg_x_{id(x) & 0xFFFF}", xp)
+        ph, pw = xp.shape[1], xp.shape[2]
+
+        # U and M are stored tile-major: [tile][channel][64 positions]
+        u_buf = machine.alloc(f"wg_u_{id(x) & 0xFFFF}", ntiles * ic * TUPLE_ELEMS)
+        m_buf = machine.alloc(f"wg_m_{id(x) & 0xFFFF}", ntiles * oc * TUPLE_ELEMS)
+        v_host = self.transform_weights(spec, w)  # offline, as in the paper
+        v_buf = machine.alloc_from(f"wg_v_{id(w) & 0xFFFF}", v_host)
+        scratch = machine.alloc(f"wg_s_{id(x) & 0xFFFF}", vlmax * TILE_ALPHA)
+
+        intertile = ic >= MIN_CHANNELS
+        cb = max(1, min(ic, vlmax // PACK_ELEMS)) if intertile else 1
+
+        def _stage(mat: np.ndarray, rows_in: int, rows_out: int, vl: int) -> None:
+            """Linear row combinations: out[i] = sum_j mat[i,j] * row[j].
+
+            Rows live in scratch (packed across channels); v16.. hold the
+            input rows, v8 accumulates, results return to scratch.
+            """
+            for j in range(rows_in):
+                machine.vload(16 + j, scratch, j * vlmax, vl=vl)
+            for i in range(rows_out):
+                machine.vfmul_vf(8, float(mat[i, 0]), 16)
+                for j in range(1, rows_in):
+                    if mat[i, j] != 0.0:
+                        machine.vfmacc_vf(8, float(mat[i, j]), 16 + j)
+                machine.vstore(8, scratch, i * vlmax, vl=vl)
+
+        def _transform_tile_group(
+            buf, gather_base, mat: np.ndarray, nch: int,
+            row_stride: int, rows: int,
+        ) -> np.ndarray:
+            """Pack + two transform stages for one (tile, channel-group).
+
+            Returns the exact transformed tiles, (nch, rows_out, rows_out),
+            computed from the same packed data the instructions consumed.
+            """
+            vl = machine.vsetvl(nch * PACK_ELEMS * 2)
+            data = np.empty((nch, rows, TILE_ALPHA), dtype=np.float32)
+            for row in range(rows):
+                offs = np.concatenate(
+                    [gather_base(ch) + row * row_stride + np.arange(TILE_ALPHA)
+                     for ch in range(nch)]
+                )
+                machine.vgather(0, buf, offs, vl=min(vl, offs.size))
+                machine.vstore(0, scratch, row * vlmax, vl=min(vl, offs.size))
+                machine.scalar(int(PACK_SCALARS * nch), "wg_pack")
+                for ch in range(nch):
+                    data[ch, row] = buf.array[
+                        gather_base(ch) + row * row_stride + np.arange(TILE_ALPHA)
+                    ]
+            rows_out = mat.shape[0]
+            _stage(mat, rows, rows_out, vl)
+            machine.scalar(2 * rows_out, "wg_transpose")
+            _stage(mat, rows, rows_out, vl)
+            # exact result of (mat @ d @ mat^T) per channel
+            return np.einsum(
+                "ij,cjk,lk->cil", mat.astype(np.float64),
+                data.astype(np.float64), mat.astype(np.float64),
+            ).astype(np.float32)
+
+        # ---- input transform ------------------------------------------- #
+        for t in range(ntiles):
+            tyi, txi = divmod(t, tx)
+            for c0 in range(0, ic, cb):
+                nch = min(cb, ic - c0)
+                base_row = (tyi * TILE_M) * pw + txi * TILE_M
+                u_tiles = _transform_tile_group(
+                    src,
+                    lambda ch, c0=c0, base_row=base_row: (c0 + ch) * ph * pw + base_row,
+                    wm.BT.astype(np.float32), nch, pw, TILE_ALPHA,
+                )
+                for ch in range(nch):
+                    off = (t * ic + c0 + ch) * TUPLE_ELEMS
+                    u_buf.array[off : off + TUPLE_ELEMS] = u_tiles[ch].reshape(-1)
+
+        # ---- tuple multiplication (64 positions, strip-mined) ------------ #
+        for t in range(ntiles):
+            for o in range(oc):
+                pos = 0
+                while pos < TUPLE_ELEMS:
+                    vl = machine.vsetvl(TUPLE_ELEMS - pos)
+                    machine.vbroadcast(3, 0.0)
+                    for c in range(ic):
+                        machine.scalar(2, "wg_tuple_loop")
+                        machine.vload(1, u_buf, (t * ic + c) * TUPLE_ELEMS + pos)
+                        machine.vload(2, v_buf, (o * ic + c) * TUPLE_ELEMS + pos)
+                        machine.vfmacc(3, 1, 2)
+                    machine.vstore(3, m_buf, (t * oc + o) * TUPLE_ELEMS + pos)
+                    pos += vl
+
+        # ---- output transform -------------------------------------------- #
+        cbo = max(1, min(oc, vlmax // PACK_ELEMS)) if intertile else 1
+        out = np.zeros((oc, ty * TILE_M, tx * TILE_M), dtype=np.float32)
+        at32 = wm.AT.astype(np.float32)
+        for t in range(ntiles):
+            tyi, txi = divmod(t, tx)
+            for o0 in range(0, oc, cbo):
+                nch = min(cbo, oc - o0)
+                y_tiles = _transform_tile_group(
+                    m_buf,
+                    lambda ch, t=t, o0=o0: (t * oc + o0 + ch) * TUPLE_ELEMS,
+                    at32, nch, TILE_ALPHA, TILE_ALPHA,
+                )
+                y0, x0 = tyi * TILE_M, txi * TILE_M
+                for ch in range(nch):
+                    out[o0 + ch, y0 : y0 + TILE_M, x0 : x0 + TILE_M] = y_tiles[ch]
+        return out[:, : spec.oh, : spec.ow]
+
+    # ------------------------------------------------------------------ #
+    # analytical schedule
+    # ------------------------------------------------------------------ #
+    def schedule(self, spec: ConvSpec, hw: HardwareConfig) -> list[Phase]:
+        self.check_applicable(spec)
+        if spec.stride == 2:
+            # compute the full stride-1 grid (~4x the retained tiles), then
+            # subsample: the structural waste behind Paper I's finding that
+            # strided Winograd runs ~1.4x slower than im2col+GEMM
+            twin = self._unit_stride_twin(spec)
+            phases = list(self.schedule(twin, hw))
+            vle2 = hw.vlmax_f32
+            keep = float(spec.oc * spec.oh * spec.ow)
+            phases.append(
+                Phase(
+                    name="wg_subsample",
+                    vmem_ops=2.0 * keep / vle2,
+                    vmem_active=float(vle2),
+                    nonunit_fraction=0.5,
+                    scalar_ops=2.0 * spec.oc * spec.oh,
+                    streams=(
+                        DataStream(
+                            "full_output", bytes=float(twin.output_bytes),
+                            passes=1.0, resident_source=True,
+                        ),
+                        DataStream(
+                            "strided_output", bytes=keep * DTYPE_BYTES,
+                            passes=1.0, is_write=True,
+                        ),
+                    ),
+                )
+            )
+            return phases
+        vle = hw.vlmax_f32
+        sve = hw.isa == "sve"
+        ic, oc = spec.ic, spec.oc
+        ty, tx = tile_counts(spec)
+        t = float(ty * tx)
+
+        intertile = ic >= MIN_CHANNELS
+        # effective vector width of the transform path: packed channels x 4;
+        # the scalar fallback of the paper's Fig. 4 works on a single tile
+        # (8-wide half-rows only)
+        if intertile:
+            cb = max(1, min(ic, vle // PACK_ELEMS))
+            cbo = max(1, min(oc, vle // PACK_ELEMS))
+        else:
+            cb = cbo = 1
+        groups_ic = math.ceil(ic / cb)
+        groups_oc = math.ceil(oc / cbo)
+        active_in = min(ic, cb) * PACK_ELEMS if intertile else PACK_ELEMS
+        active_out = min(oc, cbo) * PACK_ELEMS if intertile else PACK_ELEMS
+
+        u_bytes = t * ic * TUPLE_ELEMS * DTYPE_BYTES
+        v_bytes = float(oc * ic * TUPLE_ELEMS * DTYPE_BYTES)
+        m_bytes = t * oc * TUPLE_ELEMS * DTYPE_BYTES
+
+        phases: list[Phase] = []
+        if self.online_weight_transform:
+            # G g G^T per (oc, ic) filter: IC*OC tile transforms — the
+            # channel-quadratic cost (and the 16x-inflated V footprint to
+            # write back) that penalizes high-channel layers
+            wt_groups = math.ceil(ic / cb) * oc
+            phases.append(
+                Phase(
+                    name="wg_weight_transform",
+                    vector_ops=wt_groups * INPUT_TRANSFORM_OPS,
+                    vector_active=float(active_in),
+                    vmem_ops=wt_groups * TRANSFORM_VMEM_OPS,
+                    vmem_active=float(active_in),
+                    nonunit_fraction=0.5,
+                    scalar_ops=PACK_SCALARS * ic * oc,
+                    streams=(
+                        DataStream(
+                            "weights", bytes=float(spec.weight_bytes), passes=1.0
+                        ),
+                        DataStream("V_write", bytes=v_bytes, passes=1.0, is_write=True),
+                    ),
+                )
+            )
+
+        tf_nonunit = 0.2 if sve else 0.5  # SVE zips replace most gathers
+        input_tf = Phase(
+            name="wg_input_transform",
+            vector_ops=t * groups_ic * INPUT_TRANSFORM_OPS,
+            vector_active=float(active_in),
+            vmem_ops=t * groups_ic * TRANSFORM_VMEM_OPS,
+            vmem_active=float(active_in),
+            nonunit_fraction=tf_nonunit,
+            scalar_ops=PACK_SCALARS * t * ic,
+            streams=(
+                DataStream(
+                    "input",
+                    bytes=float(spec.input_bytes),
+                    # 8x8 tiles advance by 6: (8/6)^2 read amplification
+                    passes=(TILE_ALPHA / TILE_M) ** 2,
+                    reuse_ws=float(2 * spec.iw * DTYPE_BYTES),
+                    resident_source=True,
+                ),
+                DataStream("U_write", bytes=u_bytes, passes=1.0, is_write=True),
+            ),
+        )
+
+        # tuple multiplication: vectorized over the 64 tile positions
+        ntp = math.ceil(TUPLE_ELEMS / vle) if intertile else math.ceil(
+            TUPLE_ELEMS / TILE_ALPHA
+        )
+        active_tuple = TUPLE_ELEMS / ntp
+        fma = t * ic * oc * ntp
+        # ~one U load and one V load per FMA: the paper's 64-position scheme
+        # has no register blocking over channels (RVV lacks the permute
+        # intrinsics that would enable it — Paper I §VII).  When the per-tile
+        # tuple working set (U tile + M accumulators + current V rows,
+        # ~64*(IC+OC)*4 bytes) overflows the L1, the re-reads are served by
+        # the L2 and each load stalls longer — the high-channel penalty the
+        # paper attributes Winograd's deep-layer losses to.
+        if sve:
+            tuple_vmem = TUPLE_VMEM_PER_FMA_SVE
+        else:
+            l1_spill = (
+                1.0 if TUPLE_ELEMS * (ic + oc) * DTYPE_BYTES > hw.l1_bytes else 0.0
+            )
+            tuple_vmem = TUPLE_VMEM_PER_FMA + 0.7 * l1_spill
+        tuple_mult = Phase(
+            name="wg_tuple_gemm",
+            vector_ops=fma,
+            vector_active=float(active_tuple),
+            vmem_ops=tuple_vmem * fma,
+            vmem_active=float(active_tuple),
+            scalar_ops=0.5 * t * ic * oc,
+            streams=(
+                DataStream("U_read", bytes=u_bytes, passes=1.0, resident_source=True),
+                DataStream(
+                    "V_weights",
+                    bytes=v_bytes,
+                    passes=float(max(1.0, t / TILE_BLOCK)),
+                    reuse_ws=v_bytes,
+                    resident_source=self.online_weight_transform,
+                ),
+                DataStream("M_write", bytes=m_bytes, passes=1.0, is_write=True),
+            ),
+        )
+
+        output_tf = Phase(
+            name="wg_output_transform",
+            vector_ops=t * groups_oc * OUTPUT_TRANSFORM_OPS,
+            vector_active=float(active_out),
+            vmem_ops=t * groups_oc * TRANSFORM_VMEM_OPS,
+            vmem_active=float(active_out),
+            nonunit_fraction=tf_nonunit,
+            scalar_ops=PACK_SCALARS * t * oc,
+            streams=(
+                DataStream("M_read", bytes=m_bytes, passes=1.0, resident_source=True),
+                DataStream(
+                    "output", bytes=float(spec.output_bytes), passes=1.0,
+                    is_write=True,
+                ),
+            ),
+        )
+        phases.extend([input_tf, tuple_mult, output_tf])
+        return phases

@@ -1,0 +1,160 @@
+"""Cook-Toom construction of Winograd minimal-filtering transforms.
+
+Generates the A^T, G, B^T matrices of F(m, r) — m outputs per tile from an
+r-tap filter over an ``alpha = m + r - 1`` input tile — from a set of
+``alpha - 1`` distinct interpolation points plus the point at infinity
+(Winograd's construction; see Lavin & Gray, and Alam et al. on point
+selection).  Exact rational arithmetic (``fractions.Fraction``) keeps the
+matrices free of floating-point construction error; they are converted to
+float64 once at the end.
+
+The paper's Winograd kernel (from NNPACK) is F(6x6, 3x3) on 8x8 tiles; its
+transforms come out of :func:`winograd_matrices` with the standard points
+``[0, 1, -1, 2, -2, 1/2, -1/2]``.  Larger tiles are numerically unstable in
+fp32 — which is exactly why the paper vectorizes across channels instead of
+growing the tile (inter-tile parallelism).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+
+#: Default interpolation points per F(m, 3) size (standard/wincnn choices).
+DEFAULT_POINTS: dict[int, tuple[Fraction, ...]] = {
+    2: (Fraction(0), Fraction(1), Fraction(-1)),
+    4: (Fraction(0), Fraction(1), Fraction(-1), Fraction(2), Fraction(-2)),
+    6: (
+        Fraction(0),
+        Fraction(1),
+        Fraction(-1),
+        Fraction(2),
+        Fraction(-2),
+        Fraction(1, 2),
+        Fraction(-1, 2),
+    ),
+    # larger tiles, for the numerical-accuracy study that motivates the
+    # paper's fixed 8x8 tile (F(6,3)): these are progressively ill-conditioned
+    8: (
+        Fraction(0), Fraction(1), Fraction(-1), Fraction(2), Fraction(-2),
+        Fraction(1, 2), Fraction(-1, 2), Fraction(3), Fraction(-3),
+    ),
+    10: (
+        Fraction(0), Fraction(1), Fraction(-1), Fraction(2), Fraction(-2),
+        Fraction(1, 2), Fraction(-1, 2), Fraction(3), Fraction(-3),
+        Fraction(1, 4), Fraction(-1, 4),
+    ),
+    12: (
+        Fraction(0), Fraction(1), Fraction(-1), Fraction(2), Fraction(-2),
+        Fraction(1, 2), Fraction(-1, 2), Fraction(3), Fraction(-3),
+        Fraction(1, 4), Fraction(-1, 4), Fraction(4), Fraction(-4),
+    ),
+}
+
+
+def _poly_from_roots(roots: list[Fraction]) -> list[Fraction]:
+    """Coefficients (low-to-high degree) of prod (x - root)."""
+    coeffs = [Fraction(1)]
+    for root in roots:
+        # multiply by (x - root)
+        nxt = [Fraction(0)] * (len(coeffs) + 1)
+        for i, c in enumerate(coeffs):
+            nxt[i] -= root * c
+            nxt[i + 1] += c
+        coeffs = nxt
+    return coeffs
+
+
+@dataclass(frozen=True)
+class WinogradMatrices:
+    """The three transforms of F(m, r): ``Y = A^T [ (G g) .* (B^T d) ] A``."""
+
+    m: int
+    r: int
+    AT: np.ndarray  # (m, alpha)
+    G: np.ndarray  # (alpha, r)
+    BT: np.ndarray  # (alpha, alpha)
+
+    @property
+    def alpha(self) -> int:
+        return self.m + self.r - 1
+
+
+def winograd_matrices(
+    m: int, r: int, points: tuple[Fraction, ...] | None = None
+) -> WinogradMatrices:
+    """Construct F(m, r) transforms from interpolation points.
+
+    ``points`` must contain ``m + r - 2`` distinct rationals (the point at
+    infinity is implicit).  Defaults cover r = 3 with m in {2, 4, 6}.
+    """
+    if m < 1 or r < 1:
+        raise AlgorithmError(f"F({m},{r}): m and r must be >= 1")
+    alpha = m + r - 1
+    if points is None:
+        if r != 3 or m not in DEFAULT_POINTS:
+            raise AlgorithmError(
+                f"no default points for F({m},{r}); pass them explicitly"
+            )
+        points = DEFAULT_POINTS[m]
+    pts = tuple(Fraction(p) for p in points)
+    if len(pts) != alpha - 1:
+        raise AlgorithmError(
+            f"F({m},{r}) needs {alpha - 1} finite points, got {len(pts)}"
+        )
+    if len(set(pts)) != len(pts):
+        raise AlgorithmError(f"interpolation points must be distinct: {pts}")
+
+    # A^T (m x alpha): Vandermonde rows over the finite points; the infinity
+    # column contributes only to the highest output power.
+    AT = [[pts[j] ** i for j in range(alpha - 1)] + [Fraction(0)] for i in range(m)]
+    AT[m - 1][alpha - 1] = Fraction(1)
+
+    # G (alpha x r): Vandermonde over the filter, normalized per point by
+    # N_j = prod_{k != j} (a_j - a_k); infinity row selects the top filter tap.
+    G: list[list[Fraction]] = []
+    for j in range(alpha - 1):
+        nj = Fraction(1)
+        for k in range(alpha - 1):
+            if k != j:
+                nj *= pts[j] - pts[k]
+        G.append([pts[j] ** i / nj for i in range(r)])
+    G.append([Fraction(0)] * (r - 1) + [Fraction(1)])
+
+    # B^T (alpha x alpha): row j < alpha-1 holds the coefficients of
+    # M(x) / (x - a_j) where M(x) = prod_k (x - a_k); the last row holds the
+    # coefficients of M(x) itself.
+    BT: list[list[Fraction]] = []
+    for j in range(alpha - 1):
+        others = [pts[k] for k in range(alpha - 1) if k != j]
+        coeffs = _poly_from_roots(others)
+        BT.append(coeffs + [Fraction(0)] * (alpha - len(coeffs)))
+    BT.append(_poly_from_roots(list(pts)))
+
+    return WinogradMatrices(
+        m=m,
+        r=r,
+        AT=np.array([[float(v) for v in row] for row in AT], dtype=np.float64),
+        G=np.array([[float(v) for v in row] for row in G], dtype=np.float64),
+        BT=np.array([[float(v) for v in row] for row in BT], dtype=np.float64),
+    )
+
+
+@lru_cache(maxsize=None)
+def f63() -> WinogradMatrices:
+    """The F(6, 3) transforms used by the paper's 8x8-tile Winograd."""
+    return winograd_matrices(6, 3)
+
+
+def winograd_1d(d: np.ndarray, g: np.ndarray, wm: WinogradMatrices) -> np.ndarray:
+    """Reference 1-D F(m, r): valid correlation of ``d`` (alpha) with ``g`` (r)."""
+    if d.shape != (wm.alpha,) or g.shape != (wm.r,):
+        raise AlgorithmError(
+            f"winograd_1d expects d of {wm.alpha} and g of {wm.r} elements"
+        )
+    return wm.AT @ ((wm.G @ g) * (wm.BT @ d))

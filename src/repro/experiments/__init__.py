@@ -1,0 +1,12 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Every module exposes ``run()`` returning an :class:`ExperimentResult` whose
+``table`` prints the same rows/series the paper's artifact shows and whose
+``data`` holds the raw numbers for tests and benchmarks.  The mapping to the
+paper is in DESIGN.md §5; measured-vs-paper shapes are recorded in
+EXPERIMENTS.md.
+"""
+
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["ExperimentResult"]

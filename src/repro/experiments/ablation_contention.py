@@ -1,0 +1,55 @@
+"""Ablation — cache contention changes the optimal algorithm per layer.
+
+Paper II §1: "concurrent execution competes for cache resources, making the
+convolutional algorithms dependent on co-running inference tasks".  This
+study quantifies the claim: on a fixed chip (2048-bit vectors, 64 MB shared
+L2), the effective L2 slice per model instance shrinks as replicas are
+co-located (static partitioning), and the cycle-optimal algorithm flips for
+several layers — so a serving-time selector must know the co-location level,
+exactly the hardware features the paper feeds its random forest.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import best_algorithm
+from repro.experiments.configs import workload
+from repro.experiments.report import ExperimentResult
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+CO_RUNNERS: tuple[int, ...] = (1, 4, 16, 64)
+SHARED_L2_MIB = 64.0
+VLEN_BITS = 2048
+
+
+def run(model: str = "vgg16") -> ExperimentResult:
+    specs = workload(model)
+    table = Table(
+        ["co-located instances", "L2 slice/model"]
+        + [f"L{s.index}" for s in specs],
+        title=f"Contention ablation: optimal algorithm per {model} layer as "
+              f"replicas share a {SHARED_L2_MIB:g}MB L2 @ {VLEN_BITS}b",
+    )
+    short = {"direct": "dir", "im2col_gemm3": "g3", "im2col_gemm6": "g6",
+             "winograd": "wg"}
+    winners: dict[int, list[str]] = {}
+    for n in CO_RUNNERS:
+        slice_mib = SHARED_L2_MIB / n
+        hw = HardwareConfig.paper2_rvv(VLEN_BITS, slice_mib)
+        row_winners = [best_algorithm(s, hw)[0] for s in specs]
+        winners[n] = row_winners
+        table.add_row(
+            [n, f"{slice_mib:g}MB"] + [short[w] for w in row_winners]
+        )
+    # which layers flip their optimal algorithm under contention?
+    flipped = [
+        specs[i].index
+        for i in range(len(specs))
+        if len({winners[n][i] for n in CO_RUNNERS}) > 1
+    ]
+    return ExperimentResult(
+        experiment="ablation-contention",
+        description="Co-runner cache contention flips per-layer choices",
+        table=table,
+        data={"winners": winners, "flipped_layers": flipped},
+    )

@@ -1,0 +1,54 @@
+"""Ablation — fusing the conv layer's element-wise tail.
+
+Darknet runs ``fill_cpu``, normalize/scale/bias and ``activate_array`` as
+separate passes over the output tensor; production kernels fold them into
+the convolution's output store.  This study prices both tails on top of the
+best algorithm per layer: fusion saves a fixed number of output-tensor round
+trips, so it matters most where the convolution itself is cheap relative to
+its output (1x1 reductions, early high-resolution layers).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import best_algorithm
+from repro.experiments.configs import workload
+from repro.experiments.report import ExperimentResult
+from repro.nn.aux_kernels import aux_phases
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+
+def run(model: str = "yolov3", vlen_bits: int = 512, l2_mib: float = 1.0
+        ) -> ExperimentResult:
+    hw = HardwareConfig.paper2_rvv(vlen_bits, l2_mib)
+    engine = AnalyticalTimingModel(hw)
+    specs = workload(model)
+    table = Table(
+        ["layer", "conv (x1e6)", "unfused tail (x1e6)", "fused tail (x1e6)",
+         "layer speedup from fusion"],
+        title=f"Epilogue-fusion ablation: {model} @ {hw.label()}, "
+              "best algorithm per layer",
+    )
+    speedups: dict[int, float] = {}
+    for spec in specs:
+        name, cycles = best_algorithm(spec, hw)
+        conv = cycles[name]
+        unfused = sum(
+            engine.phase_cycles(p).cycles for p in aux_phases(spec, hw)
+        )
+        fused = sum(
+            engine.phase_cycles(p).cycles
+            for p in aux_phases(spec, hw, fused=True)
+        )
+        speedups[spec.index] = (conv + unfused) / (conv + fused)
+        table.add_row(
+            [spec.index, conv / 1e6, unfused / 1e6, fused / 1e6,
+             speedups[spec.index]]
+        )
+    return ExperimentResult(
+        experiment="ablation-fusion",
+        description="Folding fill/batch-norm/activation into the conv store",
+        table=table,
+        data={"speedups": speedups},
+    )

@@ -1,0 +1,96 @@
+"""Ablation — which modeled mechanisms carry the paper's conclusions.
+
+DESIGN.md §4 attributes the reproduced shapes to specific mechanisms.  This
+study switches each off and re-checks three representative anchors:
+
+* **scalar-load latency exposure** (GEMM's A operands, Direct's broadcasts)
+  → without it, GEMM-3's thrashing A panel is free and GEMM-6 loses its
+  deep-layer wins (Fig. 1's L5-L13 pattern collapses);
+* **producer-consumer residency** (layer inputs, im2col output, Winograd
+  U/V/M) → without it, large caches stop helping multi-phase algorithms and
+  the "all YOLOv3 layers benefit from 64 MB" observation disappears;
+* **decoupled dispatch deadtime** → without it, Paper I's vector-length
+  scaling on the decoupled RVV flattens to ~1x.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.algorithms.registry import layer_cycles
+from repro.experiments.report import ExperimentResult
+from repro.nn.models import yolov3_conv_specs
+from repro.simulator.analytical.calibration import DEFAULT_CALIBRATION
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+VARIANTS = {
+    "full model": DEFAULT_CALIBRATION,
+    "no scalar exposure": replace(DEFAULT_CALIBRATION, enable_scalar_exposure=False),
+    "no producer residency": replace(
+        DEFAULT_CALIBRATION, enable_resident_source=False
+    ),
+    "no decoupled deadtime": replace(DEFAULT_CALIBRATION, decoupled_deadtime=0.0),
+}
+
+
+def _metrics(cal) -> dict[str, float | bool]:
+    base = HardwareConfig.paper2_rvv(512, 1.0)
+
+    def cycles(name, spec, hw):
+        return layer_cycles(name, spec, hw, fallback=False, calibration=cal).cycles
+
+    # anchor 1: GEMM-6 beats GEMM-3 on the skinny 3x3 YOLOv3 layer #10
+    # (the win the paper credits to blocking/packing vs the thrashing A
+    # panel of the 3-loop kernel)
+    yolo10 = yolov3_conv_specs()[9]
+    gemm6_wins_skinny = cycles("im2col_gemm6", yolo10, base) < cycles(
+        "im2col_gemm3", yolo10, base
+    )
+    # anchor 2: YOLOv3 layers benefit from a 64 MB cache (count improving >2%)
+    big = HardwareConfig.paper2_rvv(512, 64.0)
+    improved = 0
+    for s in yolov3_conv_specs():
+        name = min(
+            ("direct", "im2col_gemm3", "im2col_gemm6"),
+            key=lambda n: cycles(n, s, base),
+        )
+        if cycles(name, s, base) / cycles(name, s, big) > 1.02:
+            improved += 1
+    # anchor 3: Paper I decoupled VL scaling 512 -> 8192 bits
+    def p1_total(vl):
+        hw = HardwareConfig.paper1_riscvv(vl, 1.0)
+        return sum(
+            layer_cycles("im2col_gemm3", s, hw, calibration=cal).cycles
+            for s in yolov3_conv_specs()
+        )
+
+    vl_scaling = p1_total(512) / p1_total(8192)
+    return {
+        "gemm6_wins_skinny": gemm6_wins_skinny,
+        "yolo_layers_gaining_64mb": improved,
+        "paper1_vl_scaling": vl_scaling,
+    }
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        ["variant", "GEMM-6 wins YOLO L10", "YOLO layers gaining @64MB",
+         "Paper I VL scaling 512->8192"],
+        title="Model-mechanism ablation (anchors from Figs. 1/7 and Paper I "
+              "Fig. 6)",
+    )
+    results: dict[str, dict] = {}
+    for label, cal in VARIANTS.items():
+        m = _metrics(cal)
+        results[label] = m
+        table.add_row(
+            [label, "yes" if m["gemm6_wins_skinny"] else "NO",
+             m["yolo_layers_gaining_64mb"], m["paper1_vl_scaling"]]
+        )
+    return ExperimentResult(
+        experiment="ablation-model",
+        description="Mechanism ablation of the analytical performance model",
+        table=table,
+        data=results,
+    )

@@ -1,0 +1,73 @@
+"""Figs. 5-8 — L2-cache sweeps (1-64 MB at fixed vector length).
+
+Shared implementation; the fig05-fig08 modules bind (model, vector length):
+Fig. 5 = VGG @512 b, Fig. 6 = VGG @4096 b, Fig. 7 = YOLO @512 b,
+Fig. 8 = YOLO @4096 b.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm, layer_cycles
+from repro.experiments.configs import FREQ_GHZ, L2_SIZES_MIB, workload
+from repro.experiments.report import ExperimentResult
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.ascii_chart import bar_chart
+from repro.utils.tables import Table
+
+
+def cache_sweep(
+    model: str, vlen_bits: int, experiment: str, fig_no: int
+) -> ExperimentResult:
+    """Per-layer execution time for every (algorithm, L2 size)."""
+    specs = workload(model)
+    seconds: dict[tuple[str, float], list[float | None]] = {}
+    for l2 in L2_SIZES_MIB:
+        hw = HardwareConfig.paper2_rvv(vlen_bits, l2)
+        for name in ALGORITHM_NAMES:
+            algo = get_algorithm(name)
+            col: list[float | None] = []
+            for spec in specs:
+                if not algo.applicable(spec):
+                    col.append(None)
+                    continue
+                col.append(
+                    layer_cycles(name, spec, hw, fallback=False).cycles
+                    / (FREQ_GHZ * 1e9)
+                )
+            seconds[(name, l2)] = col
+
+    # cache benefit = t(1MB) / t(64MB) per layer
+    benefit: dict[str, list[float | None]] = {}
+    for name in ALGORITHM_NAMES:
+        base = seconds[(name, L2_SIZES_MIB[0])]
+        top = seconds[(name, L2_SIZES_MIB[-1])]
+        benefit[name] = [None if b is None else b / t for b, t in zip(base, top)]
+
+    table = Table(
+        ["layer"]
+        + [f"{get_algorithm(n).label}@{l2:g}MB" for n in ALGORITHM_NAMES
+           for l2 in L2_SIZES_MIB],
+        title=(
+            f"Fig. {fig_no}: {model} per-layer time (s), L2 sweep @ {vlen_bits}b"
+        ),
+    )
+    for i, spec in enumerate(specs):
+        row: list = [spec.index]
+        for name in ALGORITHM_NAMES:
+            for l2 in L2_SIZES_MIB:
+                v = seconds[(name, l2)][i]
+                row.append("n/a" if v is None else v)
+        table.add_row(row)
+    chart = bar_chart(
+        {get_algorithm(n).label: benefit[n] for n in ALGORITHM_NAMES},
+        categories=[f"L{s.index}" for s in specs],
+        title=f"benefit {L2_SIZES_MIB[0]:g}MB -> {L2_SIZES_MIB[-1]:g}MB per layer:",
+        value_format="{:.2f}x",
+    )
+    return ExperimentResult(
+        experiment=experiment,
+        description=f"L2 sweep 1-64MB @ {vlen_bits}b, {model}",
+        table=table,
+        chart=chart,
+        data={"seconds": seconds, "benefit": benefit},
+    )

@@ -1,0 +1,123 @@
+"""Command-line entry point: ``repro-experiments [names...]``.
+
+Runs the requested experiment harnesses (default: all Paper II artifacts)
+and prints their tables — the textual equivalent of regenerating every
+figure/table in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+import time
+from pathlib import Path
+
+#: Experiment name -> harness module (each exposes ``run()``).
+EXPERIMENTS: dict[str, str] = {
+    "table1": "repro.experiments.table1_layers",
+    "fig01": "repro.experiments.fig01_vgg_baseline",
+    "fig02": "repro.experiments.fig02_yolo_baseline",
+    "fig03": "repro.experiments.fig03_vgg_vl_sweep",
+    "fig04": "repro.experiments.fig04_yolo_vl_sweep",
+    "fig05": "repro.experiments.fig05_vgg_cache_sweep",
+    "fig06": "repro.experiments.fig06_vgg_cache_sweep_4096",
+    "fig07": "repro.experiments.fig07_yolo_cache_sweep",
+    "fig08": "repro.experiments.fig08_yolo_cache_sweep_4096",
+    "selection": "repro.experiments.selection_study",
+    "selection-features": "repro.experiments.selection_features",
+    "fig09": "repro.experiments.fig09_vgg_selection",
+    "fig10": "repro.experiments.fig10_yolo_selection",
+    "fig11": "repro.experiments.fig11_pareto",
+    "fig12": "repro.experiments.fig12_colocation",
+    "paper1-table2": "repro.experiments.paper1.table2_blocksize",
+    "paper1-vl": "repro.experiments.paper1.vl_sweep",
+    "paper1-cache": "repro.experiments.paper1.cache_sweep",
+    "paper1-lanes": "repro.experiments.paper1.lanes",
+    "paper1-winograd": "repro.experiments.paper1.winograd_sweep",
+    "paper1-winograd-a64fx": "repro.experiments.paper1.winograd_a64fx",
+    "paper1-pareto": "repro.experiments.paper1.pareto",
+    "paper1-table3": "repro.experiments.paper1.table3_missrates",
+    "paper1-roofline": "repro.experiments.paper1.roofline_table4",
+    "paper1-speedups": "repro.experiments.paper1.speedups",
+    "paper1-archcompare": "repro.experiments.paper1.arch_compare",
+    "ablation-fft": "repro.experiments.ablation_fft",
+    "ablation-model": "repro.experiments.ablation_model",
+    "ablation-contention": "repro.experiments.ablation_contention",
+    "ablation-winograd-tiles": "repro.experiments.ablation_winograd_tiles",
+    "ablation-fusion": "repro.experiments.ablation_fusion",
+    "ablation-blocks": "repro.experiments.ablation_blocks",
+    "serving-latency": "repro.experiments.serving_latency",
+    "serving-mixed": "repro.experiments.serving_mixed",
+    "extension-vit": "repro.experiments.extension_vit",
+    "extension-depthwise": "repro.experiments.extension_depthwise",
+    "extension-energy": "repro.experiments.extension_energy",
+    "extension-l1": "repro.experiments.extension_l1",
+    "extension-tile-tradeoff": "repro.experiments.extension_tile_tradeoff",
+    "extension-lmul": "repro.experiments.extension_lmul",
+    "layer-report": "repro.experiments.layer_report",
+    "profile-breakdown": "repro.experiments.profile_breakdown",
+    "verdict": "repro.experiments.verdict",
+}
+
+
+def run_experiment(name: str):
+    """Import and run one experiment harness by name."""
+    module = importlib.import_module(EXPERIMENTS[name])
+    return module.run()
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures (as text).",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        default=[],
+        help=f"experiments to run (default: all Paper II). Known: "
+             f"{', '.join(EXPERIMENTS)}",
+    )
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--csv", action="store_true", help="emit CSV instead")
+    parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="also write each experiment's table as DIR/<name>.csv",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    names = args.names or [
+        n for n in EXPERIMENTS
+        if not n.startswith(
+            ("paper1", "ablation", "serving", "extension", "layer",
+             "verdict", "profile")
+        )
+    ]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out) if args.out else None
+    if out_dir:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        start = time.time()
+        result = run_experiment(name)
+        if args.csv:
+            print(result.table.to_csv())
+        else:
+            print(result.render())
+        if out_dir:
+            (out_dir / f"{name}.csv").write_text(result.table.to_csv())
+        print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,61 @@
+"""Shared computation helpers for the figure harnesses."""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm, layer_cycles
+from repro.experiments.configs import FREQ_GHZ
+from repro.nn.layer import ConvSpec
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+
+def per_layer_seconds(
+    specs: list[ConvSpec],
+    hw: HardwareConfig,
+    algorithms: tuple[str, ...] = ALGORITHM_NAMES,
+    skip_inapplicable: bool = True,
+) -> dict[str, list[float | None]]:
+    """Execution time (s) of each algorithm on each layer.
+
+    Inapplicable (algorithm, layer) pairs are ``None`` — the papers' figures
+    omit those bars (e.g. Winograd on 1x1 or stride-2 layers).
+    """
+    out: dict[str, list[float | None]] = {name: [] for name in algorithms}
+    for spec in specs:
+        for name in algorithms:
+            algo = get_algorithm(name)
+            if skip_inapplicable and not algo.applicable(spec):
+                out[name].append(None)
+                continue
+            cycles = layer_cycles(name, spec, hw, fallback=not skip_inapplicable)
+            out[name].append(cycles.cycles / (FREQ_GHZ * 1e9))
+    return out
+
+
+def comparison_table(
+    title: str, specs: list[ConvSpec], data: dict[str, list[float | None]]
+) -> Table:
+    """Per-layer seconds table, one column per algorithm (figure bars)."""
+    headers = ["layer"] + [get_algorithm(n).label for n in data]
+    table = Table(headers, title=title)
+    for i, spec in enumerate(specs):
+        row: list = [spec.index]
+        for name in data:
+            v = data[name][i]
+            row.append("n/a" if v is None else v)
+        table.add_row(row)
+    return table
+
+
+def sweep_seconds(
+    specs: list[ConvSpec],
+    configs: list[HardwareConfig],
+    algorithms: tuple[str, ...] = ALGORITHM_NAMES,
+) -> dict[tuple[str, str], list[float | None]]:
+    """(algorithm, config-label) -> per-layer seconds across a config sweep."""
+    out: dict[tuple[str, str], list[float | None]] = {}
+    for hw in configs:
+        data = per_layer_seconds(specs, hw, algorithms)
+        for name in algorithms:
+            out[(name, hw.label())] = data[name]
+    return out

@@ -1,0 +1,35 @@
+"""Shared experiment grids and workload accessors (Paper II §3.3)."""
+
+from __future__ import annotations
+
+from repro.nn.layer import ConvSpec
+from repro.nn.models import vgg16_conv_specs, yolov3_conv_specs
+from repro.simulator.hwconfig import HardwareConfig
+
+#: The Paper II sweep axes.
+VECTOR_LENGTHS: tuple[int, ...] = (512, 1024, 2048, 4096)
+L2_SIZES_MIB: tuple[float, ...] = (1.0, 4.0, 16.0, 64.0)
+
+#: The baseline configuration of Figs. 1-2.
+BASELINE = HardwareConfig.paper2_rvv(512, 1.0)
+
+#: Simulation frequency (GHz) used when converting cycles to seconds.
+FREQ_GHZ = 2.0
+
+
+def workload(name: str) -> list[ConvSpec]:
+    """The evaluated conv layers of a network ('vgg16' or 'yolov3')."""
+    if name == "vgg16":
+        return vgg16_conv_specs()
+    if name == "yolov3":
+        return yolov3_conv_specs()
+    raise ValueError(f"unknown workload {name!r} (vgg16/yolov3)")
+
+
+def grid() -> list[HardwareConfig]:
+    """The 16-point VL x L2 grid, VL-major (the paper's x-axis order)."""
+    return [
+        HardwareConfig.paper2_rvv(vl, l2)
+        for vl in VECTOR_LENGTHS
+        for l2 in L2_SIZES_MIB
+    ]

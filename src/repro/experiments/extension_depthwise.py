@@ -1,0 +1,62 @@
+"""Extension — depthwise convolutions (Paper II future work).
+
+Compares the NHWC Direct dataflow against per-channel im2col+GEMM on
+MobileNetV1's 13 depthwise layers: the GEMM formulation degenerates
+(M = 1, K = 9) while Direct keeps full channel vectors — the quantitative
+version of why the paper's future work singles depthwise kernels out.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.extensions.depthwise import (
+    depthwise_direct_phases,
+    depthwise_gemm_phases,
+    mobilenet_v1_depthwise_layers,
+)
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+VECTOR_LENGTHS: tuple[int, ...] = (512, 2048)
+
+
+def run() -> ExperimentResult:
+    specs = mobilenet_v1_depthwise_layers()
+    table = Table(
+        ["layer", "channels", "spatial", "stride"]
+        + [f"direct@{vl}b (x1e6)" for vl in VECTOR_LENGTHS]
+        + [f"gemm@{vl}b (x1e6)" for vl in VECTOR_LENGTHS]
+        + ["gemm/direct @512b"],
+        title="MobileNetV1 depthwise layers: Direct vs per-channel im2col+GEMM",
+    )
+    cycles: dict[tuple[int, int, str], float] = {}
+    for spec in specs:
+        row: list = [spec.index, spec.c, f"{spec.ih}x{spec.iw}", spec.stride]
+        for strategy, builder in (
+            ("direct", depthwise_direct_phases),
+            ("gemm", depthwise_gemm_phases),
+        ):
+            for vl in VECTOR_LENGTHS:
+                hw = HardwareConfig.paper2_rvv(vl, 1.0)
+                c = AnalyticalTimingModel(hw).evaluate(
+                    strategy, builder(spec, hw)
+                ).cycles
+                cycles[(spec.index, vl, strategy)] = c
+        for strategy in ("direct", "gemm"):
+            for vl in VECTOR_LENGTHS:
+                row.append(cycles[(spec.index, vl, strategy)] / 1e6)
+        row = row[:4] + row[4:6] + row[6:8] + [
+            cycles[(spec.index, 512, "gemm")] / cycles[(spec.index, 512, "direct")]
+        ]
+        table.add_row(row)
+    ratios = {
+        s.index: cycles[(s.index, 512, "gemm")] / cycles[(s.index, 512, "direct")]
+        for s in specs
+    }
+    return ExperimentResult(
+        experiment="extension-depthwise",
+        description="Depthwise conv: Direct vs degenerate im2col+GEMM",
+        table=table,
+        data={"cycles": cycles, "gemm_over_direct": ratios},
+    )

@@ -1,0 +1,59 @@
+"""Extension — energy per image across the co-design space.
+
+The papers argue vector CPUs on energy-efficiency grounds but evaluate only
+time and area.  This study prices the same design space in joules per image
+(event-based model, `repro.simulator.energy`) and contrasts the
+*performance-optimal* configuration with the *energy-optimal* one: very long
+vectors keep paying in time but their energy win flattens earlier (leakage
+over a larger chip, DRAM traffic unchanged), and algorithm selection saves
+energy, not just time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.configs import L2_SIZES_MIB, VECTOR_LENGTHS, workload
+from repro.experiments.report import ExperimentResult
+from repro.serving.throughput import network_cycles
+from repro.simulator.energy import network_energy
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+
+def run(model: str = "vgg16") -> ExperimentResult:
+    specs = workload(model)
+    table = Table(
+        ["config", "time (s)", "energy/image (J)", "avg power (W)",
+         "energy vs GEMM-6 policy"],
+        title=f"Energy per image across the design grid, {model}, "
+              "optimal per-layer policy",
+    )
+    energy: dict[tuple[int, float], float] = {}
+    times: dict[tuple[int, float], float] = {}
+    selection_saving: dict[tuple[int, float], float] = {}
+    for vl in VECTOR_LENGTHS:
+        for l2 in L2_SIZES_MIB:
+            hw = HardwareConfig.paper2_rvv(vl, l2)
+            e_opt = network_energy(specs, hw, "optimal").total_j
+            e_g6 = network_energy(specs, hw, "im2col_gemm6").total_j
+            t = network_cycles(specs, hw, "optimal").seconds(2.0)
+            key = (vl, l2)
+            energy[key] = e_opt
+            times[key] = t
+            selection_saving[key] = e_g6 / e_opt
+            table.add_row(
+                [hw.label(), t, e_opt, e_opt / t, f"{e_g6 / e_opt:.2f}x"]
+            )
+    perf_opt = min(times, key=times.get)
+    energy_opt = min(energy, key=energy.get)
+    return ExperimentResult(
+        experiment="extension-energy",
+        description="Joules per image across VL x L2; energy- vs perf-optimal",
+        table=table,
+        data={
+            "energy": energy,
+            "times": times,
+            "selection_saving": selection_saving,
+            "perf_optimal": perf_opt,
+            "energy_optimal": energy_opt,
+        },
+    )

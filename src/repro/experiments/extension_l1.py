@@ -1,0 +1,48 @@
+"""Extension — the L1 cache as a fourth co-design knob.
+
+The papers sweep vector length and L2 capacity but hold the L1 at 64 KB
+(their gem5 configuration).  Several of the modeled mechanisms key on the
+L1 — most sharply Winograd's tuple working set (``64*(IC+OC)*4`` bytes must
+fit, §DESIGN.md) — so the L1 is itself a co-design knob: growing it moves
+per-layer winners.  This study sweeps the L1 from 32 KB to 256 KB at the
+Paper II baseline and reports the per-layer optimal algorithm.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import best_algorithm
+from repro.experiments.configs import workload
+from repro.experiments.report import ExperimentResult
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+L1_SIZES_KIB: tuple[int, ...] = (32, 64, 128, 256)
+
+
+def run(model: str = "vgg16", vlen_bits: int = 512, l2_mib: float = 1.0
+        ) -> ExperimentResult:
+    specs = workload(model)
+    short = {"direct": "dir", "im2col_gemm3": "g3", "im2col_gemm6": "g6",
+             "winograd": "wg"}
+    table = Table(
+        ["L1 size"] + [f"L{s.index}" for s in specs],
+        title=f"L1 co-design: optimal algorithm per {model} layer @ "
+              f"{vlen_bits}b / {l2_mib:g}MB L2",
+    )
+    winners: dict[int, list[str]] = {}
+    for l1 in L1_SIZES_KIB:
+        hw = HardwareConfig.paper2_rvv(vlen_bits, l2_mib).with_(l1_kib=l1)
+        row = [best_algorithm(s, hw)[0] for s in specs]
+        winners[l1] = row
+        table.add_row([f"{l1}KB"] + [short[w] for w in row])
+    flipped = [
+        specs[i].index
+        for i in range(len(specs))
+        if len({winners[l1][i] for l1 in L1_SIZES_KIB}) > 1
+    ]
+    return ExperimentResult(
+        experiment="extension-l1",
+        description="L1 capacity moves per-layer algorithm choices",
+        table=table,
+        data={"winners": winners, "flipped_layers": flipped},
+    )

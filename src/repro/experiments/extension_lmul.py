@@ -1,0 +1,64 @@
+"""Extension — LMUL register grouping vs physically longer vectors.
+
+RVV offers two routes to longer effective vectors: widen VLEN (more silicon:
+the VRF/VPU area fractions of the Pareto studies) or raise LMUL (group
+existing registers; near-free in area, but the datapath width is unchanged,
+so only the *per-instruction* overheads amortize).  On the decoupled Paper I
+platform — where the dispatch deadtime is exactly such an overhead — LMUL
+should recover much of the longer-VLEN benefit without any extra register
+file.  This study sweeps both routes on YOLOv3 with the 3-loop GEMM.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import layer_cycles
+from repro.experiments.report import ExperimentResult
+from repro.nn.models import yolov3_conv_specs
+from repro.simulator.area.chip import core_area_mm2
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+EFFECTIVE_BITS: tuple[int, ...] = (512, 1024, 2048, 4096)
+
+
+def _total(hw: HardwareConfig) -> float:
+    return sum(
+        layer_cycles("im2col_gemm3", s, hw).cycles for s in yolov3_conv_specs()
+    )
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        ["effective bits", "via VLEN (x1e9)", "via LMUL@512b (x1e9)",
+         "LMUL recovers", "VLEN core mm^2", "LMUL core mm^2"],
+        title="LMUL grouping vs longer VLEN, YOLOv3 (20 layers), decoupled "
+              "RISC-VV @1MB",
+    )
+    base = _total(HardwareConfig.paper1_riscvv(512, 1.0))
+    data: dict[int, dict[str, float]] = {}
+    for eff in EFFECTIVE_BITS:
+        via_vlen = _total(HardwareConfig.paper1_riscvv(eff, 1.0))
+        via_lmul = _total(
+            HardwareConfig.paper1_riscvv(512, 1.0).with_(lmul=eff // 512)
+        )
+        vlen_gain = base / via_vlen
+        lmul_gain = base / via_lmul
+        recovered = (
+            1.0 if eff == 512 else (lmul_gain - 1.0) / max(1e-9, vlen_gain - 1.0)
+        )
+        data[eff] = {
+            "via_vlen": via_vlen, "via_lmul": via_lmul,
+            "vlen_gain": vlen_gain, "lmul_gain": lmul_gain,
+            "recovered": recovered,
+        }
+        table.add_row(
+            [eff, via_vlen / 1e9, via_lmul / 1e9, f"{recovered:.0%}",
+             core_area_mm2(eff, model="paper1"),
+             core_area_mm2(512, model="paper1")]
+        )
+    return ExperimentResult(
+        experiment="extension-lmul",
+        description="Register grouping as the area-free long vector",
+        table=table,
+        data=data,
+    )

@@ -1,0 +1,66 @@
+"""Extension — the complete Winograd tile trade-off (accuracy x performance).
+
+Combines the accuracy study with parametric F(m,3) performance: per tile
+size, the fp32 error (from `ablation_winograd_tiles`) next to the cycle
+count on representative layers across vector lengths.  F(6,3) should win
+or tie on performance *and* be the largest tile inside the accuracy budget
+— the complete justification of the paper's fixed 8x8 tile.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation_winograd_tiles import (
+    ERROR_BUDGET,
+    single_pass_error,
+)
+from repro.experiments.report import ExperimentResult
+from repro.extensions.winograd_variants import SUPPORTED_M, WinogradFm3
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+LAYERS: tuple[ConvSpec, ...] = (
+    ConvSpec(ic=64, oc=64, ih=224, iw=224, kh=3, kw=3, index=1),  # VGG L2
+    ConvSpec(ic=128, oc=128, ih=112, iw=112, kh=3, kw=3, index=2),  # VGG L4
+    ConvSpec(ic=64, oc=128, ih=152, iw=152, kh=3, kw=3, index=3),  # YOLO L7
+)
+VECTOR_LENGTHS: tuple[int, ...] = (512, 2048)
+
+
+def run() -> ExperimentResult:
+    table = Table(
+        ["F(m,3)", "fp32 err", "in budget"]
+        + [f"L{s.index}@{vl}b (x1e6)" for s in LAYERS for vl in VECTOR_LENGTHS],
+        title="Winograd tile trade-off: accuracy and cycles per tile size",
+    )
+    cycles: dict[tuple[int, int, int], float] = {}
+    errors: dict[int, float] = {}
+    for m in SUPPORTED_M:
+        algo = WinogradFm3(m)
+        errors[m] = single_pass_error(m)
+        row: list = [f"F({m},3)", errors[m],
+                     "yes" if errors[m] <= ERROR_BUDGET else "NO"]
+        for spec in LAYERS:
+            for vl in VECTOR_LENGTHS:
+                hw = HardwareConfig.paper2_rvv(vl, 1.0)
+                c = AnalyticalTimingModel(hw).evaluate(
+                    algo.name, algo.schedule(spec, hw)
+                ).cycles
+                cycles[(m, spec.index, vl)] = c
+                row.append(c / 1e6)
+        table.add_row(row)
+    # which m wins per (layer, vl)?
+    winners = {
+        (spec.index, vl): min(
+            SUPPORTED_M, key=lambda m: cycles[(m, spec.index, vl)]
+        )
+        for spec in LAYERS
+        for vl in VECTOR_LENGTHS
+    }
+    return ExperimentResult(
+        experiment="extension-tile-tradeoff",
+        description="F(m,3) performance vs accuracy per tile size",
+        table=table,
+        data={"cycles": cycles, "errors": errors, "winners": winners},
+    )

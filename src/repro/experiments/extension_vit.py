@@ -1,0 +1,89 @@
+"""Extension — attention on long vectors (the thesis's future-work study).
+
+Two claims from the thesis's conclusion, quantified on our substrates:
+
+1. attention's skinny per-head matmuls (head_dim = 64) under-utilize very
+   long vectors — its 512->4096-bit scaling trails a CNN conv layer's;
+2. fusing the score/softmax/context chain (data reuse, citing Fu et al.)
+   removes the H x S x S intermediate traffic and improves attention time.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import layer_cycles
+from repro.experiments.report import ExperimentResult
+from repro.extensions.attention import AttentionSpec, attention_phases
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+VECTOR_LENGTHS: tuple[int, ...] = (512, 1024, 2048, 4096, 8192, 16384)
+#: A CNN reference layer with a comparable MAC count (VGG-16 L11-class).
+CNN_REFERENCE = ConvSpec(ic=256, oc=256, ih=28, iw=28, kh=3, kw=3)
+
+
+def attention_cycles(
+    spec: AttentionSpec, hw: HardwareConfig, fused: bool
+) -> float:
+    model = AnalyticalTimingModel(hw)
+    return model.evaluate(
+        "attention", attention_phases(spec, hw, fused=fused)
+    ).cycles
+
+
+def lane_utilization(phases, hw: HardwareConfig) -> float:
+    """Op-weighted fraction of the vector datapath kept busy."""
+    vle = hw.vlmax_f32
+    weighted = total = 0.0
+    for p in phases:
+        ops = p.vector_ops + p.vmem_ops
+        active = p.vector_active or p.vmem_active
+        weighted += ops * min(1.0, active / vle)
+        total += ops
+    return weighted / total if total else 0.0
+
+
+def run(spec: AttentionSpec | None = None) -> ExperimentResult:
+    spec = spec or AttentionSpec()
+    table = Table(
+        ["vector length", "attention (x1e6)", "attention fused (x1e6)",
+         "fusion gain", "CNN conv (x1e6)", "attn lane util", "conv lane util"],
+        title=f"ViT extension: attention (S={spec.seq_len}, D={spec.embed_dim},"
+              f" H={spec.heads}) vs a CNN layer across vector lengths @ 1MB",
+    )
+    cycles: dict[tuple[int, str], float] = {}
+    utilization: dict[tuple[int, str], float] = {}
+    from repro.algorithms.registry import get_algorithm
+
+    for vl in VECTOR_LENGTHS:
+        hw = HardwareConfig.paper2_rvv(vl, 1.0)
+        unfused = attention_cycles(spec, hw, fused=False)
+        fused = attention_cycles(spec, hw, fused=True)
+        conv = layer_cycles("im2col_gemm3", CNN_REFERENCE, hw).cycles
+        cycles[(vl, "attention")] = unfused
+        cycles[(vl, "fused")] = fused
+        cycles[(vl, "conv")] = conv
+        utilization[(vl, "attention")] = lane_utilization(
+            attention_phases(spec, hw, fused=False), hw
+        )
+        utilization[(vl, "conv")] = lane_utilization(
+            get_algorithm("im2col_gemm3").schedule(CNN_REFERENCE, hw), hw
+        )
+        table.add_row(
+            [vl, unfused / 1e6, fused / 1e6, unfused / fused, conv / 1e6,
+             f"{utilization[(vl, 'attention')]:.0%}",
+             f"{utilization[(vl, 'conv')]:.0%}"]
+        )
+    vmax = VECTOR_LENGTHS[-1]
+    scaling = {
+        kind: cycles[(512, kind)] / cycles[(vmax, kind)]
+        for kind in ("attention", "fused", "conv")
+    }
+    return ExperimentResult(
+        experiment="extension-vit",
+        description="Attention utilization + fusion on long vectors",
+        table=table,
+        data={"cycles": cycles, "vl_scaling": scaling,
+              "utilization": utilization},
+    )

@@ -1,0 +1,33 @@
+"""Fig. 2 — per-layer algorithm comparison on YOLOv3 at 512 bits / 1 MB."""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import best_algorithm, get_algorithm
+from repro.experiments.common import comparison_table, per_layer_seconds
+from repro.experiments.configs import BASELINE, workload
+from repro.experiments.report import ExperimentResult
+from repro.utils.ascii_chart import bar_chart
+
+MODEL = "yolov3"
+
+
+def run() -> ExperimentResult:
+    """Execution time of all four algorithms per YOLOv3 conv layer (first 15)."""
+    specs = workload(MODEL)
+    data = per_layer_seconds(specs, BASELINE)
+    winners = [best_algorithm(s, BASELINE)[0] for s in specs]
+    chart = bar_chart(
+        {get_algorithm(n).label: data[n] for n in data},
+        categories=[f"L{s.index}" for s in specs],
+        title="per-layer time (s), shared scale:",
+    )
+    table = comparison_table(
+        f"Fig. 2: {MODEL} per-layer time (s) @ {BASELINE.label()}", specs, data
+    )
+    return ExperimentResult(
+        experiment="fig02",
+        description=f"Per-layer algorithm comparison, {MODEL}, {BASELINE.label()}",
+        table=table,
+        data={"seconds": data, "winners": winners},
+        chart=chart,
+    )

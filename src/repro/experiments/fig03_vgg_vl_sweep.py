@@ -1,0 +1,11 @@
+"""Fig. 3 — VGG-16 vector-length sweep (512-4096 bits, 1 MB L2)."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.vl_sweep import vl_sweep
+
+
+def run() -> ExperimentResult:
+    """Scalability of the four algorithms with vector length on VGG-16."""
+    return vl_sweep("vgg16", "fig03", 3)

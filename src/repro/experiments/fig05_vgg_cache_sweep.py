@@ -1,0 +1,11 @@
+"""Fig. 05 — vgg16 L2-cache sweep (1-64 MB) at 512-bit vectors."""
+
+from __future__ import annotations
+
+from repro.experiments.cache_sweep import cache_sweep
+from repro.experiments.report import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Cache-size benefit of the four algorithms on vgg16 at 512 bits."""
+    return cache_sweep("vgg16", 512, "fig05", 5)

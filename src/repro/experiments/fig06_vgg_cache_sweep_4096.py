@@ -1,0 +1,11 @@
+"""Fig. 06 — vgg16 L2-cache sweep (1-64 MB) at 4096-bit vectors."""
+
+from __future__ import annotations
+
+from repro.experiments.cache_sweep import cache_sweep
+from repro.experiments.report import ExperimentResult
+
+
+def run() -> ExperimentResult:
+    """Cache-size benefit of the four algorithms on vgg16 at 4096 bits."""
+    return cache_sweep("vgg16", 4096, "fig06", 6)

@@ -1,0 +1,11 @@
+"""Fig. 9 — VGG-16: single algorithm vs Optimal vs Predicted Optimal."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.selection_figs import selection_figure
+
+
+def run(selector=None) -> ExperimentResult:
+    """Network time per policy over the 16-config grid (VGG-16)."""
+    return selection_figure("vgg16", "fig09", 9, selector=selector)

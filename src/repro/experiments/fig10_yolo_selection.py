@@ -1,0 +1,11 @@
+"""Fig. 10 — YOLOv3: single algorithm vs Optimal vs Predicted Optimal."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult
+from repro.experiments.selection_figs import selection_figure
+
+
+def run(selector=None) -> ExperimentResult:
+    """Network time per policy over the 16-config grid (YOLOv3)."""
+    return selection_figure("yolov3", "fig10", 10, selector=selector)

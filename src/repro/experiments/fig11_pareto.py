@@ -1,0 +1,61 @@
+"""Fig. 11 — performance-area Pareto frontier, single VGG-16 instance, 7 nm.
+
+Design points: (policy, vector length, L2 size) with policy in {the four
+single algorithms, Optimal}; performance = network conv cycles, area =
+core(VL) + L2 at 7 nm.  The paper finds all frontier points use the optimal
+per-layer algorithm, with the knee at 2048 bits x 1 MB (2.35 mm^2).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import ALGORITHM_NAMES
+from repro.experiments.configs import L2_SIZES_MIB, VECTOR_LENGTHS, workload
+from repro.experiments.report import ExperimentResult
+from repro.serving.pareto import ParetoPoint, pareto_frontier, pareto_optimal
+from repro.serving.throughput import network_cycles
+from repro.simulator.area.chip import chip_area_mm2
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+POLICIES: tuple[str, ...] = ALGORITHM_NAMES + ("optimal",)
+
+
+def run(model: str = "vgg16") -> ExperimentResult:
+    """Cycles-vs-area design space and its Pareto frontier."""
+    specs = workload(model)
+    points: list[ParetoPoint] = []
+    for vl in VECTOR_LENGTHS:
+        for l2 in L2_SIZES_MIB:
+            hw = HardwareConfig.paper2_rvv(vl, l2)
+            area = chip_area_mm2(vl, l2)
+            for policy in POLICIES:
+                cycles = network_cycles(specs, hw, policy=policy).total_cycles
+                points.append(
+                    ParetoPoint(
+                        cost=area,
+                        value=-cycles,
+                        payload={"policy": policy, "vlen": vl, "l2_mib": l2,
+                                 "cycles": cycles},
+                    )
+                )
+    frontier = pareto_frontier(points)
+    knee = pareto_optimal(points)
+
+    table = Table(
+        ["policy", "vlen_bits", "l2_mib", "area_mm2", "cycles", "on_frontier",
+         "knee"],
+        title=f"Fig. 11: performance-area design space, single {model} instance",
+    )
+    frontier_ids = {id(p) for p in frontier}
+    for p in sorted(points, key=lambda p: p.cost):
+        pl = p.payload
+        table.add_row(
+            [pl["policy"], pl["vlen"], pl["l2_mib"], p.cost, pl["cycles"],
+             "*" if id(p) in frontier_ids else "", "knee" if p is knee else ""]
+        )
+    return ExperimentResult(
+        experiment="fig11",
+        description=f"Pareto frontier of cycles vs 7nm area, {model}",
+        table=table,
+        data={"points": points, "frontier": frontier, "knee": knee},
+    )

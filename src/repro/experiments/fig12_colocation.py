@@ -1,0 +1,67 @@
+"""Fig. 12 — throughput-area frontier for co-located VGG-16 instances.
+
+1/4/16/64 cores x 512-4096-bit vectors x shared L2 of 1-256 MB, with as many
+model instances as cores (one per core, L2 statically partitioned).  The
+paper's finding: the frontier co-locates as many instances as possible with
+the minimum per-model L2 slice, and throughput scales linearly with area.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.experiments.configs import VECTOR_LENGTHS, workload
+from repro.experiments.report import ExperimentResult
+from repro.serving.colocation import ColocationScenario, evaluate_colocation
+from repro.serving.pareto import ParetoPoint, pareto_frontier
+from repro.utils.tables import Table
+
+CORE_COUNTS: tuple[int, ...] = (1, 4, 16, 64)
+SHARED_L2_MIB: tuple[float, ...] = (1.0, 4.0, 16.0, 64.0, 256.0)
+
+
+def run(model: str = "vgg16", selector=None, policy: str = "optimal") -> ExperimentResult:
+    """Throughput (images/cycle) vs area for all serving design points."""
+    specs = workload(model)
+    points: list[ParetoPoint] = []
+    rows = []
+    for cores in CORE_COUNTS:
+        for vl in VECTOR_LENGTHS:
+            for l2 in SHARED_L2_MIB:
+                try:
+                    scenario = ColocationScenario(
+                        cores=cores, vlen_bits=vl, shared_l2_mib=l2,
+                        instances=cores, policy=policy,
+                    )
+                except ConfigError:
+                    continue  # partition floor: skip starved configurations
+                result = evaluate_colocation(scenario, specs, selector=selector)
+                rows.append(result)
+                points.append(
+                    ParetoPoint(
+                        cost=result.area_mm2,
+                        value=result.throughput_images_per_cycle,
+                        payload=result,
+                    )
+                )
+    frontier = pareto_frontier(points)
+    frontier_ids = {id(p.payload) for p in frontier}
+
+    table = Table(
+        ["instances", "vlen_bits", "shared_l2", "l2/model", "area_mm2",
+         "images_per_Mcycle", "on_frontier"],
+        title=f"Fig. 12: throughput-area, co-located {model} instances",
+    )
+    for r in sorted(rows, key=lambda r: r.area_mm2):
+        s = r.scenario
+        table.add_row(
+            [s.instances, s.vlen_bits, f"{s.shared_l2_mib:g}",
+             f"{s.l2_per_instance_mib:g}", r.area_mm2,
+             r.throughput_images_per_cycle * 1e6,
+             "*" if id(r) in frontier_ids else ""]
+        )
+    return ExperimentResult(
+        experiment="fig12",
+        description=f"Throughput vs area for co-located {model} serving",
+        table=table,
+        data={"results": rows, "frontier": frontier},
+    )

@@ -1,0 +1,78 @@
+"""Layer report: per-phase introspection of one layer across algorithms.
+
+The debugging/analysis tool behind every number in this reproduction: for a
+single convolutional layer and hardware configuration, show each algorithm's
+phase-by-phase cycle breakdown, the binding resource, DRAM traffic, lane
+utilization and energy — the view a kernel engineer uses to decide *why*
+an algorithm wins.  Exposed as ``repro-experiments layer-report`` (with
+defaults) and as :func:`report` for programmatic use.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.experiments.report import ExperimentResult
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.energy import layer_energy
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+from repro.utils.units import human_bytes
+
+
+def report(
+    spec: ConvSpec,
+    hw: HardwareConfig,
+    algorithms: tuple[str, ...] = ALGORITHM_NAMES,
+) -> ExperimentResult:
+    """Phase-level breakdown of one layer on one configuration."""
+    table = Table(
+        ["algorithm", "phase", "cycles (x1e6)", "bound", "DRAM traffic",
+         "lane util"],
+        title=f"Layer report: {spec.describe()} on {hw.label()}",
+    )
+    model = AnalyticalTimingModel(hw)
+    vle = hw.vlmax_f32
+    totals: dict[str, float] = {}
+    energies: dict[str, float] = {}
+    for name in algorithms:
+        algo = get_algorithm(name)
+        if not algo.applicable(spec):
+            table.add_row([algo.label, "(not applicable)", "-", "-", "-", "-"])
+            continue
+        phases = algo.schedule(spec, hw)
+        total = 0.0
+        for phase in phases:
+            pc = model.phase_cycles(phase)
+            total += pc.cycles
+            active = phase.vector_active or phase.vmem_active
+            util = f"{min(1.0, active / vle):.0%}" if active else "-"
+            table.add_row(
+                [algo.label, phase.name, pc.cycles / 1e6, pc.bound,
+                 human_bytes(pc.dram_bytes), util]
+            )
+        totals[name] = total
+        energies[name] = layer_energy(name, spec, hw).total_j
+        table.add_row(
+            [algo.label, "== total ==", total / 1e6, "", "",
+             f"{energies[name] * 1e3:.2f} mJ"]
+        )
+    return ExperimentResult(
+        experiment="layer-report",
+        description=f"Per-phase breakdown of {spec.describe()}",
+        table=table,
+        data={"cycles": totals, "energy_j": energies},
+    )
+
+
+def run(
+    layer: str = "vgg16:9", vlen_bits: int = 512, l2_mib: float = 1.0
+) -> ExperimentResult:
+    """CLI entry: ``layer`` is ``<model>:<conv ordinal>``."""
+    from repro.experiments.configs import workload
+
+    model_name, _, ordinal = layer.partition(":")
+    specs = workload(model_name)
+    idx = int(ordinal or 1)
+    spec = next(s for s in specs if s.index == idx)
+    return report(spec, HardwareConfig.paper2_rvv(vlen_bits, l2_mib))

@@ -1,0 +1,15 @@
+"""Paper I (IPDPS '23) extension experiments.
+
+Paper II builds on Paper I ("Accelerating CNN inference on long vector
+architectures via co-design"), whose full text is part of the provided
+thesis.  These harnesses reproduce Paper I's co-design artifacts on the same
+substrates, using the *decoupled* RISC-VV configuration (VPU at the L2, 2-8
+lanes, no prefetch) and the ARM-SVE/A64FX presets:
+
+* Table II — 6-loop vs 3-loop block-size tuning on the decoupled RVV;
+* Fig. 6 — vector lengths 512-16384 bits at 1 MB L2 (YOLOv3/20 layers);
+* Fig. 7 — L2 1-256 MB across vector lengths;
+* §VI-B(c) — vector lanes 2-8;
+* Figs. 9-10 — Winograd (offline weight transform) VL x L2 sweeps;
+* Fig. 11 — Pareto frontier with the VRF-only area scaling.
+"""

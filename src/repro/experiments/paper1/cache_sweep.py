@@ -1,0 +1,41 @@
+"""Paper I Fig. 7 — L2 cache sweep 1-256 MB across vector lengths.
+
+YOLOv3 (first 20 network layers, 15 conv) with the 3-loop im2col+GEMM on the
+decoupled RISC-VV.  Paper I: larger caches help all vector lengths, and help
+the very long ones (8192/16384 b) the most — their reuse windows only fit in
+the big caches.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1.vl_sweep import total_cycles
+from repro.experiments.report import ExperimentResult
+from repro.utils.tables import Table
+
+VECTOR_LENGTHS: tuple[int, ...] = (512, 1024, 2048, 4096, 8192, 16384)
+L2_SIZES_MIB: tuple[float, ...] = (1.0, 8.0, 64.0, 256.0)
+
+
+def run() -> ExperimentResult:
+    """Cycles per (VL, L2) and the 1 MB -> 256 MB gain per vector length."""
+    cycles: dict[tuple[int, float], float] = {}
+    for vl in VECTOR_LENGTHS:
+        for l2 in L2_SIZES_MIB:
+            cycles[(vl, l2)] = total_cycles(vl, l2)
+    table = Table(
+        ["vector length"] + [f"{l2:g}MB (x1e9)" for l2 in L2_SIZES_MIB]
+        + ["gain 1->256MB"],
+        title="Paper I Fig. 7: L2 sweep, YOLOv3 (20 layers), decoupled RISC-VV",
+    )
+    gains: dict[int, float] = {}
+    for vl in VECTOR_LENGTHS:
+        gains[vl] = cycles[(vl, 1.0)] / cycles[(vl, 256.0)]
+        table.add_row(
+            [vl] + [cycles[(vl, l2)] / 1e9 for l2 in L2_SIZES_MIB] + [gains[vl]]
+        )
+    return ExperimentResult(
+        experiment="paper1-cache",
+        description="Decoupled RVV L2 scaling (Paper I Fig. 7)",
+        table=table,
+        data={"cycles": cycles, "gains": gains},
+    )

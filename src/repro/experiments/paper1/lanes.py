@@ -1,0 +1,40 @@
+"""Paper I §VI-B(c) — vector lanes 2-8 across vector lengths.
+
+On the decoupled RISC-VV, adding lanes raises the datapath width.  Paper I:
+more lanes chiefly benefit *long* vectors (which amortize the startup and
+keep the lanes busy); short vectors saturate early.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1.vl_sweep import total_cycles
+from repro.experiments.report import ExperimentResult
+from repro.utils.tables import Table
+
+LANES: tuple[int, ...] = (2, 4, 8)
+VECTOR_LENGTHS: tuple[int, ...] = (512, 2048, 8192)
+
+
+def run() -> ExperimentResult:
+    """Cycles per (VL, lanes) and the 2->8-lane gain per vector length."""
+    cycles = {
+        (vl, lanes): total_cycles(vl, 1.0, lanes)
+        for vl in VECTOR_LENGTHS
+        for lanes in LANES
+    }
+    table = Table(
+        ["vector length"] + [f"{l} lanes (x1e9)" for l in LANES] + ["gain 2->8"],
+        title="Paper I: vector lanes, YOLOv3 (20 layers), decoupled RISC-VV, 1MB",
+    )
+    gains: dict[int, float] = {}
+    for vl in VECTOR_LENGTHS:
+        gains[vl] = cycles[(vl, 2)] / cycles[(vl, 8)]
+        table.add_row(
+            [vl] + [cycles[(vl, l)] / 1e9 for l in LANES] + [gains[vl]]
+        )
+    return ExperimentResult(
+        experiment="paper1-lanes",
+        description="Vector-lane scaling (Paper I §VI-B(c))",
+        table=table,
+        data={"cycles": cycles, "gains": gains},
+    )

@@ -1,0 +1,55 @@
+"""Paper I Fig. 11 — Pareto frontier with the VRF-only area scaling.
+
+YOLOv3 (20 layers) with the 3-loop im2col+GEMM on the decoupled RISC-VV at
+7 nm: vector lengths 512-8192 bits (VRF area fractions 3-36.9 %), L2 sizes
+1-256 MB.  Paper I: longer vectors are almost free in area but worth a lot
+in performance; caches dominate the area (up to ~125 mm^2); the
+Pareto-optimal point pairs a long vector (4096 b) with the smallest cache.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.paper1.vl_sweep import total_cycles
+from repro.experiments.report import ExperimentResult
+from repro.serving.pareto import ParetoPoint, pareto_frontier, pareto_optimal
+from repro.simulator.area.chip import sram_area_mm2
+from repro.simulator.area import core_area_mm2
+from repro.utils.tables import Table
+
+VECTOR_LENGTHS: tuple[int, ...] = (512, 1024, 2048, 4096, 8192)
+L2_SIZES_MIB: tuple[float, ...] = (1.0, 8.0, 64.0, 256.0)
+
+
+def run() -> ExperimentResult:
+    """Cycles-vs-area design points, frontier and knee (Paper I variant)."""
+    points: list[ParetoPoint] = []
+    for vl in VECTOR_LENGTHS:
+        for l2 in L2_SIZES_MIB:
+            area = core_area_mm2(vl, model="paper1") + sram_area_mm2(l2)
+            cycles = total_cycles(vl, l2)
+            points.append(
+                ParetoPoint(
+                    cost=area, value=-cycles,
+                    payload={"vlen": vl, "l2_mib": l2, "cycles": cycles},
+                )
+            )
+    frontier = pareto_frontier(points)
+    knee = pareto_optimal(points)
+    frontier_ids = {id(p) for p in frontier}
+
+    table = Table(
+        ["vlen_bits", "l2_mib", "area_mm2", "cycles (x1e9)", "on_frontier", "knee"],
+        title="Paper I Fig. 11: performance-area Pareto, decoupled RISC-VV @7nm",
+    )
+    for p in sorted(points, key=lambda p: p.cost):
+        pl = p.payload
+        table.add_row(
+            [pl["vlen"], pl["l2_mib"], p.cost, pl["cycles"] / 1e9,
+             "*" if id(p) in frontier_ids else "", "knee" if p is knee else ""]
+        )
+    return ExperimentResult(
+        experiment="paper1-pareto",
+        description="Pareto frontier with VRF-only area scaling",
+        table=table,
+        data={"points": points, "frontier": frontier, "knee": knee},
+    )

@@ -1,0 +1,66 @@
+"""Paper I Table II — 6-loop block-size tuning vs the 3-loop GEMM.
+
+Relative execution time of the first 4 YOLOv3 convolutional layers with the
+6-loop implementation at several (blockM, blockN, blockK) choices, normalized
+to the 3-loop implementation, on the decoupled RISC-VV platform (512 bits,
+1 MB, 8 lanes).  Paper I found the variants within ~2-10 % of each other
+with 16x512x128 closest — BLIS-like blocking does not pay off when the VPU
+talks to the L2 directly.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.gemm_kernels import gemm6_phases
+from repro.algorithms.im2col import im2col_phase
+from repro.algorithms.registry import layer_cycles
+from repro.experiments.report import ExperimentResult
+from repro.nn.models import yolov3_conv_specs
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+#: Paper I Table II block-size candidates (blockM, blockN, blockK).
+BLOCK_SIZES: tuple[tuple[int, int, int], ...] = (
+    (128, 1024, 256),
+    (16, 1024, 128),
+    (16, 512, 128),
+    (16, 512, 256),
+    (32, 512, 128),
+    (64, 1024, 128),
+)
+
+HW = HardwareConfig.paper1_riscvv(512, 1.0, lanes=8)
+
+
+def _gemm6_cycles(spec, blocks) -> float:
+    bm, bn, bk = blocks
+    phases = [im2col_phase(spec, HW)] + gemm6_phases(
+        spec.gemm_m, spec.gemm_k, spec.gemm_n, HW,
+        block_m=bm, block_n=bn, block_k=bk,
+    )
+    return AnalyticalTimingModel(HW).evaluate("im2col_gemm6", phases).cycles
+
+
+def run() -> ExperimentResult:
+    """Relative 6-loop time per block size (3-loop = 1.0)."""
+    specs = yolov3_conv_specs()[:4]
+    gemm3_total = sum(
+        layer_cycles("im2col_gemm3", s, HW, fallback=False).cycles for s in specs
+    )
+    table = Table(
+        ["block sizes (MxNxK)", "relative time (6-loop / 3-loop)"],
+        title="Paper I Table II: block-size tuning, YOLOv3 first 4 conv layers,"
+              " decoupled RISC-VV @512b/1MB",
+    )
+    ratios: dict[tuple[int, int, int], float] = {}
+    for blocks in BLOCK_SIZES:
+        total6 = sum(_gemm6_cycles(s, blocks) for s in specs)
+        ratios[blocks] = total6 / gemm3_total
+        table.add_row([f"{blocks[0]}x{blocks[1]}x{blocks[2]}", ratios[blocks]])
+    best = min(ratios, key=ratios.get)
+    return ExperimentResult(
+        experiment="paper1-table2",
+        description="6-loop vs 3-loop block-size tuning (decoupled RVV)",
+        table=table,
+        data={"ratios": ratios, "best_blocks": best},
+    )

@@ -1,0 +1,72 @@
+"""Paper I Figs. 9-10 — Winograd VL x L2 sweeps (ARM-SVE style).
+
+Winograd with the *offline* weight transform (Paper I hoists it out of
+inference) under the network policy of Paper I: Winograd on 3x3/stride-1
+layers, optimized im2col+GEMM elsewhere.  Swept over 512-2048-bit vectors
+(the SVE range) and 1-256 MB L2 for YOLOv3 (20 layers) and VGG-16.
+
+Paper I: ~1.4x from 512 to 2048 bits; caches help YOLOv3 (~1.75x, its other
+layers call im2col+GEMM) more than the all-Winograd VGG-16 (~1.4x, flat
+beyond 64 MB) — Winograd itself has small cache demands.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import get_algorithm, layer_cycles
+from repro.algorithms.winograd import WinogradConv
+from repro.experiments.report import ExperimentResult
+from repro.nn.models import vgg16_conv_specs, yolov3_conv_specs
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+VECTOR_LENGTHS: tuple[int, ...] = (512, 1024, 2048)
+L2_SIZES_MIB: tuple[float, ...] = (1.0, 8.0, 64.0, 256.0)
+
+_OFFLINE_WINOGRAD = WinogradConv(online_weight_transform=False)
+
+
+def network_winograd_cycles(model: str, vlen_bits: int, l2_mib: float) -> float:
+    """Winograd* network time with the offline weight transform."""
+    specs = vgg16_conv_specs() if model == "vgg16" else yolov3_conv_specs()
+    hw = HardwareConfig.paper1_armsve(vlen_bits, l2_mib)
+    engine = AnalyticalTimingModel(hw)
+    total = 0.0
+    for spec in specs:
+        if _OFFLINE_WINOGRAD.applicable(spec):
+            total += engine.evaluate(
+                "winograd", _OFFLINE_WINOGRAD.schedule(spec, hw)
+            ).cycles
+        else:
+            total += layer_cycles("im2col_gemm6", spec, hw).cycles
+    return total
+
+
+def run() -> ExperimentResult:
+    """Cycles per (model, VL, L2) and the headline gains."""
+    cycles: dict[tuple[str, int, float], float] = {}
+    for model in ("yolov3", "vgg16"):
+        for vl in VECTOR_LENGTHS:
+            for l2 in L2_SIZES_MIB:
+                cycles[(model, vl, l2)] = network_winograd_cycles(model, vl, l2)
+    table = Table(
+        ["model", "vlen"] + [f"{l2:g}MB (x1e9)" for l2 in L2_SIZES_MIB],
+        title="Paper I Figs. 9-10: Winograd* VL x L2 sweep (ARM-SVE style)",
+    )
+    for model in ("yolov3", "vgg16"):
+        for vl in VECTOR_LENGTHS:
+            table.add_row(
+                [model, vl] + [cycles[(model, vl, l2)] / 1e9 for l2 in L2_SIZES_MIB]
+            )
+    gains = {
+        "vl_yolo": cycles[("yolov3", 512, 1.0)] / cycles[("yolov3", 2048, 1.0)],
+        "vl_vgg": cycles[("vgg16", 512, 1.0)] / cycles[("vgg16", 2048, 1.0)],
+        "cache_yolo": cycles[("yolov3", 512, 1.0)] / cycles[("yolov3", 512, 256.0)],
+        "cache_vgg": cycles[("vgg16", 512, 1.0)] / cycles[("vgg16", 512, 256.0)],
+    }
+    return ExperimentResult(
+        experiment="paper1-winograd",
+        description="Winograd VL/L2 sweeps with offline weight transform",
+        table=table,
+        data={"cycles": cycles, "gains": gains},
+    )

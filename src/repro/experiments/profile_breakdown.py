@@ -1,0 +1,115 @@
+"""Extension — the inference-time profile (conv share of total time).
+
+Paper II §3.3 profiles Darknet on the A64FX: convolutional layers consume
+~96 % of YOLOv3's inference time and ~64 % of VGG-16's.  This study builds
+the same breakdown from the model: conv layers (best algorithm per layer,
+with their element-wise tails), FC layers as GEMVs, and the cheap layers
+(pooling/shortcut/route/upsample/softmax) as element-wise passes.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.gemv import gemv_phase
+from repro.algorithms.registry import best_algorithm
+from repro.experiments.report import ExperimentResult
+from repro.nn.aux_kernels import aux_phases
+from repro.nn.layer import (
+    AvgPoolSpec,
+    ConnectedSpec,
+    ConvSpec,
+    MaxPoolSpec,
+    RouteSpec,
+    ShortcutSpec,
+    SoftmaxSpec,
+    UpsampleSpec,
+)
+from repro.nn.layer import DTYPE_BYTES
+from repro.nn.models import vgg16_network, yolov3_network
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.tables import Table
+
+
+def _elementwise_phase(name: str, elems: float, hw: HardwareConfig,
+                       ops_per_elem: float = 1.0) -> Phase:
+    vle = hw.vlmax_f32
+    strips = max(1.0, elems / vle)
+    nbytes = elems * DTYPE_BYTES
+    return Phase(
+        name=name,
+        vector_ops=ops_per_elem * strips,
+        vector_active=float(vle),
+        vmem_ops=2.0 * strips,
+        vmem_active=float(vle),
+        scalar_ops=strips,
+        streams=(
+            DataStream(f"{name}_in", bytes=nbytes, passes=1.0,
+                       resident_source=True),
+            DataStream(f"{name}_out", bytes=nbytes, passes=1.0, is_write=True),
+        ),
+    )
+
+
+def network_profile(network, hw: HardwareConfig) -> dict[str, float]:
+    """Cycles per layer-class for a full network."""
+    engine = AnalyticalTimingModel(hw)
+    out = {"conv": 0.0, "connected": 0.0, "other": 0.0}
+    for spec in network.layers:
+        if isinstance(spec, ConvSpec):
+            name, cycles = best_algorithm(spec, hw)
+            out["conv"] += cycles[name]
+            out["conv"] += sum(
+                engine.phase_cycles(p).cycles
+                for p in aux_phases(spec, hw, spec.batch_normalize)
+            )
+        elif isinstance(spec, ConnectedSpec):
+            out["connected"] += engine.phase_cycles(gemv_phase(spec, hw)).cycles
+        elif isinstance(spec, MaxPoolSpec):
+            out["other"] += engine.phase_cycles(
+                _elementwise_phase("maxpool", float(spec.c * spec.oh * spec.ow),
+                                   hw, ops_per_elem=spec.size * spec.size)
+            ).cycles
+        elif isinstance(spec, (AvgPoolSpec, UpsampleSpec)):
+            elems = float(spec.c * spec.ih * spec.iw)
+            out["other"] += engine.phase_cycles(
+                _elementwise_phase("pool", elems, hw)
+            ).cycles
+        elif isinstance(spec, (ShortcutSpec, RouteSpec)):
+            elems = float(spec.c * spec.h * spec.w)
+            out["other"] += engine.phase_cycles(
+                _elementwise_phase("blend", elems, hw)
+            ).cycles
+        elif isinstance(spec, SoftmaxSpec):
+            out["other"] += engine.phase_cycles(
+                _elementwise_phase("softmax", float(spec.inputs), hw, 4.0)
+            ).cycles
+    return out
+
+
+def run(vlen_bits: int = 512, l2_mib: float = 8.0) -> ExperimentResult:
+    hw = HardwareConfig.paper2_rvv(vlen_bits, l2_mib)
+    table = Table(
+        ["network", "conv share", "fc share", "other share",
+         "paper conv share"],
+        title=f"Inference-time profile by layer class @ {hw.label()}",
+    )
+    shares: dict[str, dict[str, float]] = {}
+    for label, net, paper in (
+        ("yolov3 (107 layers)", yolov3_network(), "~96%"),
+        ("vgg16 (22 layers)", vgg16_network(), "~64%"),
+    ):
+        profile = network_profile(net, hw)
+        total = sum(profile.values())
+        shares[label] = {k: v / total for k, v in profile.items()}
+        table.add_row(
+            [label, f"{shares[label]['conv']:.1%}",
+             f"{shares[label]['connected']:.1%}",
+             f"{shares[label]['other']:.1%}", paper]
+        )
+    return ExperimentResult(
+        experiment="profile-breakdown",
+        description="Conv / FC / other shares of inference time",
+        table=table,
+        data={"shares": shares},
+    )

@@ -1,0 +1,34 @@
+"""Shared result container for experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.utils.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced artifact: identifier, rendered table, raw data.
+
+    ``chart`` optionally carries an ASCII bar-chart rendering of the same
+    series (the figure's visual shape); ``render(with_chart=True)`` appends
+    it below the table.
+    """
+
+    experiment: str  # e.g. "fig01"
+    description: str
+    table: Table
+    data: dict[str, Any] = field(default_factory=dict)
+    chart: str | None = None
+
+    def render(self, with_chart: bool = True) -> str:
+        header = f"[{self.experiment}] {self.description}"
+        text = header + "\n" + "=" * len(header) + "\n" + self.table.render()
+        if with_chart and self.chart:
+            text += "\n" + self.chart
+        return text
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

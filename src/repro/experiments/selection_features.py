@@ -1,0 +1,66 @@
+"""Extension — which features carry the algorithm selector.
+
+The paper argues the classifier must see *both* the convolution dimensions
+and the hardware configuration (vector length, L2 size).  This study reads
+the trained forest's split-frequency feature importances and re-trains a
+layer-features-only selector to quantify the claim: dropping the two
+hardware features costs measurable accuracy, because the optimal algorithm
+genuinely flips with VL/L2 (Figs. 3-8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.report import ExperimentResult
+from repro.selection.crossval import accuracy_score, kfold_indices
+from repro.selection.dataset import FEATURE_NAMES, build_dataset
+from repro.selection.forest import RandomForestClassifier
+from repro.utils.tables import Table
+
+
+def _cv_accuracy(X: np.ndarray, y: np.ndarray, seed: int = 0) -> float:
+    scores = []
+    for train, test in kfold_indices(len(X), 5, shuffle=True, random_state=seed):
+        model = RandomForestClassifier(
+            n_estimators=60, max_depth=10, max_features=None, random_state=seed
+        )
+        model.fit(X[train], y[train])
+        scores.append(accuracy_score(y[test], model.predict(X[test])))
+    return float(np.mean(scores))
+
+
+def run(dataset=None) -> ExperimentResult:
+    dataset = dataset or build_dataset()
+    forest = RandomForestClassifier(
+        n_estimators=60, max_depth=10, max_features=6, random_state=0
+    )
+    forest.fit(dataset.X, dataset.y)
+    importances = forest.feature_importances()
+
+    table = Table(
+        ["feature", "split importance"],
+        title="Selector feature importances (split frequency, trained RF)",
+    )
+    ranked = sorted(
+        zip(FEATURE_NAMES, importances), key=lambda kv: kv[1], reverse=True
+    )
+    for name, imp in ranked:
+        table.add_row([name, imp])
+
+    full_acc = _cv_accuracy(dataset.X, dataset.y)
+    layers_only = _cv_accuracy(dataset.X[:, 2:], dataset.y)
+    hw_importance = float(importances[0] + importances[1])
+    table.add_row(["== CV accuracy, all 12 features ==", full_acc])
+    table.add_row(["== CV accuracy, layer features only ==", layers_only])
+    return ExperimentResult(
+        experiment="selection-features",
+        description="Hardware features matter to the selector",
+        table=table,
+        data={
+            "importances": dict(zip(FEATURE_NAMES, importances.tolist())),
+            "hw_importance": hw_importance,
+            "full_accuracy": full_acc,
+            "layers_only_accuracy": layers_only,
+        },
+    )

@@ -1,0 +1,33 @@
+"""Table 1 — convolutional layer dimensions of VGG-16 and YOLOv3."""
+
+from __future__ import annotations
+
+from repro.experiments.configs import workload
+from repro.experiments.report import ExperimentResult
+from repro.utils.tables import Table
+
+
+def run() -> ExperimentResult:
+    """Regenerate the paper's Table 1 from the model definitions."""
+    table = Table(
+        ["model", "layer", "IC", "OC", "IH/IW", "OH/OW", "KH/KW", "stride"],
+        title="Table 1: convolutional layers of VGG-16 and YOLOv3 (first 15)",
+    )
+    data: dict[str, list[tuple]] = {}
+    for model in ("vgg16", "yolov3"):
+        rows = []
+        for spec in workload(model):
+            rows.append(
+                (spec.index, spec.ic, spec.oc, spec.ih, spec.oh, spec.kh, spec.stride)
+            )
+            table.add_row(
+                [model, spec.index, spec.ic, spec.oc, spec.ih, spec.oh, spec.kh,
+                 spec.stride]
+            )
+        data[model] = rows
+    return ExperimentResult(
+        experiment="table1",
+        description="Layer dimensions (IC, OC, IH/IW, OH/OW, KH/KW, stride)",
+        table=table,
+        data=data,
+    )

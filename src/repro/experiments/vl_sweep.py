@@ -1,0 +1,70 @@
+"""Figs. 3-4 — vector-length sweeps (512-4096 bits at 1 MB L2).
+
+Shared implementation; :mod:`fig03_vgg_vl_sweep` and
+:mod:`fig04_yolo_vl_sweep` bind the model.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm, layer_cycles
+from repro.experiments.configs import FREQ_GHZ, VECTOR_LENGTHS, workload
+from repro.experiments.report import ExperimentResult
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.ascii_chart import bar_chart
+from repro.utils.tables import Table
+
+
+def vl_sweep(model: str, experiment: str, fig_no: int) -> ExperimentResult:
+    """Per-layer execution time for every (algorithm, vector length)."""
+    specs = workload(model)
+    seconds: dict[tuple[str, int], list[float | None]] = {}
+    for vl in VECTOR_LENGTHS:
+        hw = HardwareConfig.paper2_rvv(vl, 1.0)
+        for name in ALGORITHM_NAMES:
+            algo = get_algorithm(name)
+            col: list[float | None] = []
+            for spec in specs:
+                if not algo.applicable(spec):
+                    col.append(None)
+                    continue
+                col.append(
+                    layer_cycles(name, spec, hw, fallback=False).cycles
+                    / (FREQ_GHZ * 1e9)
+                )
+            seconds[(name, vl)] = col
+
+    # scalability = t(512) / t(vl_max) per layer — the paper's headline
+    scalability: dict[str, list[float | None]] = {}
+    vmax = VECTOR_LENGTHS[-1]
+    for name in ALGORITHM_NAMES:
+        base, top = seconds[(name, VECTOR_LENGTHS[0])], seconds[(name, vmax)]
+        scalability[name] = [
+            None if b is None else b / t for b, t in zip(base, top)
+        ]
+
+    table = Table(
+        ["layer"]
+        + [f"{get_algorithm(n).label}@{vl}b" for n in ALGORITHM_NAMES
+           for vl in VECTOR_LENGTHS],
+        title=f"Fig. {fig_no}: {model} per-layer time (s), VL sweep @ 1MB L2",
+    )
+    for i, spec in enumerate(specs):
+        row: list = [spec.index]
+        for name in ALGORITHM_NAMES:
+            for vl in VECTOR_LENGTHS:
+                v = seconds[(name, vl)][i]
+                row.append("n/a" if v is None else v)
+        table.add_row(row)
+    chart = bar_chart(
+        {get_algorithm(n).label: scalability[n] for n in ALGORITHM_NAMES},
+        categories=[f"L{s.index}" for s in specs],
+        title=f"speedup {VECTOR_LENGTHS[0]}b -> {vmax}b per layer:",
+        value_format="{:.2f}x",
+    )
+    return ExperimentResult(
+        experiment=experiment,
+        description=f"Vector-length sweep 512-4096b @ 1MB, {model}",
+        table=table,
+        chart=chart,
+        data={"seconds": seconds, "scalability": scalability},
+    )

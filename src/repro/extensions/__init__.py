@@ -1,0 +1,17 @@
+"""Extensions beyond the papers' scope, from the thesis's future-work list.
+
+Chapter 3 of the thesis names vision transformers as the next target:
+"many matrices are skinny and irregular, making it challenging to utilize
+long vector lengths", and "mechanisms like data reuse and fusion are
+proposed to reduce memory accesses".  :mod:`repro.extensions.attention`
+implements multi-head self-attention on the same substrates and quantifies
+both claims.
+"""
+
+from repro.extensions.attention import (
+    AttentionSpec,
+    attention_forward,
+    attention_phases,
+)
+
+__all__ = ["AttentionSpec", "attention_forward", "attention_phases"]

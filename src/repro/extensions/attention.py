@@ -1,0 +1,219 @@
+"""Multi-head self-attention on long-vector architectures (future work).
+
+The thesis's conclusion motivates extending the co-design study to vision
+transformers, whose self-attention layers are dominated by matrix
+multiplications with *skinny, irregular* shapes (per-head dimensions of
+64) — hard to feed to very long vectors — and whose two chained matmuls +
+softmax move a lot of intermediate data unless fused (citing Fu et al.,
+ICS '24).
+
+This module provides:
+
+* :class:`AttentionSpec` — layer dimensions (ViT-Base by default);
+* :func:`attention_forward` — functional multi-head self-attention;
+* :func:`attention_phases` — an analytical schedule built from the same
+  GEMM phase models as the CNN study, with ``fused=True`` modelling
+  attention fusion (score tiles stay cache-resident between the two
+  matmuls and the softmax, as in FlashAttention-style kernels).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.gemm_kernels import gemm3_phase
+from repro.errors import ConfigError, ShapeError
+from repro.nn.layer import DTYPE_BYTES
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@dataclass(frozen=True)
+class AttentionSpec:
+    """One multi-head self-attention layer (single sequence)."""
+
+    seq_len: int = 197  # ViT-Base: 196 patches + CLS
+    embed_dim: int = 768
+    heads: int = 12
+
+    def __post_init__(self) -> None:
+        if self.seq_len < 1 or self.embed_dim < 1 or self.heads < 1:
+            raise ConfigError("attention dimensions must be positive")
+        if self.embed_dim % self.heads:
+            raise ConfigError(
+                f"embed_dim {self.embed_dim} not divisible by {self.heads} heads"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        return self.embed_dim // self.heads
+
+    @property
+    def projection_macs(self) -> int:
+        """QKV + output projections: 4 x (D x D) @ (D x S)."""
+        return 4 * self.embed_dim * self.embed_dim * self.seq_len
+
+    @property
+    def attention_macs(self) -> int:
+        """Scores (S x d x S) and context (S x S x d), per head."""
+        return 2 * self.heads * self.seq_len * self.seq_len * self.head_dim
+
+    @property
+    def scores_bytes(self) -> int:
+        """The H x S x S intermediate the fusion avoids materializing."""
+        return self.heads * self.seq_len * self.seq_len * DTYPE_BYTES
+
+
+def _softmax_rows(x: np.ndarray) -> np.ndarray:
+    m = x.max(axis=-1, keepdims=True)
+    e = np.exp(x - m)
+    return e / e.sum(axis=-1, keepdims=True)
+
+
+def attention_forward(
+    spec: AttentionSpec, x: np.ndarray, wq: np.ndarray, wk: np.ndarray,
+    wv: np.ndarray, wo: np.ndarray,
+) -> np.ndarray:
+    """Functional multi-head self-attention: (S, D) -> (S, D).
+
+    All four projection matrices are (D, D); scaling is 1/sqrt(head_dim).
+    """
+    s, d, h = spec.seq_len, spec.embed_dim, spec.heads
+    if x.shape != (s, d):
+        raise ShapeError(f"expected input ({s}, {d}), got {x.shape}")
+    for name, w in (("wq", wq), ("wk", wk), ("wv", wv), ("wo", wo)):
+        if w.shape != (d, d):
+            raise ShapeError(f"{name} must be ({d}, {d}), got {w.shape}")
+    x64 = x.astype(np.float64)
+    q = (x64 @ wq.astype(np.float64)).reshape(s, h, spec.head_dim)
+    k = (x64 @ wk.astype(np.float64)).reshape(s, h, spec.head_dim)
+    v = (x64 @ wv.astype(np.float64)).reshape(s, h, spec.head_dim)
+    scale = 1.0 / math.sqrt(spec.head_dim)
+    # (h, s, s) attention maps
+    scores = np.einsum("qhd,khd->hqk", q, k) * scale
+    probs = _softmax_rows(scores)
+    context = np.einsum("hqk,khd->qhd", probs, v).reshape(s, d)
+    return (context @ wo.astype(np.float64)).astype(np.float32)
+
+
+def attention_phases(
+    spec: AttentionSpec, hw: HardwareConfig, fused: bool = False
+) -> list[Phase]:
+    """Analytical schedule of one attention layer.
+
+    Built from the CNN study's GEMM phase model so utilization effects carry
+    over: the per-head matmuls have N = seq_len (or head_dim) — *skinny* —
+    so very long vectors run partially full, unlike the big CNN GEMMs.
+    With ``fused``, the (S x S) score tiles never round-trip to memory: the
+    softmax and context matmul consume them in cache (one combined phase).
+    """
+    s, d, h, dh = spec.seq_len, spec.embed_dim, spec.heads, spec.head_dim
+    vle = hw.vlmax_f32
+    phases: list[Phase] = []
+    # QKV + output projections: (D x D) @ (D x S) each
+    for name in ("proj_qkv", "proj_out"):
+        count = 3 if name == "proj_qkv" else 1
+        p = gemm3_phase(d, d, s, hw, b_name=f"{name}_in")
+        phases.append(
+            Phase(
+                name=name,
+                vector_ops=count * p.vector_ops,
+                vector_active=p.vector_active,
+                vmem_ops=count * p.vmem_ops,
+                vmem_active=p.vmem_active,
+                scalar_ops=count * p.scalar_ops,
+                streams=tuple(
+                    DataStream(
+                        f"{name}_{st.name}", bytes=count * st.bytes,
+                        passes=st.passes, reuse_ws=st.reuse_ws,
+                        is_write=st.is_write, scalar_access=st.scalar_access,
+                        resident_source=True,
+                    )
+                    for st in p.streams
+                ),
+            )
+        )
+    # per-head score GEMM (S x dh) @ (dh x S) and context (S x S) @ (S x dh)
+    score = gemm3_phase(s, dh, s, hw, b_name="keys")
+    context = gemm3_phase(s, s, dh, hw, b_name="probs")
+    softmax_strips = h * s * math.ceil(s / vle)
+    if not fused:
+        phases.append(_scale_heads(score, h, "attn_scores", spec, write_scores=True))
+        phases.append(
+            Phase(
+                name="softmax",
+                vector_ops=4.0 * softmax_strips,
+                vector_active=float(min(s, vle)),
+                vmem_ops=2.0 * softmax_strips,
+                vmem_active=float(min(s, vle)),
+                scalar_ops=3.0 * h * s,
+                streams=(
+                    DataStream("scores_read", bytes=float(spec.scores_bytes),
+                               passes=1.0, resident_source=True),
+                    DataStream("probs_write", bytes=float(spec.scores_bytes),
+                               passes=1.0, is_write=True),
+                ),
+            )
+        )
+        phases.append(_scale_heads(context, h, "attn_context", spec,
+                                   read_scores=True))
+    else:
+        # fusion: one pass per head-tile; scores live in cache, softmax and
+        # context matmul run on resident tiles (no S x S DRAM traffic)
+        combined = Phase(
+            name="attn_fused",
+            vector_ops=h * (score.vector_ops + context.vector_ops)
+            + 4.0 * softmax_strips,
+            vector_active=min(score.vector_active, context.vector_active),
+            vmem_ops=h * (score.vmem_ops + context.vmem_ops)
+            + 2.0 * softmax_strips,
+            vmem_active=min(score.vmem_active, context.vmem_active),
+            scalar_ops=h * (score.scalar_ops + context.scalar_ops),
+            streams=(
+                DataStream("qkv_read", bytes=float(3 * s * d * DTYPE_BYTES),
+                           passes=2.0, reuse_ws=float(3 * s * d * DTYPE_BYTES),
+                           resident_source=True),
+                DataStream("context_write", bytes=float(s * d * DTYPE_BYTES),
+                           passes=1.0, is_write=True),
+            ),
+        )
+        phases.append(combined)
+    return phases
+
+
+def _scale_heads(
+    p: Phase, heads: int, name: str, spec: AttentionSpec,
+    write_scores: bool = False, read_scores: bool = False,
+) -> Phase:
+    """Replicate a per-head GEMM phase across heads with score traffic."""
+    s, d = spec.seq_len, spec.embed_dim
+    streams = [
+        DataStream("qkv_read", bytes=float(2 * s * d * DTYPE_BYTES), passes=1.0,
+                   resident_source=True),
+    ]
+    if write_scores:
+        streams.append(
+            DataStream("scores_write", bytes=float(spec.scores_bytes),
+                       passes=1.0, is_write=True)
+        )
+    if read_scores:
+        streams.append(
+            DataStream("probs_read", bytes=float(spec.scores_bytes), passes=1.0,
+                       resident_source=True)
+        )
+        streams.append(
+            DataStream("context_write", bytes=float(s * d * DTYPE_BYTES),
+                       passes=1.0, is_write=True)
+        )
+    return Phase(
+        name=name,
+        vector_ops=heads * p.vector_ops,
+        vector_active=p.vector_active,
+        vmem_ops=heads * p.vmem_ops,
+        vmem_active=p.vmem_active,
+        scalar_ops=heads * p.scalar_ops,
+        streams=tuple(streams),
+    )

@@ -1,0 +1,193 @@
+"""Depthwise convolution — Paper II's other named future-work kernel.
+
+Paper II's conclusion: "We will also consider ... additional computational
+kernels, such as point-wise and depth-wise convolutions".  Depthwise layers
+(one filter per channel, MobileNet-style) break the im2col+GEMM formulation
+— each channel's GEMM is a degenerate (1 x 9) @ (9 x N) — while the NHWC
+Direct dataflow vectorizes across channels perfectly.  This module provides
+the functional kernel, analytical schedules for both strategies, and the
+MobileNetV1 depthwise layer set used by the ``extension-depthwise`` study.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.layer import DTYPE_BYTES
+from repro.nn.reference import pad_input
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@dataclass(frozen=True)
+class DepthwiseConvSpec:
+    """A depthwise 2-D convolution: one kh x kw filter per channel."""
+
+    c: int
+    ih: int
+    iw: int
+    kh: int = 3
+    kw: int = 3
+    stride: int = 1
+    pad: int = -1
+    index: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("c", "ih", "iw", "kh", "kw", "stride"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be positive")
+        if self.pad == -1:
+            object.__setattr__(self, "pad", self.kh // 2)
+
+    @property
+    def oh(self) -> int:
+        return (self.ih + 2 * self.pad - self.kh) // self.stride + 1
+
+    @property
+    def ow(self) -> int:
+        return (self.iw + 2 * self.pad - self.kw) // self.stride + 1
+
+    @property
+    def macs(self) -> int:
+        return self.c * self.oh * self.ow * self.kh * self.kw
+
+    def describe(self) -> str:
+        return (
+            f"dw{self.index}: {self.c} ch, {self.ih}x{self.iw}->"
+            f"{self.oh}x{self.ow}, k{self.kh} s{self.stride}"
+        )
+
+
+def depthwise_forward(
+    spec: DepthwiseConvSpec, x: np.ndarray, w: np.ndarray
+) -> np.ndarray:
+    """Functional depthwise convolution: (C,IH,IW) x (C,KH,KW) -> (C,OH,OW)."""
+    if x.shape != (spec.c, spec.ih, spec.iw):
+        raise ShapeError(f"expected input {(spec.c, spec.ih, spec.iw)}, got {x.shape}")
+    if w.shape != (spec.c, spec.kh, spec.kw):
+        raise ShapeError(f"expected weights {(spec.c, spec.kh, spec.kw)}, got {w.shape}")
+    xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+    oh, ow, s = spec.oh, spec.ow, spec.stride
+    out = np.zeros((spec.c, oh, ow), dtype=np.float64)
+    for dh in range(spec.kh):
+        for dw in range(spec.kw):
+            window = xp[:, dh : dh + s * oh : s, dw : dw + s * ow : s]
+            out += window.astype(np.float64) * w[:, dh, dw, None, None]
+    return out.astype(np.float32)
+
+
+def depthwise_direct_phases(
+    spec: DepthwiseConvSpec, hw: HardwareConfig
+) -> list[Phase]:
+    """NHWC Direct: the channel dimension is elementwise -> full vectors.
+
+    Per output point, ``kh*kw`` vector FMAs over the channel vector — the
+    input operand is a *vector* load (channels are contiguous in NHWC), so
+    there is no scalar-broadcast pressure at all.
+    """
+    vle = hw.vlmax_f32
+    nch = math.ceil(spec.c / vle)
+    active = spec.c / nch
+    points = float(spec.oh * spec.ow)
+    fma = points * spec.kh * spec.kw * nch
+    in_bytes = float(spec.c * spec.ih * spec.iw * DTYPE_BYTES)
+    out_bytes = float(spec.c * spec.oh * spec.ow * DTYPE_BYTES)
+    w_bytes = float(spec.c * spec.kh * spec.kw * DTYPE_BYTES)
+    return [
+        Phase(
+            name="dw_direct",
+            vector_ops=fma,
+            vector_active=active,
+            vmem_ops=fma + points * nch,  # input vector loads + output stores
+            vmem_active=active,
+            scalar_ops=3.0 * points,
+            streams=(
+                DataStream(
+                    "input", bytes=in_bytes,
+                    passes=max(1.0, spec.kh / spec.stride),
+                    reuse_ws=float(spec.kh * spec.iw * spec.c * DTYPE_BYTES),
+                    resident_source=True,
+                ),
+                DataStream("weights", bytes=w_bytes, passes=1.0, reuse_ws=w_bytes),
+                DataStream("output", bytes=out_bytes, passes=1.0, is_write=True),
+            ),
+        )
+    ]
+
+
+def depthwise_gemm_phases(
+    spec: DepthwiseConvSpec, hw: HardwareConfig
+) -> list[Phase]:
+    """im2col+GEMM applied per channel: C degenerate (1 x k^2) GEMMs.
+
+    M = 1 kills the register blocking (the unrolled i-block holds one row),
+    and every channel pays its own im2col and loop setup — the structural
+    reason frameworks grew dedicated depthwise kernels.
+    """
+    vle = hw.vlmax_f32
+    n = spec.oh * spec.ow
+    k = spec.kh * spec.kw
+    nj = math.ceil(n / vle)
+    active = n / nj
+    per_channel_fma = float(nj * k)  # M = 1
+    fma = spec.c * per_channel_fma
+    col_bytes = float(spec.c * k * n * DTYPE_BYTES)
+    im2col = Phase(
+        name="dw_im2col",
+        vmem_ops=2.0 * spec.c * k * spec.oh * max(1.0, math.ceil(spec.ow / vle)),
+        vmem_active=spec.ow / max(1.0, math.ceil(spec.ow / vle)),
+        nonunit_fraction=0.5 if spec.stride > 1 else 0.0,
+        scalar_ops=4.0 * spec.c * k * spec.oh,
+        streams=(
+            DataStream(
+                "input", bytes=float(spec.c * spec.ih * spec.iw * DTYPE_BYTES),
+                passes=float(k),
+                reuse_ws=float(spec.ih * spec.iw * DTYPE_BYTES),
+                resident_source=True,
+            ),
+            DataStream("col", bytes=col_bytes, passes=1.0, is_write=True),
+        ),
+    )
+    gemm = Phase(
+        name="dw_gemm",
+        vector_ops=fma,
+        vector_active=active,
+        # B loads: one per (k, strip) per channel (no i-block amortization)
+        vmem_ops=fma + 2.0 * spec.c * nj,
+        vmem_active=active,
+        scalar_ops=fma + 8.0 * spec.c,  # per-channel GEMM setup
+        streams=(
+            DataStream("col_read", bytes=col_bytes, passes=1.0,
+                       resident_source=True),
+            DataStream(
+                "output", bytes=float(spec.c * n * DTYPE_BYTES), passes=1.0,
+                is_write=True,
+            ),
+        ),
+    )
+    return [im2col, gemm]
+
+
+def mobilenet_v1_depthwise_layers(input_size: int = 224) -> list[DepthwiseConvSpec]:
+    """The 13 depthwise layers of MobileNetV1 (width multiplier 1.0)."""
+    if input_size % 32:
+        raise ConfigError("MobileNet input must be a multiple of 32")
+    layers: list[DepthwiseConvSpec] = []
+    c, hw_sp = 32, input_size // 2  # after the initial stride-2 conv
+    plan = [
+        (32, 1), (64, 2), (128, 1), (128, 2), (256, 1), (256, 2),
+        (512, 1), (512, 1), (512, 1), (512, 1), (512, 1), (512, 2), (1024, 1),
+    ]
+    for i, (channels, stride) in enumerate(plan, start=1):
+        layers.append(
+            DepthwiseConvSpec(
+                c=channels, ih=hw_sp, iw=hw_sp, stride=stride, index=i
+            )
+        )
+        if stride == 2:
+            hw_sp //= 2
+    return layers

@@ -1,0 +1,219 @@
+"""Parametric Winograd F(m, 3) variants — the tile-size trade-off, complete.
+
+The accuracy study (`ablation-winograd-tiles`) shows why tiles cannot grow
+past F(6,3); this module adds the *performance* half of that trade-off: a
+fully parametric F(m,3) convolution built on the exact Cook-Toom generator,
+so F(2,3)/F(4,3)/F(6,3) can be compared on both axes.  Larger m does fewer
+multiplies per output ((m+2)^2/m^2 falls toward 1) but needs more transform
+arithmetic per tile and a longer tuple vector — the performance sweet spot
+lands on F(6,3) too, which is the complete justification for the paper's
+fixed 8x8 tile.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+from repro.algorithms.winograd import (
+    MIN_CHANNELS,
+    PACK_SCALARS,
+    TILE_BLOCK,
+    TRANSFORM_VMEM_OPS,
+    TUPLE_VMEM_PER_FMA,
+    TUPLE_VMEM_PER_FMA_SVE,
+)
+from repro.algorithms.winograd_transforms import winograd_matrices
+from repro.errors import AlgorithmError, NotApplicableError
+from repro.nn.layer import DTYPE_BYTES, ConvSpec
+from repro.nn.reference import pad_input
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+SUPPORTED_M: tuple[int, ...] = (2, 4, 6)
+
+
+@lru_cache(maxsize=None)
+def _matrices(m: int):
+    return winograd_matrices(m, 3)
+
+
+class WinogradFm3:
+    """Functional + analytical F(m,3) convolution (3x3, stride 1)."""
+
+    def __init__(self, m: int, online_weight_transform: bool = False) -> None:
+        if m not in SUPPORTED_M:
+            raise AlgorithmError(f"F({m},3) not supported; m in {SUPPORTED_M}")
+        self.m = m
+        self.alpha = m + 2
+        self.online_weight_transform = online_weight_transform
+        self.name = f"winograd_f{m}"
+
+    # ------------------------------------------------------------------ #
+    def applicable(self, spec: ConvSpec) -> bool:
+        return spec.kh == 3 and spec.kw == 3 and spec.stride == 1
+
+    def _check(self, spec: ConvSpec) -> None:
+        if not self.applicable(spec):
+            raise NotApplicableError(f"{self.name} needs 3x3/stride-1 layers")
+
+    def tile_counts(self, spec: ConvSpec) -> tuple[int, int]:
+        return math.ceil(spec.oh / self.m), math.ceil(spec.ow / self.m)
+
+    # ------------------------------------------------------------------ #
+    def run(self, spec: ConvSpec, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Exact functional F(m,3) convolution (tile-batched)."""
+        self._check(spec)
+        spec.validate_input(x.shape)
+        wm = _matrices(self.m)
+        m, alpha = self.m, self.alpha
+        ty, tx = self.tile_counts(spec)
+        xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+        need_h = (ty - 1) * m + alpha
+        need_w = (tx - 1) * m + alpha
+        xp = np.pad(
+            xp, ((0, 0), (0, max(0, need_h - xp.shape[1])),
+                 (0, max(0, need_w - xp.shape[2])))
+        )
+        sic, sih, siw = xp.strides
+        tiles = np.lib.stride_tricks.as_strided(
+            xp, shape=(ty, tx, spec.ic, alpha, alpha),
+            strides=(m * sih, m * siw, sic, sih, siw), writeable=False,
+        ).astype(np.float64)
+        u = np.einsum("ij,yxcjk,lk->yxcil", wm.BT, tiles, wm.BT)
+        v = np.einsum("ij,ocjk,lk->ocil", wm.G, w.astype(np.float64), wm.G)
+        mm = np.einsum("yxcij,ocij->yxoij", u, v)
+        y = np.einsum("ij,yxojk,lk->yxoil", wm.AT, mm, wm.AT)
+        out = y.transpose(2, 0, 3, 1, 4).reshape(spec.oc, ty * m, tx * m)
+        return out[:, : spec.oh, : spec.ow].astype(np.float32)
+
+    # ------------------------------------------------------------------ #
+    def schedule(self, spec: ConvSpec, hw: HardwareConfig) -> list[Phase]:
+        """Analytical schedule, parametric in the tile size.
+
+        Mirrors :class:`repro.algorithms.winograd.WinogradConv` with
+        ``TILE_M -> m``: pack width ``alpha/2`` elements per channel
+        half-row, ``alpha^2`` tuple positions (so F(2,3) saturates at a
+        16-element / 512-bit tuple and F(6,3) at 64 / 2048 bits), and
+        transform arithmetic proportional to ``alpha^2``.
+        """
+        self._check(spec)
+        vle = hw.vlmax_f32
+        sve = hw.isa == "sve"
+        m, alpha = self.m, self.alpha
+        tuple_elems = alpha * alpha
+        pack_elems = alpha // 2
+        ic, oc = spec.ic, spec.oc
+        ty, tx = self.tile_counts(spec)
+        t = float(ty * tx)
+
+        intertile = ic >= MIN_CHANNELS
+        cb = max(1, min(ic, vle // pack_elems)) if intertile else 1
+        cbo = max(1, min(oc, vle // pack_elems)) if intertile else 1
+        groups_ic = math.ceil(ic / cb)
+        groups_oc = math.ceil(oc / cbo)
+        active_in = min(ic, cb) * pack_elems if intertile else pack_elems
+        active_out = min(oc, cbo) * pack_elems if intertile else pack_elems
+
+        # transform arithmetic ~ 2 stages x alpha x alpha MAC rows per group
+        tf_in_ops = 4.5 * alpha * alpha
+        tf_out_ops = 4.0 * alpha * m
+        tf_nonunit = 0.2 if sve else 0.5
+
+        u_bytes = t * ic * tuple_elems * DTYPE_BYTES
+        v_bytes = float(oc * ic * tuple_elems * DTYPE_BYTES)
+        m_bytes = t * oc * tuple_elems * DTYPE_BYTES
+
+        phases: list[Phase] = []
+        if self.online_weight_transform:
+            wt_groups = math.ceil(ic / cb) * oc
+            phases.append(
+                Phase(
+                    name=f"f{m}_weight_transform",
+                    vector_ops=wt_groups * tf_in_ops,
+                    vector_active=float(active_in),
+                    vmem_ops=wt_groups * TRANSFORM_VMEM_OPS,
+                    vmem_active=float(active_in),
+                    nonunit_fraction=tf_nonunit,
+                    scalar_ops=PACK_SCALARS * ic * oc,
+                    streams=(
+                        DataStream("weights", bytes=float(spec.weight_bytes),
+                                   passes=1.0),
+                        DataStream("V_write", bytes=v_bytes, passes=1.0,
+                                   is_write=True),
+                    ),
+                )
+            )
+        phases.append(
+            Phase(
+                name=f"f{m}_input_transform",
+                vector_ops=t * groups_ic * tf_in_ops,
+                vector_active=float(active_in),
+                vmem_ops=t * groups_ic * TRANSFORM_VMEM_OPS * alpha / 8.0,
+                vmem_active=float(active_in),
+                nonunit_fraction=tf_nonunit,
+                scalar_ops=PACK_SCALARS * t * ic,
+                streams=(
+                    DataStream(
+                        "input", bytes=float(spec.input_bytes),
+                        passes=(alpha / m) ** 2,
+                        reuse_ws=float(2 * spec.iw * DTYPE_BYTES),
+                        resident_source=True,
+                    ),
+                    DataStream("U_write", bytes=u_bytes, passes=1.0,
+                               is_write=True),
+                ),
+            )
+        )
+        ntp = math.ceil(tuple_elems / vle) if intertile else math.ceil(
+            tuple_elems / alpha
+        )
+        active_tuple = tuple_elems / ntp
+        fma = t * ic * oc * ntp
+        if sve:
+            tuple_vmem = TUPLE_VMEM_PER_FMA_SVE
+        else:
+            spill = 1.0 if tuple_elems * (ic + oc) * DTYPE_BYTES > hw.l1_bytes else 0.0
+            tuple_vmem = TUPLE_VMEM_PER_FMA + 0.7 * spill
+        phases.append(
+            Phase(
+                name=f"f{m}_tuple_gemm",
+                vector_ops=fma,
+                vector_active=float(active_tuple),
+                vmem_ops=tuple_vmem * fma,
+                vmem_active=float(active_tuple),
+                scalar_ops=0.5 * t * ic * oc,
+                streams=(
+                    DataStream("U_read", bytes=u_bytes, passes=1.0,
+                               resident_source=True),
+                    DataStream(
+                        "V_weights", bytes=v_bytes,
+                        passes=float(max(1.0, t / TILE_BLOCK)),
+                        reuse_ws=v_bytes,
+                        resident_source=self.online_weight_transform,
+                    ),
+                    DataStream("M_write", bytes=m_bytes, passes=1.0,
+                               is_write=True),
+                ),
+            )
+        )
+        phases.append(
+            Phase(
+                name=f"f{m}_output_transform",
+                vector_ops=t * groups_oc * tf_out_ops,
+                vector_active=float(active_out),
+                vmem_ops=t * groups_oc * TRANSFORM_VMEM_OPS * alpha / 8.0,
+                vmem_active=float(active_out),
+                nonunit_fraction=tf_nonunit,
+                scalar_ops=PACK_SCALARS * t * oc,
+                streams=(
+                    DataStream("M_read", bytes=m_bytes, passes=1.0,
+                               resident_source=True),
+                    DataStream("output", bytes=float(spec.output_bytes),
+                               passes=1.0, is_write=True),
+                ),
+            )
+        )
+        return phases

@@ -1,0 +1,411 @@
+"""The functional vector machine.
+
+This is the synthetic stand-in for running RVV intrinsics on hardware/gem5:
+kernels manipulate 32 vector registers through an intrinsic-shaped API, data
+lives in :class:`Buffer` objects carved out of a flat byte-address space (so
+loads/stores have real addresses for the cache simulator), and every
+instruction is recorded in an :class:`~repro.isa.trace.InstructionTrace`.
+
+Semantics follow RVV v1.0:
+
+* ``vsetvl(requested, sew, lmul)`` grants ``min(requested, LMUL*VLEN/SEW)``
+  and makes it the active ``vl``; with LMUL > 1 operands name aligned
+  register *groups* and one instruction spans the whole group;
+* tail elements (past ``vl``) are *undisturbed* on writes;
+* loads/stores may be unit-stride, strided, or indexed (gather/scatter).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IsaError, RegisterError
+from repro.isa.registers import VectorRegisterFile
+from repro.isa.trace import InstructionTrace, MemoryOp, ScalarOp, VectorOp
+from repro.isa.types import (
+    E32,
+    ElementType,
+    VType,
+    grant_vl,
+    validate_vlen_bits,
+)
+
+_ALIGN = 64  # buffers are cache-line aligned
+
+
+@dataclass
+class Buffer:
+    """A flat, addressable allocation in the machine's memory space."""
+
+    name: str
+    base: int
+    array: np.ndarray  # 1-D view of the underlying storage
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+    @property
+    def elem_bytes(self) -> int:
+        return self.array.itemsize
+
+    def addr(self, index: int) -> int:
+        """Byte address of element ``index``."""
+        if not 0 <= index <= self.array.size:
+            raise IsaError(
+                f"index {index} out of bounds for buffer {self.name!r} "
+                f"of {self.array.size} elements"
+            )
+        return self.base + index * self.array.itemsize
+
+
+class VectorMachine:
+    """Functional RVV-like machine: registers + buffers + trace.
+
+    Parameters
+    ----------
+    vlen_bits:
+        Hardware maximum vector length (power of two, <= 16384).
+    trace:
+        When True (default), every instruction is appended to ``self.trace``.
+        Statistics are kept either way.  Disable event storage for larger
+        kernels where only counts matter.
+    """
+
+    def __init__(self, vlen_bits: int, trace: bool = True) -> None:
+        validate_vlen_bits(vlen_bits)
+        self.vlen_bits = vlen_bits
+        self.regs = VectorRegisterFile(vlen_bits)
+        self.trace = InstructionTrace(enabled=trace)
+        self.vtype = VType(sew=E32, vl=0)
+        self._next_addr = _ALIGN
+        self._buffers: dict[str, Buffer] = {}
+
+    # ------------------------------------------------------------------ #
+    # memory management
+    # ------------------------------------------------------------------ #
+    def alloc(
+        self,
+        name: str,
+        shape: int | tuple[int, ...],
+        dtype: np.dtype | type = np.float32,
+    ) -> Buffer:
+        """Allocate a zeroed, cache-line-aligned buffer in the address space."""
+        if name in self._buffers:
+            raise IsaError(f"buffer {name!r} already allocated")
+        array = np.zeros(shape, dtype=dtype).reshape(-1)
+        buf = Buffer(name=name, base=self._next_addr, array=array)
+        self._next_addr += (array.nbytes + _ALIGN - 1) // _ALIGN * _ALIGN + _ALIGN
+        self._buffers[name] = buf
+        return buf
+
+    def alloc_from(self, name: str, data: np.ndarray) -> Buffer:
+        """Allocate a buffer initialised with a copy of ``data`` (flattened)."""
+        buf = self.alloc(name, data.size, dtype=data.dtype)
+        buf.array[:] = data.reshape(-1)
+        return buf
+
+    def buffer(self, name: str) -> Buffer:
+        """Look up a previously allocated buffer by name."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise IsaError(f"no buffer named {name!r}")
+
+    # ------------------------------------------------------------------ #
+    # configuration instructions
+    # ------------------------------------------------------------------ #
+    def vsetvl(
+        self, requested: int, sew: ElementType = E32, lmul: int = 1
+    ) -> int:
+        """Set the active vector length; returns the granted ``vl``.
+
+        With ``lmul > 1`` each register operand names a *group* of ``lmul``
+        consecutive, aligned registers (v0/v8/v16/v24 at LMUL=8), and a
+        single instruction processes up to ``lmul * VLEN`` bits.
+        """
+        vl = grant_vl(requested, sew, self.vlen_bits, lmul)
+        self.vtype = VType(sew=sew, vl=vl, lmul=lmul)
+        self.trace.emit(ScalarOp("vsetvl", 1))
+        return vl
+
+    @property
+    def vl(self) -> int:
+        return self.vtype.vl
+
+    @property
+    def sew(self) -> ElementType:
+        return self.vtype.sew
+
+    def vlmax(self, sew: ElementType = E32, lmul: int = 1) -> int:
+        """Maximum elements per register group at the given SEW and LMUL."""
+        return lmul * self.vlen_bits // sew.bits
+
+    def _active(self, vl: int | None) -> int:
+        n = self.vtype.vl if vl is None else vl
+        limit = self.vlmax(self.vtype.sew, self.vtype.lmul)
+        if n > limit:
+            raise IsaError(f"vl={n} exceeds VLMAX={limit}")
+        return n
+
+    # ------------------------------------------------------------------ #
+    # memory instructions
+    # ------------------------------------------------------------------ #
+    def vload(self, vd: int, buf: Buffer, offset: int, vl: int | None = None) -> None:
+        """Unit-stride load of ``vl`` elements starting at ``buf[offset]``."""
+        n = self._active(vl)
+        sew = self.vtype.sew
+        data = buf.array[offset : offset + n]
+        if data.size != n:
+            raise IsaError(
+                f"vload of {n} elements at offset {offset} overruns buffer "
+                f"{buf.name!r} ({buf.array.size} elements)"
+            )
+        self._write_group(vd, data)
+        self.trace.emit(
+            MemoryOp("vle", buf.addr(offset), sew.bytes, n, sew.bytes, is_store=False)
+        )
+
+    def vstore(self, vs: int, buf: Buffer, offset: int, vl: int | None = None) -> None:
+        """Unit-stride store of ``vl`` elements to ``buf[offset]``."""
+        n = self._active(vl)
+        sew = self.vtype.sew
+        if offset + n > buf.array.size:
+            raise IsaError(
+                f"vstore of {n} elements at offset {offset} overruns buffer "
+                f"{buf.name!r} ({buf.array.size} elements)"
+            )
+        buf.array[offset : offset + n] = self._read_group(vs, n)
+        self.trace.emit(
+            MemoryOp("vse", buf.addr(offset), sew.bytes, n, sew.bytes, is_store=True)
+        )
+
+    def vload_strided(
+        self, vd: int, buf: Buffer, offset: int, stride_elems: int, vl: int | None = None
+    ) -> None:
+        """Strided load: elements at ``offset + i*stride_elems``."""
+        n = self._active(vl)
+        sew = self.vtype.sew
+        idx = offset + stride_elems * np.arange(n)
+        data = buf.array[idx]
+        self._write_group(vd, data)
+        self.trace.emit(
+            MemoryOp(
+                "vlse",
+                buf.addr(offset),
+                sew.bytes,
+                n,
+                stride_elems * sew.bytes,
+                is_store=False,
+            )
+        )
+
+    def vstore_strided(
+        self, vs: int, buf: Buffer, offset: int, stride_elems: int, vl: int | None = None
+    ) -> None:
+        """Strided store: elements to ``offset + i*stride_elems``."""
+        n = self._active(vl)
+        sew = self.vtype.sew
+        idx = offset + stride_elems * np.arange(n)
+        buf.array[idx] = self._read_group(vs, n)
+        self.trace.emit(
+            MemoryOp(
+                "vsse",
+                buf.addr(offset),
+                sew.bytes,
+                n,
+                stride_elems * sew.bytes,
+                is_store=True,
+            )
+        )
+
+    def vgather(
+        self, vd: int, buf: Buffer, offsets: np.ndarray, vl: int | None = None
+    ) -> None:
+        """Indexed (gather) load from element offsets ``offsets``."""
+        n = self._active(vl)
+        sew = self.vtype.sew
+        offsets = np.asarray(offsets[:n], dtype=np.int64)
+        data = buf.array[offsets]
+        self._write_group(vd, data)
+        self.trace.emit(
+            MemoryOp(
+                "vluxei",
+                buf.base,
+                sew.bytes,
+                n,
+                0,
+                is_store=False,
+                indices=tuple(int(o) * sew.bytes for o in offsets),
+            )
+        )
+
+    def vscatter(
+        self, vs: int, buf: Buffer, offsets: np.ndarray, vl: int | None = None
+    ) -> None:
+        """Indexed (scatter) store to element offsets ``offsets``."""
+        n = self._active(vl)
+        sew = self.vtype.sew
+        offsets = np.asarray(offsets[:n], dtype=np.int64)
+        buf.array[offsets] = self._read_group(vs, n)
+        self.trace.emit(
+            MemoryOp(
+                "vsuxei",
+                buf.base,
+                sew.bytes,
+                n,
+                0,
+                is_store=True,
+                indices=tuple(int(o) * sew.bytes for o in offsets),
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # arithmetic instructions
+    # ------------------------------------------------------------------ #
+    def _check_group(self, reg: int) -> None:
+        lmul = self.vtype.lmul
+        if reg % lmul:
+            raise RegisterError(
+                f"register v{reg} not aligned to LMUL={lmul} group"
+            )
+        if reg + lmul > self.regs.num_regs:
+            raise RegisterError(
+                f"register group v{reg}..v{reg + lmul - 1} exceeds the file"
+            )
+
+    def _read_group(self, reg: int, n: int) -> "np.ndarray":
+        """Read ``n`` elements from the LMUL-group starting at ``reg``."""
+        sew = self.vtype.sew
+        lmul = self.vtype.lmul
+        if lmul == 1:
+            return self.regs.read(reg, sew, n)
+        self._check_group(reg)
+        per = self.vlen_bits // sew.bits
+        parts = []
+        remaining = n
+        for k in range(lmul):
+            take = min(per, remaining)
+            if take <= 0:
+                break
+            parts.append(self.regs.read(reg + k, sew, take))
+            remaining -= take
+        return np.concatenate(parts) if parts else np.empty(0, dtype=sew.dtype)
+
+    def _write_group(self, reg: int, values: "np.ndarray") -> None:
+        """Write elements into the LMUL-group starting at ``reg``."""
+        sew = self.vtype.sew
+        lmul = self.vtype.lmul
+        if lmul == 1:
+            self.regs.write(reg, sew, values)
+            return
+        self._check_group(reg)
+        per = self.vlen_bits // sew.bits
+        for k in range(lmul):
+            chunk = values[k * per : (k + 1) * per]
+            if chunk.size == 0:
+                break
+            self.regs.write(reg + k, sew, chunk)
+
+    def _binop(self, name: str, vd: int, vs1: int, vs2: int, fn) -> None:
+        n = self.vtype.vl
+        sew = self.vtype.sew
+        a = self._read_group(vs1, n)
+        b = self._read_group(vs2, n)
+        self._write_group(vd, fn(a, b))
+        self.trace.emit(VectorOp(name, n, sew.bits))
+
+    def vfadd(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vd[i] = vs1[i] + vs2[i]``."""
+        self._binop("vfadd", vd, vs1, vs2, np.add)
+
+    def vfsub(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vd[i] = vs1[i] - vs2[i]``."""
+        self._binop("vfsub", vd, vs1, vs2, np.subtract)
+
+    def vfmul(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vd[i] = vs1[i] * vs2[i]``."""
+        self._binop("vfmul", vd, vs1, vs2, np.multiply)
+
+    def vfmax(self, vd: int, vs1: int, vs2: int) -> None:
+        """``vd[i] = max(vs1[i], vs2[i])``."""
+        self._binop("vfmax", vd, vs1, vs2, np.maximum)
+
+    def vfmacc(self, vd: int, vs1: int, vs2: int) -> None:
+        """Fused multiply-accumulate: ``vd[i] += vs1[i] * vs2[i]``."""
+        n = self.vtype.vl
+        sew = self.vtype.sew
+        acc = self._read_group(vd, n)
+        a = self._read_group(vs1, n)
+        b = self._read_group(vs2, n)
+        self._write_group(vd, acc + a * b)
+        self.trace.emit(VectorOp("vfmacc", n, sew.bits))
+
+    def vfmacc_vf(self, vd: int, scalar: float, vs2: int) -> None:
+        """Vector-scalar FMA: ``vd[i] += scalar * vs2[i]``.
+
+        This is the work-horse of the paper's GEMM/Direct inner loops — the
+        compiler lowers broadcast+FMA to a single vector-scalar instruction.
+        """
+        n = self.vtype.vl
+        sew = self.vtype.sew
+        acc = self._read_group(vd, n)
+        b = self._read_group(vs2, n)
+        self._write_group(vd, acc + sew.dtype.type(scalar) * b)
+        self.trace.emit(VectorOp("vfmacc.vf", n, sew.bits))
+
+    def vfmul_vf(self, vd: int, scalar: float, vs2: int) -> None:
+        """Vector-scalar multiply: ``vd[i] = scalar * vs2[i]``."""
+        n = self.vtype.vl
+        sew = self.vtype.sew
+        b = self._read_group(vs2, n)
+        self._write_group(vd, sew.dtype.type(scalar) * b)
+        self.trace.emit(VectorOp("vfmul.vf", n, sew.bits))
+
+    def vbroadcast(self, vd: int, scalar: float) -> None:
+        """Splat a scalar across the active elements (``vfmv.v.f``)."""
+        n = self.vtype.vl
+        sew = self.vtype.sew
+        self._write_group(vd, np.full(n, scalar, dtype=sew.dtype))
+        self.trace.emit(VectorOp("vfmv", n, sew.bits))
+
+    def vmv(self, vd: int, vs: int) -> None:
+        """Register-to-register move of the active elements."""
+        n = self.vtype.vl
+        sew = self.vtype.sew
+        self._write_group(vd, self._read_group(vs, n))
+        self.trace.emit(VectorOp("vmv", n, sew.bits))
+
+    def vredsum(self, vs: int) -> float:
+        """Sum-reduce the active elements; returns the scalar result."""
+        n = self.vtype.vl
+        sew = self.vtype.sew
+        value = float(self._read_group(vs, n).sum(dtype=np.float64))
+        self.trace.emit(VectorOp("vredsum", n, sew.bits))
+        return value
+
+    # ------------------------------------------------------------------ #
+    # scalar bookkeeping
+    # ------------------------------------------------------------------ #
+    def scalar(self, count: int = 1, name: str = "scalar") -> None:
+        """Account for ``count`` scalar bookkeeping instructions."""
+        if count < 0:
+            raise IsaError(f"scalar count must be >= 0, got {count}")
+        if count:
+            self.trace.emit(ScalarOp(name, count))
+
+    # ------------------------------------------------------------------ #
+    # debugging helpers
+    # ------------------------------------------------------------------ #
+    def reg_values(self, reg: int, vl: int | None = None) -> np.ndarray:
+        """Read a register's active elements (for tests/debugging)."""
+        n = self._active(vl)
+        return self._read_group(reg, n)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"VectorMachine(vlen_bits={self.vlen_bits}, vl={self.vtype.vl}, "
+            f"sew={self.vtype.sew}, instrs={self.trace.stats.total_instrs})"
+        )

@@ -1,0 +1,141 @@
+"""ARM-SVE-style per-lane predication.
+
+Paper I §II contrasts the two vector-length-agnostic ISAs' tail handling:
+RVV shortens the *granted vector length* (``vsetvl``), while ARM-SVE keeps
+the full vector and masks lanes with **predicate registers** — "elements
+with active lanes get processed and inactive lanes either update the
+destination or leave the destination unchanged", with ``whilelt``-generated
+loop predicates covering the scalar tail.
+
+This module adds that model to the functional machine: 16 predicate
+registers, ``whilelt`` / ``ptrue`` generation, and masked load/store/FMA
+wrappers with both zeroing and merging forms.  The SVE-flavoured kernels in
+the tests demonstrate that the same strip-mined loops can be written either
+way and produce identical results — the portability argument of the papers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import IsaError, RegisterError
+from repro.isa.machine import Buffer, VectorMachine
+from repro.isa.trace import ScalarOp, VectorOp
+
+#: ARM-SVE provides 16 predicate registers (p0-p15).
+NUM_PREDICATES = 16
+
+
+class PredicatedMachine:
+    """SVE-style predication layered over a :class:`VectorMachine`.
+
+    The underlying machine keeps its full vector length active
+    (``vsetvl(VLMAX)``); lane masking is applied by this wrapper.
+    """
+
+    def __init__(self, machine: VectorMachine) -> None:
+        self.m = machine
+        self.vlmax = machine.vlmax()
+        self._preds = np.zeros((NUM_PREDICATES, self.vlmax), dtype=bool)
+        machine.vsetvl(self.vlmax)
+
+    # ------------------------------------------------------------------ #
+    # predicate generation
+    # ------------------------------------------------------------------ #
+    def _check_pred(self, pd: int) -> None:
+        if not 0 <= pd < NUM_PREDICATES:
+            raise RegisterError(f"predicate p{pd} out of range")
+
+    def ptrue(self, pd: int) -> None:
+        """All lanes active."""
+        self._check_pred(pd)
+        self._preds[pd] = True
+        self.m.trace.emit(ScalarOp("ptrue", 1))
+
+    def pfalse(self, pd: int) -> None:
+        """All lanes inactive."""
+        self._check_pred(pd)
+        self._preds[pd] = False
+        self.m.trace.emit(ScalarOp("pfalse", 1))
+
+    def whilelt(self, pd: int, i: int, n: int) -> bool:
+        """``whilelt``: lanes [0, n-i) active; returns True if any lane is."""
+        self._check_pred(pd)
+        active = max(0, min(self.vlmax, n - i))
+        self._preds[pd] = False
+        self._preds[pd, :active] = True
+        self.m.trace.emit(ScalarOp("whilelt", 1))
+        return active > 0
+
+    def active_lanes(self, pd: int) -> int:
+        self._check_pred(pd)
+        return int(self._preds[pd].sum())
+
+    def mask(self, pd: int) -> np.ndarray:
+        self._check_pred(pd)
+        return self._preds[pd].copy()
+
+    # ------------------------------------------------------------------ #
+    # predicated memory ops (contiguous lanes only, as whilelt produces)
+    # ------------------------------------------------------------------ #
+    def _contiguous_count(self, pd: int) -> int:
+        """Predicated memory works on the leading active lanes."""
+        m = self._preds[pd]
+        n = int(m.sum())
+        if n and not m[:n].all():
+            raise IsaError(
+                "predicated memory ops require a whilelt-style (leading-lane) "
+                "predicate"
+            )
+        return n
+
+    def ld1(self, vd: int, pd: int, buf: Buffer, off: int) -> None:
+        """Masked contiguous load; inactive lanes are zeroed (SVE ld1)."""
+        n = self._contiguous_count(pd)
+        self.m.vbroadcast(vd, 0.0)
+        if n:
+            self.m.vsetvl(n)
+            self.m.vload(vd, buf, off)
+            self.m.vsetvl(self.vlmax)
+
+    def st1(self, vs: int, pd: int, buf: Buffer, off: int) -> None:
+        """Masked contiguous store; inactive lanes leave memory untouched."""
+        n = self._contiguous_count(pd)
+        if n:
+            self.m.vsetvl(n)
+            self.m.vstore(vs, buf, off)
+            self.m.vsetvl(self.vlmax)
+
+    # ------------------------------------------------------------------ #
+    # predicated arithmetic
+    # ------------------------------------------------------------------ #
+    def _masked_write(self, pd: int, vd: int, values: np.ndarray,
+                      zeroing: bool) -> None:
+        sew = self.m.vtype.sew
+        mask = self._preds[pd]
+        old = self.m.regs.read(vd, sew, self.vlmax)
+        out = np.where(mask, values, 0.0 if zeroing else old)
+        self.m.regs.write(vd, sew, out.astype(sew.dtype))
+
+    def fmla(self, vd: int, pd: int, scalar: float, vs: int,
+             zeroing: bool = False) -> None:
+        """Predicated vector-scalar FMA: active lanes accumulate, inactive
+        lanes merge (default) or zero."""
+        sew = self.m.vtype.sew
+        acc = self.m.regs.read(vd, sew, self.vlmax)
+        b = self.m.regs.read(vs, sew, self.vlmax)
+        self._masked_write(pd, vd, acc + sew.dtype.type(scalar) * b, zeroing)
+        self.m.trace.emit(VectorOp("fmla.p", self.active_lanes(pd), sew.bits))
+
+    def fadd(self, vd: int, pd: int, vs1: int, vs2: int,
+             zeroing: bool = False) -> None:
+        """Predicated add."""
+        sew = self.m.vtype.sew
+        a = self.m.regs.read(vs1, sew, self.vlmax)
+        b = self.m.regs.read(vs2, sew, self.vlmax)
+        self._masked_write(pd, vd, a + b, zeroing)
+        self.m.trace.emit(VectorOp("fadd.p", self.active_lanes(pd), sew.bits))
+
+    def dup(self, vd: int, scalar: float) -> None:
+        """Unpredicated broadcast (SVE dup)."""
+        self.m.vbroadcast(vd, scalar)

@@ -1,0 +1,141 @@
+"""Instruction traces emitted by the functional vector machine.
+
+A trace is an ordered list of lightweight event records:
+
+* :class:`VectorOp` — an arithmetic/permute vector instruction with its
+  active element count (so the timing model can compute chimes and lane
+  utilization);
+* :class:`MemoryOp` — a vector load/store described compactly as
+  ``(base address, element bytes, element count, stride)`` — the cache
+  simulator expands this to cache-line touches without storing per-element
+  addresses;
+* :class:`ScalarOp` — a batch of scalar bookkeeping instructions (address
+  arithmetic, loop control), recorded in bulk.
+
+Traces from full convolutional layers would hold 10^8+ events; they are only
+produced for small kernels (tests, validation of the analytical model).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+
+@dataclass(frozen=True)
+class VectorOp:
+    """A non-memory vector instruction."""
+
+    name: str  # e.g. "vfmacc", "vfadd", "vfmv" (broadcast), "vslide"
+    vl: int  # active elements
+    sew_bits: int
+
+
+@dataclass(frozen=True)
+class MemoryOp:
+    """A vector memory instruction (unit-stride, strided or indexed)."""
+
+    name: str  # "vle", "vse", "vlse", "vsse", "vluxei", "vsuxei"
+    base: int  # starting byte address
+    elem_bytes: int
+    vl: int  # active elements
+    stride: int  # byte stride between consecutive elements
+    is_store: bool
+    indices: tuple[int, ...] | None = None  # byte offsets for indexed ops
+
+    def byte_span(self) -> int:
+        """Total bytes spanned from first to one-past-last element."""
+        if self.vl == 0:
+            return 0
+        if self.indices is not None:
+            return max(self.indices) + self.elem_bytes - min(self.indices)
+        return abs(self.stride) * (self.vl - 1) + self.elem_bytes
+
+    def touched_lines(self, line_bytes: int) -> Iterator[int]:
+        """Yield the distinct cache-line addresses touched, in access order."""
+        if self.vl == 0:
+            return
+        seen_last = None
+        if self.indices is not None:
+            offsets: Iterator[int] = iter(self.indices)
+        else:
+            offsets = (i * self.stride for i in range(self.vl))
+        for off in offsets:
+            line = (self.base + off) // line_bytes
+            if line != seen_last:
+                seen_last = line
+                yield line * line_bytes
+
+
+@dataclass(frozen=True)
+class ScalarOp:
+    """A batch of ``count`` scalar instructions (loop/address bookkeeping)."""
+
+    name: str
+    count: int
+
+
+TraceEvent = Union[VectorOp, MemoryOp, ScalarOp]
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics over a trace."""
+
+    vector_instrs: int = 0
+    vector_elements: int = 0  # total active elements across vector instrs
+    memory_instrs: int = 0
+    memory_bytes: int = 0
+    load_bytes: int = 0
+    store_bytes: int = 0
+    scalar_instrs: int = 0
+
+    @property
+    def total_instrs(self) -> int:
+        return self.vector_instrs + self.memory_instrs + self.scalar_instrs
+
+    def average_vl(self) -> float:
+        """Mean active vector length over vector+memory instructions."""
+        n = self.vector_instrs + self.memory_instrs
+        return self.vector_elements / n if n else 0.0
+
+
+class InstructionTrace:
+    """An append-only sequence of trace events with running statistics."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self.stats = TraceStats()
+
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event (statistics update even if event storage is off)."""
+        stats = self.stats
+        if isinstance(event, VectorOp):
+            stats.vector_instrs += 1
+            stats.vector_elements += event.vl
+        elif isinstance(event, MemoryOp):
+            stats.memory_instrs += 1
+            stats.vector_elements += event.vl
+            nbytes = event.vl * event.elem_bytes
+            stats.memory_bytes += nbytes
+            if event.is_store:
+                stats.store_bytes += nbytes
+            else:
+                stats.load_bytes += nbytes
+        elif isinstance(event, ScalarOp):
+            stats.scalar_instrs += event.count
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown trace event {event!r}")
+        if self.enabled:
+            self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.stats = TraceStats()

@@ -1,0 +1,110 @@
+"""Element types and vector-type (``vtype``) configuration for the vector ISA.
+
+Mirrors the RVV v1.0 notion of *selected element width* (SEW).  We model
+``LMUL = 1`` throughout (the paper's kernels use single-register groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import IsaError, VectorLengthError
+from repro.utils.validation import is_power_of_two
+
+#: Maximum architectural vector length supported by RVV (bits).
+RVV_MAX_VLEN_BITS = 16384
+
+#: Minimum vector length we allow a machine to be configured with (bits).
+MIN_VLEN_BITS = 64
+
+
+@dataclass(frozen=True)
+class ElementType:
+    """A vector element type: width in bits and the matching NumPy dtype."""
+
+    name: str
+    bits: int
+    dtype: np.dtype
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+E8 = ElementType("e8", 8, np.dtype(np.int8))
+E16 = ElementType("e16", 16, np.dtype(np.int16))
+E32 = ElementType("e32", 32, np.dtype(np.float32))
+E64 = ElementType("e64", 64, np.dtype(np.float64))
+
+_BY_BITS = {t.bits: t for t in (E8, E16, E32, E64)}
+
+
+def element_type_for_bits(bits: int) -> ElementType:
+    """Look up the :class:`ElementType` for a SEW in bits."""
+    try:
+        return _BY_BITS[bits]
+    except KeyError:
+        raise IsaError(f"unsupported SEW {bits} bits (supported: {sorted(_BY_BITS)})")
+
+
+#: RVV register-group multipliers (fractional LMUL is not modelled).
+VALID_LMUL = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class VType:
+    """The active vector configuration (SEW + LMUL + granted vector length).
+
+    ``vl`` is in *elements*; it is the value granted by the latest
+    ``vsetvl``.  ``lmul`` groups consecutive vector registers so a single
+    instruction operates on ``lmul * VLEN`` bits — RVV's way of emulating
+    longer vectors on short-VLEN hardware.
+    """
+
+    sew: ElementType
+    vl: int
+    lmul: int = 1
+
+    def __post_init__(self) -> None:
+        if self.vl < 0:
+            raise VectorLengthError(f"vl must be >= 0, got {self.vl}")
+        if self.lmul not in VALID_LMUL:
+            raise VectorLengthError(
+                f"LMUL must be one of {VALID_LMUL}, got {self.lmul}"
+            )
+
+
+def validate_vlen_bits(vlen_bits: int) -> None:
+    """Check a hardware maximum vector length against the RVV rules.
+
+    RVV requires VLEN to be a power of two; our machines additionally bound it
+    to the architectural maximum of 16384 bits used in the paper.
+    """
+    if not is_power_of_two(vlen_bits):
+        raise VectorLengthError(f"VLEN must be a power of two, got {vlen_bits}")
+    if vlen_bits < MIN_VLEN_BITS or vlen_bits > RVV_MAX_VLEN_BITS:
+        raise VectorLengthError(
+            f"VLEN must be in [{MIN_VLEN_BITS}, {RVV_MAX_VLEN_BITS}] bits, got {vlen_bits}"
+        )
+
+
+def grant_vl(
+    requested: int, sew: ElementType, vlen_bits: int, lmul: int = 1
+) -> int:
+    """The ``vsetvl`` granting rule.
+
+    Returns ``min(requested, VLMAX)`` where ``VLMAX = LMUL * VLEN / SEW`` —
+    the behaviour the paper relies on for vector-length-agnostic
+    strip-mining.  A negative request is illegal.
+    """
+    if requested < 0:
+        raise VectorLengthError(f"requested vector length must be >= 0, got {requested}")
+    if lmul not in VALID_LMUL:
+        raise VectorLengthError(f"LMUL must be one of {VALID_LMUL}, got {lmul}")
+    vlmax = lmul * vlen_bits // sew.bits
+    return min(requested, vlmax)

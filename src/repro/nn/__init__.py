@@ -1,0 +1,38 @@
+"""Mini-Darknet: layer specifications, reference kernels, models, inference.
+
+The paper evaluates convolutional layers of YOLOv3 and VGG-16 as implemented
+in the Darknet framework.  This subpackage provides the synthetic equivalent:
+exact layer dimensions from the paper's Table 1, a Darknet-style ``.cfg``
+parser, NumPy reference implementations used as correctness oracles, and a
+network executor that can run any of the four convolution algorithms on a
+per-layer basis (which is how the algorithm-selection experiments compose
+full-network execution times).
+"""
+
+from repro.nn.layer import (
+    ConvSpec,
+    MaxPoolSpec,
+    AvgPoolSpec,
+    ConnectedSpec,
+    ShortcutSpec,
+    RouteSpec,
+    UpsampleSpec,
+    SoftmaxSpec,
+    LayerSpec,
+)
+from repro.nn.network import Network
+from repro.nn.cfg import parse_cfg
+
+__all__ = [
+    "ConvSpec",
+    "MaxPoolSpec",
+    "AvgPoolSpec",
+    "ConnectedSpec",
+    "ShortcutSpec",
+    "RouteSpec",
+    "UpsampleSpec",
+    "SoftmaxSpec",
+    "LayerSpec",
+    "Network",
+    "parse_cfg",
+]

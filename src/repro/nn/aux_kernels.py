@@ -1,0 +1,226 @@
+"""The auxiliary Darknet kernels of a convolutional layer.
+
+Paper I §IV: "we begin by vectorizing **all kernels** of the convolutional
+layer in Darknet" — ``fill_cpu``, ``copy_cpu``, ``normalize_cpu``,
+``add_bias``, ``scale_bias`` and ``activate_array`` — and the profile shows
+GEMM taking 93.4 % of the layer's compute, the rest going to these
+element-wise kernels and im2col.  This module provides all of them in the
+library's three forms: functional NumPy, intrinsics on the vector machine,
+and analytical phases that can be appended to any algorithm's schedule to
+model a *complete* Darknet convolutional layer (bias/batch-norm/activation
+included).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.isa.machine import Buffer, VectorMachine
+from repro.nn.layer import DTYPE_BYTES, ConvSpec
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+_BN_EPS = 1e-5
+
+
+# --------------------------------------------------------------------- #
+# functional kernels (Darknet blas.c equivalents)
+# --------------------------------------------------------------------- #
+def fill_cpu(n: int, alpha: float) -> np.ndarray:
+    """``fill_cpu``: a fresh buffer filled with ``alpha``."""
+    return np.full(n, alpha, dtype=np.float32)
+
+
+def copy_cpu(x: np.ndarray) -> np.ndarray:
+    """``copy_cpu``: an independent copy."""
+    return np.array(x, dtype=np.float32, copy=True)
+
+
+def add_bias(x: np.ndarray, bias: np.ndarray) -> np.ndarray:
+    """``add_bias``: per-channel bias over (C, H, W)."""
+    if x.ndim != 3 or bias.shape != (x.shape[0],):
+        raise ShapeError(f"add_bias: {x.shape} with bias {bias.shape}")
+    return (x + bias[:, None, None]).astype(np.float32)
+
+
+def scale_bias(x: np.ndarray, scales: np.ndarray) -> np.ndarray:
+    """``scale_bias``: per-channel scale over (C, H, W)."""
+    if x.ndim != 3 or scales.shape != (x.shape[0],):
+        raise ShapeError(f"scale_bias: {x.shape} with scales {scales.shape}")
+    return (x * scales[:, None, None]).astype(np.float32)
+
+
+def normalize_cpu(
+    x: np.ndarray, mean: np.ndarray, variance: np.ndarray
+) -> np.ndarray:
+    """``normalize_cpu``: per-channel batch-norm normalization."""
+    if x.ndim != 3 or mean.shape != (x.shape[0],) or variance.shape != mean.shape:
+        raise ShapeError(f"normalize: {x.shape} / {mean.shape} / {variance.shape}")
+    return (
+        (x - mean[:, None, None]) / np.sqrt(variance[:, None, None] + _BN_EPS)
+    ).astype(np.float32)
+
+
+def batchnorm_forward(
+    x: np.ndarray, mean: np.ndarray, variance: np.ndarray,
+    scales: np.ndarray, bias: np.ndarray,
+) -> np.ndarray:
+    """Darknet's inference batch-norm: normalize, scale, bias."""
+    return add_bias(scale_bias(normalize_cpu(x, mean, variance), scales), bias)
+
+
+# --------------------------------------------------------------------- #
+# intrinsics kernels
+# --------------------------------------------------------------------- #
+def fill_vectorized(machine: VectorMachine, buf: Buffer, alpha: float) -> None:
+    """Strip-mined ``fill_cpu`` on the vector machine."""
+    n = buf.array.size
+    i = 0
+    while i < n:
+        gvl = machine.vsetvl(n - i)
+        machine.vbroadcast(0, alpha)
+        machine.vstore(0, buf, i)
+        i += gvl
+
+
+def copy_vectorized(machine: VectorMachine, src: Buffer, dst: Buffer) -> None:
+    """Strip-mined ``copy_cpu``."""
+    n = min(src.array.size, dst.array.size)
+    i = 0
+    while i < n:
+        gvl = machine.vsetvl(n - i)
+        machine.vload(0, src, i)
+        machine.vstore(0, dst, i)
+        i += gvl
+
+
+def batchnorm_vectorized(
+    machine: VectorMachine, buf: Buffer, channels: int,
+    mean: np.ndarray, variance: np.ndarray,
+    scales: np.ndarray, bias: np.ndarray,
+) -> None:
+    """Per-channel normalize+scale+bias over a (C, spatial) buffer.
+
+    The per-channel constants fold into one FMA per element:
+    ``y = x * (s / sqrt(var+eps)) + (b - s*mean/sqrt(var+eps))``.
+    """
+    n = buf.array.size
+    if n % channels:
+        raise ShapeError(f"buffer of {n} elements not divisible by {channels}")
+    spatial = n // channels
+    inv = scales / np.sqrt(variance + _BN_EPS)
+    off = bias - mean * inv
+    for c in range(channels):
+        machine.scalar(3, "bn_channel")
+        i = 0
+        while i < spatial:
+            gvl = machine.vsetvl(spatial - i)
+            machine.vload(0, buf, c * spatial + i)
+            machine.vbroadcast(1, float(off[c]))
+            machine.vfmacc_vf(1, float(inv[c]), 0)
+            machine.vstore(1, buf, c * spatial + i)
+            i += gvl
+
+
+def leaky_activate_vectorized(machine: VectorMachine, buf: Buffer) -> None:
+    """``activate_array`` with LEAKY: max(x, 0.1*x) per element."""
+    n = buf.array.size
+    i = 0
+    while i < n:
+        gvl = machine.vsetvl(n - i)
+        machine.vload(0, buf, i)
+        machine.vfmul_vf(1, 0.1, 0)
+        machine.vfmax(0, 0, 1)
+        machine.vstore(0, buf, i)
+        i += gvl
+
+
+# --------------------------------------------------------------------- #
+# analytical phases
+# --------------------------------------------------------------------- #
+def aux_phases(
+    spec: ConvSpec, hw: HardwareConfig, batch_normalize: bool = True,
+    fused: bool = False,
+) -> list[Phase]:
+    """The element-wise tail of a Darknet conv layer.
+
+    ``fill_cpu`` zeroes the output before GEMM accumulation; batch-norm
+    (normalize + scale + bias) or plain bias follows; the activation pass
+    closes the layer.  All passes stream the output tensor, which the
+    producing phase just wrote (resident in a large-enough L2).
+
+    With ``fused=True`` the whole tail folds into the convolution's output
+    store (accumulators initialized in registers, BN constants folded into
+    one FMA, activation applied before the store): a single register-level
+    pass with no extra output round trips — the operator-fusion
+    optimization every inference framework applies.
+    """
+    vle = hw.vlmax_f32
+    elems = float(spec.oc * spec.oh * spec.ow)
+    strips = elems / vle
+    out_bytes = elems * DTYPE_BYTES
+
+    def stream(name: str, write: bool = True) -> DataStream:
+        return DataStream(
+            name, bytes=out_bytes, passes=1.0, is_write=write,
+            resident_source=True,
+        )
+
+    if fused:
+        # one folded pass: BN-FMA + activation on the resident output strip
+        return [
+            Phase(
+                name="fused_epilogue",
+                vector_ops=(3.0 if batch_normalize else 2.0) * strips,
+                vector_active=float(vle),
+                vmem_ops=2.0 * strips,
+                vmem_active=float(vle),
+                scalar_ops=3.0 * spec.oc,
+                streams=(
+                    stream("output_epilogue_read", write=False),
+                    stream("output_epilogue"),
+                ),
+            )
+        ]
+
+    fill = Phase(
+        name="fill_cpu",
+        vmem_ops=strips,
+        vmem_active=float(vle),
+        vector_ops=strips,
+        vector_active=float(vle),
+        scalar_ops=2.0 * strips,
+        streams=(stream("output_zero"),),
+    )
+    bn_ops = 3.0 if batch_normalize else 1.0  # normalize+scale+bias vs bias
+    bias = Phase(
+        name="batchnorm" if batch_normalize else "add_bias",
+        vector_ops=bn_ops * strips,
+        vector_active=float(vle),
+        vmem_ops=2.0 * strips,
+        vmem_active=float(vle),
+        scalar_ops=3.0 * spec.oc,
+        streams=(stream("output_bn_read", write=False), stream("output_bn")),
+    )
+    activate = Phase(
+        name="activate_array",
+        vector_ops=2.0 * strips,
+        vector_active=float(vle),
+        vmem_ops=2.0 * strips,
+        vmem_active=float(vle),
+        scalar_ops=strips,
+        streams=(stream("output_act_read", write=False), stream("output_act")),
+    )
+    return [fill, bias, activate]
+
+
+def full_layer_phases(
+    spec: ConvSpec, hw: HardwareConfig, algorithm: str = "im2col_gemm6",
+    batch_normalize: bool = True,
+) -> list[Phase]:
+    """A complete Darknet conv layer: the algorithm plus the aux kernels."""
+    from repro.algorithms.registry import effective_algorithm
+
+    algo = effective_algorithm(algorithm, spec)
+    return algo.schedule(spec, hw) + aux_phases(spec, hw, batch_normalize)

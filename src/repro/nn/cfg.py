@@ -1,0 +1,160 @@
+"""Darknet-style ``.cfg`` parser.
+
+Parses the subset of Darknet's configuration language used by the evaluated
+models (YOLOv3, YOLOv3-tiny, VGG-16) into :class:`LayerSpec` objects,
+tracking tensor shapes through the network exactly like Darknet's
+``parse_network_cfg``.  ``[yolo]`` detection heads are mapped to passthrough
+routes — the study measures the convolutional layers, and detection decoding
+contributes no relevant compute.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CfgParseError
+from repro.nn.layer import (
+    AvgPoolSpec,
+    ConnectedSpec,
+    ConvSpec,
+    LayerSpec,
+    MaxPoolSpec,
+    RouteSpec,
+    ShortcutSpec,
+    SoftmaxSpec,
+    UpsampleSpec,
+)
+from repro.nn.network import Network
+
+
+def _sections(text: str) -> list[tuple[str, dict[str, str]]]:
+    """Split cfg text into (section-name, options) pairs."""
+    sections: list[tuple[str, dict[str, str]]] = []
+    current: dict[str, str] | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise CfgParseError(f"line {lineno}: malformed section header {raw!r}")
+            current = {}
+            sections.append((line[1:-1].strip().lower(), current))
+        else:
+            if current is None:
+                raise CfgParseError(f"line {lineno}: option outside any section")
+            if "=" not in line:
+                raise CfgParseError(f"line {lineno}: expected key=value, got {raw!r}")
+            key, value = line.split("=", 1)
+            current[key.strip()] = value.strip()
+    if not sections:
+        raise CfgParseError("empty cfg")
+    return sections
+
+
+def _int(options: dict[str, str], key: str, default: int | None = None) -> int:
+    if key not in options:
+        if default is None:
+            raise CfgParseError(f"missing required option {key!r}")
+        return default
+    try:
+        return int(options[key])
+    except ValueError:
+        raise CfgParseError(f"option {key}={options[key]!r} is not an integer")
+
+
+def parse_cfg(text: str, name: str = "cfg-model") -> Network:
+    """Parse cfg text into a :class:`Network` with shape tracking."""
+    sections = _sections(text)
+    head, net_opts = sections[0]
+    if head not in ("net", "network"):
+        raise CfgParseError(f"first section must be [net], got [{head}]")
+    c = _int(net_opts, "channels", 3)
+    h = _int(net_opts, "height", 224)
+    w = _int(net_opts, "width", 224)
+
+    layers: list[LayerSpec] = []
+    # (c, h, w) or flat size per produced layer output
+    shapes: list[tuple] = []
+    conv_ordinal = 0
+
+    def out_shape(idx: int) -> tuple:
+        if not 0 <= idx < len(shapes):
+            raise CfgParseError(f"route/shortcut references layer {idx} out of range")
+        return shapes[idx]
+
+    for kind, opts in sections[1:]:
+        if kind == "convolutional":
+            conv_ordinal += 1
+            size = _int(opts, "size", 3)
+            stride = _int(opts, "stride", 1)
+            pad_flag = _int(opts, "pad", 0)
+            padding = _int(opts, "padding", size // 2 if pad_flag else 0)
+            spec = ConvSpec(
+                ic=c,
+                oc=_int(opts, "filters", 1),
+                ih=h,
+                iw=w,
+                kh=size,
+                kw=size,
+                stride=stride,
+                pad=padding,
+                index=conv_ordinal,
+                activation=opts.get("activation", "linear"),
+                batch_normalize=bool(_int(opts, "batch_normalize", 0)),
+            )
+            layers.append(spec)
+            c, h, w = spec.oc, spec.oh, spec.ow
+        elif kind == "maxpool":
+            size = _int(opts, "size", 2)
+            stride = _int(opts, "stride", size)
+            spec = MaxPoolSpec(c=c, ih=h, iw=w, size=size, stride=stride)
+            layers.append(spec)
+            h, w = spec.oh, spec.ow
+        elif kind == "avgpool":
+            layers.append(AvgPoolSpec(c=c, ih=h, iw=w))
+            h = w = 1
+        elif kind == "connected":
+            inputs = c * h * w
+            spec = ConnectedSpec(
+                inputs=inputs,
+                outputs=_int(opts, "output", 1),
+                activation=opts.get("activation", "linear"),
+            )
+            layers.append(spec)
+            c, h, w = spec.outputs, 1, 1
+        elif kind == "shortcut":
+            frm = _int(opts, "from")
+            idx = len(layers) + frm if frm < 0 else frm
+            sc, sh, sw = out_shape(idx)
+            layers.append(ShortcutSpec(from_index=frm, c=c, h=h, w=w))
+            if (sc, sh, sw) != (c, h, w):
+                raise CfgParseError(
+                    f"shortcut shape mismatch: {(sc, sh, sw)} vs {(c, h, w)}"
+                )
+        elif kind == "route":
+            raw = opts.get("layers")
+            if raw is None:
+                raise CfgParseError("[route] requires layers=")
+            refs = tuple(int(tok) for tok in raw.replace(" ", "").split(",") if tok)
+            resolved = [len(layers) + r if r < 0 else r for r in refs]
+            parts = [out_shape(i) for i in resolved]
+            heights = {p[1] for p in parts}
+            widths = {p[2] for p in parts}
+            if len(heights) != 1 or len(widths) != 1:
+                raise CfgParseError(f"route concatenates mismatched spatial dims {parts}")
+            c = sum(p[0] for p in parts)
+            h, w = parts[0][1], parts[0][2]
+            layers.append(RouteSpec(layers=refs, c=c, h=h, w=w))
+        elif kind == "upsample":
+            stride = _int(opts, "stride", 2)
+            layers.append(UpsampleSpec(c=c, ih=h, iw=w, stride=stride))
+            h, w = h * stride, w * stride
+        elif kind == "softmax":
+            layers.append(SoftmaxSpec(inputs=c * h * w))
+        elif kind == "yolo":
+            # detection decode: passthrough for the purposes of this study
+            layers.append(RouteSpec(layers=(-1,), c=c, h=h, w=w))
+        else:
+            raise CfgParseError(f"unsupported section [{kind}]")
+        shapes.append((c, h, w))
+
+    return Network(name=name, layers=layers)

@@ -1,0 +1,251 @@
+"""Layer specifications.
+
+:class:`ConvSpec` is the central object of the reproduction: the paper's
+whole co-design study keys on the ten convolution dimensions
+(IC, IH, IW, stride, pad, OC, OH, OW, KH, KW) listed in its Table 1, which
+are also the layer-side features of the algorithm-selection classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigError, ShapeError
+from repro.utils.validation import check_non_negative, check_positive
+
+#: Bytes per activation/weight element (the paper uses fp32 throughout).
+DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """A 2-D convolutional layer (batch size 1, as in the paper).
+
+    ``pad`` defaults to "same"-style padding ``kh // 2`` which is what
+    Darknet uses for all layers of YOLOv3/VGG-16.
+    """
+
+    ic: int
+    oc: int
+    ih: int
+    iw: int
+    kh: int = 3
+    kw: int = 3
+    stride: int = 1
+    pad: int = -1  # -1 means kh // 2
+    index: int = 0  # 1-based position among the model's conv layers
+    activation: str = "linear"
+    #: Darknet's batch_normalize flag: normalize/scale/bias after the conv.
+    batch_normalize: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("ic", "oc", "ih", "iw", "kh", "kw", "stride"):
+            check_positive(name, getattr(self, name))
+        if self.pad == -1:
+            object.__setattr__(self, "pad", self.kh // 2)
+        check_non_negative("pad", self.pad)
+        if self.kh > self.ih + 2 * self.pad or self.kw > self.iw + 2 * self.pad:
+            raise ConfigError(
+                f"kernel {self.kh}x{self.kw} larger than padded input "
+                f"{self.ih + 2 * self.pad}x{self.iw + 2 * self.pad}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # derived dimensions
+    # ------------------------------------------------------------------ #
+    @property
+    def oh(self) -> int:
+        return (self.ih + 2 * self.pad - self.kh) // self.stride + 1
+
+    @property
+    def ow(self) -> int:
+        return (self.iw + 2 * self.pad - self.kw) // self.stride + 1
+
+    @property
+    def gemm_m(self) -> int:
+        """GEMM M dimension: number of filters."""
+        return self.oc
+
+    @property
+    def gemm_k(self) -> int:
+        """GEMM K dimension: kh*kw*ic."""
+        return self.kh * self.kw * self.ic
+
+    @property
+    def gemm_n(self) -> int:
+        """GEMM N dimension: oh*ow."""
+        return self.oh * self.ow
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count of the direct/GEMM formulation."""
+        return self.gemm_m * self.gemm_k * self.gemm_n
+
+    @property
+    def flops(self) -> int:
+        return 2 * self.macs
+
+    # ------------------------------------------------------------------ #
+    # tensor sizes (bytes)
+    # ------------------------------------------------------------------ #
+    @property
+    def input_bytes(self) -> int:
+        return self.ic * self.ih * self.iw * DTYPE_BYTES
+
+    @property
+    def output_bytes(self) -> int:
+        return self.oc * self.oh * self.ow * DTYPE_BYTES
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.oc * self.ic * self.kh * self.kw * DTYPE_BYTES
+
+    @property
+    def im2col_bytes(self) -> int:
+        """Size of the K x N column matrix im2col materializes."""
+        return self.gemm_k * self.gemm_n * DTYPE_BYTES
+
+    def arithmetic_intensity(self) -> float:
+        """Paper I's AI metric: flops over GEMM matrix bytes."""
+        m, n, k = self.gemm_m, self.gemm_n, self.gemm_k
+        return (2.0 * m * n * k) / (DTYPE_BYTES * (m * n + k * n + m * k))
+
+    # ------------------------------------------------------------------ #
+    # classifier features
+    # ------------------------------------------------------------------ #
+    FEATURE_NAMES: tuple = (
+        "ic",
+        "ih",
+        "iw",
+        "stride",
+        "pad",
+        "oc",
+        "oh",
+        "ow",
+        "kh",
+        "kw",
+    )
+
+    def features(self) -> list[float]:
+        """The 10 layer-side features of the paper's selection model."""
+        return [
+            float(self.ic),
+            float(self.ih),
+            float(self.iw),
+            float(self.stride),
+            float(self.pad),
+            float(self.oc),
+            float(self.oh),
+            float(self.ow),
+            float(self.kh),
+            float(self.kw),
+        ]
+
+    def validate_input(self, shape: Sequence[int]) -> None:
+        """Check an NCHW-without-N input shape ``(C, H, W)``."""
+        expected = (self.ic, self.ih, self.iw)
+        if tuple(shape) != expected:
+            raise ShapeError(f"expected input shape {expected}, got {tuple(shape)}")
+
+    def describe(self) -> str:
+        return (
+            f"conv{self.index}: {self.ic}->{self.oc} ch, {self.ih}x{self.iw}->"
+            f"{self.oh}x{self.ow}, k{self.kh}x{self.kw} s{self.stride} p{self.pad}"
+        )
+
+
+@dataclass(frozen=True)
+class MaxPoolSpec:
+    """Max pooling layer.
+
+    ``pad`` is total extra border (Darknet pads max-pool windows with -inf on
+    the right/bottom); the stride-1 "same" pool of YOLOv3-tiny uses
+    ``size=2, stride=1, pad=1``.
+    """
+
+    c: int
+    ih: int
+    iw: int
+    size: int = 2
+    stride: int = 2
+    pad: int = 0
+
+    @property
+    def oh(self) -> int:
+        return (self.ih + self.pad - self.size) // self.stride + 1
+
+    @property
+    def ow(self) -> int:
+        return (self.iw + self.pad - self.size) // self.stride + 1
+
+
+@dataclass(frozen=True)
+class AvgPoolSpec:
+    """Global average pooling layer."""
+
+    c: int
+    ih: int
+    iw: int
+
+
+@dataclass(frozen=True)
+class ConnectedSpec:
+    """Fully connected layer (used by VGG-16's tail)."""
+
+    inputs: int
+    outputs: int
+    activation: str = "linear"
+
+    @property
+    def macs(self) -> int:
+        return self.inputs * self.outputs
+
+
+@dataclass(frozen=True)
+class ShortcutSpec:
+    """Residual addition with the output of an earlier layer."""
+
+    from_index: int  # relative (negative) or absolute layer index
+    c: int
+    h: int
+    w: int
+
+
+@dataclass(frozen=True)
+class RouteSpec:
+    """Concatenation (or passthrough) of earlier layer outputs."""
+
+    layers: tuple
+    c: int
+    h: int
+    w: int
+
+
+@dataclass(frozen=True)
+class UpsampleSpec:
+    """Nearest-neighbour spatial upsampling."""
+
+    c: int
+    ih: int
+    iw: int
+    stride: int = 2
+
+
+@dataclass(frozen=True)
+class SoftmaxSpec:
+    """Softmax over a flat vector."""
+
+    inputs: int
+
+
+LayerSpec = (
+    ConvSpec
+    | MaxPoolSpec
+    | AvgPoolSpec
+    | ConnectedSpec
+    | ShortcutSpec
+    | RouteSpec
+    | UpsampleSpec
+    | SoftmaxSpec
+)

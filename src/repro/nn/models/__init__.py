@@ -1,0 +1,22 @@
+"""Model definitions: VGG-16, YOLOv3 and YOLOv3-tiny (Darknet variants)."""
+
+from repro.nn.models.vgg16 import vgg16_conv_specs, vgg16_network, VGG16_CFG
+from repro.nn.models.yolov3 import (
+    yolov3_conv_specs,
+    yolov3_network,
+    yolov3_backbone_convs,
+    yolov3_first20_layers,
+)
+from repro.nn.models.yolov3_tiny import yolov3_tiny_network, yolov3_tiny_conv_specs
+
+__all__ = [
+    "vgg16_conv_specs",
+    "vgg16_network",
+    "VGG16_CFG",
+    "yolov3_conv_specs",
+    "yolov3_network",
+    "yolov3_backbone_convs",
+    "yolov3_first20_layers",
+    "yolov3_tiny_network",
+    "yolov3_tiny_conv_specs",
+]

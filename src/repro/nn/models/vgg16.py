@@ -1,0 +1,81 @@
+"""VGG-16 (Darknet variant) — image classification.
+
+The 13 convolutional layers match the paper's Table 1 exactly at the default
+224x224 input.  ``vgg16_network(input_size=...)`` scales spatial dimensions
+down for functional tests (the performance study always uses 224).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.nn.cfg import parse_cfg
+from repro.nn.layer import ConvSpec
+from repro.nn.network import Network
+
+#: Output channels per conv layer and pooling positions of VGG-16.
+_STAGES: tuple[tuple[int, ...], ...] = ((64, 64), (128, 128), (256, 256, 256),
+                                        (512, 512, 512), (512, 512, 512))
+
+#: A Darknet-style cfg for VGG-16, used by the cfg-parser tests and the
+#: custom-network example.  (The FC sizes follow Darknet's vgg-16.cfg.)
+VGG16_CFG = """
+[net]
+channels=3
+height=224
+width=224
+
+""" + "".join(
+    (
+        "".join(
+            f"[convolutional]\nfilters={f}\nsize=3\nstride=1\npad=1\nactivation=relu\n\n"
+            for f in stage
+        )
+        + "[maxpool]\nsize=2\nstride=2\n\n"
+    )
+    for stage in _STAGES
+) + """
+[connected]
+output=4096
+activation=relu
+
+[connected]
+output=4096
+activation=relu
+
+[connected]
+output=1000
+activation=linear
+
+[softmax]
+"""
+
+
+def vgg16_conv_specs(input_size: int = 224) -> list[ConvSpec]:
+    """The 13 conv layers of VGG-16 (Table 1 of the paper at 224)."""
+    if input_size % 32:
+        raise ConfigError(f"VGG-16 input size must be a multiple of 32, got {input_size}")
+    specs: list[ConvSpec] = []
+    c, hw = 3, input_size
+    index = 0
+    for stage in _STAGES:
+        for filters in stage:
+            index += 1
+            specs.append(
+                ConvSpec(
+                    ic=c, oc=filters, ih=hw, iw=hw, kh=3, kw=3, stride=1,
+                    index=index, activation="relu",
+                )
+            )
+            c = filters
+        hw //= 2
+    return specs
+
+
+def vgg16_network(input_size: int = 224) -> Network:
+    """The full VGG-16 network (convs + pools + 3 FC + softmax)."""
+    if input_size % 32:
+        raise ConfigError(f"VGG-16 input size must be a multiple of 32, got {input_size}")
+    cfg = VGG16_CFG.replace("height=224", f"height={input_size}").replace(
+        "width=224", f"width={input_size}"
+    )
+    return parse_cfg(cfg, name=f"vgg16-{input_size}")

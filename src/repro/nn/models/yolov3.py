@@ -1,0 +1,140 @@
+"""YOLOv3 (Darknet) — object detection.
+
+The generator below reproduces the standard ``yolov3.cfg`` topology: the
+Darknet-53 backbone (52 convolutions + residual shortcuts) and the
+three-scale detection head (23 convolutions, routes and upsamples) — 75
+convolutional layers among 107 total, as the paper states.
+
+The paper's experiments simulate the first 20 network layers, of which 15
+are convolutional; their dimensions match the paper's Table 1.  (Table 1 as
+printed lists layer #4 with IC=64; layer #3 outputs 32 channels, so the
+consistent value — and the one in the real yolov3.cfg — is IC=32.  We encode
+IC=32.)
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.nn.layer import ConvSpec, LayerSpec, RouteSpec, ShortcutSpec, UpsampleSpec
+from repro.nn.network import Network
+
+#: Darknet-53 residual stages: (downsample filters, residual block count).
+_BACKBONE_STAGES: tuple[tuple[int, int], ...] = (
+    (64, 1),
+    (128, 2),
+    (256, 8),
+    (512, 8),
+    (1024, 4),
+)
+
+
+class _Builder:
+    """Tracks (c, h, w) while appending layers, like Darknet's parser."""
+
+    def __init__(self, input_size: int) -> None:
+        if input_size % 32:
+            raise ConfigError(
+                f"YOLOv3 input size must be a multiple of 32, got {input_size}"
+            )
+        self.layers: list[LayerSpec] = []
+        self.shapes: list[tuple[int, int, int]] = []
+        self.c, self.h, self.w = 3, input_size, input_size
+        self.conv_ordinal = 0
+
+    def conv(self, filters: int, size: int, stride: int = 1) -> None:
+        self.conv_ordinal += 1
+        is_head = filters == 255
+        spec = ConvSpec(
+            ic=self.c, oc=filters, ih=self.h, iw=self.w, kh=size, kw=size,
+            stride=stride, index=self.conv_ordinal,
+            activation="linear" if is_head else "leaky",
+            batch_normalize=not is_head,
+        )
+        self.layers.append(spec)
+        self.c, self.h, self.w = spec.oc, spec.oh, spec.ow
+        self.shapes.append((self.c, self.h, self.w))
+
+    def shortcut(self, frm: int) -> None:
+        self.layers.append(ShortcutSpec(from_index=frm, c=self.c, h=self.h, w=self.w))
+        self.shapes.append((self.c, self.h, self.w))
+
+    def route(self, refs: tuple[int, ...]) -> None:
+        resolved = [len(self.layers) + r if r < 0 else r for r in refs]
+        parts = [self.shapes[i] for i in resolved]
+        self.c = sum(p[0] for p in parts)
+        self.h, self.w = parts[0][1], parts[0][2]
+        self.layers.append(RouteSpec(layers=refs, c=self.c, h=self.h, w=self.w))
+        self.shapes.append((self.c, self.h, self.w))
+
+    def upsample(self, stride: int = 2) -> None:
+        self.layers.append(UpsampleSpec(c=self.c, ih=self.h, iw=self.w, stride=stride))
+        self.h *= stride
+        self.w *= stride
+        self.shapes.append((self.c, self.h, self.w))
+
+    def yolo(self) -> None:
+        # detection decode: modelled as a passthrough route (no conv compute)
+        self.layers.append(RouteSpec(layers=(-1,), c=self.c, h=self.h, w=self.w))
+        self.shapes.append((self.c, self.h, self.w))
+
+
+def _build(input_size: int) -> _Builder:
+    b = _Builder(input_size)
+    # --- Darknet-53 backbone -------------------------------------------- #
+    b.conv(32, 3)
+    for filters, blocks in _BACKBONE_STAGES:
+        b.conv(filters, 3, stride=2)
+        for _ in range(blocks):
+            b.conv(filters // 2, 1)
+            b.conv(filters, 3)
+            b.shortcut(-3)
+    # --- detection head, scale 1 (stride 32) ----------------------------- #
+    for _ in range(3):
+        b.conv(512, 1)
+        b.conv(1024, 3)
+    b.conv(255, 1)
+    b.yolo()
+    # --- scale 2 (stride 16) --------------------------------------------- #
+    b.route((-4,))
+    b.conv(256, 1)
+    b.upsample()
+    b.route((-1, 61))
+    for _ in range(3):
+        b.conv(256, 1)
+        b.conv(512, 3)
+    b.conv(255, 1)
+    b.yolo()
+    # --- scale 3 (stride 8) ---------------------------------------------- #
+    b.route((-4,))
+    b.conv(128, 1)
+    b.upsample()
+    b.route((-1, 36))
+    for _ in range(3):
+        b.conv(128, 1)
+        b.conv(256, 3)
+    b.conv(255, 1)
+    b.yolo()
+    return b
+
+
+def yolov3_network(input_size: int = 608) -> Network:
+    """The full 107-layer YOLOv3 network at the given input size."""
+    return Network(name=f"yolov3-{input_size}", layers=_build(input_size).layers)
+
+
+def yolov3_backbone_convs(input_size: int = 608) -> list[ConvSpec]:
+    """All 75 convolutional layers of YOLOv3, in network order."""
+    return [l for l in _build(input_size).layers if isinstance(l, ConvSpec)]
+
+
+def yolov3_first20_layers(input_size: int = 608) -> list[LayerSpec]:
+    """The first 20 network layers the paper simulates (15 convolutional)."""
+    return _build(input_size).layers[:20]
+
+
+def yolov3_conv_specs(input_size: int = 608, count: int = 15) -> list[ConvSpec]:
+    """The first ``count`` convolutional layers (paper: 15, Table 1)."""
+    convs = yolov3_backbone_convs(input_size)
+    if count > len(convs):
+        raise ConfigError(f"YOLOv3 has {len(convs)} conv layers, requested {count}")
+    return convs[:count]

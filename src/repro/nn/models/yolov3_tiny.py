@@ -1,0 +1,97 @@
+"""YOLOv3-tiny — the smaller object-detection variant used in Paper I.
+
+23 layers, 13 convolutional (the paper's "14x over baseline" RISC-VV result
+was measured on this model).  Built programmatically with Darknet's
+yolov3-tiny.cfg topology.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.nn.layer import (
+    ConvSpec,
+    LayerSpec,
+    MaxPoolSpec,
+    RouteSpec,
+    UpsampleSpec,
+)
+from repro.nn.network import Network
+
+
+def _build(input_size: int) -> list[LayerSpec]:
+    if input_size % 32:
+        raise ConfigError(
+            f"YOLOv3-tiny input size must be a multiple of 32, got {input_size}"
+        )
+    layers: list[LayerSpec] = []
+    shapes: list[tuple[int, int, int]] = []
+    c, h, w = 3, input_size, input_size
+    ordinal = 0
+
+    def conv(filters: int, size: int) -> None:
+        nonlocal c, h, w, ordinal
+        ordinal += 1
+        is_head = filters == 255
+        spec = ConvSpec(
+            ic=c, oc=filters, ih=h, iw=w, kh=size, kw=size, stride=1,
+            index=ordinal, activation="linear" if is_head else "leaky",
+            batch_normalize=not is_head,
+        )
+        layers.append(spec)
+        c, h, w = spec.oc, spec.oh, spec.ow
+        shapes.append((c, h, w))
+
+    def pool(stride: int = 2, pad: int = 0) -> None:
+        nonlocal h, w
+        spec = MaxPoolSpec(c=c, ih=h, iw=w, size=2, stride=stride, pad=pad)
+        layers.append(spec)
+        h, w = spec.oh, spec.ow
+        shapes.append((c, h, w))
+
+    def route(refs: tuple[int, ...]) -> None:
+        nonlocal c, h, w
+        resolved = [len(layers) + r if r < 0 else r for r in refs]
+        parts = [shapes[i] for i in resolved]
+        c = sum(p[0] for p in parts)
+        h, w = parts[0][1], parts[0][2]
+        layers.append(RouteSpec(layers=refs, c=c, h=h, w=w))
+        shapes.append((c, h, w))
+
+    def upsample() -> None:
+        nonlocal h, w
+        layers.append(UpsampleSpec(c=c, ih=h, iw=w, stride=2))
+        h, w = 2 * h, 2 * w
+        shapes.append((c, h, w))
+
+    def yolo() -> None:
+        layers.append(RouteSpec(layers=(-1,), c=c, h=h, w=w))
+        shapes.append((c, h, w))
+
+    for filters in (16, 32, 64, 128, 256):
+        conv(filters, 3)
+        pool()
+    conv(512, 3)
+    pool(stride=1, pad=1)  # stride-1 "same" pool
+    conv(1024, 3)
+    conv(256, 1)
+    conv(512, 3)
+    conv(255, 1)
+    yolo()
+    route((-4,))
+    conv(128, 1)
+    upsample()
+    route((-1, 8))
+    conv(256, 3)
+    conv(255, 1)
+    yolo()
+    return layers
+
+
+def yolov3_tiny_network(input_size: int = 416) -> Network:
+    """The full YOLOv3-tiny network."""
+    return Network(name=f"yolov3-tiny-{input_size}", layers=_build(input_size))
+
+
+def yolov3_tiny_conv_specs(input_size: int = 416) -> list[ConvSpec]:
+    """The 13 convolutional layers of YOLOv3-tiny."""
+    return [l for l in _build(input_size) if isinstance(l, ConvSpec)]

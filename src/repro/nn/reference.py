@@ -1,0 +1,109 @@
+"""NumPy reference implementations — the numerical oracles.
+
+Every vectorized algorithm in :mod:`repro.algorithms` is tested against
+:func:`conv2d_reference`.  These functions favour clarity and vectorized
+NumPy (no per-element Python loops in the hot path, per the HPC guides) over
+micro-optimization; they model Darknet's NCHW single-image layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.layer import AvgPoolSpec, ConnectedSpec, ConvSpec, MaxPoolSpec, UpsampleSpec
+
+
+def pad_input(x: np.ndarray, pad: int) -> np.ndarray:
+    """Zero-pad an (C, H, W) tensor spatially."""
+    if pad == 0:
+        return x
+    return np.pad(x, ((0, 0), (pad, pad), (pad, pad)))
+
+
+def conv2d_reference(spec: ConvSpec, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Direct NCHW convolution via accumulated shifted slices.
+
+    ``x`` has shape (IC, IH, IW); ``w`` has shape (OC, IC, KH, KW); the
+    result has shape (OC, OH, OW).  Internally loops only over the KH*KW
+    kernel offsets; each offset contributes a full tensor contraction, so the
+    work is done by BLAS.
+    """
+    spec.validate_input(x.shape)
+    if w.shape != (spec.oc, spec.ic, spec.kh, spec.kw):
+        raise ShapeError(
+            f"expected weights {(spec.oc, spec.ic, spec.kh, spec.kw)}, got {w.shape}"
+        )
+    xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+    oh, ow, s = spec.oh, spec.ow, spec.stride
+    out = np.zeros((spec.oc, oh, ow), dtype=np.float64)
+    for dh in range(spec.kh):
+        for dw in range(spec.kw):
+            window = xp[:, dh : dh + s * oh : s, dw : dw + s * ow : s]
+            # (OC, IC) x (IC, OH*OW) contraction for this kernel offset
+            out += np.einsum(
+                "oi,ihw->ohw", w[:, :, dh, dw].astype(np.float64), window.astype(np.float64)
+            )
+    return out.astype(np.float32)
+
+
+def maxpool_reference(spec: MaxPoolSpec, x: np.ndarray) -> np.ndarray:
+    """Max pooling over (C, H, W) with Darknet's right/bottom -inf padding."""
+    if x.shape != (spec.c, spec.ih, spec.iw):
+        raise ShapeError(f"expected {(spec.c, spec.ih, spec.iw)}, got {x.shape}")
+    if spec.pad:
+        x = np.pad(
+            x, ((0, 0), (0, spec.pad), (0, spec.pad)), constant_values=-np.inf
+        )
+    oh, ow = spec.oh, spec.ow
+    out = np.full((spec.c, oh, ow), -np.inf, dtype=np.float32)
+    for dh in range(spec.size):
+        for dw in range(spec.size):
+            window = x[
+                :, dh : dh + spec.stride * oh : spec.stride,
+                dw : dw + spec.stride * ow : spec.stride,
+            ]
+            np.maximum(out, window[:, :oh, :ow], out=out)
+    return out
+
+
+def avgpool_reference(spec: AvgPoolSpec, x: np.ndarray) -> np.ndarray:
+    """Global average pooling -> (C,) vector."""
+    if x.shape != (spec.c, spec.ih, spec.iw):
+        raise ShapeError(f"expected {(spec.c, spec.ih, spec.iw)}, got {x.shape}")
+    return x.mean(axis=(1, 2), dtype=np.float64).astype(np.float32)
+
+
+def connected_reference(spec: ConnectedSpec, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Fully connected layer: ``w @ x`` with (outputs, inputs) weights."""
+    x = x.reshape(-1)
+    if x.size != spec.inputs:
+        raise ShapeError(f"expected {spec.inputs} inputs, got {x.size}")
+    if w.shape != (spec.outputs, spec.inputs):
+        raise ShapeError(f"expected weights {(spec.outputs, spec.inputs)}, got {w.shape}")
+    return (w.astype(np.float64) @ x.astype(np.float64)).astype(np.float32)
+
+
+def upsample_reference(spec: UpsampleSpec, x: np.ndarray) -> np.ndarray:
+    """Nearest-neighbour upsampling by ``stride``."""
+    if x.shape != (spec.c, spec.ih, spec.iw):
+        raise ShapeError(f"expected {(spec.c, spec.ih, spec.iw)}, got {x.shape}")
+    return np.repeat(np.repeat(x, spec.stride, axis=1), spec.stride, axis=2)
+
+
+def softmax_reference(x: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax over a flat vector."""
+    x = x.reshape(-1).astype(np.float64)
+    e = np.exp(x - x.max())
+    return (e / e.sum()).astype(np.float32)
+
+
+def apply_activation(name: str, x: np.ndarray) -> np.ndarray:
+    """Darknet activation functions used by the evaluated models."""
+    if name == "linear":
+        return x
+    if name == "relu":
+        return np.maximum(x, 0.0)
+    if name == "leaky":
+        return np.where(x > 0, x, 0.1 * x).astype(x.dtype)
+    raise ShapeError(f"unknown activation {name!r}")

@@ -1,0 +1,85 @@
+"""Network weight serialization (Darknet-style ``.weights`` equivalent).
+
+Darknet ships trained models as a binary blob of per-layer parameters; the
+synthetic equivalent here is an ``.npz`` archive keyed by layer index, with
+batch-norm parameters stored alongside convolution weights.  ``save_weights``
+/ ``load_weights`` round-trip a :class:`~repro.nn.network.Network` so that
+a network customized with external parameters (or a perturbed copy) can be
+persisted and re-served — the operational piece a model-serving deployment
+needs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import NetworkError
+from repro.nn.layer import ConnectedSpec, ConvSpec
+from repro.nn.network import Network
+
+#: Archive format version (stored under the "__meta__" key).
+FORMAT_VERSION = 1
+
+
+def save_weights(network: Network, path: str | Path) -> Path:
+    """Serialize all weights (and BN parameters) to an ``.npz`` archive."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    arrays: dict[str, np.ndarray] = {
+        "__meta__": np.array(
+            [FORMAT_VERSION, len(network.layers)], dtype=np.int64
+        )
+    }
+    for i, spec in enumerate(network.layers):
+        if isinstance(spec, (ConvSpec, ConnectedSpec)):
+            arrays[f"w{i}"] = network.weight_for(i)
+        if isinstance(spec, ConvSpec) and spec.batch_normalize:
+            mean, var, scales, bias = network.batchnorm_params(i)
+            arrays[f"bn{i}"] = np.stack([mean, var, scales, bias])
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_weights(network: Network, path: str | Path) -> Network:
+    """Load an archive into a network (must match the layer structure).
+
+    Returns the network (mutated in place) for chaining.  The archive's
+    layer count and per-layer shapes are validated against the graph.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise NetworkError(f"weights file {path} does not exist")
+    with np.load(path) as data:
+        meta = data.get("__meta__")
+        if meta is None or int(meta[0]) != FORMAT_VERSION:
+            raise NetworkError(f"{path} is not a version-{FORMAT_VERSION} archive")
+        if int(meta[1]) != len(network.layers):
+            raise NetworkError(
+                f"{path} holds {int(meta[1])} layers, network has "
+                f"{len(network.layers)}"
+            )
+        for i, spec in enumerate(network.layers):
+            if isinstance(spec, (ConvSpec, ConnectedSpec)):
+                key = f"w{i}"
+                if key not in data:
+                    raise NetworkError(f"{path} missing weights for layer {i}")
+                expected = network.weight_for(i).shape
+                if data[key].shape != expected:
+                    raise NetworkError(
+                        f"layer {i}: archive shape {data[key].shape} != "
+                        f"network shape {expected}"
+                    )
+                network._weights[i] = data[key].astype(np.float32)
+            if isinstance(spec, ConvSpec) and spec.batch_normalize:
+                key = f"bn{i}"
+                if key in data:
+                    bn = data[key].astype(np.float32)
+                    if bn.shape != (4, spec.oc):
+                        raise NetworkError(
+                            f"layer {i}: bad batch-norm block {bn.shape}"
+                        )
+                    network._bn_overrides = getattr(network, "_bn_overrides", {})
+                    network._bn_overrides[i] = tuple(bn)
+    return network

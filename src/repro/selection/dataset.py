@@ -1,0 +1,99 @@
+"""The 448-point algorithm-selection dataset.
+
+Paper II §4.3: 28 convolutional layers (13 VGG-16 + 15 YOLOv3) x 16 hardware
+configurations (VL in {512, 1024, 2048, 4096} bits x L2 in {1, 4, 16, 64} MB)
+with 12 features — 2 architectural (vector length, L2 size) and 10 from the
+convolution dimensions — labelled with the fastest algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.registry import ALGORITHM_NAMES, best_algorithm
+from repro.nn.layer import ConvSpec
+from repro.nn.models import vgg16_conv_specs, yolov3_conv_specs
+from repro.simulator.hwconfig import HardwareConfig
+
+#: The paper's hardware grid.
+VECTOR_LENGTHS: tuple[int, ...] = (512, 1024, 2048, 4096)
+L2_SIZES_MIB: tuple[float, ...] = (1.0, 4.0, 16.0, 64.0)
+
+#: Feature names, in column order.
+FEATURE_NAMES: tuple[str, ...] = ("vlen_bits", "l2_mib") + ConvSpec.FEATURE_NAMES
+
+
+@dataclass
+class SelectionDataset:
+    """Features, labels and the full cycles matrix for regret metrics."""
+
+    X: np.ndarray  # (n, 12)
+    y: np.ndarray  # (n,) algorithm names (str dtype)
+    cycles: np.ndarray  # (n, len(ALGORITHM_NAMES)); inf if not applicable
+    specs: list[ConvSpec]  # layer spec per row
+    configs: list[HardwareConfig]  # config per row
+
+    def __post_init__(self) -> None:
+        assert len(self.X) == len(self.y) == len(self.cycles)
+
+    def __len__(self) -> int:
+        return len(self.X)
+
+    def cycles_for(self, row: int, algorithm: str) -> float:
+        """Cycles of one algorithm on one row (inf if not applicable)."""
+        return float(self.cycles[row, ALGORITHM_NAMES.index(algorithm)])
+
+    def regret(self, row: int, predicted: str) -> float:
+        """Relative slowdown of the predicted vs the optimal algorithm."""
+        best = self.cycles[row].min()
+        return float(self.cycles_for(row, predicted) / best - 1.0)
+
+
+def paper_grid() -> list[HardwareConfig]:
+    """The 16 Paper II hardware configurations, VL-major order."""
+    return [
+        HardwareConfig.paper2_rvv(vl, l2)
+        for vl in VECTOR_LENGTHS
+        for l2 in L2_SIZES_MIB
+    ]
+
+
+def paper_layers() -> list[ConvSpec]:
+    """The 28 evaluated convolutional layers (13 VGG-16 + 15 YOLOv3)."""
+    return list(vgg16_conv_specs()) + list(yolov3_conv_specs())
+
+
+def build_dataset(
+    specs: list[ConvSpec] | None = None,
+    configs: list[HardwareConfig] | None = None,
+) -> SelectionDataset:
+    """Evaluate the full grid with the analytical model and label each point.
+
+    With the defaults this is the paper's 28 x 16 = 448-point dataset.
+    """
+    specs = paper_layers() if specs is None else specs
+    configs = paper_grid() if configs is None else configs
+    rows_x: list[list[float]] = []
+    rows_y: list[str] = []
+    rows_c: list[list[float]] = []
+    row_specs: list[ConvSpec] = []
+    row_cfgs: list[HardwareConfig] = []
+    for spec in specs:
+        for hw in configs:
+            winner, cycles = best_algorithm(spec, hw)
+            rows_x.append([float(hw.vlen_bits), float(hw.l2_mib)] + spec.features())
+            rows_y.append(winner)
+            rows_c.append(
+                [cycles.get(name, np.inf) for name in ALGORITHM_NAMES]
+            )
+            row_specs.append(spec)
+            row_cfgs.append(hw)
+    return SelectionDataset(
+        X=np.asarray(rows_x, dtype=np.float64),
+        y=np.asarray(rows_y, dtype=object),
+        cycles=np.asarray(rows_c, dtype=np.float64),
+        specs=row_specs,
+        configs=row_cfgs,
+    )

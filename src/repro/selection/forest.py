@@ -1,0 +1,101 @@
+"""Random forest classifier (the paper's selection model).
+
+Hyperparameters follow Paper II §4.3: depth-10 trees with bootstrapping.
+Prediction aggregates the per-tree leaf class distributions (soft voting),
+which is both what scikit-learn does and slightly more accurate than hard
+majority voting on small datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError, SelectionError
+from repro.selection.tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated CART trees with feature subsampling."""
+
+    def __init__(
+        self,
+        n_estimators: int = 100,
+        max_depth: int = 10,
+        max_features: int | str | None = "sqrt",
+        bootstrap: bool = True,
+        min_samples_leaf: int = 1,
+        random_state: int | None = 0,
+    ) -> None:
+        if n_estimators < 1:
+            raise SelectionError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.max_features = max_features
+        self.bootstrap = bootstrap
+        self.min_samples_leaf = min_samples_leaf
+        self.random_state = random_state
+        self.trees_: list[DecisionTreeClassifier] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if len(X) != len(y) or len(X) == 0:
+            raise SelectionError("X and y must be non-empty and equally long")
+        rng = np.random.default_rng(self.random_state)
+        self.classes_ = np.unique(y)
+        self.trees_ = []
+        n = len(X)
+        for t in range(self.n_estimators):
+            if self.bootstrap:
+                idx = rng.integers(0, n, size=n)
+            else:
+                idx = np.arange(n)
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                max_features=self.max_features,
+                min_samples_leaf=self.min_samples_leaf,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            # trees index into the global class set so votes align
+            tree.fit(X[idx], y[idx])
+            self.trees_.append(tree)
+        return self
+
+    def _check_fitted(self) -> None:
+        if not self.trees_:
+            raise NotFittedError("RandomForestClassifier is not fitted")
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Mean of per-tree leaf class distributions over the global classes."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        total = np.zeros((len(X), len(self.classes_)))
+        class_index = {c: i for i, c in enumerate(self.classes_)}
+        for tree in self.trees_:
+            proba = tree.predict_proba(X)
+            cols = [class_index[c] for c in tree.classes_]
+            total[:, cols] += proba
+        total /= len(self.trees_)
+        return total
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def feature_importances(self) -> np.ndarray:
+        """Split-frequency feature importances (normalized counts)."""
+        self._check_fitted()
+        d = self.trees_[0].n_features_
+        counts = np.zeros(d)
+
+        def _walk(node) -> None:
+            if node is None or node.is_leaf:
+                return
+            counts[node.feature] += 1
+            _walk(node.left)
+            _walk(node.right)
+
+        for tree in self.trees_:
+            _walk(tree._root)
+        total = counts.sum()
+        return counts / total if total else counts

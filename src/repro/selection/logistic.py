@@ -1,0 +1,70 @@
+"""Multinomial logistic regression trained by full-batch gradient descent.
+
+Stands in for the paper's linear comparison models (SVM / MLP families);
+features are standardized internally.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError, SelectionError
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+class LogisticRegressionClassifier:
+    """Softmax regression with L2 regularization."""
+
+    def __init__(
+        self,
+        lr: float = 0.1,
+        epochs: int = 500,
+        l2: float = 1e-3,
+        random_state: int = 0,
+    ) -> None:
+        if lr <= 0 or epochs < 1 or l2 < 0:
+            raise SelectionError("invalid hyperparameters for logistic regression")
+        self.lr = lr
+        self.epochs = epochs
+        self.l2 = l2
+        self.random_state = random_state
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegressionClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if len(X) != len(y) or len(X) == 0:
+            raise SelectionError("X and y must be non-empty and equally long")
+        self._mu = X.mean(axis=0)
+        self._sigma = X.std(axis=0)
+        self._sigma[self._sigma == 0] = 1.0
+        Xs = (X - self._mu) / self._sigma
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        n, d = Xs.shape
+        k = len(self.classes_)
+        onehot = np.zeros((n, k))
+        onehot[np.arange(n), y_enc] = 1.0
+        rng = np.random.default_rng(self.random_state)
+        self._W = 0.01 * rng.standard_normal((d, k))
+        self._b = np.zeros(k)
+        for _ in range(self.epochs):
+            p = _softmax(Xs @ self._W + self._b)
+            grad_w = Xs.T @ (p - onehot) / n + self.l2 * self._W
+            grad_b = (p - onehot).mean(axis=0)
+            self._W -= self.lr * grad_w
+            self._b -= self.lr * grad_b
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "_W"):
+            raise NotFittedError("LogisticRegressionClassifier is not fitted")
+        Xs = (np.asarray(X, dtype=np.float64) - self._mu) / self._sigma
+        return _softmax(Xs @ self._W + self._b)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]

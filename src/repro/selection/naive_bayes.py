@@ -1,0 +1,47 @@
+"""Gaussian naive Bayes (comparison model from Paper II §4.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NotFittedError, SelectionError
+
+_VAR_FLOOR = 1e-9
+
+
+class GaussianNaiveBayes:
+    """Per-class independent Gaussians with log-likelihood scoring."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GaussianNaiveBayes":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if len(X) != len(y) or len(X) == 0:
+            raise SelectionError("X and y must be non-empty and equally long")
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        k, d = len(self.classes_), X.shape[1]
+        self._mu = np.zeros((k, d))
+        self._var = np.zeros((k, d))
+        self._log_prior = np.zeros(k)
+        # variance smoothing relative to the global spread (as sklearn does)
+        eps = _VAR_FLOOR * X.var(axis=0).max() + _VAR_FLOOR
+        for c in range(k):
+            rows = X[y_enc == c]
+            self._mu[c] = rows.mean(axis=0)
+            self._var[c] = rows.var(axis=0) + eps
+            self._log_prior[c] = np.log(len(rows) / len(X))
+        return self
+
+    def _log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        if not hasattr(self, "_mu"):
+            raise NotFittedError("GaussianNaiveBayes is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        # (n, k): sum over features of log N(x | mu, var)
+        diff = X[:, None, :] - self._mu[None, :, :]
+        ll = -0.5 * (
+            np.log(2 * np.pi * self._var)[None, :, :] + diff**2 / self._var[None, :, :]
+        ).sum(axis=2)
+        return ll + self._log_prior[None, :]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self._log_likelihood(X)
+        return self.classes_[np.argmax(scores, axis=1)]

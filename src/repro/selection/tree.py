@@ -1,0 +1,264 @@
+"""CART decision trees (classification by Gini, regression by variance).
+
+Split search is vectorized: for each candidate feature the samples are
+sorted once and impurity is evaluated at every boundary between distinct
+values via prefix sums — no Python-level loop over thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NotFittedError, SelectionError
+
+
+@dataclass
+class _Node:
+    """A tree node; leaves carry a prediction payload."""
+
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    # leaf payload
+    value: np.ndarray | None = None  # class counts (clf) or [mean] (reg)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini_from_counts(counts: np.ndarray, totals: np.ndarray) -> np.ndarray:
+    """Gini impurity for rows of class counts with given totals."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        p = counts / totals[:, None]
+        g = 1.0 - np.nansum(p * p, axis=1)
+    g[totals == 0] = 0.0
+    return g
+
+
+class _BaseTree:
+    """Shared growth logic for classification and regression trees."""
+
+    def __init__(
+        self,
+        max_depth: int = 10,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | None = None,
+    ) -> None:
+        if max_depth < 1:
+            raise SelectionError(f"max_depth must be >= 1, got {max_depth}")
+        if min_samples_split < 2:
+            raise SelectionError("min_samples_split must be >= 2")
+        if min_samples_leaf < 1:
+            raise SelectionError("min_samples_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self._root: _Node | None = None
+        self._rng = np.random.default_rng(random_state)
+        self.n_features_: int | None = None
+
+    # hooks implemented by subclasses ----------------------------------- #
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def _split_gain(
+        self, x: np.ndarray, y: np.ndarray
+    ) -> tuple[float, float] | None:
+        """Best (gain, threshold) for one sorted feature column, or None."""
+        raise NotImplementedError
+
+    def _node_impurity(self, y: np.ndarray) -> float:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def _feature_candidates(self, d: int) -> np.ndarray:
+        if self.max_features is None:
+            return np.arange(d)
+        if self.max_features == "sqrt":
+            k = max(1, int(np.sqrt(d)))
+        elif isinstance(self.max_features, int):
+            k = min(d, max(1, self.max_features))
+        else:
+            raise SelectionError(f"bad max_features {self.max_features!r}")
+        return self._rng.choice(d, size=k, replace=False)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        node = _Node(value=self._leaf_value(y))
+        if (
+            depth >= self.max_depth
+            or len(y) < self.min_samples_split
+            or self._node_impurity(y) <= 1e-12
+        ):
+            return node
+        best = None  # (gain, feature, threshold)
+        for f in self._feature_candidates(X.shape[1]):
+            col = X[:, f]
+            order = np.argsort(col, kind="stable")
+            found = self._split_gain(col[order], y[order])
+            if found is None:
+                continue
+            gain, thr = found
+            if best is None or gain > best[0] + 1e-15:
+                best = (gain, f, thr)
+        if best is None or best[0] <= 1e-12:
+            return node
+        _, f, thr = best
+        mask = X[:, f] <= thr
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = int(f)
+        node.threshold = float(thr)
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _check_fit_inputs(self, X: np.ndarray, y: np.ndarray) -> tuple:
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise SelectionError(f"X must be 2-D, got shape {X.shape}")
+        if len(X) != len(y):
+            raise SelectionError(f"X has {len(X)} rows but y has {len(y)}")
+        if len(X) == 0:
+            raise SelectionError("cannot fit on an empty dataset")
+        return X, y
+
+    def _leaf_for(self, x: np.ndarray) -> _Node:
+        if self._root is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        node = self._root
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold else node.right
+        return node
+
+    def depth(self) -> int:
+        """Actual depth of the grown tree (root = depth 0)."""
+        def _d(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(_d(node.left), _d(node.right))
+        if self._root is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        return _d(self._root)
+
+    def node_count(self) -> int:
+        """Total node count of the grown tree."""
+        def _c(node: _Node | None) -> int:
+            if node is None:
+                return 0
+            return 1 + _c(node.left) + _c(node.right)
+        if self._root is None:
+            raise NotFittedError(f"{type(self).__name__} is not fitted")
+        return _c(self._root)
+
+
+class DecisionTreeClassifier(_BaseTree):
+    """CART classifier with Gini impurity."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        X, y = self._check_fit_inputs(X, y)
+        self.classes_, y_enc = np.unique(y, return_inverse=True)
+        self._n_classes = len(self.classes_)
+        self.n_features_ = X.shape[1]
+        self._root = self._grow(X, y_enc, 0)
+        return self
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self._n_classes).astype(np.float64)
+
+    def _node_impurity(self, y: np.ndarray) -> float:
+        counts = np.bincount(y, minlength=self._n_classes)
+        n = counts.sum()
+        p = counts / n
+        return float(1.0 - (p * p).sum())
+
+    def _split_gain(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float] | None:
+        n = len(y)
+        # one-hot prefix sums of class membership along the sorted order
+        onehot = np.zeros((n, self._n_classes))
+        onehot[np.arange(n), y] = 1.0
+        prefix = np.cumsum(onehot, axis=0)
+        total = prefix[-1]
+        # candidate boundaries: positions where the feature value changes
+        boundaries = np.nonzero(np.diff(x) > 0)[0]
+        if boundaries.size == 0:
+            return None
+        left_counts = prefix[boundaries]
+        right_counts = total[None, :] - left_counts
+        nl = boundaries + 1.0
+        nr = n - nl
+        gini_l = _gini_from_counts(left_counts, nl)
+        gini_r = _gini_from_counts(right_counts, nr)
+        parent = self._node_impurity(y)
+        gain = parent - (nl / n) * gini_l - (nr / n) * gini_r
+        best = int(np.argmax(gain))
+        i = boundaries[best]
+        return float(gain[best]), float((x[i] + x[i + 1]) / 2.0)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise NotFittedError("DecisionTreeClassifier is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.zeros((len(X), self._n_classes))
+        for i, row in enumerate(X):
+            counts = self._leaf_for(row).value
+            out[i] = counts / counts.sum()
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def leaf_counts(self, x: np.ndarray) -> np.ndarray:
+        """Raw class counts at the leaf reached by one sample (for forests)."""
+        return self._leaf_for(np.asarray(x, dtype=np.float64)).value
+
+
+class DecisionTreeRegressor(_BaseTree):
+    """CART regressor with variance (MSE) reduction."""
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeRegressor":
+        X, y = self._check_fit_inputs(X, y)
+        y = np.asarray(y, dtype=np.float64)
+        self.n_features_ = X.shape[1]
+        self._root = self._grow(X, y, 0)
+        return self
+
+    def _leaf_value(self, y: np.ndarray) -> np.ndarray:
+        return np.array([y.mean()])
+
+    def _node_impurity(self, y: np.ndarray) -> float:
+        return float(y.var())
+
+    def _split_gain(self, x: np.ndarray, y: np.ndarray) -> tuple[float, float] | None:
+        n = len(y)
+        boundaries = np.nonzero(np.diff(x) > 0)[0]
+        if boundaries.size == 0:
+            return None
+        csum = np.cumsum(y)
+        csum2 = np.cumsum(y * y)
+        nl = boundaries + 1.0
+        nr = n - nl
+        sl = csum[boundaries]
+        s2l = csum2[boundaries]
+        sr = csum[-1] - sl
+        s2r = csum2[-1] - s2l
+        var_l = s2l / nl - (sl / nl) ** 2
+        var_r = s2r / nr - (sr / nr) ** 2
+        parent = y.var()
+        gain = parent - (nl / n) * var_l - (nr / n) * var_r
+        best = int(np.argmax(gain))
+        i = boundaries[best]
+        return float(gain[best]), float((x[i] + x[i + 1]) / 2.0)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        return np.array([self._leaf_for(row).value[0] for row in X])

@@ -1,0 +1,91 @@
+"""Co-located model serving on a multi-core RVV chip.
+
+Paper II §4.4: configurations of 1/4/16/64 cores with vector lengths of
+512-4096 bits share an L2 of 1-256 MB; 1-64 identical model instances run
+one-per-core with the L2 statically partitioned (an Intel-CAT-style
+mechanism grants isolated ways per instance), and external memory bandwidth
+is assumed not to bottleneck (the paper's HBM-class assumption).
+Throughput is reported in images per cycle, area at 7 nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.nn.layer import ConvSpec
+from repro.serving.throughput import network_cycles
+from repro.simulator.area.chip import multicore_area_mm2
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@dataclass(frozen=True)
+class ColocationScenario:
+    """One serving design point."""
+
+    cores: int
+    vlen_bits: int
+    shared_l2_mib: float
+    instances: int
+    policy: str = "optimal"
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.instances < 1:
+            raise ConfigError("cores and instances must be >= 1")
+        if self.instances > self.cores:
+            raise ConfigError(
+                f"{self.instances} instances need {self.instances} cores, "
+                f"only {self.cores} available (one instance per core)"
+            )
+        if self.shared_l2_mib < self.instances * 0.25:
+            raise ConfigError(
+                "cache partitioning floor: each instance needs >= 0.25 MiB"
+            )
+
+    @property
+    def l2_per_instance_mib(self) -> float:
+        return self.shared_l2_mib / self.instances
+
+
+@dataclass
+class ColocationResult:
+    """Throughput/area evaluation of a scenario."""
+
+    scenario: ColocationScenario
+    cycles_per_image: float
+    area_mm2: float
+
+    @property
+    def throughput_images_per_cycle(self) -> float:
+        return self.scenario.instances / self.cycles_per_image
+
+    @property
+    def throughput_per_area(self) -> float:
+        return self.throughput_images_per_cycle / self.area_mm2
+
+    def images_per_second(self, freq_ghz: float = 2.0) -> float:
+        return self.throughput_images_per_cycle * freq_ghz * 1e9
+
+
+def evaluate_colocation(
+    scenario: ColocationScenario,
+    specs: list[ConvSpec],
+    selector=None,
+    area_model: str = "paper2",
+) -> ColocationResult:
+    """Evaluate one serving design point for one network.
+
+    Each instance sees a private core at ``vlen_bits`` and an L2 slice of
+    ``shared_l2_mib / instances``; per-image time comes from the analytical
+    model under the scenario's algorithm policy.
+    """
+    hw = HardwareConfig.paper2_rvv(scenario.vlen_bits, scenario.l2_per_instance_mib)
+    time = network_cycles(specs, hw, policy=scenario.policy, selector=selector)
+    area = multicore_area_mm2(
+        scenario.cores, scenario.vlen_bits, scenario.shared_l2_mib, model=area_model
+    )
+    return ColocationResult(
+        scenario=scenario,
+        cycles_per_image=time.total_cycles,
+        area_mm2=area,
+    )

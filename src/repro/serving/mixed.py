@@ -1,0 +1,99 @@
+"""Heterogeneous co-location: different models sharing one chip.
+
+Paper II's Fig. 12 co-locates replicas of a *single* model; real serving
+fleets mix models on a box.  This extension evaluates a chip hosting
+several model groups (one instance per core, the shared L2 statically
+partitioned into equal slices), with per-layer algorithm selection applied
+per model — each model's layers get their own choices on its cache slice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.nn.layer import ConvSpec
+from repro.serving.throughput import network_cycles
+from repro.simulator.area.chip import multicore_area_mm2
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@dataclass(frozen=True)
+class ModelGroup:
+    """``instances`` replicas of one model on the shared chip."""
+
+    name: str
+    specs: tuple[ConvSpec, ...]
+    instances: int
+
+    def __post_init__(self) -> None:
+        if self.instances < 1:
+            raise ConfigError(f"group {self.name!r}: instances must be >= 1")
+        if not self.specs:
+            raise ConfigError(f"group {self.name!r}: no layers")
+
+
+@dataclass
+class MixedServingResult:
+    """Per-group and aggregate throughput of a mixed deployment."""
+
+    vlen_bits: int
+    shared_l2_mib: float
+    groups: list[ModelGroup]
+    per_group_cycles: dict[str, float]  # per-image cycles per group
+    area_mm2: float
+
+    @property
+    def total_instances(self) -> int:
+        return sum(g.instances for g in self.groups)
+
+    def group_throughput(self, name: str, freq_ghz: float = 2.0) -> float:
+        """Images/s contributed by one group."""
+        group = next(g for g in self.groups if g.name == name)
+        per_image = self.per_group_cycles[name] / (freq_ghz * 1e9)
+        return group.instances / per_image
+
+    def aggregate_images_per_second(self, freq_ghz: float = 2.0) -> float:
+        return sum(self.group_throughput(g.name, freq_ghz) for g in self.groups)
+
+    @property
+    def throughput_per_area(self) -> float:
+        return self.aggregate_images_per_second() / self.area_mm2
+
+
+def evaluate_mixed(
+    groups: list[ModelGroup],
+    vlen_bits: int,
+    shared_l2_mib: float,
+    policy: str = "optimal",
+    selector=None,
+    area_model: str = "paper2",
+) -> MixedServingResult:
+    """Evaluate a mixed deployment: one core per instance, equal L2 slices."""
+    if not groups:
+        raise ConfigError("mixed deployment needs at least one model group")
+    names = [g.name for g in groups]
+    if len(set(names)) != len(names):
+        raise ConfigError(f"duplicate group names: {names}")
+    total = sum(g.instances for g in groups)
+    slice_mib = shared_l2_mib / total
+    if slice_mib < 0.25:
+        raise ConfigError(
+            f"cache partitioning floor: {total} instances on "
+            f"{shared_l2_mib:g} MiB leaves {slice_mib:.3f} MiB each"
+        )
+    hw = HardwareConfig.paper2_rvv(vlen_bits, slice_mib)
+    per_group = {
+        g.name: network_cycles(
+            list(g.specs), hw, policy=policy, selector=selector
+        ).total_cycles
+        for g in groups
+    }
+    area = multicore_area_mm2(total, vlen_bits, shared_l2_mib, model=area_model)
+    return MixedServingResult(
+        vlen_bits=vlen_bits,
+        shared_l2_mib=shared_l2_mib,
+        groups=list(groups),
+        per_group_cycles=per_group,
+        area_mm2=area,
+    )

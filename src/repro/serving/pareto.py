@@ -1,0 +1,66 @@
+"""Pareto-frontier utilities for the performance/throughput-area analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """A design point: ``cost`` is minimized, ``value`` is maximized.
+
+    For the single-instance analysis ``cost = area`` and
+    ``value = -cycles``; for serving, ``value = throughput``.
+    """
+
+    cost: float
+    value: float
+    payload: Any = None
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Weak dominance with at least one strict improvement."""
+        return (
+            self.cost <= other.cost
+            and self.value >= other.value
+            and (self.cost < other.cost or self.value > other.value)
+        )
+
+
+def is_dominated(point: ParetoPoint, others: Iterable[ParetoPoint]) -> bool:
+    """True if any other point dominates ``point``."""
+    return any(o.dominates(point) for o in others if o is not point)
+
+
+def pareto_frontier(points: Sequence[ParetoPoint]) -> list[ParetoPoint]:
+    """The non-dominated subset, sorted by increasing cost.
+
+    O(n log n): sweep by cost, keep points with strictly improving value.
+    """
+    if not points:
+        raise ExperimentError("pareto_frontier needs at least one point")
+    ordered = sorted(points, key=lambda p: (p.cost, -p.value))
+    frontier: list[ParetoPoint] = []
+    best_value = float("-inf")
+    for p in ordered:
+        if p.value > best_value:
+            frontier.append(p)
+            best_value = p.value
+    return frontier
+
+
+def pareto_optimal(points: Sequence[ParetoPoint]) -> ParetoPoint:
+    """The paper's "Pareto-optimal" point: best value-per-area trade-off.
+
+    For throughput-style points (positive values) this maximizes
+    ``value / cost``.  For latency-style points encoded as ``value =
+    -cycles`` it minimizes ``cost * cycles`` — i.e. maximizes
+    performance-per-area, which is how Paper II identifies 2048 bits x 1 MB
+    as the optimum for a single model instance.
+    """
+    frontier = pareto_frontier(points)
+    if all(p.value <= 0 for p in frontier):
+        return min(frontier, key=lambda p: p.cost * (-p.value))
+    return max(frontier, key=lambda p: p.value / p.cost)

@@ -1,0 +1,97 @@
+"""Design recommendation: the co-design loop as an API.
+
+The papers' closing message is that CPU designers should tune vector length
+and cache capacity *jointly with* the algorithm policy.  This module packages
+that loop: given a workload and an area budget (optionally a latency floor),
+search the design space — vector lengths x L2 sizes x core counts x policy —
+and return the throughput-optimal serving design that fits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ExperimentError
+from repro.nn.layer import ConvSpec
+from repro.serving.colocation import ColocationScenario, evaluate_colocation
+
+#: Default search space (the papers' simulated ranges).
+VECTOR_LENGTHS: tuple[int, ...] = (512, 1024, 2048, 4096)
+L2_SIZES_MIB: tuple[float, ...] = (1.0, 4.0, 16.0, 64.0, 256.0)
+CORE_COUNTS: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class DesignRecommendation:
+    """The chosen serving design and its predicted operating point."""
+
+    cores: int
+    vlen_bits: int
+    shared_l2_mib: float
+    policy: str
+    area_mm2: float
+    images_per_second: float
+    latency_s: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.cores} cores x {self.vlen_bits}b vectors, "
+            f"{self.shared_l2_mib:g}MB shared L2, policy={self.policy}: "
+            f"{self.area_mm2:.1f}mm^2, {self.images_per_second:.1f} img/s, "
+            f"{self.latency_s * 1e3:.0f}ms/image"
+        )
+
+
+def recommend_design(
+    specs: list[ConvSpec],
+    area_budget_mm2: float,
+    max_latency_s: float | None = None,
+    policy: str = "optimal",
+    freq_ghz: float = 2.0,
+) -> DesignRecommendation:
+    """Throughput-optimal serving design within an area budget.
+
+    Searches the full (cores, VL, L2) grid with one replica per core,
+    discards designs over the budget or the latency floor, and returns the
+    highest-throughput survivor (ties break toward the smaller area).
+    """
+    if area_budget_mm2 <= 0:
+        raise ConfigError("area_budget_mm2 must be positive")
+    best: DesignRecommendation | None = None
+    for cores in CORE_COUNTS:
+        for vl in VECTOR_LENGTHS:
+            for l2 in L2_SIZES_MIB:
+                try:
+                    scenario = ColocationScenario(
+                        cores=cores, vlen_bits=vl, shared_l2_mib=l2,
+                        instances=cores, policy=policy,
+                    )
+                except ConfigError:
+                    continue
+                result = evaluate_colocation(scenario, specs)
+                if result.area_mm2 > area_budget_mm2:
+                    continue
+                latency = result.cycles_per_image / (freq_ghz * 1e9)
+                if max_latency_s is not None and latency > max_latency_s:
+                    continue
+                candidate = DesignRecommendation(
+                    cores=cores, vlen_bits=vl, shared_l2_mib=l2, policy=policy,
+                    area_mm2=result.area_mm2,
+                    images_per_second=result.images_per_second(freq_ghz),
+                    latency_s=latency,
+                )
+                if (
+                    best is None
+                    or candidate.images_per_second > best.images_per_second
+                    or (
+                        candidate.images_per_second == best.images_per_second
+                        and candidate.area_mm2 < best.area_mm2
+                    )
+                ):
+                    best = candidate
+    if best is None:
+        raise ExperimentError(
+            f"no design fits area budget {area_budget_mm2} mm^2 "
+            f"(and latency floor {max_latency_s})"
+        )
+    return best

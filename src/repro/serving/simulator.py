@@ -1,0 +1,221 @@
+"""Request-level model-serving simulation.
+
+Paper II's context is model serving: replicas of a CNN handle a stream of
+inference requests behind a load balancer (§1, §2.2).  This discrete-event
+simulator closes that loop above the co-location model: requests arrive as
+a (seeded) Poisson process, a FCFS dispatcher feeds the first free replica,
+and each replica serves at the deterministic per-image time the analytical
+model predicts for its core/cache slice.  It reports the latency
+distribution and achieved throughput — which is how the benefit of
+per-layer algorithm selection shows up operationally: lower service time →
+lower tail latency at the same offered load, and a higher saturation point.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.serving.colocation import ColocationResult
+from repro.utils.prng import make_rng
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """One served request's timeline (seconds)."""
+
+    arrival: float
+    start: float
+    finish: float
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def queue_wait(self) -> float:
+        return self.start - self.arrival
+
+
+@dataclass
+class ServingStats:
+    """Aggregate results of a simulation run."""
+
+    records: list[RequestRecord]
+    horizon: float  # last finish time (s)
+    servers: int
+    service_time: float
+
+    def __post_init__(self) -> None:
+        self._latencies = np.array([r.latency for r in self.records])
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_requests / self.horizon if self.horizon else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        return float(np.percentile(self._latencies, q))
+
+    @property
+    def mean_latency(self) -> float:
+        return float(self._latencies.mean())
+
+    @property
+    def p50(self) -> float:
+        return self.latency_percentile(50)
+
+    @property
+    def p99(self) -> float:
+        return self.latency_percentile(99)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of server-seconds spent serving."""
+        busy = sum(r.finish - r.start for r in self.records)
+        return busy / (self.servers * self.horizon) if self.horizon else 0.0
+
+    def mean_queue_length(self) -> float:
+        """Time-averaged number of queued+in-service requests (Little)."""
+        return self.throughput_rps * self.mean_latency
+
+
+def md1_mean_wait(arrival_rate_rps: float, service_time_s: float) -> float:
+    """Exact mean queue wait of an M/D/1 queue (Pollaczek-Khinchine).
+
+    ``W_q = rho * s / (2 * (1 - rho))`` for deterministic service — the
+    closed form the single-replica simulator must converge to
+    (``tests/test_serving_simulator.py`` checks it).
+    """
+    rho = arrival_rate_rps * service_time_s
+    if not 0.0 < rho < 1.0:
+        raise ConfigError(f"M/D/1 requires 0 < rho < 1, got {rho:.3f}")
+    return rho * service_time_s / (2.0 * (1.0 - rho))
+
+
+class ServingSimulator:
+    """M/D/c queue over the co-location model's replicas."""
+
+    def __init__(
+        self,
+        servers: int,
+        service_time_s: float,
+        seed: int | None = None,
+    ) -> None:
+        if servers < 1:
+            raise ConfigError(f"servers must be >= 1, got {servers}")
+        if service_time_s <= 0:
+            raise ConfigError("service_time_s must be positive")
+        self.servers = servers
+        self.service_time = service_time_s
+        self.seed = seed
+
+    @staticmethod
+    def from_colocation(result: ColocationResult, freq_ghz: float = 2.0,
+                        seed: int | None = None) -> "ServingSimulator":
+        """Build a simulator from an evaluated co-location scenario."""
+        service = result.cycles_per_image / (freq_ghz * 1e9)
+        return ServingSimulator(
+            servers=result.scenario.instances, service_time_s=service, seed=seed
+        )
+
+    @property
+    def capacity_rps(self) -> float:
+        """Saturation throughput: servers / service time."""
+        return self.servers / self.service_time
+
+    def run(self, arrival_rate_rps: float, n_requests: int = 2000) -> ServingStats:
+        """Simulate ``n_requests`` Poisson arrivals at the given rate."""
+        if arrival_rate_rps <= 0:
+            raise ConfigError("arrival_rate_rps must be positive")
+        if n_requests < 1:
+            raise ConfigError("n_requests must be >= 1")
+        rng = make_rng(self.seed)
+        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate_rps, n_requests))
+        # min-heap of server-free times
+        free_at = [0.0] * self.servers
+        heapq.heapify(free_at)
+        records: list[RequestRecord] = []
+        for arrival in arrivals:
+            earliest = heapq.heappop(free_at)
+            start = max(float(arrival), earliest)
+            finish = start + self.service_time
+            heapq.heappush(free_at, finish)
+            records.append(RequestRecord(float(arrival), start, finish))
+        horizon = max(r.finish for r in records)
+        return ServingStats(
+            records=records, horizon=horizon, servers=self.servers,
+            service_time=self.service_time,
+        )
+
+    def load_sweep(
+        self, fractions: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9),
+        n_requests: int = 2000,
+    ) -> dict[float, ServingStats]:
+        """Simulate at several fractions of the saturation throughput."""
+        return {
+            f: self.run(f * self.capacity_rps, n_requests) for f in fractions
+        }
+
+
+class ContentionAwareSimulator(ServingSimulator):
+    """M/D/c with occupancy-dependent service times (shared-cache effects).
+
+    Static L2 partitioning (the paper's Intel-CAT assumption) makes service
+    time load-independent; on an *unpartitioned* shared cache, a request
+    served while ``k`` other replicas are busy effectively owns ``L2/(k+1)``
+    and runs slower.  This variant interpolates the service time between the
+    solo time and the fully-contended time by the instantaneous occupancy —
+    quantifying what cache partitioning buys at the tail.
+    """
+
+    def __init__(
+        self,
+        servers: int,
+        service_time_alone_s: float,
+        service_time_contended_s: float,
+        seed: int | None = None,
+    ) -> None:
+        if service_time_contended_s < service_time_alone_s:
+            raise ConfigError(
+                "contended service time must be >= the solo service time"
+            )
+        super().__init__(servers, service_time_alone_s, seed=seed)
+        self.service_contended = service_time_contended_s
+
+    def _service_for_occupancy(self, busy_others: int) -> float:
+        if self.servers == 1:
+            return self.service_time
+        frac = busy_others / (self.servers - 1)
+        return self.service_time + frac * (
+            self.service_contended - self.service_time
+        )
+
+    def run(self, arrival_rate_rps: float, n_requests: int = 2000) -> ServingStats:
+        if arrival_rate_rps <= 0:
+            raise ConfigError("arrival_rate_rps must be positive")
+        if n_requests < 1:
+            raise ConfigError("n_requests must be >= 1")
+        rng = make_rng(self.seed)
+        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate_rps, n_requests))
+        free_at = [0.0] * self.servers
+        heapq.heapify(free_at)
+        records: list[RequestRecord] = []
+        for arrival in arrivals:
+            earliest = heapq.heappop(free_at)
+            start = max(float(arrival), earliest)
+            busy_others = sum(1 for t in free_at if t > start)
+            finish = start + self._service_for_occupancy(busy_others)
+            heapq.heappush(free_at, finish)
+            records.append(RequestRecord(float(arrival), start, finish))
+        horizon = max(r.finish for r in records)
+        return ServingStats(
+            records=records, horizon=horizon, servers=self.servers,
+            service_time=self.service_time,
+        )

@@ -1,0 +1,30 @@
+"""Hardware models: configs, caches, DRAM, trace timing, analytical timing, area.
+
+Two timing engines share one :class:`~repro.simulator.hwconfig.HardwareConfig`:
+
+* :mod:`repro.simulator.timing` replays instruction traces from the
+  functional machine against a set-associative LRU cache hierarchy —
+  cycle-approximate, used on small kernels;
+* :mod:`repro.simulator.analytical` evaluates algorithm *schedules*
+  (loop-nest + data-stream descriptions) in closed form — used on full
+  convolutional layers, where per-instruction simulation is infeasible.
+
+The analytical model is validated against the trace engine in
+``tests/test_model_validation.py``.
+"""
+
+from repro.simulator.hwconfig import HardwareConfig, VectorUnitStyle
+from repro.simulator.cache import SetAssociativeCache, CacheHierarchy, CacheStats
+from repro.simulator.memory import DramModel
+from repro.simulator.timing import TraceTimingModel, TimingResult
+
+__all__ = [
+    "HardwareConfig",
+    "VectorUnitStyle",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "CacheStats",
+    "DramModel",
+    "TraceTimingModel",
+    "TimingResult",
+]

@@ -1,0 +1,33 @@
+"""Analytical (closed-form) layer-level performance model.
+
+Full convolutional layers execute 10^8-10^9 dynamic instructions — far beyond
+what a per-instruction Python replay can cover.  This engine instead evaluates
+*schedules*: each algorithm describes its execution as a list of
+:class:`~repro.simulator.analytical.phases.Phase` objects carrying
+
+* vector arithmetic / vector memory instruction counts with their average
+  active element counts (lane utilization);
+* scalar bookkeeping instruction counts (run on the scalar pipe, overlapped
+  with the vector unit);
+* :class:`~repro.simulator.analytical.phases.DataStream` descriptors —
+  (unique bytes, number of passes, reuse-interval working set) — from which
+  DRAM/L2 traffic is estimated with a smooth cache-residency model.
+
+Cycles per phase are ``max(vector-compute, scalar, L2-bandwidth,
+DRAM-bandwidth) + latency terms``; phases compose additively.  This is the
+Timeloop-style methodology and captures precisely the mechanisms the paper
+attributes its findings to (see DESIGN.md §4).
+"""
+
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.analytical.cachemodel import stream_dram_bytes, residency
+from repro.simulator.analytical.model import AnalyticalTimingModel, LayerCycles
+
+__all__ = [
+    "DataStream",
+    "Phase",
+    "stream_dram_bytes",
+    "residency",
+    "AnalyticalTimingModel",
+    "LayerCycles",
+]

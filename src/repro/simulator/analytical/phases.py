@@ -1,0 +1,93 @@
+"""Schedule descriptors consumed by the analytical timing model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DataStream:
+    """One array's movement during a phase.
+
+    ``bytes`` is the unique footprint touched; ``passes`` is how many times
+    that footprint is streamed through the core during the phase; between
+    consecutive passes ``reuse_ws`` bytes must stay cached for the pass to
+    hit in the L2 instead of going to DRAM.  ``is_write`` marks the first
+    pass as producing (written-back) data.
+    """
+
+    name: str
+    bytes: float
+    passes: float = 1.0
+    reuse_ws: float = 0.0
+    is_write: bool = False
+    #: True when the stream is consumed by *scalar* loads (e.g. the GEMM
+    #: A-matrix operands of vector-scalar FMAs, Direct's input broadcasts).
+    #: The in-order core cannot hide scalar-load miss latency behind the
+    #: vector unit, so these streams carry full latency exposure.
+    scalar_access: bool = False
+    #: True when the stream's data was just produced by an earlier phase or
+    #: by the previous network layer (layer input, im2col column matrix,
+    #: Winograd U/V/M matrices).  If the footprint fits in the L2, even the
+    #: first pass hits — this is what makes large caches pay off for
+    #: multi-phase algorithms and for layer sequences with big activations.
+    resident_source: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bytes < 0:
+            raise ConfigError(f"stream {self.name!r}: bytes must be >= 0")
+        if self.passes < 1.0:
+            raise ConfigError(f"stream {self.name!r}: passes must be >= 1")
+        if self.reuse_ws < 0:
+            raise ConfigError(f"stream {self.name!r}: reuse_ws must be >= 0")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One stage of an algorithm (im2col, packing, macro-kernel, ...).
+
+    Instruction counts are totals over the phase:
+
+    * ``vector_ops`` arithmetic vector instructions averaging
+      ``vector_active`` active elements each;
+    * ``vmem_ops`` vector memory instructions averaging ``vmem_active``
+      elements, of which ``nonunit_fraction`` are strided/indexed (these
+      sustain far fewer elements per cycle);
+    * ``scalar_ops`` scalar instructions (loop control, addresses, scalar
+      operand loads) issued on the scalar pipe in parallel with the VPU.
+    """
+
+    name: str
+    vector_ops: float = 0.0
+    vector_active: float = 0.0
+    vmem_ops: float = 0.0
+    vmem_active: float = 0.0
+    nonunit_fraction: float = 0.0
+    scalar_ops: float = 0.0
+    streams: tuple[DataStream, ...] = ()
+
+    def __post_init__(self) -> None:
+        for attr in ("vector_ops", "vector_active", "vmem_ops", "vmem_active",
+                     "scalar_ops"):
+            if getattr(self, attr) < 0:
+                raise ConfigError(f"phase {self.name!r}: {attr} must be >= 0")
+        if not 0.0 <= self.nonunit_fraction <= 1.0:
+            raise ConfigError(
+                f"phase {self.name!r}: nonunit_fraction must be in [0, 1]"
+            )
+        if self.vector_ops and not self.vector_active:
+            raise ConfigError(
+                f"phase {self.name!r}: vector_ops given without vector_active"
+            )
+        if self.vmem_ops and not self.vmem_active:
+            raise ConfigError(
+                f"phase {self.name!r}: vmem_ops given without vmem_active"
+            )
+        object.__setattr__(self, "streams", tuple(self.streams))
+
+    @property
+    def total_stream_bytes(self) -> float:
+        """Total unique bytes across all streams (footprint, not traffic)."""
+        return sum(s.bytes for s in self.streams)

@@ -1,0 +1,28 @@
+"""Chip-area models for the performance-area Pareto analyses.
+
+Reproduces the papers' 7 nm FinFET area methodology: core/VPU/VRF areas
+estimated at 22 nm from Lazo et al.'s adaptable-register-file data, scaled by
+the conservative 6.2x density factor, plus a PCacti-like SRAM model for the
+shared L2.  Two scaling laws are provided, matching the two papers:
+
+* Paper II (tightly integrated unit): VPU+VRF take 28/43/60/75 % of the
+  non-L2 chip area at 512/1024/2048/4096-bit vectors;
+* Paper I (decoupled unit, 8 lanes): only the VRF grows with the vector
+  length — 3/6.9/12.68/22.5/36.9 % at 512...8192 bits.
+"""
+
+from repro.simulator.area.sram import sram_area_mm2
+from repro.simulator.area.chip import (
+    chip_area_mm2,
+    core_area_mm2,
+    multicore_area_mm2,
+    AreaModel,
+)
+
+__all__ = [
+    "sram_area_mm2",
+    "chip_area_mm2",
+    "core_area_mm2",
+    "multicore_area_mm2",
+    "AreaModel",
+]

@@ -1,0 +1,105 @@
+"""Core/VPU/VRF area scaling and chip composition at 7 nm.
+
+The anchors come straight from the papers:
+
+* Paper II §4.4: "the chip area dedicated to the VPU and VRF consumes ~28 %,
+  ~43 %, ~60 % and ~75 % of total [non-L2] chip area as we increase vector
+  lengths from 512 to 4096 bits", and the Pareto-optimal single-instance
+  configuration (2048 bits + 1 MB L2) occupies **2.35 mm^2** — which pins
+  the scalar-core area.
+* Paper I §VIII: with a decoupled 8-lane VPU only the register file grows —
+  3 / 6.9 / 12.68 / 22.5 / 36.9 % of chip area from 512 to 8192 bits.
+* Both scale 22 nm estimates to 7 nm with a conservative 6.2x density gain.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.simulator.area.sram import sram_area_mm2
+
+#: Paper II: fraction of non-L2 chip area used by VPU+VRF per vector length.
+PAPER2_VPU_FRACTION: dict[int, float] = {
+    512: 0.28,
+    1024: 0.43,
+    2048: 0.60,
+    4096: 0.75,
+}
+
+#: Paper I: fraction of non-L2 chip area used by the VRF per vector length.
+PAPER1_VRF_FRACTION: dict[int, float] = {
+    512: 0.03,
+    1024: 0.069,
+    2048: 0.1268,
+    4096: 0.225,
+    8192: 0.369,
+    16384: 0.54,  # extrapolated (VRF doubles, rest constant)
+}
+
+#: Scalar core + uncore area at 7 nm, from the 2.35 mm^2 anchor:
+#: 2.35 = core / (1 - 0.60) + sram(1 MiB)  =>  core ~ 0.74 mm^2.
+PAPER2_CORE_MM2 = (2.35 - sram_area_mm2(1.0)) * (1.0 - PAPER2_VPU_FRACTION[2048])
+
+#: Paper I scalar core + fixed 8-lane VPU at 7 nm (22 nm estimate / 6.2).
+PAPER1_BASE_MM2 = 4.0
+
+#: 22 nm -> 7 nm conservative density gain used by both papers.
+DENSITY_SCALE_22_TO_7 = 6.2
+
+
+def _fraction(table: dict[int, float], vlen_bits: int) -> float:
+    """Fraction lookup with geometric interpolation between known points."""
+    if vlen_bits in table:
+        return table[vlen_bits]
+    keys = sorted(table)
+    if vlen_bits < keys[0] or vlen_bits > keys[-1]:
+        raise ConfigError(
+            f"no area data for vector length {vlen_bits} (known: {keys})"
+        )
+    lo = max(k for k in keys if k < vlen_bits)
+    hi = min(k for k in keys if k > vlen_bits)
+    t = (math.log2(vlen_bits) - math.log2(lo)) / (math.log2(hi) - math.log2(lo))
+    return table[lo] + t * (table[hi] - table[lo])
+
+
+def core_area_mm2(vlen_bits: int, model: str = "paper2") -> float:
+    """Area of one core (scalar + vector unit + VRF, no L2) at 7 nm."""
+    if model == "paper2":
+        frac = _fraction(PAPER2_VPU_FRACTION, vlen_bits)
+        return PAPER2_CORE_MM2 / (1.0 - frac)
+    if model == "paper1":
+        frac = _fraction(PAPER1_VRF_FRACTION, vlen_bits)
+        return PAPER1_BASE_MM2 / (1.0 - frac)
+    raise ConfigError(f"unknown area model {model!r} (paper1/paper2)")
+
+
+def chip_area_mm2(vlen_bits: int, l2_mib: float, model: str = "paper2") -> float:
+    """Single-core chip area: core + shared L2."""
+    return core_area_mm2(vlen_bits, model) + sram_area_mm2(l2_mib)
+
+
+def multicore_area_mm2(
+    cores: int, vlen_bits: int, l2_mib: float, model: str = "paper2"
+) -> float:
+    """Multi-core chip: ``cores`` replicated cores + one shared L2."""
+    if cores < 1:
+        raise ConfigError(f"cores must be >= 1, got {cores}")
+    return cores * core_area_mm2(vlen_bits, model) + sram_area_mm2(l2_mib)
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Convenience bundle fixing the scaling law."""
+
+    model: str = "paper2"
+
+    def core(self, vlen_bits: int) -> float:
+        return core_area_mm2(vlen_bits, self.model)
+
+    def chip(self, vlen_bits: int, l2_mib: float) -> float:
+        return chip_area_mm2(vlen_bits, l2_mib, self.model)
+
+    def multicore(self, cores: int, vlen_bits: int, l2_mib: float) -> float:
+        return multicore_area_mm2(cores, vlen_bits, l2_mib, self.model)

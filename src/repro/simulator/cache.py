@@ -1,0 +1,227 @@
+"""Trace-driven set-associative cache models.
+
+The timing simulator replays vector memory operations against this hierarchy
+to obtain per-level hit/miss counts.  The model is a classic write-allocate,
+write-back, true-LRU set-associative cache — the same organization the
+paper's gem5 configurations use for L1/L2.
+
+LRU is implemented with a per-set logical clock rather than list shuffling,
+keeping Python-level work per access O(associativity) with NumPy storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.isa.trace import MemoryOp
+from repro.utils.validation import check_positive, check_power_of_two
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/writeback counters for one cache level."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = self.hits = self.misses = self.writebacks = 0
+
+
+class SetAssociativeCache:
+    """A single level: write-allocate, write-back, true LRU."""
+
+    def __init__(
+        self, name: str, size_bytes: int, assoc: int, line_bytes: int
+    ) -> None:
+        check_positive("size_bytes", size_bytes)
+        check_power_of_two("assoc", assoc)
+        check_power_of_two("line_bytes", line_bytes)
+        if size_bytes % (assoc * line_bytes) != 0:
+            raise ConfigError(
+                f"cache size {size_bytes} not divisible by assoc*line "
+                f"({assoc}*{line_bytes})"
+            )
+        self.name = name
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = size_bytes // (assoc * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ConfigError(
+                f"cache with {self.num_sets} sets is not a power of two; "
+                f"choose size/assoc/line accordingly"
+            )
+        self.stats = CacheStats()
+        # tags[set, way] = line address (or -1); lru[set, way] = last-use tick
+        self._tags = np.full((self.num_sets, assoc), -1, dtype=np.int64)
+        self._dirty = np.zeros((self.num_sets, assoc), dtype=bool)
+        self._lru = np.zeros((self.num_sets, assoc), dtype=np.int64)
+        self._tick = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        return (line_addr // self.line_bytes) & (self.num_sets - 1)
+
+    def lookup(self, line_addr: int) -> bool:
+        """Probe without side effects; True if the line is resident."""
+        s = self._set_index(line_addr)
+        return bool((self._tags[s] == line_addr).any())
+
+    def access(self, line_addr: int, is_store: bool) -> tuple[bool, int | None]:
+        """Access one cache line.
+
+        Returns ``(hit, victim_line)`` where ``victim_line`` is the address
+        of a *dirty* line evicted to make room (else None).
+        """
+        if line_addr % self.line_bytes:
+            raise SimulationError(
+                f"{self.name}: access address {line_addr:#x} not line-aligned"
+            )
+        self._tick += 1
+        self.stats.accesses += 1
+        s = self._set_index(line_addr)
+        tags = self._tags[s]
+        ways = np.nonzero(tags == line_addr)[0]
+        if ways.size:
+            way = int(ways[0])
+            self.stats.hits += 1
+            self._lru[s, way] = self._tick
+            if is_store:
+                self._dirty[s, way] = True
+            return True, None
+        # miss: choose victim = invalid way if any, else LRU
+        self.stats.misses += 1
+        invalid = np.nonzero(tags == -1)[0]
+        if invalid.size:
+            way = int(invalid[0])
+        else:
+            way = int(np.argmin(self._lru[s]))
+        victim = None
+        if tags[way] != -1 and self._dirty[s, way]:
+            victim = int(tags[way])
+            self.stats.writebacks += 1
+        self._tags[s, way] = line_addr
+        self._dirty[s, way] = is_store
+        self._lru[s, way] = self._tick
+        return False, victim
+
+    def flush(self) -> None:
+        """Invalidate all lines and reset dirty bits (stats are kept)."""
+        self._tags[:] = -1
+        self._dirty[:] = False
+        self._lru[:] = 0
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held (for tests)."""
+        return int((self._tags != -1).sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SetAssociativeCache({self.name}, {self.size_bytes}B, "
+            f"{self.assoc}-way, sets={self.num_sets})"
+        )
+
+
+class CacheHierarchy:
+    """A two-level hierarchy with a DRAM backing counter.
+
+    ``vector_at_l2`` models the Paper I decoupled RISC-VV organization where
+    the vector unit reads/writes through the L2 directly (via a tiny vector
+    buffer), so vector accesses skip the L1.
+    """
+
+    def __init__(
+        self,
+        l1: SetAssociativeCache,
+        l2: SetAssociativeCache,
+        vector_at_l2: bool = False,
+    ) -> None:
+        if l1.line_bytes != l2.line_bytes:
+            raise ConfigError("L1 and L2 must share a line size in this model")
+        self.l1 = l1
+        self.l2 = l2
+        self.vector_at_l2 = vector_at_l2
+        self.dram_lines = 0  # lines fetched from DRAM
+        self.dram_writeback_lines = 0
+
+    @property
+    def line_bytes(self) -> int:
+        return self.l1.line_bytes
+
+    def access_line(self, line_addr: int, is_store: bool, vector: bool = True) -> dict:
+        """Access a line; returns which levels hit.
+
+        The return dict has keys ``l1_hit``, ``l2_hit`` (``l1_hit`` is None
+        when the access bypassed L1).
+        """
+        result: dict[str, bool | None] = {"l1_hit": None, "l2_hit": None}
+        if vector and self.vector_at_l2:
+            hit2, victim2 = self.l2.access(line_addr, is_store)
+            result["l2_hit"] = hit2
+            if not hit2:
+                self.dram_lines += 1
+            if victim2 is not None:
+                self.dram_writeback_lines += 1
+            return result
+        hit1, victim1 = self.l1.access(line_addr, is_store)
+        result["l1_hit"] = hit1
+        if victim1 is not None:
+            # dirty L1 victim written back into L2
+            _, victim2 = self.l2.access(victim1, True)
+            if victim2 is not None:
+                self.dram_writeback_lines += 1
+        if not hit1:
+            hit2, victim2 = self.l2.access(line_addr, is_store)
+            result["l2_hit"] = hit2
+            if not hit2:
+                self.dram_lines += 1
+            if victim2 is not None:
+                self.dram_writeback_lines += 1
+        return result
+
+    def access_memop(self, op: MemoryOp) -> tuple[int, int]:
+        """Replay a whole vector memory op; returns (l1_misses, l2_misses)."""
+        l1_misses = 0
+        l2_misses = 0
+        for line in op.touched_lines(self.line_bytes):
+            res = self.access_line(line, op.is_store, vector=True)
+            if res["l1_hit"] is False:
+                l1_misses += 1
+            if res["l2_hit"] is False:
+                l2_misses += 1
+            if res["l1_hit"] is None and res["l2_hit"] is False:
+                # decoupled: L2 miss is the only miss level
+                pass
+        return l1_misses, l2_misses
+
+    def flush(self) -> None:
+        self.l1.flush()
+        self.l2.flush()
+
+    @staticmethod
+    def from_config(config) -> "CacheHierarchy":
+        """Build the hierarchy described by a :class:`HardwareConfig`."""
+        from repro.simulator.hwconfig import VectorUnitStyle
+
+        l1 = SetAssociativeCache(
+            "L1", config.l1_bytes, config.l1_assoc, config.line_bytes
+        )
+        l2 = SetAssociativeCache(
+            "L2", config.l2_bytes, config.l2_assoc, config.line_bytes
+        )
+        return CacheHierarchy(
+            l1, l2, vector_at_l2=(config.style is VectorUnitStyle.DECOUPLED)
+        )

@@ -1,0 +1,92 @@
+"""Hardware configurations from INI files (the gem5-config workflow).
+
+gem5 users drive sweeps from config scripts; the equivalent here is a small
+INI dialect so hardware design points can live in version-controlled files
+(see ``configs/`` at the repository root) instead of code:
+
+```ini
+[hardware]
+name = my-design
+vlen_bits = 2048
+style = integrated      ; or: decoupled
+l2_mib = 4
+isa = rvv               ; or: sve
+software_prefetch = false
+```
+
+Unknown keys are rejected (a typo must not silently become a default).
+"""
+
+from __future__ import annotations
+
+import configparser
+from pathlib import Path
+
+from repro.errors import ConfigError
+from repro.simulator.hwconfig import HardwareConfig, VectorUnitStyle
+
+_INT_FIELDS = {
+    "vlen_bits", "vector_lanes", "l1_kib", "l1_assoc", "l1_latency",
+    "line_bytes", "l2_assoc", "l2_latency", "dram_latency",
+}
+_FLOAT_FIELDS = {"freq_ghz", "l2_mib", "dram_bw_gib_s"}
+_BOOL_FIELDS = {"software_prefetch", "hardware_prefetch", "out_of_order"}
+_STR_FIELDS = {"name", "isa"}
+_ALL_FIELDS = _INT_FIELDS | _FLOAT_FIELDS | _BOOL_FIELDS | _STR_FIELDS | {"style"}
+
+
+def parse_hardware_ini(text: str) -> HardwareConfig:
+    """Parse INI text with a ``[hardware]`` section into a config."""
+    parser = configparser.ConfigParser(inline_comment_prefixes=(";", "#"))
+    try:
+        parser.read_string(text)
+    except configparser.Error as exc:
+        raise ConfigError(f"malformed hardware ini: {exc}") from exc
+    if "hardware" not in parser:
+        raise ConfigError("hardware ini needs a [hardware] section")
+    section = parser["hardware"]
+    kwargs: dict = {}
+    for key, raw in section.items():
+        if key not in _ALL_FIELDS:
+            raise ConfigError(f"unknown hardware option {key!r}")
+        if key == "style":
+            try:
+                kwargs["style"] = VectorUnitStyle(raw.strip().lower())
+            except ValueError:
+                raise ConfigError(
+                    f"style must be 'integrated' or 'decoupled', got {raw!r}"
+                )
+        elif key in _INT_FIELDS:
+            try:
+                kwargs[key] = int(raw)
+            except ValueError:
+                raise ConfigError(f"{key} must be an integer, got {raw!r}")
+        elif key in _FLOAT_FIELDS:
+            try:
+                kwargs[key] = float(raw)
+            except ValueError:
+                raise ConfigError(f"{key} must be a number, got {raw!r}")
+        elif key in _BOOL_FIELDS:
+            lowered = raw.strip().lower()
+            if lowered in ("true", "yes", "1", "on"):
+                kwargs[key] = True
+            elif lowered in ("false", "no", "0", "off"):
+                kwargs[key] = False
+            else:
+                raise ConfigError(f"{key} must be a boolean, got {raw!r}")
+        else:
+            kwargs[key] = raw.strip()
+    return HardwareConfig(**kwargs)
+
+
+def load_hardware_config(path: str | Path) -> HardwareConfig:
+    """Load a hardware config from an ``.ini`` file."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"hardware config file {path} does not exist")
+    return parse_hardware_ini(path.read_text())
+
+
+def builtin_config_dir() -> Path:
+    """The repository's ``configs/`` directory of preset design points."""
+    return Path(__file__).resolve().parents[3] / "configs"

@@ -1,0 +1,129 @@
+"""Energy model for the co-design study.
+
+Both papers motivate vector CPUs with *energy efficiency* ("high performance
+and power efficiency", "lower energy consumption") but report only
+performance and area.  This extension closes the loop with an event-based
+energy model in the style of accelerator estimators (Timeloop/Accelergy):
+each phase's activity counts are priced with per-event energies at 7 nm,
+plus a leakage term proportional to chip area and runtime.
+
+Per-event constants are representative published magnitudes for a 7 nm
+class process (vector MAC ~0.5 pJ/lane-op, SRAM ~1 pJ/B, DRAM ~15 pJ/B,
+scalar op ~5 pJ, leakage ~3 mW/mm^2); results should be read as *relative*
+energies across configurations, consistent with the rest of the model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.registry import effective_algorithm
+from repro.errors import ConfigError
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.cachemodel import phase_l2_bytes, stream_dram_bytes
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.area.chip import chip_area_mm2
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@dataclass(frozen=True)
+class EnergyConstants:
+    """Per-event energies (picojoules) and leakage at 7 nm."""
+
+    vector_lane_op_pj: float = 0.5  # per active f32 lane-operation
+    vector_issue_pj: float = 2.0  # per vector instruction (control)
+    scalar_op_pj: float = 5.0  # per scalar instruction
+    l2_byte_pj: float = 1.0
+    dram_byte_pj: float = 15.0
+    leakage_mw_per_mm2: float = 3.0
+
+    def __post_init__(self) -> None:
+        for f in ("vector_lane_op_pj", "scalar_op_pj", "l2_byte_pj",
+                  "dram_byte_pj", "leakage_mw_per_mm2"):
+            if getattr(self, f) <= 0:
+                raise ConfigError(f"{f} must be positive")
+
+
+DEFAULT_ENERGY = EnergyConstants()
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy (joules) by component for one layer/network execution."""
+
+    compute_j: float = 0.0
+    scalar_j: float = 0.0
+    l2_j: float = 0.0
+    dram_j: float = 0.0
+    leakage_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.compute_j + self.scalar_j + self.l2_j + self.dram_j
+            + self.leakage_j
+        )
+
+    def merge(self, other: "EnergyBreakdown") -> None:
+        self.compute_j += other.compute_j
+        self.scalar_j += other.scalar_j
+        self.l2_j += other.l2_j
+        self.dram_j += other.dram_j
+        self.leakage_j += other.leakage_j
+
+
+def layer_energy(
+    algorithm: str,
+    spec: ConvSpec,
+    hw: HardwareConfig,
+    constants: EnergyConstants = DEFAULT_ENERGY,
+    freq_ghz: float = 2.0,
+) -> EnergyBreakdown:
+    """Energy of one layer under one algorithm/config (Winograd* fallback)."""
+    algo = effective_algorithm(algorithm, spec)
+    phases = algo.schedule(spec, hw)
+    model = AnalyticalTimingModel(hw)
+    out = EnergyBreakdown()
+    pj = 1e-12
+    total_cycles = 0.0
+    for phase in phases:
+        pc = model.phase_cycles(phase)
+        total_cycles += pc.cycles
+        lane_ops = (phase.vector_ops + phase.vmem_ops) * max(
+            1.0, phase.vector_active or phase.vmem_active
+        )
+        instrs = phase.vector_ops + phase.vmem_ops
+        out.compute_j += pj * (
+            lane_ops * constants.vector_lane_op_pj
+            + instrs * constants.vector_issue_pj
+        )
+        out.scalar_j += pj * phase.scalar_ops * constants.scalar_op_pj
+        out.l2_j += pj * phase_l2_bytes(phase.streams) * constants.l2_byte_pj
+        out.dram_j += pj * sum(
+            stream_dram_bytes(s, hw) for s in phase.streams
+        ) * constants.dram_byte_pj
+    area = chip_area_mm2(hw.vlen_bits, hw.l2_mib)
+    seconds = total_cycles / (freq_ghz * 1e9)
+    out.leakage_j += constants.leakage_mw_per_mm2 * 1e-3 * area * seconds
+    return out
+
+
+def network_energy(
+    specs: list[ConvSpec],
+    hw: HardwareConfig,
+    policy: str = "optimal",
+    constants: EnergyConstants = DEFAULT_ENERGY,
+) -> EnergyBreakdown:
+    """Energy of a network's conv layers under a policy (see throughput)."""
+    from repro.algorithms.registry import ALGORITHM_NAMES, best_algorithm
+
+    out = EnergyBreakdown()
+    for spec in specs:
+        if policy == "optimal":
+            name, _ = best_algorithm(spec, hw)
+        elif policy in ALGORITHM_NAMES:
+            name = policy
+        else:
+            raise ConfigError(f"unknown policy {policy!r}")
+        out.merge(layer_energy(name, spec, hw, constants))
+    return out

@@ -1,0 +1,205 @@
+"""Hardware configuration for the simulated long-vector processors.
+
+Encodes the platforms of both papers (Table I of Paper I, §3.1 of Paper II):
+
+* **Paper II RVV** — in-order MinorCPU @ 2 GHz with a *tightly integrated*
+  vector unit whose datapath scales with the vector length, 64 KB 4-way L1,
+  shared L2 (1-64 MB, constant 20-cycle latency), DDR3-1600 at 12.8 GiB/s
+  per core.
+* **Paper I RISC-VV@gem5** — same core, but a *decoupled* vector unit
+  attached to the L2 cache (vector memory traffic bypasses L1) with 2-8
+  64-bit lanes, no software prefetch.
+* **Paper I ARM-SVE@gem5** — integrated unit, lanes proportional to vector
+  length, no software prefetch.
+* **A64FX** — out-of-order, fixed 512-bit vectors, hardware prefetch, 8 MB
+  16-way L2, 256 B lines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+from repro.isa.types import validate_vlen_bits
+from repro.utils.units import KiB, MiB
+from repro.utils.validation import check_positive, check_power_of_two
+
+
+class VectorUnitStyle(enum.Enum):
+    """How the vector unit couples to the core and memory hierarchy."""
+
+    #: Datapath scales with VLEN; vector memory ops go through the L1.
+    INTEGRATED = "integrated"
+    #: Fixed number of 64-bit lanes; vector memory ops attach to the L2
+    #: (through a small vector buffer), as in the Paper I RISC-VV gem5 model.
+    DECOUPLED = "decoupled"
+
+
+@dataclass(frozen=True)
+class HardwareConfig:
+    """A single-core long-vector processor configuration."""
+
+    name: str = "rvv"
+    vlen_bits: int = 512
+    style: VectorUnitStyle = VectorUnitStyle.INTEGRATED
+    vector_lanes: int = 8  # 64-bit lanes; only meaningful for DECOUPLED
+    freq_ghz: float = 2.0
+
+    l1_kib: int = 64
+    l1_assoc: int = 4
+    l1_latency: int = 4
+    line_bytes: int = 64
+
+    l2_mib: float = 1.0
+    l2_assoc: int = 8
+    l2_latency: int = 20
+
+    dram_bw_gib_s: float = 12.8
+    dram_latency: int = 100
+
+    software_prefetch: bool = False
+    hardware_prefetch: bool = False
+    out_of_order: bool = False
+    #: ISA family: "rvv" or "sve".  SVE provides the zip/transpose intrinsics
+    #: the Winograd transforms want; RVV v0.8/1.0 lacks them and pays a
+    #: buffer+gather workaround (Paper I §VII).
+    isa: str = "rvv"
+    #: RVV register-group multiplier used by the kernels (LMUL).  Groups act
+    #: like ``lmul``-times-longer architectural vectors (fewer strip-mine
+    #: iterations) without widening the physical datapath.
+    lmul: int = 1
+
+    def __post_init__(self) -> None:
+        validate_vlen_bits(self.vlen_bits)
+        check_positive("vector_lanes", self.vector_lanes)
+        check_positive("freq_ghz", self.freq_ghz)
+        check_positive("l1_kib", self.l1_kib)
+        check_power_of_two("l1_assoc", self.l1_assoc)
+        check_power_of_two("line_bytes", self.line_bytes)
+        check_positive("l2_mib", self.l2_mib)
+        check_power_of_two("l2_assoc", self.l2_assoc)
+        check_positive("dram_bw_gib_s", self.dram_bw_gib_s)
+        if not isinstance(self.style, VectorUnitStyle):
+            raise ConfigError(f"style must be VectorUnitStyle, got {self.style!r}")
+        if self.isa not in ("rvv", "sve"):
+            raise ConfigError(f"isa must be 'rvv' or 'sve', got {self.isa!r}")
+        if self.lmul not in (1, 2, 4, 8):
+            raise ConfigError(f"lmul must be 1, 2, 4 or 8, got {self.lmul!r}")
+        if self.isa == "sve" and self.lmul != 1:
+            raise ConfigError("LMUL register grouping is an RVV feature")
+
+    # ------------------------------------------------------------------ #
+    # derived quantities
+    # ------------------------------------------------------------------ #
+    @property
+    def l1_bytes(self) -> int:
+        return self.l1_kib * KiB
+
+    @property
+    def l2_bytes(self) -> int:
+        return int(self.l2_mib * MiB)
+
+    @property
+    def vlmax_f32(self) -> int:
+        """Elements per vector register *group* at 32-bit SEW.
+
+        The kernels strip-mine at this granularity; with LMUL > 1 it covers
+        ``lmul`` physical registers while the datapath width is unchanged.
+        """
+        return self.lmul * self.vlen_bits // 32
+
+    @property
+    def datapath_f32_per_cycle(self) -> int:
+        """Single-precision elements the vector unit processes per cycle.
+
+        Integrated units (Paper II RVV, ARM-SVE@gem5) scale their datapath
+        with the vector length; decoupled units have ``lanes`` 64-bit lanes,
+        i.e. ``2*lanes`` f32 elements per cycle.
+        """
+        if self.style is VectorUnitStyle.INTEGRATED:
+            return max(1, self.vlen_bits // 32)
+        return max(1, 2 * self.vector_lanes)
+
+    @property
+    def dram_bytes_per_cycle(self) -> float:
+        """Peak DRAM bandwidth expressed in bytes per core cycle."""
+        bytes_per_s = self.dram_bw_gib_s * (1 << 30)
+        cycles_per_s = self.freq_ghz * 1e9
+        return bytes_per_s / cycles_per_s
+
+    @property
+    def l2_bytes_per_cycle(self) -> float:
+        """Sustained L2->core bandwidth (one line per ``beat`` cycles)."""
+        # A 64B line every 2 cycles is in line with the gem5 MinorCPU port
+        # width used by the paper's fork.
+        return self.line_bytes / 2.0
+
+    def with_(self, **kwargs) -> "HardwareConfig":
+        """Return a modified copy (convenience over ``dataclasses.replace``)."""
+        return replace(self, **kwargs)
+
+    def label(self) -> str:
+        """Short label used in experiment tables, e.g. ``512b x 1MB``."""
+        l2 = f"{self.l2_mib:g}"
+        return f"{self.vlen_bits} bits x {l2} MB"
+
+    # ------------------------------------------------------------------ #
+    # platform presets
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def paper2_rvv(vlen_bits: int = 512, l2_mib: float = 1.0) -> "HardwareConfig":
+        """The Paper II platform: integrated RVV, 20-cycle L2, DDR3-1600."""
+        return HardwareConfig(
+            name=f"rvv-{vlen_bits}b-{l2_mib:g}MB",
+            vlen_bits=vlen_bits,
+            style=VectorUnitStyle.INTEGRATED,
+            l2_mib=l2_mib,
+            l2_latency=20,
+        )
+
+    @staticmethod
+    def paper1_riscvv(
+        vlen_bits: int = 512, l2_mib: float = 1.0, lanes: int = 8
+    ) -> "HardwareConfig":
+        """Paper I decoupled RISC-VV@gem5 (VPU attached to L2, no prefetch)."""
+        return HardwareConfig(
+            name=f"riscvv-{vlen_bits}b-{l2_mib:g}MB-{lanes}l",
+            vlen_bits=vlen_bits,
+            style=VectorUnitStyle.DECOUPLED,
+            vector_lanes=lanes,
+            l2_mib=l2_mib,
+            l2_latency=12,
+        )
+
+    @staticmethod
+    def paper1_armsve(vlen_bits: int = 512, l2_mib: float = 1.0) -> "HardwareConfig":
+        """Paper I ARM-SVE@gem5 (integrated, lanes proportional to VL)."""
+        if vlen_bits > 2048:
+            raise ConfigError("ARM-SVE supports at most 2048-bit vectors")
+        return HardwareConfig(
+            name=f"armsve-{vlen_bits}b-{l2_mib:g}MB",
+            vlen_bits=vlen_bits,
+            style=VectorUnitStyle.INTEGRATED,
+            l2_mib=l2_mib,
+            l2_latency=12,
+            isa="sve",
+        )
+
+    @staticmethod
+    def a64fx() -> "HardwareConfig":
+        """The Fujitsu A64FX evaluation platform of Paper I."""
+        return HardwareConfig(
+            name="a64fx",
+            vlen_bits=512,
+            style=VectorUnitStyle.INTEGRATED,
+            l2_mib=8.0,
+            l2_assoc=16,
+            l2_latency=37,
+            line_bytes=256,
+            software_prefetch=True,
+            hardware_prefetch=True,
+            out_of_order=True,
+            dram_bw_gib_s=28.0,
+            isa="sve",
+        )

@@ -1,0 +1,49 @@
+"""DRAM timing model.
+
+A simple bandwidth/latency model of the paper's DDR3-1600 configuration:
+12.8 GiB/s per core and a fixed access latency.  Used by both the
+trace-driven and the analytical timing engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """Bandwidth + latency DRAM model (per core)."""
+
+    bytes_per_cycle: float
+    latency_cycles: int = 100
+    #: Effective memory-level parallelism: how many outstanding line fills
+    #: overlap, amortizing latency.  The in-order MinorCPU with a vector unit
+    #: sustains a handful of outstanding lines.
+    mlp: float = 4.0
+
+    def __post_init__(self) -> None:
+        check_positive("bytes_per_cycle", self.bytes_per_cycle)
+        check_positive("latency_cycles", self.latency_cycles)
+        check_positive("mlp", self.mlp)
+
+    def transfer_cycles(self, nbytes: float) -> float:
+        """Cycles to stream ``nbytes`` at peak bandwidth."""
+        return nbytes / self.bytes_per_cycle
+
+    def miss_penalty_cycles(self, misses: int, prefetch: bool = False) -> float:
+        """Exposed latency cycles for ``misses`` line fills.
+
+        With software/hardware prefetching most of the latency is hidden;
+        we model that as a 4x higher effective MLP.
+        """
+        mlp = self.mlp * (4.0 if prefetch else 1.0)
+        return misses * self.latency_cycles / mlp
+
+    @staticmethod
+    def from_config(config) -> "DramModel":
+        return DramModel(
+            bytes_per_cycle=config.dram_bytes_per_cycle,
+            latency_cycles=config.dram_latency,
+        )

@@ -1,0 +1,74 @@
+"""Roofline analysis of convolutional layers (Paper I §VI-C-a, Table IV).
+
+Paper I characterizes the sustained performance of YOLOv3's 14 distinct
+convolutional layers against their arithmetic intensity on the A64FX
+(62.5 GFLOP/s peak per core).  This module reproduces that methodology:
+
+* ``arithmetic_intensity`` — the paper's metric, FLOPs over the GEMM
+  operand bytes (Table IV's AI column is exact arithmetic and matches to
+  the printed precision);
+* ``attainable_fraction`` — the roofline bound min(1, AI / machine balance);
+* ``sustained_fraction`` — the analytical model's achieved fraction of the
+  vector unit's peak for a given algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.registry import get_algorithm, layer_cycles
+from repro.nn.layer import ConvSpec
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One layer's position on the roofline."""
+
+    spec: ConvSpec
+    arithmetic_intensity: float
+    attainable_fraction: float  # roofline bound (fraction of peak)
+    sustained_fraction: float  # model-achieved fraction of peak
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.attainable_fraction < 1.0
+
+
+def peak_flops_per_cycle(hw: HardwareConfig) -> float:
+    """Peak single-precision FLOPs per cycle: FMA on the full datapath."""
+    return 2.0 * hw.datapath_f32_per_cycle
+
+
+def machine_balance(hw: HardwareConfig) -> float:
+    """FLOPs per DRAM byte needed to saturate the vector unit."""
+    return peak_flops_per_cycle(hw) / hw.dram_bytes_per_cycle
+
+
+def attainable_fraction(spec: ConvSpec, hw: HardwareConfig) -> float:
+    """Roofline bound as a fraction of peak, from the paper's AI metric."""
+    return min(1.0, spec.arithmetic_intensity() / machine_balance(hw))
+
+
+def sustained_fraction(
+    spec: ConvSpec, hw: HardwareConfig, algorithm: str = "im2col_gemm6"
+) -> float:
+    """Fraction of peak the analytical model sustains for the layer."""
+    cycles = layer_cycles(algorithm, spec, hw, fallback=True).cycles
+    ideal = spec.flops / peak_flops_per_cycle(hw)
+    return min(1.0, ideal / cycles)
+
+
+def roofline(
+    specs: list[ConvSpec], hw: HardwareConfig, algorithm: str = "im2col_gemm6"
+) -> list[RooflinePoint]:
+    """Roofline points for a list of layers."""
+    return [
+        RooflinePoint(
+            spec=s,
+            arithmetic_intensity=s.arithmetic_intensity(),
+            attainable_fraction=attainable_fraction(s, hw),
+            sustained_fraction=sustained_fraction(s, hw, algorithm),
+        )
+        for s in specs
+    ]

@@ -1,0 +1,27 @@
+"""Small shared utilities: validation, formatting, deterministic RNG."""
+
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_power_of_two,
+    check_in,
+    check_type,
+)
+from repro.utils.units import KiB, MiB, GiB, human_bytes, human_count
+from repro.utils.tables import Table
+from repro.utils.prng import make_rng
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_power_of_two",
+    "check_in",
+    "check_type",
+    "KiB",
+    "MiB",
+    "GiB",
+    "human_bytes",
+    "human_count",
+    "Table",
+    "make_rng",
+]

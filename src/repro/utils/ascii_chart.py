@@ -1,0 +1,98 @@
+"""Terminal bar charts for the figure harnesses.
+
+The paper's artifacts are grouped-bar figures; the tables carry the exact
+numbers, and this module renders the same series as Unicode bar charts so a
+terminal user sees the figure's *shape* (who wins, where the crossovers
+fall) at a glance.  No plotting dependencies — pure text.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Mapping, Sequence
+
+from repro.errors import ConfigError
+
+#: Eighth-block characters for sub-character bar resolution.
+_BLOCKS = " ▏▎▍▌▋▊▉█"
+
+
+def _bar(value: float, vmax: float, width: int) -> str:
+    """A left-aligned bar of ``value/vmax`` scaled to ``width`` chars."""
+    if vmax <= 0:
+        return ""
+    fraction = max(0.0, min(1.0, value / vmax))
+    eighths = int(round(fraction * width * 8))
+    full, rem = divmod(eighths, 8)
+    return "█" * full + (_BLOCKS[rem] if rem else "")
+
+
+def bar_chart(
+    series: Mapping[str, Sequence[float | None]],
+    categories: Sequence[str],
+    title: str | None = None,
+    width: int = 40,
+    value_format: str = "{:.3g}",
+) -> str:
+    """Render grouped horizontal bars.
+
+    ``series`` maps a series name (e.g. an algorithm label) to one value per
+    category (e.g. per layer); ``None`` values render as ``n/a`` (the
+    figures' missing bars).  All bars share one scale — comparisons across
+    groups stay honest.
+    """
+    if not series:
+        raise ConfigError("bar_chart needs at least one series")
+    for name, values in series.items():
+        if len(values) != len(categories):
+            raise ConfigError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(categories)} categories"
+            )
+    finite = [
+        v for values in series.values() for v in values if v is not None
+    ]
+    if not finite:
+        raise ConfigError("bar_chart needs at least one non-None value")
+    vmax = max(finite)
+    name_w = max(len(str(n)) for n in series)
+    cat_w = max(len(str(c)) for c in categories)
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    for ci, cat in enumerate(categories):
+        for si, (name, values) in enumerate(series.items()):
+            label = str(cat) if si == 0 else ""
+            v = values[ci]
+            if v is None:
+                out.write(
+                    f"{label:>{cat_w}} {str(name):<{name_w}} | n/a\n"
+                )
+            else:
+                out.write(
+                    f"{label:>{cat_w}} {str(name):<{name_w}} |"
+                    f"{_bar(v, vmax, width)} {value_format.format(v)}\n"
+                )
+        out.write("\n")
+    return out.getvalue()
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """A one-line trend: ``[2.3s ▁▂▄█▆ 0.4s]`` style block sparkline."""
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ConfigError("sparkline needs at least one value")
+    if width and width < len(vals):
+        # downsample by striding
+        step = len(vals) / width
+        vals = [vals[int(i * step)] for i in range(width)]
+    lo, hi = min(vals), max(vals)
+    span = hi - lo
+    ticks = "▁▂▃▄▅▆▇█"
+    if span == 0:
+        return ticks[0] * len(vals)
+    return "".join(
+        ticks[min(len(ticks) - 1, int((v - lo) / span * len(ticks)))]
+        for v in vals
+    )

@@ -1,0 +1,68 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harnesses print the same rows/series the paper's figures show;
+this module renders them as aligned ASCII tables (and optionally CSV) so the
+reproduction output is diffable and readable in a terminal.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Iterable, Sequence
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["layer", "cycles"])
+    >>> t.add_row([1, 12345])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append a row; values are stringified (floats get 4 significant digits)."""
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(f"{value:.4g}")
+            else:
+                cells.append(str(value))
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        """Render the table as aligned ASCII text."""
+        widths = self._widths()
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        sep = "-+-".join("-" * w for w in widths)
+        out.write(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)) + "\n")
+        out.write(sep + "\n")
+        for row in self.rows:
+            out.write(" | ".join(c.ljust(w) for c, w in zip(row, widths)) + "\n")
+        return out.getvalue()
+
+    def to_csv(self) -> str:
+        """Render as CSV (no quoting; cells must not contain commas)."""
+        lines = [",".join(self.headers)]
+        lines.extend(",".join(row) for row in self.rows)
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,29 @@
+"""Byte-size constants and human-readable formatting."""
+
+from __future__ import annotations
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+_BYTE_UNITS = (("GiB", GiB), ("MiB", MiB), ("KiB", KiB))
+
+
+def human_bytes(n: float) -> str:
+    """Format a byte count with binary units, e.g. ``1572864 -> '1.50MiB'``."""
+    if n < 0:
+        return "-" + human_bytes(-n)
+    for unit, size in _BYTE_UNITS:
+        if n >= size:
+            return f"{n / size:.2f}{unit}"
+    return f"{n:.0f}B"
+
+
+def human_count(n: float) -> str:
+    """Format a large count with SI suffixes, e.g. ``1.2e9 -> '1.20G'``."""
+    if n < 0:
+        return "-" + human_count(-n)
+    for unit, size in (("T", 1e12), ("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if n >= size:
+            return f"{n / size:.2f}{unit}"
+    return f"{n:.0f}"

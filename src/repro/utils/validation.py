@@ -1,0 +1,52 @@
+"""Argument-validation helpers used across the package.
+
+These raise :class:`repro.errors.ConfigError` with uniform messages so that
+misconfiguration surfaces early and readably instead of as downstream numeric
+nonsense.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ConfigError
+
+
+def check_positive(name: str, value: float) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ConfigError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Require ``value >= 0``."""
+    if value < 0:
+        raise ConfigError(f"{name} must be non-negative, got {value!r}")
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True iff ``value`` is a positive power of two."""
+    return isinstance(value, int) and value > 0 and (value & (value - 1)) == 0
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Require ``value`` to be a positive power of two."""
+    if not is_power_of_two(value):
+        raise ConfigError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> None:
+    """Require ``value`` to be a member of ``allowed``."""
+    allowed = tuple(allowed)
+    if value not in allowed:
+        raise ConfigError(f"{name} must be one of {allowed}, got {value!r}")
+
+
+def check_type(name: str, value: Any, typ: type) -> None:
+    """Require ``isinstance(value, typ)`` (bool is rejected for int checks)."""
+    if typ is int and isinstance(value, bool):
+        raise ConfigError(f"{name} must be int, got bool {value!r}")
+    if not isinstance(value, typ):
+        raise ConfigError(
+            f"{name} must be {typ.__name__}, got {type(value).__name__} {value!r}"
+        )

@@ -1,0 +1,59 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import settings
+
+# fully deterministic property tests: same examples on every run
+settings.register_profile("deterministic", derandomize=True)
+settings.load_profile("deterministic")
+
+from repro.nn.layer import ConvSpec
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_spec() -> ConvSpec:
+    """A small 3x3/stride-1 layer every algorithm supports."""
+    return ConvSpec(ic=5, oc=7, ih=13, iw=11, kh=3, kw=3, stride=1, index=1)
+
+
+@pytest.fixture
+def small_tensors(rng, small_spec):
+    x = rng.standard_normal((small_spec.ic, small_spec.ih, small_spec.iw)).astype(
+        np.float32
+    )
+    w = (0.3 * rng.standard_normal(
+        (small_spec.oc, small_spec.ic, small_spec.kh, small_spec.kw)
+    )).astype(np.float32)
+    return x, w
+
+
+@pytest.fixture
+def baseline_hw() -> HardwareConfig:
+    return HardwareConfig.paper2_rvv(512, 1.0)
+
+
+@pytest.fixture(scope="session")
+def selection_dataset():
+    """The 448-point dataset (built once per session; ~0.3 s)."""
+    from repro.selection.dataset import build_dataset
+
+    return build_dataset()
+
+
+@pytest.fixture(scope="session")
+def trained_selector(selection_dataset):
+    """A trained AlgorithmSelector (cross-validated once per session)."""
+    from repro.selection.predictor import AlgorithmSelector
+
+    selector = AlgorithmSelector(n_estimators=60)
+    selector.train(selection_dataset)
+    return selector

@@ -1,0 +1,132 @@
+"""Functional correctness of all four algorithms against the reference."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    ALGORITHM_NAMES,
+    all_algorithms,
+    get_algorithm,
+    im2col,
+)
+from repro.algorithms.im2col import col2im_output
+from repro.errors import AlgorithmError, NotApplicableError
+from repro.nn.layer import ConvSpec
+from repro.nn.reference import conv2d_reference
+
+
+def random_case(rng, **dims):
+    spec = ConvSpec(**dims)
+    x = rng.standard_normal((spec.ic, spec.ih, spec.iw)).astype(np.float32)
+    w = (0.3 * rng.standard_normal(
+        (spec.oc, spec.ic, spec.kh, spec.kw)
+    )).astype(np.float32)
+    return spec, x, w
+
+
+CASES_3X3_S1 = [
+    dict(ic=4, oc=6, ih=12, iw=12, kh=3, kw=3),
+    dict(ic=5, oc=7, ih=13, iw=11, kh=3, kw=3),  # odd dims (tails)
+    dict(ic=8, oc=4, ih=6, iw=6, kh=3, kw=3),  # single winograd tile
+    dict(ic=3, oc=8, ih=14, iw=14, kh=3, kw=3),  # IC < 4: winograd fallback
+]
+CASES_OTHER = [
+    dict(ic=4, oc=6, ih=12, iw=12, kh=3, kw=3, stride=2),
+    dict(ic=8, oc=4, ih=9, iw=9, kh=1, kw=1),
+    dict(ic=2, oc=3, ih=11, iw=11, kh=5, kw=5),
+    dict(ic=3, oc=5, ih=16, iw=10, kh=3, kw=3, stride=2),
+]
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("dims", CASES_3X3_S1)
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_3x3_stride1(self, rng, dims, name):
+        spec, x, w = random_case(rng, **dims)
+        ref = conv2d_reference(spec, x, w)
+        out = get_algorithm(name).run(spec, x, w)
+        tol = 5e-4 if name == "winograd" else 5e-5
+        np.testing.assert_allclose(out, ref, atol=tol * max(1.0, abs(ref).max()))
+
+    @pytest.mark.parametrize("dims", CASES_OTHER)
+    @pytest.mark.parametrize("name", ["direct", "im2col_gemm3", "im2col_gemm6"])
+    def test_other_shapes(self, rng, dims, name):
+        spec, x, w = random_case(rng, **dims)
+        ref = conv2d_reference(spec, x, w)
+        out = get_algorithm(name).run(spec, x, w)
+        np.testing.assert_allclose(out, ref, atol=1e-4)
+
+    def test_all_algorithms_registered(self):
+        assert [a.name for a in all_algorithms()] == list(ALGORITHM_NAMES)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(AlgorithmError, match="unknown algorithm"):
+            get_algorithm("strassen")
+
+
+class TestApplicability:
+    def test_winograd_requires_3x3(self):
+        wg = get_algorithm("winograd")
+        assert wg.applicable(ConvSpec(ic=4, oc=4, ih=8, iw=8, kh=3, kw=3))
+        assert not wg.applicable(ConvSpec(ic=4, oc=4, ih=8, iw=8, kh=1, kw=1))
+        assert not wg.applicable(
+            ConvSpec(ic=4, oc=4, ih=8, iw=8, kh=3, kw=3, stride=2)
+        )
+
+    def test_winograd_raises_on_inapplicable_run(self, rng):
+        spec, x, w = random_case(rng, ic=4, oc=4, ih=8, iw=8, kh=1, kw=1)
+        with pytest.raises(NotApplicableError):
+            get_algorithm("winograd").run(spec, x, w)
+
+    def test_others_apply_everywhere(self):
+        spec = ConvSpec(ic=4, oc=4, ih=8, iw=8, kh=5, kw=5, stride=2)
+        for name in ("direct", "im2col_gemm3", "im2col_gemm6"):
+            assert get_algorithm(name).applicable(spec)
+
+    def test_applicability_reason_text(self):
+        wg = get_algorithm("winograd")
+        reason = wg.applicability_reason(
+            ConvSpec(ic=4, oc=4, ih=8, iw=8, kh=3, kw=3, stride=2)
+        )
+        assert "stride" in reason
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        spec, x, _ = random_case(rng, ic=3, oc=2, ih=6, iw=5, kh=3, kw=3)
+        col = im2col(spec, x)
+        assert col.shape == (spec.gemm_k, spec.gemm_n)
+
+    def test_equivalence_with_conv(self, rng):
+        spec, x, w = random_case(rng, ic=3, oc=4, ih=7, iw=9, kh=3, kw=3, stride=2)
+        col = im2col(spec, x)
+        gemm = w.reshape(spec.oc, spec.gemm_k).astype(np.float64) @ col.astype(
+            np.float64
+        )
+        np.testing.assert_allclose(
+            col2im_output(spec, gemm.astype(np.float32)),
+            conv2d_reference(spec, x, w),
+            atol=1e-4,
+        )
+
+    def test_1x1_is_flattened_input(self, rng):
+        spec, x, _ = random_case(rng, ic=3, oc=2, ih=4, iw=4, kh=1, kw=1)
+        np.testing.assert_array_equal(im2col(spec, x), x.reshape(3, 16))
+
+    def test_padding_zeroes_border(self):
+        spec = ConvSpec(ic=1, oc=1, ih=3, iw=3, kh=3, kw=3)
+        x = np.ones((1, 3, 3), dtype=np.float32)
+        col = im2col(spec, x)
+        # the first column corresponds to output (0,0): top-left kernel taps
+        # read padded zeros
+        assert col[0, 0] == 0.0 and col[4, 0] == 1.0
+
+
+class TestConvFnAdapter:
+    def test_network_integration(self, rng, small_spec, small_tensors):
+        x, w = small_tensors
+        fn = get_algorithm("direct").conv_fn()
+        np.testing.assert_allclose(
+            fn(small_spec, x, w), conv2d_reference(small_spec, x, w), atol=1e-4
+        )
+        assert fn.__name__ == "conv_direct"

@@ -1,0 +1,38 @@
+"""Tests for the Paper I cross-architecture optimization study."""
+
+import pytest
+
+from repro.experiments.cli import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("paper1-archcompare")
+
+
+class TestArchCompare:
+    def test_three_platforms(self, result):
+        assert len(result.data["ratios"]) == 3
+
+    def test_sve_gains_more_from_blocking_than_decoupled_rvv(self, result):
+        """Paper I: the 6-loop kernel is worth ~15% on ARM-SVE@gem5 but
+        nothing on the decoupled RISC-VV — the integrated gem5 platform
+        must show the larger relative 6-loop benefit."""
+        r = result.data["ratios"]
+        sve = r["ARM-SVE@gem5 (integrated)"]
+        rvv = r["RISC-VV@gem5 (decoupled)"]
+        assert sve < rvv
+
+    def test_ratios_in_sane_band(self, result):
+        for label, ratio in result.data["ratios"].items():
+            assert 0.4 <= ratio <= 1.5, label
+
+    def test_a64fx_deviation_documented(self):
+        """The paper's 2x A64FX 6-loop win is NOT reproduced (the model has
+        no prefetch x packed-layout interaction); EXPERIMENTS.md must say so."""
+        from pathlib import Path
+
+        text = Path(__file__).resolve().parent.parent.joinpath(
+            "EXPERIMENTS.md"
+        ).read_text()
+        assert "archcompare" in text or "A64FX" in text

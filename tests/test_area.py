@@ -1,0 +1,94 @@
+"""Tests for the 7 nm area models."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulator.area import (
+    AreaModel,
+    chip_area_mm2,
+    core_area_mm2,
+    multicore_area_mm2,
+    sram_area_mm2,
+)
+from repro.simulator.area.chip import (
+    PAPER1_VRF_FRACTION,
+    PAPER2_VPU_FRACTION,
+    _fraction,
+)
+
+
+class TestSram:
+    def test_monotone_in_size(self):
+        sizes = [1.0, 4.0, 16.0, 64.0, 256.0]
+        areas = [sram_area_mm2(s) for s in sizes]
+        assert areas == sorted(areas)
+
+    def test_roughly_linear(self):
+        assert sram_area_mm2(64.0) == pytest.approx(64 * sram_area_mm2(1.1) , rel=0.3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            sram_area_mm2(0)
+
+    def test_256mb_dominates_chip(self):
+        """Paper I: the 256 MB configuration drives the chip toward ~125 mm^2."""
+        total = core_area_mm2(8192, model="paper1") + sram_area_mm2(256.0)
+        assert 100.0 <= total <= 150.0
+
+
+class TestCoreArea:
+    def test_paper2_anchor_2p35mm2(self):
+        """Paper II: the 2048b x 1MB Pareto-optimal point is 2.35 mm^2."""
+        assert chip_area_mm2(2048, 1.0) == pytest.approx(2.35, abs=0.01)
+
+    def test_paper2_fractions_reproduced(self):
+        """VPU+VRF fraction of the non-L2 area matches the paper's numbers."""
+        base = core_area_mm2(512) * (1 - PAPER2_VPU_FRACTION[512])
+        for vl, frac in PAPER2_VPU_FRACTION.items():
+            core = core_area_mm2(vl)
+            assert (core - base) / core == pytest.approx(frac, abs=1e-9)
+
+    def test_longer_vectors_cost_little_area_vs_cache(self):
+        """Paper II §4.4: VL impact on area is minimal, cache dominates."""
+        vl_delta = chip_area_mm2(4096, 1.0) - chip_area_mm2(512, 1.0)
+        cache_delta = chip_area_mm2(512, 64.0) - chip_area_mm2(512, 1.0)
+        assert cache_delta > 5 * vl_delta
+
+    def test_paper1_fractions_table(self):
+        for vl, frac in PAPER1_VRF_FRACTION.items():
+            core = core_area_mm2(vl, model="paper1")
+            base = core * (1 - frac)
+            assert base == pytest.approx(4.0, abs=1e-9)
+
+    def test_interpolation_between_points(self):
+        f = _fraction(PAPER2_VPU_FRACTION, 1448)  # between 1024 and 2048
+        assert PAPER2_VPU_FRACTION[1024] < f < PAPER2_VPU_FRACTION[2048]
+
+    def test_out_of_range_vlen(self):
+        with pytest.raises(ConfigError):
+            core_area_mm2(256)
+
+    def test_unknown_model(self):
+        with pytest.raises(ConfigError):
+            core_area_mm2(512, model="paper3")
+
+
+class TestMulticore:
+    def test_cores_replicate(self):
+        one = multicore_area_mm2(1, 512, 16.0)
+        four = multicore_area_mm2(4, 512, 16.0)
+        assert four - one == pytest.approx(3 * core_area_mm2(512))
+
+    def test_l2_shared_once(self):
+        a = multicore_area_mm2(64, 512, 256.0)
+        assert a < 64 * chip_area_mm2(512, 256.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            multicore_area_mm2(0, 512, 1.0)
+
+    def test_area_model_bundle(self):
+        m = AreaModel("paper2")
+        assert m.chip(512, 1.0) == chip_area_mm2(512, 1.0)
+        assert m.multicore(2, 512, 1.0) == multicore_area_mm2(2, 512, 1.0)
+        assert m.core(512) == core_area_mm2(512)

@@ -1,0 +1,74 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.ascii_chart import bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        out = bar_chart(
+            {"a": [1.0, 2.0], "b": [2.0, None]},
+            categories=["x", "y"],
+            title="T",
+        )
+        assert out.startswith("T\n")
+        assert "n/a" in out
+        assert "█" in out
+
+    def test_shared_scale(self):
+        """The longest bar belongs to the global maximum."""
+        out = bar_chart({"a": [1.0], "b": [4.0]}, categories=["c"], width=8)
+        lines = [l for l in out.splitlines() if "|" in l]
+        bar_a = lines[0].split("|")[1].split()[0]
+        bar_b = lines[1].split("|")[1].split()[0]
+        assert len(bar_b) > len(bar_a)
+
+    def test_zero_values_render(self):
+        out = bar_chart({"a": [0.0, 5.0]}, categories=["p", "q"])
+        assert "0" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ConfigError):
+            bar_chart({"a": [1.0]}, categories=["x", "y"])
+
+    def test_empty_series(self):
+        with pytest.raises(ConfigError):
+            bar_chart({}, categories=["x"])
+
+    def test_all_none(self):
+        with pytest.raises(ConfigError):
+            bar_chart({"a": [None]}, categories=["x"])
+
+    def test_value_format(self):
+        out = bar_chart({"a": [0.12345]}, categories=["x"],
+                        value_format="{:.1f}")
+        assert "0.1" in out
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        line = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(line) == 8
+
+    def test_constant(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_downsampling(self):
+        assert len(sparkline(list(range(100)), width=10)) == 10
+
+    def test_empty(self):
+        with pytest.raises(ConfigError):
+            sparkline([])
+
+
+class TestChartsInFigures:
+    def test_fig01_has_chart(self):
+        from repro.experiments.cli import run_experiment
+
+        r = run_experiment("fig01")
+        assert r.chart and "Winograd" in r.chart
+        assert "per-layer time" in r.render()
+        assert r.chart not in r.render(with_chart=False)

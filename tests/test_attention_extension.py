@@ -1,0 +1,139 @@
+"""Tests for the ViT attention extension (future-work direction)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.experiments.cli import run_experiment
+from repro.extensions.attention import (
+    AttentionSpec,
+    attention_forward,
+    attention_phases,
+)
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+
+
+def reference_attention(spec, x, wq, wk, wv, wo):
+    """Independent oracle: explicit per-head loops."""
+    s, h, dh = spec.seq_len, spec.heads, spec.head_dim
+    q = (x @ wq).reshape(s, h, dh)
+    k = (x @ wk).reshape(s, h, dh)
+    v = (x @ wv).reshape(s, h, dh)
+    out = np.zeros((s, h, dh))
+    for head in range(h):
+        scores = q[:, head] @ k[:, head].T / np.sqrt(dh)
+        e = np.exp(scores - scores.max(axis=1, keepdims=True))
+        probs = e / e.sum(axis=1, keepdims=True)
+        out[:, head] = probs @ v[:, head]
+    return (out.reshape(s, h * dh) @ wo).astype(np.float32)
+
+
+def make_case(spec, seed=0):
+    rng = np.random.default_rng(seed)
+    d = spec.embed_dim
+    x = rng.standard_normal((spec.seq_len, d)).astype(np.float32) * 0.3
+    ws = [rng.standard_normal((d, d)).astype(np.float32) / np.sqrt(d)
+          for _ in range(4)]
+    return x, ws
+
+
+class TestSpec:
+    def test_head_dim(self):
+        assert AttentionSpec(embed_dim=768, heads=12).head_dim == 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            AttentionSpec(embed_dim=100, heads=12)
+        with pytest.raises(ConfigError):
+            AttentionSpec(seq_len=0)
+
+    def test_mac_counts(self):
+        spec = AttentionSpec(seq_len=4, embed_dim=8, heads=2)
+        assert spec.projection_macs == 4 * 8 * 8 * 4
+        assert spec.attention_macs == 2 * 2 * 4 * 4 * 4
+        assert spec.scores_bytes == 2 * 16 * 4
+
+
+class TestFunctional:
+    def test_matches_reference(self):
+        spec = AttentionSpec(seq_len=9, embed_dim=12, heads=3)
+        x, ws = make_case(spec)
+        out = attention_forward(spec, x, *ws)
+        np.testing.assert_allclose(
+            out, reference_attention(spec, x.astype(np.float64),
+                                     *[w.astype(np.float64) for w in ws]),
+            atol=1e-4,
+        )
+
+    def test_shape_checks(self):
+        spec = AttentionSpec(seq_len=4, embed_dim=8, heads=2)
+        x, ws = make_case(spec)
+        with pytest.raises(ShapeError):
+            attention_forward(spec, x[:, :4], *ws)
+        with pytest.raises(ShapeError):
+            attention_forward(spec, x, ws[0][:4], ws[1], ws[2], ws[3])
+
+    def test_softmax_property_uniform_values(self):
+        """Identical keys -> uniform attention -> output = mean of values."""
+        spec = AttentionSpec(seq_len=5, embed_dim=4, heads=1)
+        rng = np.random.default_rng(1)
+        x = np.ones((5, 4), dtype=np.float32)  # identical tokens
+        ws = [rng.standard_normal((4, 4)).astype(np.float32) for _ in range(4)]
+        out = attention_forward(spec, x, *ws)
+        # all rows identical since every token attends uniformly to clones
+        np.testing.assert_allclose(out, np.tile(out[0], (5, 1)), atol=1e-5)
+
+
+class TestSchedule:
+    def test_phase_names(self):
+        spec = AttentionSpec()
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        names = [p.name for p in attention_phases(spec, hw, fused=False)]
+        assert names == ["proj_qkv", "proj_out", "attn_scores", "softmax",
+                         "attn_context"]
+        fused = [p.name for p in attention_phases(spec, hw, fused=True)]
+        assert "attn_fused" in fused and "softmax" not in fused
+
+    def test_fused_never_slower(self):
+        spec = AttentionSpec()
+        for vl in (512, 2048, 8192):
+            hw = HardwareConfig.paper2_rvv(vl, 1.0)
+            model = AnalyticalTimingModel(hw)
+            unfused = model.evaluate("a", attention_phases(spec, hw, False)).cycles
+            fused = model.evaluate("a", attention_phases(spec, hw, True)).cycles
+            assert fused <= unfused
+
+    def test_fused_saves_score_traffic(self):
+        spec = AttentionSpec()
+        hw = HardwareConfig.paper2_rvv(2048, 1.0)
+        model = AnalyticalTimingModel(hw)
+        unfused = model.evaluate("a", attention_phases(spec, hw, False))
+        fused = model.evaluate("a", attention_phases(spec, hw, True))
+        assert fused.dram_bytes < unfused.dram_bytes - spec.scores_bytes
+
+
+class TestVitStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension-vit")
+
+    def test_attention_underutilizes_very_long_vectors(self, result):
+        """The thesis's claim: skinny ViT matrices cannot feed 16384-bit
+        vectors the way CNN GEMMs can."""
+        u = result.data["utilization"]
+        assert u[(16384, "attention")] < 0.5
+        assert u[(16384, "attention")] < u[(16384, "conv")] - 0.15
+        assert u[(512, "attention")] > 0.9  # fine at short vectors
+
+    def test_fusion_helps_more_at_longer_vectors(self, result):
+        c = result.data["cycles"]
+        gain_512 = c[(512, "attention")] / c[(512, "fused")]
+        gain_8192 = c[(8192, "attention")] / c[(8192, "fused")]
+        assert gain_8192 > gain_512 >= 1.0
+
+    def test_attention_regresses_at_16384(self, result):
+        """Past the point where S < VL elements, whole strips idle and the
+        per-strip reuse windows blow the cache: time goes back up."""
+        c = result.data["cycles"]
+        assert c[(16384, "attention")] > c[(8192, "attention")]

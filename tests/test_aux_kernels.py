@@ -1,0 +1,179 @@
+"""Tests for the auxiliary Darknet kernels (fill/copy/bias/BN/activation)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import layer_cycles
+from repro.errors import ShapeError
+from repro.isa import VectorMachine
+from repro.nn.aux_kernels import (
+    add_bias,
+    aux_phases,
+    batchnorm_forward,
+    batchnorm_vectorized,
+    copy_cpu,
+    copy_vectorized,
+    fill_cpu,
+    fill_vectorized,
+    full_layer_phases,
+    leaky_activate_vectorized,
+    normalize_cpu,
+    scale_bias,
+)
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class TestFunctional:
+    def test_fill(self):
+        np.testing.assert_array_equal(fill_cpu(5, 2.0), np.full(5, 2.0))
+
+    def test_copy_is_independent(self, rng):
+        x = rng.standard_normal(10).astype(np.float32)
+        y = copy_cpu(x)
+        y[0] = 99.0
+        assert x[0] != 99.0
+
+    def test_add_bias(self, rng):
+        x = rng.standard_normal((3, 2, 2)).astype(np.float32)
+        b = np.array([1.0, 2.0, 3.0], dtype=np.float32)
+        out = add_bias(x, b)
+        np.testing.assert_allclose(out[1], x[1] + 2.0)
+
+    def test_scale_bias(self, rng):
+        x = rng.standard_normal((2, 2, 2)).astype(np.float32)
+        out = scale_bias(x, np.array([2.0, 0.5], dtype=np.float32))
+        np.testing.assert_allclose(out[0], 2 * x[0])
+
+    def test_normalize_zero_mean_unit_var(self, rng):
+        x = rng.standard_normal((1, 50, 50)).astype(np.float32)
+        out = normalize_cpu(
+            x, x.mean(axis=(1, 2)), x.var(axis=(1, 2))
+        )
+        assert abs(float(out.mean())) < 1e-3
+        assert float(out.std()) == pytest.approx(1.0, abs=1e-2)
+
+    def test_batchnorm_forward_composition(self, rng):
+        x = rng.standard_normal((2, 3, 3)).astype(np.float32)
+        mean = x.mean(axis=(1, 2))
+        var = x.var(axis=(1, 2))
+        s = np.array([2.0, 3.0], dtype=np.float32)
+        b = np.array([-1.0, 1.0], dtype=np.float32)
+        out = batchnorm_forward(x, mean, var, s, b)
+        manual = add_bias(scale_bias(normalize_cpu(x, mean, var), s), b)
+        np.testing.assert_allclose(out, manual)
+
+    @pytest.mark.parametrize("fn", [add_bias, scale_bias])
+    def test_shape_checks(self, fn, rng):
+        with pytest.raises(ShapeError):
+            fn(rng.standard_normal((2, 2, 2)).astype(np.float32),
+               np.zeros(3, dtype=np.float32))
+
+
+class TestVectorized:
+    def test_fill(self):
+        m = VectorMachine(512, trace=False)
+        buf = m.alloc("b", 100)
+        fill_vectorized(m, buf, 7.5)
+        np.testing.assert_array_equal(buf.array, np.full(100, 7.5))
+
+    def test_copy(self, rng):
+        m = VectorMachine(512, trace=False)
+        src = m.alloc_from("s", rng.standard_normal(77).astype(np.float32))
+        dst = m.alloc("d", 77)
+        copy_vectorized(m, src, dst)
+        np.testing.assert_array_equal(dst.array, src.array)
+
+    def test_batchnorm_matches_functional(self, rng):
+        c, hw_sp = 4, 25
+        x = rng.standard_normal((c, 5, 5)).astype(np.float32)
+        mean = rng.standard_normal(c).astype(np.float32)
+        var = rng.uniform(0.5, 2.0, c).astype(np.float32)
+        s = rng.uniform(0.5, 2.0, c).astype(np.float32)
+        b = rng.standard_normal(c).astype(np.float32)
+        m = VectorMachine(512, trace=False)
+        buf = m.alloc_from("x", x)
+        batchnorm_vectorized(m, buf, c, mean, var, s, b)
+        np.testing.assert_allclose(
+            buf.array.reshape(c, 5, 5),
+            batchnorm_forward(x, mean, var, s, b),
+            atol=1e-4,
+        )
+
+    def test_batchnorm_rejects_ragged(self):
+        m = VectorMachine(512, trace=False)
+        buf = m.alloc("x", 10)
+        with pytest.raises(ShapeError):
+            batchnorm_vectorized(m, buf, 3, np.zeros(3), np.ones(3),
+                                 np.ones(3), np.zeros(3))
+
+    def test_leaky_activation(self, rng):
+        x = rng.standard_normal(64).astype(np.float32)
+        m = VectorMachine(512, trace=False)
+        buf = m.alloc_from("x", x)
+        leaky_activate_vectorized(m, buf)
+        np.testing.assert_allclose(
+            buf.array, np.where(x > 0, x, 0.1 * x), atol=1e-6
+        )
+
+
+class TestAuxPhases:
+    HW = HardwareConfig.paper2_rvv(512, 1.0)
+
+    def test_phase_names(self):
+        spec = ConvSpec(ic=16, oc=32, ih=28, iw=28)
+        names = [p.name for p in aux_phases(spec, self.HW)]
+        assert names == ["fill_cpu", "batchnorm", "activate_array"]
+        names = [p.name for p in aux_phases(spec, self.HW, batch_normalize=False)]
+        assert "add_bias" in names
+
+    def test_aux_is_small_fraction_of_layer(self):
+        """Paper I: GEMM is 93.4% of the conv layer's compute — the aux
+        kernels must stay a minor share for realistic layers."""
+        spec = ConvSpec(ic=128, oc=256, ih=38, iw=38)
+        model = AnalyticalTimingModel(self.HW)
+        aux = model.evaluate("aux", aux_phases(spec, self.HW)).cycles
+        gemm = layer_cycles("im2col_gemm6", spec, self.HW).cycles
+        assert aux < 0.15 * gemm
+
+    def test_full_layer_includes_both(self):
+        spec = ConvSpec(ic=32, oc=64, ih=56, iw=56)
+        phases = full_layer_phases(spec, self.HW, "im2col_gemm3")
+        names = [p.name for p in phases]
+        assert "gemm3" in names and "activate_array" in names
+
+    def test_full_layer_winograd_star_fallback(self):
+        spec = ConvSpec(ic=32, oc=64, ih=56, iw=56, kh=1, kw=1)
+        names = [p.name for p in full_layer_phases(spec, self.HW, "winograd")]
+        assert any(n.startswith("gemm6") for n in names)
+
+
+class TestFusedEpilogue:
+    HW = HardwareConfig.paper2_rvv(512, 1.0)
+
+    def test_single_phase(self):
+        spec = ConvSpec(ic=16, oc=32, ih=28, iw=28)
+        fused = aux_phases(spec, self.HW, fused=True)
+        assert len(fused) == 1 and fused[0].name == "fused_epilogue"
+
+    def test_fused_always_cheaper(self):
+        model = AnalyticalTimingModel(self.HW)
+        for dims in (dict(ic=3, oc=32, ih=208, iw=208),
+                     dict(ic=256, oc=512, ih=14, iw=14),
+                     dict(ic=64, oc=64, ih=52, iw=52, kh=1, kw=1)):
+            spec = ConvSpec(**dims)
+            unfused = model.evaluate("u", aux_phases(spec, self.HW)).cycles
+            fused = model.evaluate("f", aux_phases(spec, self.HW, fused=True)).cycles
+            assert fused < unfused
+
+    def test_fusion_ablation_study(self):
+        from repro.experiments.cli import run_experiment
+
+        r = run_experiment("ablation-fusion")
+        speedups = r.data["speedups"]
+        assert all(v >= 1.0 for v in speedups.values())
+        # fusion matters most on the high-resolution first layer (cheap conv,
+        # huge output) and least on the heavy stride-2 conv layers
+        assert speedups[1] == max(speedups.values())
+        assert min(speedups.values()) < 1.1

@@ -1,0 +1,105 @@
+"""Tests for batch-norm support in the mini-Darknet."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn import parse_cfg
+from repro.nn.layer import ConvSpec
+from repro.nn.models import yolov3_conv_specs, yolov3_network, yolov3_tiny_conv_specs
+from repro.nn.network import Network
+
+BN_CFG = """
+[net]
+channels=2
+height=8
+width=8
+
+[convolutional]
+batch_normalize=1
+filters=4
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[convolutional]
+filters=2
+size=1
+stride=1
+activation=linear
+"""
+
+
+class TestCfgBatchNorm:
+    def test_flag_parsed(self):
+        net = parse_cfg(BN_CFG)
+        assert net.layers[0].batch_normalize is True
+        assert net.layers[1].batch_normalize is False
+
+
+class TestNetworkBatchNorm:
+    def test_bn_changes_output(self, rng):
+        net = parse_cfg(BN_CFG)
+        x = rng.standard_normal((2, 8, 8)).astype(np.float32)
+        with_bn = net.forward(x)
+        plain = Network(
+            name="plain",
+            layers=[
+                ConvSpec(**{**spec.__dict__, "batch_normalize": False})
+                if isinstance(spec, ConvSpec) else spec
+                for spec in net.layers
+            ],
+        ).forward(x)
+        assert not np.allclose(with_bn, plain)
+
+    def test_bn_params_deterministic(self):
+        net = parse_cfg(BN_CFG)
+        a = net.batchnorm_params(0)
+        b = parse_cfg(BN_CFG).batchnorm_params(0)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_bn_params_shapes(self):
+        net = parse_cfg(BN_CFG)
+        mean, var, scales, bias = net.batchnorm_params(0)
+        assert mean.shape == (4,)
+        assert (var > 0).all()
+
+    def test_bn_params_non_conv_rejected(self):
+        net = parse_cfg(BN_CFG + "\n[avgpool]\n")
+        with pytest.raises(NetworkError):
+            net.batchnorm_params(2)
+
+    def test_forward_finite(self, rng):
+        net = parse_cfg(BN_CFG)
+        out = net.forward(rng.standard_normal((2, 8, 8)).astype(np.float32))
+        assert np.isfinite(out).all()
+
+
+class TestModelBatchNorm:
+    def test_yolov3_bn_everywhere_except_heads(self):
+        from repro.nn.models import yolov3_backbone_convs
+
+        convs = yolov3_backbone_convs()
+        for spec in convs:
+            if spec.oc == 255:
+                assert not spec.batch_normalize
+                assert spec.activation == "linear"
+            else:
+                assert spec.batch_normalize
+                assert spec.activation == "leaky"
+
+    def test_tiny_matches_darknet_convention(self):
+        for spec in yolov3_tiny_conv_specs():
+            assert spec.batch_normalize == (spec.oc != 255)
+
+    def test_yolov3_small_inference_still_works(self, rng):
+        net = yolov3_network(input_size=64)
+        out = net.forward(rng.standard_normal((3, 64, 64)).astype(np.float32))
+        assert np.isfinite(out).all()
+
+    def test_table1_features_unchanged(self):
+        """BN must not leak into the selection features (paper: 12)."""
+        spec = yolov3_conv_specs()[0]
+        assert len(spec.features()) == 10

@@ -1,0 +1,106 @@
+"""Tests for the campaign runner and its persistence layer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.campaign import (
+    FIELDS,
+    Campaign,
+    paper2_campaign,
+    run_campaign,
+)
+from repro.experiments.cli import main
+from repro.nn.layer import ConvSpec
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    specs = [
+        ConvSpec(ic=8, oc=16, ih=16, iw=16, kh=3, kw=3, index=1),
+        ConvSpec(ic=16, oc=8, ih=16, iw=16, kh=1, kw=1, index=2),
+    ]
+    configs = [HardwareConfig.paper2_rvv(vl, 1.0) for vl in (512, 2048)]
+    return run_campaign({"toy": specs}, configs, name="toy")
+
+
+class TestRunCampaign:
+    def test_record_count(self, small_campaign):
+        # 2 layers x 2 configs x 4 algorithms
+        assert len(small_campaign) == 16
+
+    def test_schema(self, small_campaign):
+        for r in small_campaign.records:
+            assert set(r) == set(FIELDS)
+
+    def test_inapplicable_marked(self, small_campaign):
+        rows = small_campaign.filter(layer=2, algorithm="winograd")
+        assert rows and all(not r["applicable"] for r in rows)
+        assert all(np.isinf(r["cycles"]) for r in rows)
+
+    def test_filter_unknown_field(self, small_campaign):
+        with pytest.raises(ExperimentError, match="unknown campaign fields"):
+            small_campaign.filter(bogus=1)
+
+    def test_best_per_layer(self, small_campaign):
+        best = small_campaign.best_per_layer("toy", 512, 1.0)
+        assert set(best) == {1, 2}
+        assert best[2] != "winograd"
+
+    def test_total_cycles(self, small_campaign):
+        total = small_campaign.total_cycles("toy", "direct", 512, 1.0)
+        rows = small_campaign.filter(algorithm="direct", vlen_bits=512)
+        assert total == pytest.approx(sum(r["cycles"] for r in rows))
+
+    def test_total_cycles_missing(self, small_campaign):
+        with pytest.raises(ExperimentError, match="no records"):
+            small_campaign.total_cycles("toy", "direct", 4096, 1.0)
+
+    def test_progress_callback(self):
+        messages = []
+        run_campaign(
+            {"t": [ConvSpec(ic=4, oc=4, ih=8, iw=8, index=1)]},
+            [HardwareConfig.paper2_rvv(512, 1.0)],
+            progress=messages.append,
+        )
+        assert messages and "t:" in messages[0]
+
+
+class TestPersistence:
+    def test_json_roundtrip(self, small_campaign, tmp_path):
+        path = small_campaign.save(tmp_path / "c.json")
+        loaded = Campaign.load(path)
+        assert loaded.name == "toy"
+        assert loaded.records == small_campaign.records
+
+    def test_load_rejects_missing_fields(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"name": "x", "fields": ["workload"],
+                                   "records": []}))
+        with pytest.raises(ExperimentError, match="missing fields"):
+            Campaign.load(bad)
+
+    def test_csv_export(self, small_campaign, tmp_path):
+        path = small_campaign.write_csv(tmp_path / "c.csv")
+        lines = path.read_text().splitlines()
+        assert lines[0] == ",".join(FIELDS)
+        assert len(lines) == 1 + len(small_campaign)
+
+
+class TestPaper2Campaign:
+    def test_full_grid(self):
+        c = paper2_campaign()
+        assert len(c) == 28 * 16 * 4
+        # the campaign's winners agree with the registry's best_algorithm
+        winners = c.best_per_layer("vgg16", 512, 1.0)
+        assert winners[1] == "direct" and winners[5] == "im2col_gemm6"
+
+
+class TestCliOut:
+    def test_out_writes_csv(self, tmp_path, capsys):
+        assert main(["table1", "--out", str(tmp_path)]) == 0
+        csv = (tmp_path / "table1.csv").read_text()
+        assert csv.startswith("model,layer")

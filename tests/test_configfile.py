@@ -1,0 +1,91 @@
+"""Tests for INI-based hardware configuration loading."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.simulator.configfile import (
+    builtin_config_dir,
+    load_hardware_config,
+    parse_hardware_ini,
+)
+from repro.simulator.hwconfig import HardwareConfig, VectorUnitStyle
+
+GOOD = """
+[hardware]
+name = test-design
+vlen_bits = 2048
+style = decoupled
+vector_lanes = 4
+l2_mib = 4.0
+software_prefetch = yes
+isa = sve
+"""
+
+
+class TestParse:
+    def test_fields_applied(self):
+        hw = parse_hardware_ini(GOOD)
+        assert hw.name == "test-design"
+        assert hw.vlen_bits == 2048
+        assert hw.style is VectorUnitStyle.DECOUPLED
+        assert hw.vector_lanes == 4
+        assert hw.l2_mib == 4.0
+        assert hw.software_prefetch is True
+        assert hw.isa == "sve"
+
+    def test_defaults_fill_missing(self):
+        hw = parse_hardware_ini("[hardware]\nvlen_bits = 1024\n")
+        assert hw.l1_kib == HardwareConfig().l1_kib
+
+    def test_comments_ignored(self):
+        hw = parse_hardware_ini("[hardware]\nvlen_bits = 512 ; inline\n")
+        assert hw.vlen_bits == 512
+
+    @pytest.mark.parametrize(
+        "text,msg",
+        [
+            ("vlen_bits = 512", "malformed|section"),
+            ("[cpu]\nvlen_bits = 512", "section"),
+            ("[hardware]\nwidth = 4", "unknown hardware option"),
+            ("[hardware]\nvlen_bits = wide", "integer"),
+            ("[hardware]\nl2_mib = big", "number"),
+            ("[hardware]\nsoftware_prefetch = maybe", "boolean"),
+            ("[hardware]\nstyle = sideways", "integrated"),
+            ("[hardware]\nvlen_bits = 300", "power of two"),
+        ],
+    )
+    def test_rejections(self, text, msg):
+        import re
+
+        with pytest.raises(Exception) as err:
+            parse_hardware_ini(text)
+        assert re.search(msg, str(err.value))
+
+
+class TestFiles:
+    def test_builtin_configs_all_load(self):
+        config_dir = builtin_config_dir()
+        files = sorted(config_dir.glob("*.ini"))
+        assert len(files) >= 4
+        for path in files:
+            hw = load_hardware_config(path)
+            assert hw.name == path.stem
+
+    def test_a64fx_file_matches_preset(self):
+        from_file = load_hardware_config(builtin_config_dir() / "a64fx.ini")
+        preset = HardwareConfig.a64fx()
+        assert from_file == preset
+
+    def test_missing_file(self):
+        with pytest.raises(ConfigError, match="does not exist"):
+            load_hardware_config("/nonexistent.ini")
+
+    def test_loaded_config_drives_the_model(self):
+        from repro.algorithms.registry import layer_cycles
+        from repro.nn.layer import ConvSpec
+
+        hw = load_hardware_config(
+            builtin_config_dir() / "paper2-rvv-2048b-1mb.ini"
+        )
+        spec = ConvSpec(ic=16, oc=16, ih=16, iw=16, index=1)
+        assert layer_cycles("direct", spec, hw).cycles > 0

@@ -1,0 +1,71 @@
+"""Tests for the contention ablation and the design recommender."""
+
+import pytest
+
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments.cli import run_experiment
+from repro.nn.models import vgg16_conv_specs
+from repro.serving import recommend_design
+
+
+class TestContentionAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ablation-contention")
+
+    def test_contention_flips_choices(self, result):
+        """The paper's §1 claim: co-running inferences change the optimal
+        algorithm — several layers must flip between co-location levels."""
+        assert len(result.data["flipped_layers"]) >= 3
+
+    def test_alone_and_packed_differ(self, result):
+        w = result.data["winners"]
+        assert w[1] != w[64]
+
+    def test_early_layers_stable(self, result):
+        """L1's Direct win is dimension-driven, not cache-driven."""
+        w = result.data["winners"]
+        assert all(w[n][0] == "direct" for n in w)
+
+
+class TestRecommender:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return vgg16_conv_specs()
+
+    def test_fits_budget(self, specs):
+        rec = recommend_design(specs, area_budget_mm2=30.0)
+        assert rec.area_mm2 <= 30.0
+        assert rec.images_per_second > 0
+
+    def test_bigger_budget_more_throughput(self, specs):
+        small = recommend_design(specs, 6.0)
+        big = recommend_design(specs, 60.0)
+        assert big.images_per_second > small.images_per_second
+
+    def test_latency_floor_respected(self, specs):
+        rec = recommend_design(specs, 60.0, max_latency_s=0.4)
+        assert rec.latency_s <= 0.4
+
+    def test_latency_floor_changes_design(self, specs):
+        free = recommend_design(specs, 60.0)
+        tight = recommend_design(specs, 60.0, max_latency_s=0.9 * free.latency_s)
+        assert tight.latency_s < free.latency_s
+
+    def test_impossible_budget_raises(self, specs):
+        with pytest.raises(ExperimentError):
+            recommend_design(specs, 0.1)
+
+    def test_invalid_budget(self, specs):
+        with pytest.raises(ConfigError):
+            recommend_design(specs, -1.0)
+
+    def test_selection_policy_beats_single(self, specs):
+        opt = recommend_design(specs, 30.0, policy="optimal")
+        single = recommend_design(specs, 30.0, policy="im2col_gemm6")
+        assert opt.images_per_second >= single.images_per_second
+
+    def test_describe(self, specs):
+        rec = recommend_design(specs, 30.0)
+        text = rec.describe()
+        assert "cores" in text and "img/s" in text

@@ -1,0 +1,102 @@
+"""Tests for the depthwise-convolution extension."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.experiments.cli import run_experiment
+from repro.extensions.depthwise import (
+    DepthwiseConvSpec,
+    depthwise_direct_phases,
+    depthwise_forward,
+    depthwise_gemm_phases,
+    mobilenet_v1_depthwise_layers,
+)
+from repro.nn.layer import ConvSpec
+from repro.nn.reference import conv2d_reference
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class TestSpec:
+    def test_dims(self):
+        s = DepthwiseConvSpec(c=8, ih=10, iw=10, stride=2)
+        assert (s.oh, s.ow) == (5, 5)
+        assert s.pad == 1
+        assert s.macs == 8 * 25 * 9
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DepthwiseConvSpec(c=0, ih=4, iw=4)
+
+    def test_describe(self):
+        assert "8 ch" in DepthwiseConvSpec(c=8, ih=10, iw=10, index=2).describe()
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("stride", [1, 2])
+    def test_matches_grouped_reference(self, rng, stride):
+        """Depthwise == full conv with a block-diagonal weight tensor."""
+        spec = DepthwiseConvSpec(c=4, ih=10, iw=10, stride=stride)
+        x = rng.standard_normal((4, 10, 10)).astype(np.float32)
+        w = rng.standard_normal((4, 3, 3)).astype(np.float32)
+        out = depthwise_forward(spec, x, w)
+        full_spec = ConvSpec(ic=4, oc=4, ih=10, iw=10, kh=3, kw=3,
+                             stride=stride)
+        w_full = np.zeros((4, 4, 3, 3), dtype=np.float32)
+        for c in range(4):
+            w_full[c, c] = w[c]
+        np.testing.assert_allclose(
+            out, conv2d_reference(full_spec, x, w_full), atol=1e-4
+        )
+
+    def test_shape_checks(self, rng):
+        spec = DepthwiseConvSpec(c=2, ih=6, iw=6)
+        with pytest.raises(ShapeError):
+            depthwise_forward(spec, np.zeros((3, 6, 6), np.float32),
+                              np.zeros((2, 3, 3), np.float32))
+        with pytest.raises(ShapeError):
+            depthwise_forward(spec, np.zeros((2, 6, 6), np.float32),
+                              np.zeros((2, 5, 5), np.float32))
+
+
+class TestSchedules:
+    HW = HardwareConfig.paper2_rvv(512, 1.0)
+
+    def test_both_positive(self):
+        spec = DepthwiseConvSpec(c=64, ih=28, iw=28)
+        for builder in (depthwise_direct_phases, depthwise_gemm_phases):
+            cycles = AnalyticalTimingModel(self.HW).evaluate(
+                "dw", builder(spec, self.HW)
+            ).cycles
+            assert cycles > 0
+
+    def test_direct_full_channel_vectors(self):
+        spec = DepthwiseConvSpec(c=64, ih=28, iw=28)
+        phase = depthwise_direct_phases(spec, self.HW)[0]
+        assert phase.vector_active == 16.0  # full 512-bit vectors
+
+    def test_gemm_is_degenerate(self):
+        """Per-channel M=1 GEMMs cost far more than the direct dataflow."""
+        spec = DepthwiseConvSpec(c=256, ih=28, iw=28)
+        model = AnalyticalTimingModel(self.HW)
+        direct = model.evaluate("d", depthwise_direct_phases(spec, self.HW)).cycles
+        gemm = model.evaluate("g", depthwise_gemm_phases(spec, self.HW)).cycles
+        assert gemm > 3 * direct
+
+
+class TestMobileNet:
+    def test_thirteen_layers(self):
+        layers = mobilenet_v1_depthwise_layers()
+        assert len(layers) == 13
+        assert layers[0].c == 32 and layers[-1].c == 1024
+        assert layers[-1].ih == 7
+
+    def test_input_validation(self):
+        with pytest.raises(ConfigError):
+            mobilenet_v1_depthwise_layers(input_size=100)
+
+    def test_study_direct_wins_everywhere(self):
+        r = run_experiment("extension-depthwise")
+        for layer, ratio in r.data["gemm_over_direct"].items():
+            assert ratio > 3.0, f"layer {layer}"

@@ -1,0 +1,84 @@
+"""End-to-end integration: the full pipeline the paper's system implies.
+
+A letterboxed paper-style input runs through YOLOv3-tiny with the trained
+random-forest selector choosing each conv layer's algorithm for a target
+hardware configuration; the result must match the reference execution and
+the selector's choices must match the analytical oracle.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.registry import best_algorithm, get_algorithm
+from repro.nn.image import paper_input
+from repro.nn.models import yolov3_tiny_network
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@pytest.fixture(scope="module")
+def hw():
+    return HardwareConfig.paper2_rvv(2048, 4.0)
+
+
+class TestEndToEndServing:
+    def test_selected_inference_matches_reference(self, trained_selector, hw):
+        net = yolov3_tiny_network(input_size=64)
+        x = paper_input(network_size=64, seed=3)
+        reference = net.forward(x)
+
+        conv_fns = {}
+        chosen = {}
+        for spec in net.conv_specs():
+            name = trained_selector.select(spec, hw)
+            algo = get_algorithm(name)
+            if not algo.applicable(spec):
+                algo = get_algorithm("im2col_gemm6")
+            chosen[spec.index] = algo.name
+            conv_fns[spec.index] = algo.conv_fn()
+        mixed = net.forward(x, conv_fns=conv_fns)
+
+        scale = max(1.0, float(np.abs(reference).max()))
+        np.testing.assert_allclose(mixed, reference, atol=5e-3 * scale)
+        assert len(set(chosen.values())) >= 2  # genuinely mixed algorithms
+
+    def test_selector_generalizes_to_unseen_layers(self, trained_selector, hw):
+        """YOLOv3-tiny's layers are out-of-distribution (not in the 448-point
+        training set); exact oracle agreement drops there, but must stay well
+        above the 25% random-choice floor.  The regret test below carries the
+        real guarantee (mispredictions are cheap), matching the paper's
+        framing."""
+        net = yolov3_tiny_network()  # full-size dims
+        agree = total = 0
+        for spec in net.conv_specs():
+            predicted = trained_selector.select(spec, hw)
+            oracle, _ = best_algorithm(spec, hw)
+            agree += predicted == oracle
+            total += 1
+        assert agree / total >= 0.4
+
+    def test_mispredictions_cost_little(self, trained_selector, hw):
+        """Even where the selector misses on unseen layers, the chosen
+        algorithm stays within 2x of the oracle (paper: small regret)."""
+        net = yolov3_tiny_network()
+        for spec in net.conv_specs():
+            predicted = trained_selector.select(spec, hw)
+            _, cycles = best_algorithm(spec, hw)
+            best = min(cycles.values())
+            chosen = cycles.get(predicted)
+            if chosen is None:  # predicted algorithm inapplicable: fallback
+                chosen = cycles["im2col_gemm6"]
+            assert chosen <= 2.0 * best
+
+
+class TestForwardWithSelector:
+    def test_convenience_wrapper(self, trained_selector, hw, rng):
+        from repro.nn.models import yolov3_tiny_network
+        from repro.nn.image import paper_input
+
+        net = yolov3_tiny_network(input_size=64)
+        x = paper_input(network_size=64, seed=5)
+        out, chosen = net.forward_with_selector(x, trained_selector, hw)
+        reference = net.forward(x)
+        scale = max(1.0, float(np.abs(reference).max()))
+        np.testing.assert_allclose(out, reference, atol=5e-3 * scale)
+        assert set(chosen) == {s.index for s in net.conv_specs()}

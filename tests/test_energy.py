@@ -1,0 +1,104 @@
+"""Tests for the energy model and the energy co-design study."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.cli import run_experiment
+from repro.nn.layer import ConvSpec
+from repro.nn.models import vgg16_conv_specs
+from repro.simulator.energy import (
+    DEFAULT_ENERGY,
+    EnergyBreakdown,
+    EnergyConstants,
+    layer_energy,
+    network_energy,
+)
+from repro.simulator.hwconfig import HardwareConfig
+
+SPEC = ConvSpec(ic=64, oc=128, ih=56, iw=56, kh=3, kw=3, index=1)
+HW = HardwareConfig.paper2_rvv(512, 1.0)
+
+
+class TestEnergyModel:
+    def test_positive_components(self):
+        e = layer_energy("im2col_gemm3", SPEC, HW)
+        for part in (e.compute_j, e.scalar_j, e.l2_j, e.dram_j, e.leakage_j):
+            assert part > 0
+        assert e.total_j == pytest.approx(
+            e.compute_j + e.scalar_j + e.l2_j + e.dram_j + e.leakage_j
+        )
+
+    def test_constants_validation(self):
+        with pytest.raises(ConfigError):
+            EnergyConstants(dram_byte_pj=0)
+
+    def test_compute_energy_roughly_vl_invariant(self):
+        """The same MACs execute at any VL: lane-op energy barely moves."""
+        e512 = layer_energy("im2col_gemm3", SPEC, HW).compute_j
+        e4096 = layer_energy(
+            "im2col_gemm3", SPEC, HardwareConfig.paper2_rvv(4096, 1.0)
+        ).compute_j
+        assert e4096 == pytest.approx(e512, rel=0.3)
+
+    def test_leakage_scales_with_area_and_time(self):
+        small = layer_energy("im2col_gemm3", SPEC, HW)
+        big_cache = layer_energy(
+            "im2col_gemm3", SPEC, HardwareConfig.paper2_rvv(512, 64.0)
+        )
+        assert big_cache.leakage_j > small.leakage_j  # much more area
+
+    def test_dram_energy_tracks_traffic(self):
+        """im2col+GEMM moves more DRAM bytes than Direct on this layer."""
+        gemm = layer_energy("im2col_gemm3", SPEC, HW)
+        direct = layer_energy("direct", SPEC, HW)
+        assert gemm.dram_j > direct.dram_j
+
+    def test_winograd_star_fallback(self):
+        one_by_one = ConvSpec(ic=64, oc=64, ih=28, iw=28, kh=1, kw=1)
+        e = layer_energy("winograd", one_by_one, HW)
+        assert e.total_j > 0  # fell back to GEMM-6 instead of raising
+
+    def test_network_energy_sums_layers(self):
+        specs = vgg16_conv_specs()[:3]
+        total = network_energy(specs, HW, "direct").total_j
+        by_layer = sum(
+            layer_energy("direct", s, HW).total_j for s in specs
+        )
+        assert total == pytest.approx(by_layer)
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConfigError):
+            network_energy([SPEC], HW, "fastest")
+
+    def test_breakdown_merge(self):
+        a = EnergyBreakdown(compute_j=1.0, dram_j=2.0)
+        b = EnergyBreakdown(compute_j=0.5, leakage_j=1.0)
+        a.merge(b)
+        assert a.compute_j == 1.5 and a.leakage_j == 1.0 and a.total_j == 4.5
+
+
+class TestEnergyStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension-energy")
+
+    def test_selection_saves_energy_everywhere(self, result):
+        """Algorithm selection is an energy optimization too."""
+        assert all(v > 1.15 for v in result.data["selection_saving"].values())
+
+    def test_energy_optimal_differs_from_perf_optimal(self, result):
+        """The 64 MB leakage makes the fastest config not the greenest."""
+        assert result.data["energy_optimal"] != result.data["perf_optimal"]
+        # specifically, the energy optimum uses a smaller cache
+        assert result.data["energy_optimal"][1] < result.data["perf_optimal"][1]
+
+    def test_64mb_energy_penalty(self, result):
+        """At fixed VL, 64 MB costs more energy than 16 MB despite being
+        (slightly) faster — leakage over ~30 mm^2 of SRAM."""
+        e = result.data["energy"]
+        for vl in (512, 1024, 2048, 4096):
+            assert e[(vl, 64.0)] > e[(vl, 16.0)]
+
+    def test_longer_vectors_save_energy_via_time(self, result):
+        e = result.data["energy"]
+        assert e[(2048, 1.0)] < e[(512, 1.0)]

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are part of the public deliverable; these tests import each one as
+a module and execute its ``main()`` so the examples cannot silently rot.
+The slow serving example runs with a reduced budget.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        load_example("quickstart").main()
+        out = capsys.readouterr().out
+        assert "algorithm" in out and "est. cycles" in out
+
+    def test_codesign_sweep(self, capsys):
+        load_example("codesign_sweep").main("vgg16")
+        out = capsys.readouterr().out
+        assert "512 bits x 1 MB" in out
+        assert "dir" in out and "g6" in out
+
+    def test_custom_network(self, capsys):
+        load_example("custom_network").main()
+        out = capsys.readouterr().out
+        assert "mini-detector" in out
+        assert "numerically safe" in out
+
+    def test_rvv_playground(self, capsys):
+        load_example("rvv_playground").main()
+        out = capsys.readouterr().out
+        assert "SAXPY" in out and "tiny GEMM" in out
+
+    def test_design_recommender(self, capsys):
+        load_example("design_recommender").main(30.0)
+        out = capsys.readouterr().out
+        assert "recommended design" in out and "p99" in out
+
+    @pytest.mark.slow
+    def test_model_serving_selector(self, capsys):
+        load_example("model_serving_selector").main()
+        out = capsys.readouterr().out
+        assert "Predicted per-layer algorithms" in out
+
+    def test_all_examples_covered(self):
+        """Every example file has a smoke test here."""
+        tested = {
+            "quickstart", "codesign_sweep", "custom_network",
+            "rvv_playground", "design_recommender", "model_serving_selector",
+        }
+        on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+        assert on_disk == tested

@@ -1,0 +1,172 @@
+"""End-to-end tests of the experiment harnesses (every paper artifact)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.cli import EXPERIMENTS, main, run_experiment
+
+
+class TestTable1:
+    def test_matches_models(self):
+        r = run_experiment("table1")
+        assert len(r.data["vgg16"]) == 13
+        assert len(r.data["yolov3"]) == 15
+        assert "Table 1" in r.table.title
+
+
+class TestBaselineFigures:
+    @pytest.mark.parametrize("name,model_layers", [("fig01", 13), ("fig02", 15)])
+    def test_structure(self, name, model_layers):
+        r = run_experiment(name)
+        assert len(r.data["winners"]) == model_layers
+        for algo, col in r.data["seconds"].items():
+            assert len(col) == model_layers
+
+    def test_fig01_winner_pattern(self):
+        """The paper's §4.1 pattern on VGG-16."""
+        winners = run_experiment("fig01").data["winners"]
+        assert winners[0] == "direct"
+        assert winners[1] == "winograd"
+        assert all(w == "im2col_gemm6" for w in winners[4:])
+
+    def test_fig02_winograd_gaps(self):
+        """Winograd columns are n/a exactly on non-3x3/s1 YOLO layers."""
+        seconds = run_experiment("fig02").data["seconds"]["winograd"]
+        applicable = [0, 3, 6, 8, 11, 13]  # layers 1,4,7,9,12,14
+        for i, v in enumerate(seconds):
+            assert (v is not None) == (i in applicable)
+
+
+class TestSweepFigures:
+    def test_fig03_scalability_bands(self):
+        scal = run_experiment("fig03").data["scalability"]
+        direct = [s for s in scal["direct"] if s]
+        assert max(direct) > 4.0  # Direct shows the max scalability
+        wg = [s for s in scal["winograd"] if s]
+        assert max(wg) < max(direct)
+
+    def test_fig04_structure(self):
+        r = run_experiment("fig04")
+        assert len(r.data["scalability"]["direct"]) == 15
+
+    @pytest.mark.parametrize("name", ["fig05", "fig06", "fig07", "fig08"])
+    def test_cache_sweeps_benefit_bounds(self, name):
+        benefit = run_experiment(name).data["benefit"]
+        for algo, col in benefit.items():
+            vals = [v for v in col if v is not None]
+            assert all(0.95 <= v <= 6.0 for v in vals)  # caches never hurt
+
+    def test_fig06_direct_gains_more_than_fig05(self):
+        """Direct's cache benefit grows with the vector length (VGG deep)."""
+        b512 = run_experiment("fig05").data["benefit"]["direct"]
+        b4096 = run_experiment("fig06").data["benefit"]["direct"]
+        assert max(b4096) > max(b512)
+
+
+class TestSelectionFigures:
+    @pytest.fixture(scope="class")
+    def fig09(self, trained_selector):
+        from repro.experiments.fig09_vgg_selection import run
+
+        return run(selector=trained_selector)
+
+    @pytest.fixture(scope="class")
+    def fig10(self, trained_selector):
+        from repro.experiments.fig10_yolo_selection import run
+
+        return run(selector=trained_selector)
+
+    def test_sixteen_configs(self, fig09):
+        assert len(fig09.data["configs"]) == 16
+
+    def test_optimal_beats_singles(self, fig09):
+        s = fig09.data["seconds"]
+        for policy in ("direct", "im2col_gemm3", "im2col_gemm6", "winograd"):
+            assert all(
+                o <= v + 1e-12 for o, v in zip(s["optimal"], s[policy])
+            )
+
+    def test_headline_ratios_vgg(self, fig09):
+        ratios = fig09.data["max_speedup_vs_single"]
+        assert 1.5 <= ratios["direct"] <= 2.6  # paper: up to 1.85x
+        assert 1.4 <= ratios["im2col_gemm6"] <= 2.2  # paper: up to 1.73x
+
+    def test_headline_ratios_yolo(self, fig10):
+        ratios = fig10.data["max_speedup_vs_single"]
+        assert 1.2 <= ratios["direct"] <= 2.0  # paper: up to 1.33x
+        assert 1.6 <= ratios["im2col_gemm6"] <= 2.6  # paper: up to 2.11x
+
+    def test_predicted_error_bounded(self, fig09, fig10):
+        """Paper: predicted-optimal is within 10% of optimal everywhere."""
+        assert fig09.data["max_predicted_error"] <= 0.10
+        assert fig10.data["max_predicted_error"] <= 0.10
+
+
+class TestParetoFigures:
+    @pytest.fixture(scope="class")
+    def fig11(self):
+        return run_experiment("fig11")
+
+    def test_design_space_size(self, fig11):
+        # 4 VL x 4 L2 x 5 policies
+        assert len(fig11.data["points"]) == 80
+
+    def test_frontier_all_optimal_policy(self, fig11):
+        """Paper: all Pareto-frontier points use per-layer selection."""
+        for p in fig11.data["frontier"]:
+            assert p.payload["policy"] == "optimal"
+
+    def test_knee_is_2048b_1mb(self, fig11):
+        """Paper: the Pareto-optimal configuration is 2048 bits x 1 MB."""
+        knee = fig11.data["knee"].payload
+        assert knee["vlen"] == 2048
+        assert knee["l2_mib"] == 1.0
+        assert knee["policy"] == "optimal"
+
+    def test_fig12_frontier_maximizes_colocation(self):
+        r = run_experiment("fig12")
+        frontier = r.data["frontier"]
+        # the paper: frontier points co-locate as many instances as possible
+        # with the smallest per-model L2 slice (1-4 MB)
+        big = [p for p in frontier if p.payload.scenario.cores >= 16]
+        assert big, "frontier should include many-core points"
+        for p in frontier:
+            assert p.payload.scenario.l2_per_instance_mib <= 4.0
+
+    def test_fig12_throughput_scales_linearly_with_area(self):
+        r = run_experiment("fig12")
+        frontier = r.data["frontier"]
+        xs = np.array([p.cost for p in frontier])
+        ys = np.array([p.value for p in frontier])
+        corr = np.corrcoef(np.log(xs), np.log(ys))[0, 1]
+        assert corr > 0.9  # near-linear scaling on the frontier
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "table1" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figXX"]) == 2
+
+    def test_run_one(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "completed" in out
+
+    def test_csv_mode(self, capsys):
+        assert main(["table1", "--csv"]) == 0
+        assert "model,layer" in capsys.readouterr().out
+
+    def test_registry_complete(self):
+        paper2 = [
+            n for n in EXPERIMENTS
+            if not n.startswith(
+                ("paper1", "ablation", "serving", "extension", "layer",
+                 "verdict", "profile")
+            )
+        ]
+        assert len(paper2) == 15  # table1 + figs 1-12 + selection studies
+        assert len(EXPERIMENTS) >= 24  # + Paper I, ablations, serving

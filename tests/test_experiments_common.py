@@ -1,0 +1,59 @@
+"""Tests for the shared experiment helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    comparison_table,
+    per_layer_seconds,
+    sweep_seconds,
+)
+from repro.experiments.configs import BASELINE, FREQ_GHZ, grid, workload
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class TestPerLayerSeconds:
+    def test_shapes_and_none_handling(self):
+        specs = workload("yolov3")[:4]
+        data = per_layer_seconds(specs, BASELINE)
+        assert set(data) == {"direct", "im2col_gemm3", "im2col_gemm6",
+                             "winograd"}
+        # layer 2 (stride 2) and 3 (1x1) have no winograd bar
+        assert data["winograd"][1] is None and data["winograd"][2] is None
+        assert all(v is not None for v in data["direct"])
+
+    def test_seconds_are_cycles_over_frequency(self):
+        from repro.algorithms.registry import layer_cycles
+
+        spec = workload("vgg16")[0]
+        data = per_layer_seconds([spec], BASELINE)
+        expected = layer_cycles("direct", spec, BASELINE,
+                                fallback=False).cycles / (FREQ_GHZ * 1e9)
+        assert data["direct"][0] == pytest.approx(expected)
+
+    def test_fallback_mode_fills_gaps(self):
+        specs = workload("yolov3")[:3]
+        data = per_layer_seconds(specs, BASELINE, skip_inapplicable=False)
+        assert all(v is not None for v in data["winograd"])
+
+
+class TestComparisonTable:
+    def test_renders_na(self):
+        specs = workload("yolov3")[:3]
+        data = per_layer_seconds(specs, BASELINE)
+        table = comparison_table("t", specs, data)
+        assert "n/a" in table.render()
+        assert len(table.rows) == 3
+
+
+class TestSweepSeconds:
+    def test_keys_cover_grid(self):
+        specs = workload("vgg16")[:2]
+        configs = [HardwareConfig.paper2_rvv(512, 1.0),
+                   HardwareConfig.paper2_rvv(2048, 1.0)]
+        out = sweep_seconds(specs, configs, algorithms=("direct",))
+        assert set(out) == {("direct", "512 bits x 1 MB"),
+                            ("direct", "2048 bits x 1 MB")}
+        assert all(len(v) == 2 for v in out.values())
+
+    def test_configs_grid_helper(self):
+        assert len(grid()) == 16

@@ -1,0 +1,133 @@
+"""Tests for the FFT algorithm and the ablation studies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import get_algorithm
+from repro.algorithms.fft import _fft_shape
+from repro.errors import NotApplicableError
+from repro.experiments.cli import run_experiment
+from repro.isa import VectorMachine
+from repro.nn.layer import ConvSpec
+from repro.nn.reference import conv2d_reference
+
+
+def random_case(rng, **dims):
+    spec = ConvSpec(**dims)
+    x = rng.standard_normal((spec.ic, spec.ih, spec.iw)).astype(np.float32)
+    w = (0.3 * rng.standard_normal(
+        (spec.oc, spec.ic, spec.kh, spec.kw)
+    )).astype(np.float32)
+    return spec, x, w
+
+
+class TestFftCorrectness:
+    @pytest.mark.parametrize(
+        "dims",
+        [
+            dict(ic=3, oc=4, ih=12, iw=10, kh=3, kw=3),
+            dict(ic=2, oc=3, ih=14, iw=14, kh=7, kw=7),
+            dict(ic=2, oc=2, ih=16, iw=16, kh=11, kw=11, pad=5),
+            dict(ic=4, oc=2, ih=9, iw=9, kh=1, kw=1),
+            dict(ic=1, oc=1, ih=8, iw=8, kh=5, kw=5, pad=0),
+        ],
+    )
+    def test_matches_reference(self, rng, dims):
+        spec, x, w = random_case(rng, **dims)
+        out = get_algorithm("fft").run(spec, x, w)
+        np.testing.assert_allclose(
+            out, conv2d_reference(spec, x, w), atol=1e-4
+        )
+
+    def test_stride2_not_applicable(self, rng):
+        spec, x, w = random_case(rng, ic=2, oc=2, ih=8, iw=8, kh=3, kw=3,
+                                 stride=2)
+        assert not get_algorithm("fft").applicable(spec)
+        with pytest.raises(NotApplicableError):
+            get_algorithm("fft").run(spec, x, w)
+
+    def test_vectorized_path(self, rng):
+        spec, x, w = random_case(rng, ic=2, oc=3, ih=10, iw=10, kh=3, kw=3)
+        machine = VectorMachine(512, trace=False)
+        out = get_algorithm("fft").run_vectorized(spec, x, w, machine)
+        np.testing.assert_allclose(
+            out, conv2d_reference(spec, x, w), atol=1e-4
+        )
+        assert machine.trace.stats.vector_instrs > 0
+
+    def test_fft_shape_covers_linear_convolution(self):
+        spec = ConvSpec(ic=1, oc=1, ih=13, iw=9, kh=5, kw=5)
+        fh, fw = _fft_shape(spec)
+        assert fh >= spec.ih + 2 * spec.pad + spec.kh - 1
+        assert fw >= spec.iw + 2 * spec.pad + spec.kw - 1
+        assert fh % 8 == 0 and fw % 8 == 0
+
+    @given(
+        ih=st.integers(6, 16), iw=st.integers(6, 16),
+        k=st.sampled_from([1, 3, 5]), seed=st.integers(0, 999),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fft_property(self, ih, iw, k, seed):
+        rng = np.random.default_rng(seed)
+        spec, x, w = random_case(rng, ic=2, oc=2, ih=ih, iw=iw, kh=k, kw=k)
+        np.testing.assert_allclose(
+            get_algorithm("fft").run(spec, x, w),
+            conv2d_reference(spec, x, w),
+            atol=2e-4,
+        )
+
+
+class TestFftAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ablation-fft")
+
+    def test_fft_loses_at_cnn_kernel_sizes(self, result):
+        """The paper's exclusion rationale: FFT is far slower at 1x1-5x5."""
+        for k in (1, 3, 5):
+            assert result.data["winners"][k] != "fft"
+            c = result.data["cycles"]
+            assert c[(k, "fft")] > 3 * c[(k, "im2col_gemm3")]
+
+    def test_fft_wins_eventually(self, result):
+        """...but FFT does take over for large kernels (Zlateski et al.)."""
+        crossover = result.data["fft_crossover"]
+        assert crossover is not None and crossover >= 7
+
+    def test_winograd_only_at_3(self, result):
+        c = result.data["cycles"]
+        assert c[(3, "winograd")] is not None
+        assert c[(5, "winograd")] is None
+
+
+class TestModelAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ablation-model")
+
+    def test_full_model_holds_all_anchors(self, result):
+        full = result.data["full model"]
+        assert full["gemm6_wins_skinny"]
+        assert full["yolo_layers_gaining_64mb"] >= 10
+        assert full["paper1_vl_scaling"] > 1.8
+
+    def test_scalar_exposure_carries_gemm6_win(self, result):
+        assert not result.data["no scalar exposure"]["gemm6_wins_skinny"]
+
+    def test_residency_carries_cache_benefit(self, result):
+        assert result.data["no producer residency"]["yolo_layers_gaining_64mb"] <= 3
+
+    def test_deadtime_carries_decoupled_vl_scaling(self, result):
+        assert result.data["no decoupled deadtime"]["paper1_vl_scaling"] < 1.3
+
+    def test_ablations_are_orthogonal(self, result):
+        """Each toggle breaks its own anchor and leaves the others intact."""
+        ns = result.data["no scalar exposure"]
+        assert ns["yolo_layers_gaining_64mb"] >= 10
+        assert ns["paper1_vl_scaling"] > 1.8
+        nr = result.data["no producer residency"]
+        assert nr["gemm6_wins_skinny"] and nr["paper1_vl_scaling"] > 1.8
+        nd = result.data["no decoupled deadtime"]
+        assert nd["gemm6_wins_skinny"] and nd["yolo_layers_gaining_64mb"] >= 10

@@ -1,0 +1,106 @@
+"""Golden-snapshot regression of the reproduction's headline numbers.
+
+The calibration tests (`test_calibration_targets.py`) pin the *semantics*
+(winners, bands); this file pins the *exact values* so that an accidental
+model change cannot drift the reproduction silently while staying inside
+the bands.  After an intentional calibration change, regenerate with::
+
+    python -c "import tests.test_golden as g; g.regenerate()"
+
+and document the change in EXPERIMENTS.md.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "headlines.json"
+
+
+def _current(selector) -> dict:
+    from repro.experiments.cli import run_experiment
+    from repro.experiments.fig09_vgg_selection import run as f9
+    from repro.experiments.fig10_yolo_selection import run as f10
+
+    r9 = f9(selector=selector)
+    r10 = f10(selector=selector)
+    return {
+        "fig01_winners": run_experiment("fig01").data["winners"],
+        "fig02_winners": run_experiment("fig02").data["winners"],
+        "fig09_ratios": {
+            k: round(v, 3) for k, v in r9.data["max_speedup_vs_single"].items()
+        },
+        "fig10_ratios": {
+            k: round(v, 3) for k, v in r10.data["max_speedup_vs_single"].items()
+        },
+        "fig11_knee": {
+            k: v
+            for k, v in run_experiment("fig11").data["knee"].payload.items()
+            if k != "cycles"
+        },
+        "paper1_vl_speedups": {
+            str(k): round(v, 3)
+            for k, v in run_experiment("paper1-vl").data["speedups"].items()
+        },
+    }
+
+
+def regenerate() -> None:  # pragma: no cover - maintenance helper
+    """Rewrite the golden file from the current model (see module docstring)."""
+    from repro.selection import AlgorithmSelector, build_dataset
+
+    selector = AlgorithmSelector(n_estimators=60)
+    report = selector.train(build_dataset())
+    golden = {
+        "_comment": GOLDEN_PATH.read_text() and json.loads(
+            GOLDEN_PATH.read_text()
+        ).get("_comment", ""),
+        **_current(selector),
+        "rf_mean_accuracy": round(report.mean_accuracy, 3),
+    }
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1))
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenHeadlines:
+    def test_winners_exact(self, golden):
+        from repro.experiments.cli import run_experiment
+
+        assert run_experiment("fig01").data["winners"] == golden["fig01_winners"]
+        assert run_experiment("fig02").data["winners"] == golden["fig02_winners"]
+
+    def test_selection_ratios(self, golden, trained_selector):
+        from repro.experiments.fig09_vgg_selection import run as f9
+        from repro.experiments.fig10_yolo_selection import run as f10
+
+        for run_fn, key in ((f9, "fig09_ratios"), (f10, "fig10_ratios")):
+            ratios = run_fn(selector=trained_selector).data[
+                "max_speedup_vs_single"
+            ]
+            for name, expected in golden[key].items():
+                assert ratios[name] == pytest.approx(expected, rel=1e-3), name
+
+    def test_pareto_knee(self, golden):
+        from repro.experiments.cli import run_experiment
+
+        knee = run_experiment("fig11").data["knee"].payload
+        assert knee["vlen"] == golden["fig11_knee"]["vlen"]
+        assert knee["l2_mib"] == golden["fig11_knee"]["l2_mib"]
+        assert knee["policy"] == golden["fig11_knee"]["policy"]
+
+    def test_paper1_vl_curve(self, golden):
+        from repro.experiments.cli import run_experiment
+
+        speedups = run_experiment("paper1-vl").data["speedups"]
+        for vl, expected in golden["paper1_vl_speedups"].items():
+            assert speedups[int(vl)] == pytest.approx(expected, rel=1e-3), vl
+
+    def test_rf_accuracy(self, golden, trained_selector):
+        assert trained_selector.report.mean_accuracy == pytest.approx(
+            golden["rf_mean_accuracy"], abs=0.02
+        )

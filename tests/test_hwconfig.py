@@ -1,0 +1,102 @@
+"""Tests for HardwareConfig presets and derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigError, VectorLengthError
+from repro.simulator.hwconfig import HardwareConfig, VectorUnitStyle
+from repro.simulator.memory import DramModel
+
+
+class TestDerived:
+    def test_vlmax_f32(self):
+        assert HardwareConfig(vlen_bits=512).vlmax_f32 == 16
+        assert HardwareConfig(vlen_bits=4096).vlmax_f32 == 128
+
+    def test_integrated_datapath_scales_with_vlen(self):
+        a = HardwareConfig(vlen_bits=512, style=VectorUnitStyle.INTEGRATED)
+        b = HardwareConfig(vlen_bits=2048, style=VectorUnitStyle.INTEGRATED)
+        assert b.datapath_f32_per_cycle == 4 * a.datapath_f32_per_cycle
+
+    def test_decoupled_datapath_fixed_by_lanes(self):
+        a = HardwareConfig(vlen_bits=512, style=VectorUnitStyle.DECOUPLED,
+                           vector_lanes=8)
+        b = a.with_(vlen_bits=4096)
+        assert a.datapath_f32_per_cycle == b.datapath_f32_per_cycle == 16
+
+    def test_dram_bytes_per_cycle(self):
+        hw = HardwareConfig(dram_bw_gib_s=12.8, freq_ghz=2.0)
+        assert hw.dram_bytes_per_cycle == pytest.approx(12.8 * 2**30 / 2e9)
+
+    def test_cache_byte_sizes(self):
+        hw = HardwareConfig(l1_kib=64, l2_mib=1.0)
+        assert hw.l1_bytes == 64 * 1024
+        assert hw.l2_bytes == 1024 * 1024
+
+    def test_label(self):
+        assert HardwareConfig.paper2_rvv(2048, 16.0).label() == "2048 bits x 16 MB"
+
+    def test_with_copies(self):
+        a = HardwareConfig.paper2_rvv(512, 1.0)
+        b = a.with_(l2_mib=4.0)
+        assert a.l2_mib == 1.0 and b.l2_mib == 4.0 and b.vlen_bits == 512
+
+
+class TestValidation:
+    def test_rejects_bad_vlen(self):
+        with pytest.raises(VectorLengthError):
+            HardwareConfig(vlen_bits=300)
+
+    def test_rejects_bad_lanes(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(vector_lanes=0)
+
+    def test_rejects_bad_assoc(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(l2_assoc=3)
+
+    def test_rejects_bad_style(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(style="integrated")
+
+
+class TestPresets:
+    def test_paper2_platform(self):
+        hw = HardwareConfig.paper2_rvv(1024, 4.0)
+        assert hw.style is VectorUnitStyle.INTEGRATED
+        assert hw.l2_latency == 20
+        assert not hw.software_prefetch
+
+    def test_paper1_riscvv_is_decoupled(self):
+        hw = HardwareConfig.paper1_riscvv(8192, 1.0, lanes=4)
+        assert hw.style is VectorUnitStyle.DECOUPLED
+        assert hw.vector_lanes == 4
+
+    def test_paper1_armsve_vlen_cap(self):
+        HardwareConfig.paper1_armsve(2048, 1.0)
+        with pytest.raises(ConfigError, match="2048"):
+            HardwareConfig.paper1_armsve(4096, 1.0)
+
+    def test_a64fx(self):
+        hw = HardwareConfig.a64fx()
+        assert hw.vlen_bits == 512
+        assert hw.out_of_order and hw.hardware_prefetch
+        assert hw.line_bytes == 256
+
+
+class TestDramModel:
+    def test_transfer_cycles(self):
+        d = DramModel(bytes_per_cycle=8.0)
+        assert d.transfer_cycles(80) == 10.0
+
+    def test_prefetch_reduces_penalty(self):
+        d = DramModel(bytes_per_cycle=8.0, latency_cycles=100, mlp=4.0)
+        assert d.miss_penalty_cycles(10, prefetch=True) < d.miss_penalty_cycles(10)
+
+    def test_from_config(self):
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        d = DramModel.from_config(hw)
+        assert d.latency_cycles == hw.dram_latency
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DramModel(bytes_per_cycle=0)

@@ -1,0 +1,112 @@
+"""Tests for the input image pipeline (letterboxing, resize)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.nn.image import (
+    PAD_VALUE,
+    letterbox,
+    paper_input,
+    resize_bilinear,
+    synthetic_image,
+)
+
+
+class TestSyntheticImage:
+    def test_shape_and_range(self):
+        img = synthetic_image(576, 768)
+        assert img.shape == (3, 576, 768)
+        assert img.min() >= 0.0 and img.max() <= 1.0
+        assert img.dtype == np.float32
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(synthetic_image(seed=3),
+                                      synthetic_image(seed=3))
+        assert not np.array_equal(synthetic_image(seed=3),
+                                  synthetic_image(seed=4))
+
+
+class TestResize:
+    def test_identity(self, rng):
+        img = rng.random((2, 6, 7)).astype(np.float32)
+        out = resize_bilinear(img, 6, 7)
+        np.testing.assert_array_equal(out, img)
+        out[0, 0, 0] = 9  # must be a copy
+        assert img[0, 0, 0] != 9
+
+    def test_constant_image_stays_constant(self):
+        img = np.full((1, 5, 5), 0.3, dtype=np.float32)
+        out = resize_bilinear(img, 13, 9)
+        np.testing.assert_allclose(out, 0.3, atol=1e-6)
+
+    def test_corners_preserved(self, rng):
+        img = rng.random((1, 8, 8)).astype(np.float32)
+        out = resize_bilinear(img, 15, 15)
+        assert out[0, 0, 0] == pytest.approx(img[0, 0, 0], abs=1e-6)
+        assert out[0, -1, -1] == pytest.approx(img[0, -1, -1], abs=1e-6)
+
+    def test_downscale_averages(self):
+        img = np.zeros((1, 2, 2), dtype=np.float32)
+        img[0, 0, 0] = 1.0
+        out = resize_bilinear(img, 1, 1)
+        assert 0.0 < out[0, 0, 0] <= 1.0
+
+    def test_linear_ramp_exact(self):
+        """Bilinear resize reproduces a linear ramp exactly."""
+        ramp = np.linspace(0, 1, 9, dtype=np.float32)[None, None, :].repeat(4, 1)
+        out = resize_bilinear(ramp, 4, 5)
+        np.testing.assert_allclose(out[0, 0], np.linspace(0, 1, 5), atol=1e-6)
+
+    def test_bad_inputs(self):
+        with pytest.raises(ShapeError):
+            resize_bilinear(np.zeros((4, 4), np.float32), 2, 2)
+        with pytest.raises(ShapeError):
+            resize_bilinear(np.zeros((1, 4, 4), np.float32), 0, 2)
+
+    @given(h=st.integers(2, 20), w=st.integers(2, 20),
+           oh=st.integers(1, 25), ow=st.integers(1, 25))
+    @settings(max_examples=30, deadline=None)
+    def test_range_preserved(self, h, w, oh, ow):
+        """Bilinear interpolation never exceeds the input range."""
+        rng = np.random.default_rng(h * 100 + w)
+        img = rng.random((1, h, w)).astype(np.float32)
+        out = resize_bilinear(img, oh, ow)
+        assert out.shape == (1, oh, ow)
+        assert out.min() >= img.min() - 1e-5
+        assert out.max() <= img.max() + 1e-5
+
+
+class TestLetterbox:
+    def test_wide_image_pads_top_bottom(self):
+        img = np.ones((3, 576, 768), dtype=np.float32)
+        out = letterbox(img, 608)
+        assert out.shape == (3, 608, 608)
+        # 768 -> 608 scale: new_h = 432; bands of gray above and below
+        assert out[0, 0, 0] == PAD_VALUE
+        assert out[0, 304, 304] == pytest.approx(1.0, abs=1e-5)
+
+    def test_tall_image_pads_sides(self):
+        img = np.ones((1, 100, 50), dtype=np.float32)
+        out = letterbox(img, 64)
+        assert out[0, 32, 0] == PAD_VALUE
+        assert out[0, 32, 32] == pytest.approx(1.0, abs=1e-5)
+
+    def test_square_image_no_padding(self):
+        img = np.full((1, 32, 32), 0.7, dtype=np.float32)
+        out = letterbox(img, 64)
+        np.testing.assert_allclose(out, 0.7, atol=1e-5)
+
+    def test_paper_input_feeds_yolov3(self, rng):
+        from repro.nn.models import yolov3_network
+
+        x = paper_input(network_size=64, seed=1)
+        assert x.shape == (3, 64, 64)
+        out = yolov3_network(input_size=64).forward(x)
+        assert np.isfinite(out).all()
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeError):
+            letterbox(np.zeros((4, 4), np.float32), 8)

@@ -1,0 +1,42 @@
+"""Tests for the layer-report introspection tool."""
+
+import pytest
+
+from repro.experiments.layer_report import report, run
+from repro.nn.layer import ConvSpec
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class TestLayerReport:
+    def test_default_run(self):
+        r = run()
+        assert "conv9" in r.table.title
+        assert set(r.data["cycles"]) == {
+            "direct", "im2col_gemm3", "im2col_gemm6", "winograd"
+        }
+
+    def test_totals_match_registry(self):
+        from repro.algorithms.registry import layer_cycles
+        from repro.experiments.configs import workload
+
+        spec = workload("vgg16")[8]
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        r = report(spec, hw)
+        for name, total in r.data["cycles"].items():
+            assert total == pytest.approx(
+                layer_cycles(name, spec, hw, fallback=False).cycles
+            )
+
+    def test_inapplicable_marked(self):
+        spec = ConvSpec(ic=8, oc=8, ih=16, iw=16, kh=1, kw=1, index=1)
+        r = report(spec, HardwareConfig.paper2_rvv(512, 1.0))
+        assert "winograd" not in r.data["cycles"]
+        assert any("not applicable" in " ".join(row) for row in r.table.rows)
+
+    def test_energy_column_present(self):
+        r = run("yolov3:1", vlen_bits=1024, l2_mib=4.0)
+        assert all(e > 0 for e in r.data["energy_j"].values())
+
+    def test_layer_selector_parsing(self):
+        r = run("vgg16:3")
+        assert "conv3" in r.table.title

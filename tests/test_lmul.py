@@ -1,0 +1,122 @@
+"""Tests for RVV LMUL register grouping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IsaError, RegisterError, VectorLengthError
+from repro.isa import VectorMachine
+from repro.isa.types import E32, VType, grant_vl
+
+
+class TestGrantWithLmul:
+    def test_vlmax_scales_with_lmul(self):
+        assert grant_vl(10_000, E32, 512, lmul=1) == 16
+        assert grant_vl(10_000, E32, 512, lmul=2) == 32
+        assert grant_vl(10_000, E32, 512, lmul=8) == 128
+
+    def test_invalid_lmul(self):
+        with pytest.raises(VectorLengthError):
+            grant_vl(10, E32, 512, lmul=3)
+        with pytest.raises(VectorLengthError):
+            VType(sew=E32, vl=4, lmul=5)
+
+
+class TestGroupedExecution:
+    def test_load_store_spans_groups(self):
+        m = VectorMachine(512, trace=False)
+        src = m.alloc_from("x", np.arange(64, dtype=np.float32))
+        dst = m.alloc("y", 64)
+        got = m.vsetvl(64, lmul=4)  # 4 x 16 = 64 elements in one group
+        assert got == 64
+        m.vload(0, src, 0)
+        m.vstore(0, dst, 0)
+        np.testing.assert_array_equal(dst.array, np.arange(64))
+
+    def test_group_spills_into_consecutive_registers(self):
+        m = VectorMachine(512, trace=False)
+        src = m.alloc_from("x", np.arange(32, dtype=np.float32))
+        m.vsetvl(32, lmul=2)
+        m.vload(4, src, 0)
+        # the second half lives in v5
+        m.vsetvl(16, lmul=1)
+        np.testing.assert_array_equal(m.reg_values(5), np.arange(16, 32))
+
+    def test_unaligned_group_rejected(self):
+        m = VectorMachine(512, trace=False)
+        buf = m.alloc("x", 64)
+        m.vsetvl(64, lmul=4)
+        with pytest.raises(RegisterError, match="not aligned"):
+            m.vload(2, buf, 0)  # v2 not a multiple of 4
+
+    def test_group_past_file_end_rejected(self):
+        m = VectorMachine(512, trace=False)
+        buf = m.alloc("x", 128)
+        m.vsetvl(128, lmul=8)
+        with pytest.raises(RegisterError):
+            m.vload(28, buf, 0)  # needs v28..v35; hmm v28%8 != 0 triggers first
+        with pytest.raises(RegisterError):
+            m.vload(25, buf, 0)
+
+    def test_arithmetic_across_groups(self):
+        m = VectorMachine(256, trace=False)  # 8 f32 per register
+        a = m.alloc_from("a", np.arange(32, dtype=np.float32))
+        b = m.alloc_from("b", np.full(32, 2.0, dtype=np.float32))
+        c = m.alloc("c", 32)
+        m.vsetvl(32, lmul=4)
+        m.vload(0, a, 0)
+        m.vload(4, b, 0)
+        m.vfmacc(4, 0, 0)  # 2 + x*x
+        m.vstore(4, c, 0)
+        np.testing.assert_array_equal(c.array, 2.0 + np.arange(32) ** 2)
+
+    def test_fma_vf_grouped(self):
+        m = VectorMachine(256, trace=False)
+        x = m.alloc_from("x", np.arange(16, dtype=np.float32))
+        y = m.alloc("y", 16)
+        m.vsetvl(16, lmul=2)
+        m.vbroadcast(0, 1.0)
+        m.vload(2, x, 0)
+        m.vfmacc_vf(0, 3.0, 2)
+        m.vstore(0, y, 0)
+        np.testing.assert_array_equal(y.array, 1.0 + 3.0 * np.arange(16))
+
+    def test_redsum_grouped(self):
+        m = VectorMachine(256, trace=False)
+        x = m.alloc_from("x", np.arange(24, dtype=np.float32))
+        m.vsetvl(24, lmul=4)
+        m.vload(0, x, 0)
+        assert m.vredsum(0) == float(np.arange(24).sum())
+
+    def test_vl_cannot_exceed_group(self):
+        m = VectorMachine(512, trace=False)
+        m.vsetvl(32, lmul=2)
+        with pytest.raises(IsaError):
+            m._active(100)
+
+    def test_saxpy_lmul_emulates_longer_vectors(self):
+        """The RVV trick: LMUL=8 on 512-bit hardware behaves like a 4096-bit
+        machine at LMUL=1 — fewer strip-mine iterations, same result."""
+        n = 1000
+
+        def run(vlen, lmul):
+            m = VectorMachine(vlen, trace=False)
+            x = m.alloc_from("x", np.arange(n, dtype=np.float32))
+            y = m.alloc_from("y", np.ones(n, dtype=np.float32))
+            iters = 0
+            i = 0
+            while i < n:
+                gvl = m.vsetvl(n - i, lmul=lmul)
+                m.vload(0, y, i)
+                m.vload(8, x, i)
+                m.vfmacc_vf(0, 2.0, 8)
+                m.vstore(0, y, i)
+                i += gvl
+                iters += 1
+            return y.array.copy(), iters
+
+    # LMUL=8 @512b  vs  LMUL=1 @4096b: same grants, same results
+        a, it_a = run(512, 8)
+        b, it_b = run(4096, 1)
+        np.testing.assert_array_equal(a, b)
+        assert it_a == it_b
+        np.testing.assert_allclose(a, 1.0 + 2.0 * np.arange(n))

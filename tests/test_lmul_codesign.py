@@ -1,0 +1,52 @@
+"""Tests for the LMUL-vs-VLEN co-design study."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.cli import run_experiment
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class TestLmulConfig:
+    def test_vlmax_scales(self):
+        hw = HardwareConfig.paper1_riscvv(512, 1.0).with_(lmul=4)
+        assert hw.vlmax_f32 == 64
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            HardwareConfig(lmul=3)
+        with pytest.raises(ConfigError):
+            HardwareConfig(isa="sve", lmul=2)  # an RVV feature
+
+    def test_datapath_unchanged(self):
+        base = HardwareConfig.paper1_riscvv(512, 1.0)
+        grouped = base.with_(lmul=8)
+        assert grouped.datapath_f32_per_cycle == base.datapath_f32_per_cycle
+
+
+class TestLmulStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension-lmul")
+
+    def test_moderate_lmul_recovers_most_of_vlen(self, result):
+        """LMUL=2 is the near-free long vector (>80% of the VLEN gain)."""
+        assert result.data[1024]["recovered"] >= 0.8
+
+    def test_recovery_degrades_with_lmul(self, result):
+        r = result.data
+        assert r[1024]["recovered"] > r[2048]["recovered"] > r[4096]["recovered"]
+
+    def test_high_lmul_backfires(self, result):
+        """LMUL=8 leaves 4 register groups: the unroll collapses and B-reuse
+        with it — grouping is no longer worth it."""
+        r = result.data[4096]
+        assert r["via_lmul"] > r["via_vlen"]
+        assert r["recovered"] < 0.5
+
+    def test_lmul_needs_no_extra_area(self, result):
+        from repro.simulator.area.chip import core_area_mm2
+
+        assert core_area_mm2(512, model="paper1") < core_area_mm2(
+            4096, model="paper1"
+        )

@@ -1,0 +1,181 @@
+"""Tests for the network executor and the Darknet cfg parser."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CfgParseError, NetworkError, ShapeError
+from repro.nn import Network, parse_cfg
+from repro.nn.layer import ConvSpec, ShortcutSpec
+from repro.nn.models.vgg16 import VGG16_CFG
+from repro.nn.reference import conv2d_reference
+
+SMALL_CFG = """
+[net]
+channels=2
+height=8
+width=8
+
+[convolutional]
+filters=4
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[maxpool]
+size=2
+stride=2
+
+[convolutional]
+filters=6
+size=1
+stride=1
+activation=linear
+
+[connected]
+output=5
+activation=relu
+
+[softmax]
+"""
+
+
+class TestCfgParser:
+    def test_small_network_shapes(self):
+        net = parse_cfg(SMALL_CFG, name="small")
+        conv1, pool, conv2, fc, sm = net.layers
+        assert isinstance(conv1, ConvSpec) and conv1.oc == 4 and conv1.oh == 8
+        assert conv2.ic == 4 and conv2.ih == 4
+        assert fc.inputs == 6 * 4 * 4 and fc.outputs == 5
+
+    def test_runs_functionally(self, rng):
+        net = parse_cfg(SMALL_CFG)
+        out = net.forward(rng.standard_normal((2, 8, 8)).astype(np.float32))
+        assert out.shape == (5,)
+        assert out.sum() == pytest.approx(1.0, abs=1e-5)
+
+    def test_vgg16_cfg_parses(self):
+        net = parse_cfg(VGG16_CFG, name="vgg")
+        assert net.num_conv_layers() == 13
+
+    def test_route_and_shortcut(self):
+        cfg = """
+[net]
+channels=2
+height=4
+width=4
+[convolutional]
+filters=2
+size=1
+[convolutional]
+filters=2
+size=1
+[shortcut]
+from=-2
+[route]
+layers=-1,-3
+"""
+        net = parse_cfg(cfg)
+        assert net.layers[-1].c == 4  # concatenated channels
+
+    def test_comments_and_blank_lines(self):
+        cfg = "[net]\n# a comment\nchannels=1\nheight=4\nwidth=4\n\n[avgpool]\n"
+        net = parse_cfg(cfg)
+        assert len(net.layers) == 1
+
+    @pytest.mark.parametrize(
+        "cfg,msg",
+        [
+            ("", "empty"),
+            ("[convolutional]\nfilters=2\n", "first section"),
+            ("[net]\nheight=4\nwidth=4\n[bogus]\n", "unsupported section"),
+            ("[net]\nheight=x\n", "not an integer"),
+            ("[net]\nheight=4\nwidth=4\n[route]\n", "requires layers"),
+            ("key=1\n", "outside any section"),
+            ("[net]\nheight=4\nwidth=4\n[net\n", "malformed section"),
+            ("[net]\nheight 4\n", "expected key=value"),
+        ],
+    )
+    def test_parse_errors(self, cfg, msg):
+        with pytest.raises(CfgParseError, match=msg):
+            parse_cfg(cfg)
+
+    def test_route_spatial_mismatch(self):
+        cfg = """
+[net]
+channels=1
+height=8
+width=8
+[convolutional]
+filters=2
+size=3
+stride=1
+pad=1
+[convolutional]
+filters=2
+size=3
+stride=2
+pad=1
+[route]
+layers=-1,-2
+"""
+        with pytest.raises(CfgParseError, match="mismatched spatial"):
+            parse_cfg(cfg)
+
+
+class TestNetworkExecutor:
+    def test_empty_network_rejected(self):
+        with pytest.raises(NetworkError):
+            Network(name="empty", layers=[])
+
+    def test_weights_are_deterministic(self):
+        net = parse_cfg(SMALL_CFG)
+        w1 = net.weight_for(0)
+        w2 = Network(name=net.name, layers=net.layers).weight_for(0)
+        np.testing.assert_array_equal(w1, w2)
+
+    def test_weight_for_nonweight_layer(self):
+        net = parse_cfg(SMALL_CFG)
+        with pytest.raises(NetworkError, match="no weights"):
+            net.weight_for(1)  # maxpool
+
+    def test_per_layer_conv_fn_hook(self, rng):
+        """The algorithm-selection hook: per-ordinal conv implementations."""
+        net = parse_cfg(SMALL_CFG)
+        x = rng.standard_normal((2, 8, 8)).astype(np.float32)
+        calls = []
+
+        def spy(spec, xx, ww):
+            calls.append(spec.index)
+            return conv2d_reference(spec, xx, ww)
+
+        ref = net.forward(x)
+        out = net.forward(x, conv_fns={2: spy})
+        np.testing.assert_allclose(out, ref, atol=1e-5)
+        assert calls == [2]
+
+    def test_keep_outputs(self, rng):
+        net = parse_cfg(SMALL_CFG)
+        outs = net.forward(
+            rng.standard_normal((2, 8, 8)).astype(np.float32), keep_outputs=True
+        )
+        assert len(outs) == len(net.layers)
+
+    def test_shortcut_shape_mismatch_raises(self):
+        layers = [
+            ConvSpec(ic=1, oc=2, ih=4, iw=4, kh=1, kw=1, index=1),
+            ConvSpec(ic=2, oc=3, ih=4, iw=4, kh=1, kw=1, index=2),
+            ShortcutSpec(from_index=-3, c=3, h=4, w=4),
+        ]
+        net = Network(name="bad", layers=layers)
+        with pytest.raises((ShapeError, NetworkError)):
+            net.forward(np.zeros((1, 4, 4), dtype=np.float32))
+
+    def test_total_conv_macs(self):
+        net = parse_cfg(SMALL_CFG)
+        assert net.total_conv_macs() == sum(s.macs for s in net.conv_specs())
+
+    def test_describe(self):
+        net = parse_cfg(SMALL_CFG, name="tiny")
+        text = net.describe()
+        assert "tiny" in text and "conv1" in text

@@ -1,0 +1,112 @@
+"""Tests for layer specifications (ConvSpec & friends)."""
+
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.nn.layer import (
+    AvgPoolSpec,
+    ConnectedSpec,
+    ConvSpec,
+    MaxPoolSpec,
+    UpsampleSpec,
+)
+
+
+class TestConvSpecDims:
+    def test_same_padding_default(self):
+        s = ConvSpec(ic=3, oc=8, ih=10, iw=10, kh=3, kw=3)
+        assert s.pad == 1
+        assert (s.oh, s.ow) == (10, 10)
+
+    def test_stride_two(self):
+        s = ConvSpec(ic=3, oc=8, ih=608, iw=608, kh=3, kw=3, stride=2)
+        assert (s.oh, s.ow) == (304, 304)
+
+    def test_one_by_one(self):
+        s = ConvSpec(ic=8, oc=4, ih=9, iw=9, kh=1, kw=1)
+        assert s.pad == 0
+        assert (s.oh, s.ow) == (9, 9)
+
+    def test_explicit_padding(self):
+        s = ConvSpec(ic=1, oc=1, ih=8, iw=8, kh=3, kw=3, pad=0)
+        assert (s.oh, s.ow) == (6, 6)
+
+    def test_rectangular_input(self):
+        s = ConvSpec(ic=1, oc=1, ih=10, iw=6, kh=3, kw=3)
+        assert (s.oh, s.ow) == (10, 6)
+
+    def test_gemm_dims(self):
+        s = ConvSpec(ic=3, oc=32, ih=608, iw=608, kh=3, kw=3)
+        assert s.gemm_m == 32
+        assert s.gemm_k == 27
+        assert s.gemm_n == 608 * 608
+
+    def test_macs_and_flops(self):
+        s = ConvSpec(ic=2, oc=3, ih=4, iw=4, kh=1, kw=1)
+        assert s.macs == 3 * 2 * 16
+        assert s.flops == 2 * s.macs
+
+    def test_tensor_bytes(self):
+        s = ConvSpec(ic=2, oc=3, ih=4, iw=5, kh=3, kw=3)
+        assert s.input_bytes == 2 * 4 * 5 * 4
+        assert s.output_bytes == 3 * s.oh * s.ow * 4
+        assert s.weight_bytes == 3 * 2 * 9 * 4
+        assert s.im2col_bytes == s.gemm_k * s.gemm_n * 4
+
+    def test_arithmetic_intensity_matches_paper_table4(self):
+        """Paper I Table IV, YOLOv3 L1: M=32, N=369664, K=27 -> AI 7.32."""
+        s = ConvSpec(ic=3, oc=32, ih=608, iw=608, kh=3, kw=3)
+        assert s.arithmetic_intensity() == pytest.approx(7.32, abs=0.01)
+
+    def test_features_vector(self):
+        s = ConvSpec(ic=3, oc=8, ih=10, iw=12, kh=3, kw=3, stride=2)
+        f = s.features()
+        assert len(f) == len(ConvSpec.FEATURE_NAMES) == 10
+        assert f[0] == 3.0 and f[5] == 8.0 and f[3] == 2.0
+
+    def test_validate_input(self):
+        s = ConvSpec(ic=3, oc=8, ih=10, iw=10)
+        s.validate_input((3, 10, 10))
+        with pytest.raises(ShapeError):
+            s.validate_input((3, 10, 11))
+
+    def test_describe_mentions_dims(self):
+        s = ConvSpec(ic=3, oc=8, ih=10, iw=10, index=4)
+        assert "conv4" in s.describe() and "3->8" in s.describe()
+
+
+class TestConvSpecValidation:
+    @pytest.mark.parametrize("field", ["ic", "oc", "ih", "iw", "kh", "kw", "stride"])
+    def test_positive_required(self, field):
+        kwargs = dict(ic=3, oc=8, ih=10, iw=10, kh=3, kw=3, stride=1)
+        kwargs[field] = 0
+        with pytest.raises(ConfigError):
+            ConvSpec(**kwargs)
+
+    def test_kernel_larger_than_input(self):
+        with pytest.raises(ConfigError, match="larger than padded input"):
+            ConvSpec(ic=1, oc=1, ih=2, iw=2, kh=7, kw=7, pad=0)
+
+    def test_negative_pad(self):
+        with pytest.raises(ConfigError):
+            ConvSpec(ic=1, oc=1, ih=8, iw=8, kh=3, kw=3, pad=-2)
+
+
+class TestOtherSpecs:
+    def test_maxpool_dims(self):
+        p = MaxPoolSpec(c=4, ih=10, iw=10, size=2, stride=2)
+        assert (p.oh, p.ow) == (5, 5)
+
+    def test_maxpool_same_padded(self):
+        p = MaxPoolSpec(c=4, ih=13, iw=13, size=2, stride=1, pad=1)
+        assert (p.oh, p.ow) == (13, 13)
+
+    def test_avgpool(self):
+        assert AvgPoolSpec(c=4, ih=3, iw=3).c == 4
+
+    def test_connected_macs(self):
+        assert ConnectedSpec(inputs=10, outputs=5).macs == 50
+
+    def test_upsample(self):
+        u = UpsampleSpec(c=2, ih=3, iw=3, stride=2)
+        assert u.stride == 2

@@ -1,0 +1,161 @@
+"""Tests for the NumPy reference kernels (the correctness oracles)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.nn.layer import (
+    AvgPoolSpec,
+    ConnectedSpec,
+    ConvSpec,
+    MaxPoolSpec,
+    UpsampleSpec,
+)
+from repro.nn.reference import (
+    apply_activation,
+    avgpool_reference,
+    connected_reference,
+    conv2d_reference,
+    maxpool_reference,
+    pad_input,
+    softmax_reference,
+    upsample_reference,
+)
+
+
+def brute_force_conv(spec: ConvSpec, x, w):
+    """Triple-checked scalar convolution (slow, tiny shapes only)."""
+    xp = pad_input(x.astype(np.float64), spec.pad)
+    out = np.zeros((spec.oc, spec.oh, spec.ow))
+    for o in range(spec.oc):
+        for y in range(spec.oh):
+            for z in range(spec.ow):
+                acc = 0.0
+                for c in range(spec.ic):
+                    for dy in range(spec.kh):
+                        for dz in range(spec.kw):
+                            acc += (
+                                xp[c, y * spec.stride + dy, z * spec.stride + dz]
+                                * w[o, c, dy, dz]
+                            )
+                out[o, y, z] = acc
+    return out.astype(np.float32)
+
+
+class TestConvReference:
+    @pytest.mark.parametrize(
+        "dims",
+        [
+            dict(ic=1, oc=1, ih=5, iw=5, kh=3, kw=3),
+            dict(ic=2, oc=3, ih=6, iw=4, kh=3, kw=3, stride=2),
+            dict(ic=3, oc=2, ih=7, iw=7, kh=1, kw=1),
+            dict(ic=2, oc=2, ih=9, iw=9, kh=5, kw=5),
+            dict(ic=1, oc=2, ih=8, iw=8, kh=3, kw=3, pad=0),
+        ],
+    )
+    def test_against_brute_force(self, rng, dims):
+        spec = ConvSpec(**dims)
+        x = rng.standard_normal((spec.ic, spec.ih, spec.iw)).astype(np.float32)
+        w = rng.standard_normal((spec.oc, spec.ic, spec.kh, spec.kw)).astype(
+            np.float32
+        )
+        np.testing.assert_allclose(
+            conv2d_reference(spec, x, w), brute_force_conv(spec, x, w), atol=1e-4
+        )
+
+    def test_identity_kernel(self, rng):
+        spec = ConvSpec(ic=1, oc=1, ih=6, iw=6, kh=1, kw=1)
+        x = rng.standard_normal((1, 6, 6)).astype(np.float32)
+        w = np.ones((1, 1, 1, 1), dtype=np.float32)
+        np.testing.assert_allclose(conv2d_reference(spec, x, w), x, atol=1e-6)
+
+    def test_wrong_weight_shape(self, rng):
+        spec = ConvSpec(ic=2, oc=2, ih=4, iw=4)
+        x = np.zeros((2, 4, 4), dtype=np.float32)
+        with pytest.raises(ShapeError):
+            conv2d_reference(spec, x, np.zeros((2, 3, 3, 3), dtype=np.float32))
+
+    def test_linearity(self, rng):
+        """conv(a*x1 + x2) == a*conv(x1) + conv(x2)."""
+        spec = ConvSpec(ic=2, oc=3, ih=6, iw=6)
+        w = rng.standard_normal((3, 2, 3, 3)).astype(np.float32)
+        x1 = rng.standard_normal((2, 6, 6)).astype(np.float32)
+        x2 = rng.standard_normal((2, 6, 6)).astype(np.float32)
+        lhs = conv2d_reference(spec, (2.0 * x1 + x2).astype(np.float32), w)
+        rhs = 2.0 * conv2d_reference(spec, x1, w) + conv2d_reference(spec, x2, w)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-3)
+
+
+class TestPooling:
+    def test_maxpool_basic(self):
+        spec = MaxPoolSpec(c=1, ih=4, iw=4, size=2, stride=2)
+        x = np.arange(16, dtype=np.float32).reshape(1, 4, 4)
+        out = maxpool_reference(spec, x)
+        np.testing.assert_array_equal(out[0], [[5, 7], [13, 15]])
+
+    def test_maxpool_padded_same(self):
+        spec = MaxPoolSpec(c=1, ih=3, iw=3, size=2, stride=1, pad=1)
+        x = np.arange(9, dtype=np.float32).reshape(1, 3, 3)
+        out = maxpool_reference(spec, x)
+        assert out.shape == (1, 3, 3)
+        assert out[0, 2, 2] == 8  # padding never wins
+
+    def test_maxpool_shape_check(self):
+        spec = MaxPoolSpec(c=2, ih=4, iw=4)
+        with pytest.raises(ShapeError):
+            maxpool_reference(spec, np.zeros((1, 4, 4), dtype=np.float32))
+
+    def test_avgpool(self):
+        spec = AvgPoolSpec(c=2, ih=2, iw=2)
+        x = np.array([[[1, 3], [5, 7]], [[0, 0], [0, 4]]], dtype=np.float32)
+        np.testing.assert_allclose(avgpool_reference(spec, x), [4.0, 1.0])
+
+
+class TestOtherLayers:
+    def test_connected(self, rng):
+        spec = ConnectedSpec(inputs=6, outputs=2)
+        x = rng.standard_normal(6).astype(np.float32)
+        w = rng.standard_normal((2, 6)).astype(np.float32)
+        np.testing.assert_allclose(
+            connected_reference(spec, x, w), w @ x, atol=1e-5
+        )
+
+    def test_connected_flattens(self, rng):
+        spec = ConnectedSpec(inputs=12, outputs=3)
+        x = rng.standard_normal((3, 2, 2)).astype(np.float32)
+        w = rng.standard_normal((3, 12)).astype(np.float32)
+        assert connected_reference(spec, x, w).shape == (3,)
+
+    def test_upsample(self):
+        spec = UpsampleSpec(c=1, ih=2, iw=2, stride=2)
+        x = np.array([[[1, 2], [3, 4]]], dtype=np.float32)
+        out = upsample_reference(spec, x)
+        assert out.shape == (1, 4, 4)
+        np.testing.assert_array_equal(out[0, :2, :2], [[1, 1], [1, 1]])
+
+    def test_softmax_sums_to_one(self, rng):
+        out = softmax_reference(rng.standard_normal(10).astype(np.float32))
+        assert out.sum() == pytest.approx(1.0, abs=1e-5)
+        assert (out > 0).all()
+
+    def test_softmax_stability(self):
+        out = softmax_reference(np.array([1000.0, 1000.0], dtype=np.float32))
+        np.testing.assert_allclose(out, [0.5, 0.5])
+
+
+class TestActivations:
+    def test_linear(self, rng):
+        x = rng.standard_normal(5).astype(np.float32)
+        np.testing.assert_array_equal(apply_activation("linear", x), x)
+
+    def test_relu(self):
+        x = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(apply_activation("relu", x), [0, 0, 2])
+
+    def test_leaky(self):
+        x = np.array([-10.0, 5.0], dtype=np.float32)
+        np.testing.assert_allclose(apply_activation("leaky", x), [-1.0, 5.0])
+
+    def test_unknown_activation(self):
+        with pytest.raises(ShapeError):
+            apply_activation("swish", np.zeros(1, dtype=np.float32))

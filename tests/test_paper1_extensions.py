@@ -1,0 +1,114 @@
+"""Tests for the Paper I (IPDPS '23) extension experiments."""
+
+import pytest
+
+from repro.experiments.cli import run_experiment
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return run_experiment("paper1-table2")
+
+
+@pytest.fixture(scope="module")
+def vl():
+    return run_experiment("paper1-vl")
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return run_experiment("paper1-cache")
+
+
+class TestBlockSizeTuning:
+    def test_no_benefit_on_decoupled_rvv(self, table2):
+        """Paper I: BLIS-like blocking does not pay when the VPU sits at
+        the L2 — all block sizes land near (here: above) the 3-loop time."""
+        for ratio in table2.data["ratios"].values():
+            assert 0.9 <= ratio <= 1.4
+
+    def test_block_sizes_within_10pct_of_each_other(self, table2):
+        ratios = list(table2.data["ratios"].values())
+        assert max(ratios) / min(ratios) < 1.10
+
+
+class TestVectorLengthSweep:
+    def test_headline_speedup(self, vl):
+        """Paper I: ~2.5x from 512 to 16384 bits (we accept 1.8-3.2)."""
+        assert 1.8 <= vl.data["speedups"][16384] <= 3.2
+
+    def test_saturation_beyond_8192(self, vl):
+        """Paper I: performance effectively saturates beyond 8192 bits."""
+        s = vl.data["speedups"]
+        assert abs(s[16384] / s[8192] - 1.0) < 0.10
+
+    def test_monotone_up_to_8192(self, vl):
+        s = vl.data["speedups"]
+        assert s[512] < s[1024] < s[2048] < s[4096] < s[8192]
+
+
+class TestCacheSweep:
+    def test_all_vector_lengths_gain(self, cache):
+        assert all(g > 1.05 for g in cache.data["gains"].values())
+
+    def test_long_vectors_gain_most(self, cache):
+        """Paper I: bigger caches matter more at longer vector lengths."""
+        g = cache.data["gains"]
+        assert g[16384] > g[8192] > g[512]
+
+    def test_with_big_cache_16384_beats_8192(self, cache):
+        """Paper I: at 256 MB, 16384 b edges out 8192 b by only ~5%."""
+        c = cache.data["cycles"]
+        assert c[(16384, 256.0)] <= c[(8192, 256.0)]
+        assert c[(8192, 256.0)] / c[(16384, 256.0)] < 1.15
+
+
+class TestLanes:
+    def test_lanes_benefit_long_vectors_more(self):
+        gains = run_experiment("paper1-lanes").data["gains"]
+        assert gains[8192] > gains[512]
+
+
+class TestWinogradSweeps:
+    @pytest.fixture(scope="class")
+    def wg(self):
+        return run_experiment("paper1-winograd")
+
+    def test_vl_gains(self, wg):
+        """Both networks gain substantially from 512 -> 2048 bits."""
+        g = wg.data["gains"]
+        assert g["vl_yolo"] > 1.3 and g["vl_vgg"] > 1.3
+
+    def test_yolo_more_cache_sensitive_than_vgg(self, wg):
+        """Paper I: VGG-16 is all-Winograd (small cache needs); YOLOv3
+        falls back to im2col+GEMM on many layers and wants more cache."""
+        g = wg.data["gains"]
+        assert g["cache_yolo"] > g["cache_vgg"]
+
+    def test_vgg_flat_beyond_64mb(self, wg):
+        """Paper I: VGG-16 does not benefit past 64 MB."""
+        c = wg.data["cycles"]
+        assert c[("vgg16", 512, 64.0)] / c[("vgg16", 512, 256.0)] < 1.02
+
+
+class TestPaper1Pareto:
+    @pytest.fixture(scope="class")
+    def pareto(self):
+        return run_experiment("paper1-pareto")
+
+    def test_knee_is_long_vector_small_cache(self, pareto):
+        """Paper I: Pareto-optimal = 4096 bits with the 1 MB cache."""
+        knee = pareto.data["knee"].payload
+        assert knee["vlen"] == 4096
+        assert knee["l2_mib"] == 1.0
+
+    def test_small_cache_points_dominate_frontier(self, pareto):
+        ones = [p for p in pareto.data["frontier"] if p.payload["l2_mib"] == 1.0]
+        assert len(ones) == 5  # every VL at 1 MB is on the frontier
+
+    def test_vl_area_cheap_cache_area_expensive(self, pareto):
+        pts = {(p.payload["vlen"], p.payload["l2_mib"]): p.cost
+               for p in pareto.data["points"]}
+        vl_delta = pts[(8192, 1.0)] - pts[(512, 1.0)]
+        cache_delta = pts[(512, 256.0)] - pts[(512, 1.0)]
+        assert cache_delta > 10 * vl_delta

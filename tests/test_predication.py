@@ -1,0 +1,136 @@
+"""Tests for SVE-style predication (per-lane masking + whilelt loops)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IsaError, RegisterError
+from repro.isa import VectorMachine
+from repro.isa.predication import NUM_PREDICATES, PredicatedMachine
+
+
+def make(vlen=512):
+    return PredicatedMachine(VectorMachine(vlen, trace=False))
+
+
+class TestPredicates:
+    def test_ptrue_pfalse(self):
+        p = make()
+        p.ptrue(0)
+        assert p.active_lanes(0) == p.vlmax
+        p.pfalse(0)
+        assert p.active_lanes(0) == 0
+
+    def test_whilelt_full(self):
+        p = make()
+        assert p.whilelt(1, 0, 100)
+        assert p.active_lanes(1) == p.vlmax
+
+    def test_whilelt_tail(self):
+        p = make(512)  # 16 lanes
+        assert p.whilelt(1, 96, 101)  # 5 remaining
+        assert p.active_lanes(1) == 5
+        assert p.mask(1)[:5].all() and not p.mask(1)[5:].any()
+
+    def test_whilelt_done(self):
+        p = make()
+        assert not p.whilelt(1, 100, 100)
+        assert p.active_lanes(1) == 0
+
+    def test_predicate_register_bounds(self):
+        p = make()
+        with pytest.raises(RegisterError):
+            p.ptrue(NUM_PREDICATES)
+        with pytest.raises(RegisterError):
+            p.whilelt(-1, 0, 10)
+
+
+class TestMaskedOps:
+    def test_ld1_zeroes_inactive(self):
+        p = make(512)
+        buf = p.m.alloc_from("x", np.arange(16, dtype=np.float32))
+        p.whilelt(0, 0, 5)
+        p.ld1(1, 0, buf, 0)
+        vals = p.m.reg_values(1, vl=16)
+        np.testing.assert_array_equal(vals[:5], np.arange(5))
+        assert (vals[5:] == 0).all()
+
+    def test_st1_leaves_memory_untouched(self):
+        p = make(512)
+        buf = p.m.alloc_from("y", np.full(16, 9.0, dtype=np.float32))
+        p.dup(2, 1.0)
+        p.whilelt(0, 0, 3)
+        p.st1(2, 0, buf, 0)
+        np.testing.assert_array_equal(buf.array[:3], [1, 1, 1])
+        np.testing.assert_array_equal(buf.array[3:], np.full(13, 9.0))
+
+    def test_non_leading_predicate_rejected_for_memory(self):
+        p = make(512)
+        buf = p.m.alloc("x", 16)
+        p._preds[0, 3] = True  # a scattered predicate
+        with pytest.raises(IsaError, match="leading-lane"):
+            p.ld1(0, 0, buf, 0)
+
+    def test_fmla_merging(self):
+        p = make(512)
+        p.dup(1, 10.0)  # acc
+        p.dup(2, 2.0)  # operand
+        p.whilelt(0, 0, 4)
+        p.fmla(1, 0, 3.0, 2)  # active: 10 + 3*2 = 16; inactive stay 10
+        vals = p.m.reg_values(1, vl=16)
+        assert (vals[:4] == 16.0).all()
+        assert (vals[4:] == 10.0).all()
+
+    def test_fmla_zeroing(self):
+        p = make(512)
+        p.dup(1, 10.0)
+        p.dup(2, 2.0)
+        p.whilelt(0, 0, 4)
+        p.fmla(1, 0, 3.0, 2, zeroing=True)
+        vals = p.m.reg_values(1, vl=16)
+        assert (vals[:4] == 16.0).all() and (vals[4:] == 0.0).all()
+
+    def test_fadd_predicated(self):
+        p = make(256)
+        p.dup(1, 1.0)
+        p.dup(2, 2.0)
+        p.whilelt(0, 0, 3)
+        p.dup(3, -1.0)
+        p.fadd(3, 0, 1, 2)
+        vals = p.m.reg_values(3, vl=8)
+        assert (vals[:3] == 3.0).all() and (vals[3:] == -1.0).all()
+
+
+class TestSveStyleKernels:
+    """The same SAXPY written SVE-style (whilelt) and RVV-style (vsetvl)
+    must agree — the papers' VLA portability argument."""
+
+    @pytest.mark.parametrize("n", [7, 16, 100, 1000])
+    @pytest.mark.parametrize("vlen", [256, 512, 2048])
+    def test_saxpy_equivalence(self, n, vlen):
+        # SVE style: full-width loop with whilelt tail predication
+        p = make(vlen)
+        x = p.m.alloc_from("x", np.arange(n, dtype=np.float32))
+        y = p.m.alloc_from("y", np.ones(n, dtype=np.float32))
+        i = 0
+        while p.whilelt(0, i, n):
+            p.ld1(1, 0, y, i)
+            p.ld1(2, 0, x, i)
+            p.fmla(1, 0, 2.0, 2)
+            p.st1(1, 0, y, i)
+            i += p.vlmax
+        sve_result = y.array.copy()
+
+        # RVV style: vsetvl strip-mining
+        m = VectorMachine(vlen, trace=False)
+        x2 = m.alloc_from("x", np.arange(n, dtype=np.float32))
+        y2 = m.alloc_from("y", np.ones(n, dtype=np.float32))
+        i = 0
+        while i < n:
+            gvl = m.vsetvl(n - i)
+            m.vload(0, y2, i)
+            m.vload(1, x2, i)
+            m.vfmacc_vf(0, 2.0, 1)
+            m.vstore(0, y2, i)
+            i += gvl
+        np.testing.assert_array_equal(sve_result, y2.array)
+        np.testing.assert_allclose(sve_result, 1.0 + 2.0 * np.arange(n))

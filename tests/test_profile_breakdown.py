@@ -1,0 +1,61 @@
+"""Tests for GEMV timing and the inference-time profile."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.gemv import gemv_phase, gemv_vectorized
+from repro.experiments.cli import run_experiment
+from repro.isa import VectorMachine
+from repro.nn.layer import ConnectedSpec
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class TestGemv:
+    def test_vectorized_correctness(self, rng):
+        w = rng.standard_normal((7, 50)).astype(np.float32)
+        x = rng.standard_normal(50).astype(np.float32)
+        m = VectorMachine(512, trace=False)
+        out = gemv_vectorized(m, w, x)
+        np.testing.assert_allclose(out, w @ x, atol=1e-3)
+
+    def test_phase_is_memory_bound(self):
+        """Batch-1 FC: every weight byte read once -> DRAM-bound."""
+        spec = ConnectedSpec(inputs=25088, outputs=4096)
+        hw = HardwareConfig.paper2_rvv(512, 8.0)
+        pc = AnalyticalTimingModel(hw).phase_cycles(gemv_phase(spec, hw))
+        assert pc.bound == "dram"
+        assert pc.dram_bytes >= spec.inputs * spec.outputs * 4
+
+    def test_longer_vectors_dont_fix_gemv(self):
+        """GEMV stays memory-bound: VL buys little."""
+        spec = ConnectedSpec(inputs=4096, outputs=4096)
+        def cycles(vl):
+            hw = HardwareConfig.paper2_rvv(vl, 8.0)
+            return AnalyticalTimingModel(hw).phase_cycles(
+                gemv_phase(spec, hw)
+            ).cycles
+        assert cycles(512) / cycles(4096) < 1.5
+
+
+class TestProfile:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("profile-breakdown")
+
+    def test_yolo_conv_dominates(self, result):
+        """Paper: ~96% of YOLOv3 inference is convolutional."""
+        shares = result.data["shares"]["yolov3 (107 layers)"]
+        assert shares["conv"] >= 0.90
+        assert shares["connected"] == 0.0
+
+    def test_vgg_fc_is_visible(self, result):
+        """VGG-16's three FC layers take a non-trivial share (paper: the
+        conv share is only ~64%; ours lands higher — see EXPERIMENTS.md)."""
+        shares = result.data["shares"]["vgg16 (22 layers)"]
+        assert shares["connected"] >= 0.05
+        assert shares["conv"] > shares["connected"]
+
+    def test_shares_sum_to_one(self, result):
+        for shares in result.data["shares"].values():
+            assert sum(shares.values()) == pytest.approx(1.0)

@@ -1,0 +1,138 @@
+"""Property-based tests: algorithm equivalence over random layer shapes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import get_algorithm
+from repro.nn.layer import ConvSpec
+from repro.nn.reference import conv2d_reference
+
+# random-but-small layer geometry
+spec_3x3 = st.builds(
+    ConvSpec,
+    ic=st.integers(1, 9),
+    oc=st.integers(1, 9),
+    ih=st.integers(6, 18),
+    iw=st.integers(6, 18),
+    kh=st.just(3),
+    kw=st.just(3),
+    stride=st.just(1),
+)
+
+spec_general = st.builds(
+    ConvSpec,
+    ic=st.integers(1, 6),
+    oc=st.integers(1, 6),
+    ih=st.integers(5, 14),
+    iw=st.integers(5, 14),
+    kh=st.sampled_from([1, 3, 5]),
+    kw=st.sampled_from([1, 3, 5]),
+    stride=st.integers(1, 2),
+)
+
+
+def tensors_for(spec: ConvSpec, seed: int):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, (spec.ic, spec.ih, spec.iw)).astype(np.float32)
+    w = rng.uniform(-0.5, 0.5, (spec.oc, spec.ic, spec.kh, spec.kw)).astype(
+        np.float32
+    )
+    return x, w
+
+
+class TestAlgorithmEquivalence:
+    @given(spec=spec_general, seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_direct_equals_reference(self, spec, seed):
+        x, w = tensors_for(spec, seed)
+        np.testing.assert_allclose(
+            get_algorithm("direct").run(spec, x, w),
+            conv2d_reference(spec, x, w),
+            atol=1e-4,
+        )
+
+    @given(spec=spec_general, seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_gemm_variants_equal_reference(self, spec, seed):
+        x, w = tensors_for(spec, seed)
+        ref = conv2d_reference(spec, x, w)
+        for name in ("im2col_gemm3", "im2col_gemm6"):
+            np.testing.assert_allclose(
+                get_algorithm(name).run(spec, x, w), ref, atol=1e-4
+            )
+
+    @given(spec=spec_3x3, seed=st.integers(0, 2**16))
+    @settings(max_examples=40, deadline=None)
+    def test_winograd_equals_reference(self, spec, seed):
+        """Winograd F(6,3) numerical accuracy holds over random shapes."""
+        x, w = tensors_for(spec, seed)
+        ref = conv2d_reference(spec, x, w)
+        out = get_algorithm("winograd").run(spec, x, w)
+        scale = max(1.0, float(np.abs(ref).max()))
+        np.testing.assert_allclose(out, ref, atol=2e-4 * scale)
+
+    @given(spec=spec_3x3, seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_conv_linearity_through_algorithms(self, spec, seed):
+        """conv(x1 + x2) == conv(x1) + conv(x2) for every implementation."""
+        rng = np.random.default_rng(seed)
+        x1, w = tensors_for(spec, seed)
+        x2 = rng.uniform(-1, 1, x1.shape).astype(np.float32)
+        for name in ("direct", "im2col_gemm3", "winograd"):
+            algo = get_algorithm(name)
+            lhs = algo.run(spec, (x1 + x2).astype(np.float32), w)
+            rhs = algo.run(spec, x1, w) + algo.run(spec, x2, w)
+            np.testing.assert_allclose(lhs, rhs, atol=5e-4)
+
+    @given(spec=spec_3x3, seed=st.integers(0, 2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_zero_weights_give_zero_output(self, spec, seed):
+        x, w = tensors_for(spec, seed)
+        zero_w = np.zeros_like(w)
+        for name in ("direct", "im2col_gemm3", "im2col_gemm6", "winograd"):
+            out = get_algorithm(name).run(spec, x, zero_w)
+            assert np.abs(out).max() < 1e-6
+
+    @given(spec=spec_general, seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_output_shape_invariant(self, spec, seed):
+        x, w = tensors_for(spec, seed)
+        for name in ("direct", "im2col_gemm3"):
+            out = get_algorithm(name).run(spec, x, w)
+            assert out.shape == (spec.oc, spec.oh, spec.ow)
+            assert out.dtype == np.float32
+
+
+class TestScheduleProperties:
+    @given(spec=spec_general, vlen=st.sampled_from([512, 1024, 2048, 4096]))
+    @settings(max_examples=30, deadline=None)
+    def test_schedules_always_positive(self, spec, vlen):
+        """Any applicable schedule yields finite positive cycles."""
+        from repro.algorithms import ALGORITHM_NAMES, layer_cycles
+        from repro.simulator.hwconfig import HardwareConfig
+
+        hw = HardwareConfig.paper2_rvv(vlen, 1.0)
+        for name in ALGORITHM_NAMES:
+            algo = get_algorithm(name)
+            if not algo.applicable(spec):
+                continue
+            cycles = layer_cycles(name, spec, hw, fallback=False).cycles
+            assert np.isfinite(cycles) and cycles > 0
+
+    @given(spec=spec_general)
+    @settings(max_examples=30, deadline=None)
+    def test_bigger_cache_never_hurts(self, spec):
+        """Monotonicity: cycles(64MB) <= cycles(1MB) for every algorithm."""
+        from repro.algorithms import ALGORITHM_NAMES, layer_cycles
+        from repro.simulator.hwconfig import HardwareConfig
+
+        small = HardwareConfig.paper2_rvv(512, 1.0)
+        big = HardwareConfig.paper2_rvv(512, 64.0)
+        for name in ALGORITHM_NAMES:
+            if not get_algorithm(name).applicable(spec):
+                continue
+            a = layer_cycles(name, spec, small, fallback=False).cycles
+            b = layer_cycles(name, spec, big, fallback=False).cycles
+            assert b <= a * (1 + 1e-9)

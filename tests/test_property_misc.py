@@ -1,0 +1,105 @@
+"""Property-based tests for the supporting infrastructure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.campaign import FIELDS, Campaign
+from repro.simulator.energy import layer_energy
+from repro.simulator.hwconfig import HardwareConfig
+from repro.utils.ascii_chart import sparkline
+from repro.utils.tables import Table
+
+
+record_strategy = st.fixed_dictionaries(
+    {
+        "workload": st.sampled_from(["a", "b"]),
+        "layer": st.integers(1, 20),
+        "algorithm": st.sampled_from(["direct", "winograd"]),
+        "vlen_bits": st.sampled_from([512, 2048]),
+        "l2_mib": st.sampled_from([1.0, 16.0]),
+        "cycles": st.floats(1.0, 1e9, allow_nan=False),
+        "dram_bytes": st.floats(0.0, 1e9, allow_nan=False),
+        "bound": st.sampled_from(["vector", "dram"]),
+        "applicable": st.booleans(),
+    }
+)
+
+
+class TestCampaignProperties:
+    @given(records=st.lists(record_strategy, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_json_roundtrip_any_records(self, records, tmp_path_factory):
+        c = Campaign(name="fuzz", records=records)
+        path = tmp_path_factory.mktemp("c") / "c.json"
+        c.save(path)
+        loaded = Campaign.load(path)
+        assert loaded.records == records
+
+    @given(records=st.lists(record_strategy, min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_filter_is_subset_and_exact(self, records):
+        c = Campaign(name="fuzz", records=records)
+        target = records[0]["algorithm"]
+        hits = c.filter(algorithm=target)
+        assert all(r["algorithm"] == target for r in hits)
+        assert len(hits) == sum(1 for r in records if r["algorithm"] == target)
+
+    @given(records=st.lists(record_strategy, max_size=20))
+    @settings(max_examples=20, deadline=None)
+    def test_csv_row_count(self, records):
+        c = Campaign(name="fuzz", records=records)
+        lines = c.to_csv().strip().splitlines()
+        assert len(lines) == 1 + len(records)
+        assert lines[0] == ",".join(FIELDS)
+
+
+class TestTableProperties:
+    @given(
+        rows=st.lists(
+            st.tuples(st.integers(-1000, 1000), st.floats(0.001, 1e6)),
+            min_size=1, max_size=20,
+        )
+    )
+    @settings(max_examples=30)
+    def test_render_row_count_and_alignment(self, rows):
+        t = Table(["a", "value"])
+        for r in rows:
+            t.add_row(list(r))
+        rendered = t.render().splitlines()
+        assert len(rendered) == 2 + len(rows)  # header + separator + rows
+        # all rows share the header's width
+        assert len({len(line) for line in rendered}) <= 2
+
+
+class TestSparklineProperties:
+    @given(values=st.lists(st.floats(-1e6, 1e6, allow_nan=False),
+                           min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_output_length_and_charset(self, values):
+        line = sparkline(values)
+        assert len(line) == len(values)
+        assert set(line) <= set("▁▂▃▄▅▆▇█")
+
+    @given(values=st.lists(st.floats(0, 100, allow_nan=False),
+                           min_size=2, max_size=30))
+    @settings(max_examples=30)
+    def test_extremes_map_to_extremes(self, values):
+        if min(values) == max(values):
+            return
+        line = sparkline(values)
+        assert line[int(np.argmax(values))] == "█"
+        assert line[int(np.argmin(values))] == "▁"
+
+
+class TestEnergyProperties:
+    @given(vl=st.sampled_from([512, 1024, 2048, 4096]),
+           l2=st.sampled_from([1.0, 4.0, 16.0]))
+    @settings(max_examples=15, deadline=None)
+    def test_energy_positive_and_finite(self, vl, l2):
+        from repro.nn.layer import ConvSpec
+
+        spec = ConvSpec(ic=16, oc=16, ih=20, iw=20, index=1)
+        e = layer_energy("im2col_gemm3", spec, HardwareConfig.paper2_rvv(vl, l2))
+        assert np.isfinite(e.total_j) and e.total_j > 0

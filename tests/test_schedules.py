@@ -1,0 +1,160 @@
+"""Structural tests of the analytical schedules (all four algorithms)."""
+
+import math
+
+import pytest
+
+from repro.algorithms import ALGORITHM_NAMES, get_algorithm
+from repro.algorithms.gemm_kernels import BLOCK_K, BLOCK_N, gemm3_phase, gemm6_phases
+from repro.algorithms.winograd import TUPLE_ELEMS, WinogradConv, tile_counts
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+
+
+HW = HardwareConfig.paper2_rvv(512, 1.0)
+SPEC_3X3 = ConvSpec(ic=64, oc=128, ih=56, iw=56, kh=3, kw=3)
+SPEC_1X1 = ConvSpec(ic=256, oc=128, ih=28, iw=28, kh=1, kw=1)
+
+
+class TestScheduleShapes:
+    @pytest.mark.parametrize("name", ALGORITHM_NAMES)
+    def test_schedules_evaluate(self, name):
+        spec = SPEC_3X3
+        phases = get_algorithm(name).schedule(spec, HW)
+        assert phases, "empty schedule"
+        result = AnalyticalTimingModel(HW).evaluate(name, phases)
+        assert result.cycles > 0
+        assert result.dram_bytes > 0
+
+    def test_gemm_variants_skip_im2col_for_1x1(self):
+        g3 = get_algorithm("im2col_gemm3").schedule(SPEC_1X1, HW)
+        g6 = get_algorithm("im2col_gemm6").schedule(SPEC_1X1, HW)
+        assert all(p.name != "im2col" for p in g3 + g6)
+        g3_3x3 = get_algorithm("im2col_gemm3").schedule(SPEC_3X3, HW)
+        assert any(p.name == "im2col" for p in g3_3x3)
+
+    def test_winograd_phase_names(self):
+        phases = get_algorithm("winograd").schedule(SPEC_3X3, HW)
+        names = [p.name for p in phases]
+        assert names == [
+            "wg_weight_transform",
+            "wg_input_transform",
+            "wg_tuple_gemm",
+            "wg_output_transform",
+        ]
+
+    def test_winograd_offline_weights_drops_phase(self):
+        offline = WinogradConv(online_weight_transform=False)
+        names = [p.name for p in offline.schedule(SPEC_3X3, HW)]
+        assert "wg_weight_transform" not in names
+
+    def test_direct_phases(self):
+        names = [p.name for p in get_algorithm("direct").schedule(SPEC_3X3, HW)]
+        assert names == ["direct_layout", "direct_kernel"]
+
+
+class TestGemmScheduleMaths:
+    def test_gemm3_fma_count(self):
+        m, k, n = 32, 27, 1000
+        phase = gemm3_phase(m, k, n, HW)
+        nj = math.ceil(n / HW.vlmax_f32)
+        assert phase.vector_ops == nj * k * m
+
+    def test_gemm3_b_reuse_window_grows_with_vl(self):
+        """The co-design mechanism behind the paper's Table III."""
+        short = gemm3_phase(64, 576, 10000, HardwareConfig.paper2_rvv(512, 1.0))
+        long = gemm3_phase(64, 576, 10000, HardwareConfig.paper2_rvv(4096, 1.0))
+        ws = {s.name: s.reuse_ws for s in short.streams}
+        wl = {s.name: s.reuse_ws for s in long.streams}
+        assert wl["col"] == 8 * ws["col"]
+
+    def test_gemm3_a_stream_is_scalar(self):
+        phase = gemm3_phase(64, 64, 64, HW)
+        a = next(s for s in phase.streams if s.name == "A_weights")
+        assert a.scalar_access
+
+    def test_gemm6_blocks_cap_inner_strip(self):
+        """The 6-loop inner strip never exceeds blockN elements."""
+        phases = gemm6_phases(64, 576, 100000, HardwareConfig.paper2_rvv(16384, 1.0))
+        kernel = next(p for p in phases if p.name == "gemm6_kernel")
+        assert kernel.vector_active <= BLOCK_N
+
+    def test_gemm6_packed_block_fits_1mb(self):
+        """The paper tuned 16x512x128 so the packed-B block is L2-resident."""
+        assert BLOCK_K * BLOCK_N * 4 <= 1024 * 1024
+
+    def test_gemm6_exact_strip_tails(self):
+        """N slightly over one block must not double the strip count."""
+        full = gemm6_phases(16, 128, BLOCK_N, HW)[1].vector_ops
+        tail = gemm6_phases(16, 128, BLOCK_N + 16, HW)[1].vector_ops
+        assert tail < 1.1 * full
+
+
+class TestWinogradScheduleMaths:
+    def test_tile_counts(self):
+        assert tile_counts(ConvSpec(ic=4, oc=4, ih=12, iw=12, kh=3, kw=3)) == (2, 2)
+        assert tile_counts(ConvSpec(ic=4, oc=4, ih=13, iw=14, kh=3, kw=3)) == (3, 3)
+
+    def test_tuple_saturates_beyond_2048(self):
+        """64 tuple elements = 2048 bits: no gain at 4096 bits."""
+        spec = ConvSpec(ic=64, oc=64, ih=48, iw=48, kh=3, kw=3)
+        wg = get_algorithm("winograd")
+
+        def tuple_cost(vl):
+            hw = HardwareConfig.paper2_rvv(vl, 1.0)
+            phases = wg.schedule(spec, hw)
+            model = AnalyticalTimingModel(hw)
+            return model.phase_cycles(
+                next(p for p in phases if p.name == "wg_tuple_gemm")
+            ).cycles
+
+        assert tuple_cost(2048) == pytest.approx(tuple_cost(4096), rel=0.01)
+        assert tuple_cost(512) > tuple_cost(2048)
+
+    def test_tuple_elems_is_64(self):
+        assert TUPLE_ELEMS == 64
+
+    def test_weight_transform_quadratic_in_channels(self):
+        wg = get_algorithm("winograd")
+        small = wg.schedule(ConvSpec(ic=64, oc=64, ih=30, iw=30, kh=3, kw=3), HW)
+        big = wg.schedule(ConvSpec(ic=256, oc=256, ih=30, iw=30, kh=3, kw=3), HW)
+        ws = next(p for p in small if p.name == "wg_weight_transform").vector_ops
+        wb = next(p for p in big if p.name == "wg_weight_transform").vector_ops
+        assert wb == pytest.approx(16 * ws, rel=0.05)
+
+    def test_fallback_path_for_ic3(self):
+        """IC < 4: the transforms run at 1 channel per group (slow)."""
+        wg = get_algorithm("winograd")
+        spec3 = ConvSpec(ic=3, oc=16, ih=32, iw=32, kh=3, kw=3)
+        spec4 = ConvSpec(ic=4, oc=16, ih=32, iw=32, kh=3, kw=3)
+        it3 = next(p for p in wg.schedule(spec3, HW) if p.name == "wg_input_transform")
+        it4 = next(p for p in wg.schedule(spec4, HW) if p.name == "wg_input_transform")
+        assert it3.vector_active < it4.vector_active
+
+
+class TestDirectScheduleMaths:
+    def test_utilization_capped_by_oc(self):
+        """Active elements per FMA = OC when OC < VL."""
+        hw = HardwareConfig.paper2_rvv(4096, 1.0)  # 128 f32 lanes
+        spec = ConvSpec(ic=16, oc=32, ih=20, iw=20, kh=3, kw=3)
+        kernel = get_algorithm("direct").schedule(spec, hw)[1]
+        assert kernel.vector_active == 32.0
+
+    def test_weight_panel_reuse_window_grows_with_vl(self):
+        """Direct x cache co-design: the per-group panel scales with VL."""
+        spec = ConvSpec(ic=512, oc=512, ih=14, iw=14, kh=3, kw=3)
+        k512 = get_algorithm("direct").schedule(
+            spec, HardwareConfig.paper2_rvv(512, 1.0)
+        )[1]
+        k4096 = get_algorithm("direct").schedule(
+            spec, HardwareConfig.paper2_rvv(4096, 1.0)
+        )[1]
+        ws512 = next(s for s in k512.streams if s.name == "weights").reuse_ws
+        ws4096 = next(s for s in k4096.streams if s.name == "weights").reuse_ws
+        assert ws4096 > ws512
+
+    def test_input_is_scalar_stream(self):
+        kernel = get_algorithm("direct").schedule(SPEC_3X3, HW)[1]
+        inp = next(s for s in kernel.streams if s.name == "input")
+        assert inp.scalar_access and inp.resident_source

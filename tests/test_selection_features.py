@@ -1,0 +1,37 @@
+"""Tests for the selector feature-importance study."""
+
+import pytest
+
+from repro.experiments.cli import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("selection-features")
+
+
+class TestFeatureImportances:
+    def test_hardware_features_lead(self, result):
+        """The paper's premise: the optimal algorithm depends on VL and L2
+        as much as on the layer — the RF splits on them heavily."""
+        imp = result.data["importances"]
+        assert imp["vlen_bits"] + imp["l2_mib"] >= 0.25
+        ranked = sorted(imp, key=imp.get, reverse=True)
+        assert "vlen_bits" in ranked[:3]
+
+    def test_dropping_hw_features_costs_accuracy(self, result):
+        assert (
+            result.data["full_accuracy"]
+            >= result.data["layers_only_accuracy"] + 0.08
+        )
+
+    def test_importances_normalized(self, result):
+        assert sum(result.data["importances"].values()) == pytest.approx(1.0)
+
+    def test_channels_matter_most_among_layer_features(self, result):
+        """IC drives Winograd's fallback/spill and GEMM's K: it should lead
+        the layer-side features."""
+        imp = result.data["importances"]
+        layer_feats = {k: v for k, v in imp.items()
+                       if k not in ("vlen_bits", "l2_mib")}
+        assert max(layer_feats, key=layer_feats.get) in ("ic", "oc")

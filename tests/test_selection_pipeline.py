@@ -1,0 +1,158 @@
+"""Tests for cross-validation, the 448-point dataset, and the selector."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import ALGORITHM_NAMES
+from repro.errors import NotFittedError, SelectionError
+from repro.selection import (
+    AlgorithmSelector,
+    accuracy_score,
+    confusion_matrix,
+    cross_val_scores,
+    kfold_indices,
+)
+from repro.selection.dataset import FEATURE_NAMES, paper_grid, paper_layers
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class TestKFold:
+    def test_partitions_all_samples(self):
+        folds = list(kfold_indices(100, 5))
+        assert len(folds) == 5
+        all_test = np.concatenate([t for _, t in folds])
+        assert sorted(all_test) == list(range(100))
+
+    def test_train_test_disjoint(self):
+        for train, test in kfold_indices(50, 5):
+            assert not set(train) & set(test)
+            assert len(train) + len(test) == 50
+
+    @given(n=st.integers(10, 200), k=st.integers(2, 8))
+    @settings(max_examples=30)
+    def test_partition_property(self, n, k):
+        if k > n:
+            return
+        seen = []
+        for train, test in kfold_indices(n, k, shuffle=True, random_state=1):
+            seen.extend(test)
+            assert len(test) >= n // k  # balanced folds
+        assert sorted(seen) == list(range(n))
+
+    def test_shuffle_changes_folds(self):
+        a = [tuple(t) for _, t in kfold_indices(30, 3, shuffle=False)]
+        b = [tuple(t) for _, t in kfold_indices(30, 3, shuffle=True, random_state=1)]
+        assert a != b
+
+    def test_bad_k(self):
+        with pytest.raises(SelectionError):
+            list(kfold_indices(5, 1))
+        with pytest.raises(SelectionError):
+            list(kfold_indices(5, 6))
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy_score(np.array([1, 1, 0]), np.array([1, 0, 0])) == pytest.approx(2 / 3)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(SelectionError):
+            accuracy_score(np.zeros(3), np.zeros(4))
+
+    def test_confusion_matrix(self):
+        mat, labels = confusion_matrix(
+            np.array(["a", "a", "b"]), np.array(["a", "b", "b"])
+        )
+        assert labels == ["a", "b"]
+        np.testing.assert_array_equal(mat, [[1, 1], [0, 1]])
+        assert mat.sum() == 3
+
+    def test_cross_val_scores_protocol(self, rng):
+        from repro.selection import DecisionTreeClassifier
+
+        X = rng.random((60, 2))
+        y = (X[:, 0] > 0.5).astype(int)
+        scores = cross_val_scores(
+            lambda: DecisionTreeClassifier(max_depth=4), X, y, k=5
+        )
+        assert len(scores) == 5
+        assert all(0.0 <= s <= 1.0 for s in scores)
+
+
+class TestDataset:
+    def test_grid_is_16_configs(self):
+        assert len(paper_grid()) == 16
+
+    def test_layers_are_28(self):
+        assert len(paper_layers()) == 28
+
+    def test_448_points(self, selection_dataset):
+        assert len(selection_dataset) == 448
+        assert selection_dataset.X.shape == (448, 12)
+
+    def test_feature_names_count(self):
+        assert len(FEATURE_NAMES) == 12
+        assert FEATURE_NAMES[:2] == ("vlen_bits", "l2_mib")
+
+    def test_labels_are_known_algorithms(self, selection_dataset):
+        assert set(selection_dataset.y) <= set(ALGORITHM_NAMES)
+
+    def test_every_algorithm_wins_somewhere(self, selection_dataset):
+        """The co-design premise: no single algorithm fits all layers."""
+        assert set(selection_dataset.y) == set(ALGORITHM_NAMES)
+
+    def test_label_matches_cycles_argmin(self, selection_dataset):
+        ds = selection_dataset
+        for row in range(0, len(ds), 37):
+            best = ds.cycles[row].argmin()
+            assert ALGORITHM_NAMES[best] == ds.y[row]
+
+    def test_winograd_inapplicable_is_inf(self, selection_dataset):
+        ds = selection_dataset
+        wg = ALGORITHM_NAMES.index("winograd")
+        inapplicable = [
+            i for i, s in enumerate(ds.specs) if s.kh != 3 or s.stride != 1
+        ]
+        assert inapplicable
+        assert np.isinf(ds.cycles[inapplicable, wg]).all()
+
+    def test_regret_non_negative(self, selection_dataset):
+        ds = selection_dataset
+        for row in range(0, len(ds), 53):
+            for name in ALGORITHM_NAMES:
+                if np.isfinite(ds.cycles_for(row, name)):
+                    assert ds.regret(row, name) >= 0.0
+
+
+class TestSelector:
+    def test_accuracy_in_paper_band(self, trained_selector):
+        """Paper: 92.8 % mean accuracy (range 91-96 %).  We require >= 88 %."""
+        report = trained_selector.report
+        assert report.mean_accuracy >= 0.88
+        assert all(a >= 0.80 for a in report.fold_accuracies)
+
+    def test_misprediction_regret_small(self, trained_selector):
+        """Paper: 20.4 % mean layer-time error on mispredictions."""
+        assert trained_selector.report.misprediction_mape <= 0.35
+
+    def test_select_returns_algorithm_name(self, trained_selector):
+        spec = paper_layers()[0]
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        assert trained_selector.select(spec, hw) in ALGORITHM_NAMES
+
+    def test_select_network(self, trained_selector):
+        specs = paper_layers()[:13]
+        hw = HardwareConfig.paper2_rvv(2048, 4.0)
+        chosen = trained_selector.select_network(specs, hw)
+        assert set(chosen) == {s.index for s in specs}
+
+    def test_untrained_selector_raises(self):
+        sel = AlgorithmSelector()
+        with pytest.raises(NotFittedError):
+            sel.select(paper_layers()[0], HardwareConfig.paper2_rvv(512, 1.0))
+
+    def test_report_summary_text(self, trained_selector):
+        text = trained_selector.report.summary()
+        assert "5-fold" in text and "mean=" in text

@@ -1,0 +1,81 @@
+"""Tests for the classifier-comparison study (Paper II §4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.selection_study import classifier_zoo, run
+from repro.selection.dataset import build_dataset, paper_layers
+from repro.simulator.hwconfig import HardwareConfig
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    """A reduced grid (28 layers x 4 configs) keeps the study test fast."""
+    configs = [
+        HardwareConfig.paper2_rvv(vl, l2)
+        for vl in (512, 4096)
+        for l2 in (1.0, 64.0)
+    ]
+    return build_dataset(paper_layers(), configs)
+
+
+class TestClassifierZoo:
+    def test_six_families(self):
+        zoo = classifier_zoo()
+        assert set(zoo) == {
+            "random_forest", "decision_tree", "knn", "naive_bayes",
+            "logistic", "gradient_boosting",
+        }
+
+    def test_factories_produce_fresh_models(self):
+        zoo = classifier_zoo()
+        assert zoo["random_forest"]() is not zoo["random_forest"]()
+
+
+class TestStudy:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset):
+        return run(dataset=small_dataset)
+
+    def test_all_classifiers_evaluated(self, result):
+        assert len(result.data["accuracies"]) == 6
+        for scores in result.data["accuracies"].values():
+            assert len(scores) == 5
+            assert all(0.0 <= s <= 1.0 for s in scores)
+
+    def test_random_forest_wins_or_ties(self, result):
+        """The paper selects the RF for its accuracy — it must lead here."""
+        means = {
+            name: float(np.mean(scores))
+            for name, scores in result.data["accuracies"].items()
+        }
+        assert means["random_forest"] >= max(means.values()) - 0.02
+
+    def test_rf_beats_weak_baselines_clearly(self, result):
+        means = {
+            name: float(np.mean(scores))
+            for name, scores in result.data["accuracies"].items()
+        }
+        assert means["random_forest"] > means["naive_bayes"] + 0.05
+
+    def test_report_attached(self, result):
+        assert result.data["rf_report"].mean_accuracy > 0.85
+        assert "classifier" in result.table.headers[0]
+
+
+class TestPhaseDramHelper:
+    def test_phase_dram_bytes_sums_streams(self):
+        from repro.simulator.analytical.cachemodel import (
+            phase_dram_bytes,
+            stream_dram_bytes,
+        )
+        from repro.simulator.analytical.phases import DataStream
+
+        streams = (
+            DataStream("a", bytes=1000.0),
+            DataStream("b", bytes=500.0, passes=3.0, reuse_ws=1e9),
+        )
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        assert phase_dram_bytes(streams, hw) == pytest.approx(
+            sum(stream_dram_bytes(s, hw) for s in streams)
+        )

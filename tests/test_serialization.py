@@ -1,0 +1,98 @@
+"""Tests for network weight serialization."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NetworkError
+from repro.nn import parse_cfg
+from repro.nn.models import yolov3_tiny_network
+from repro.nn.serialization import load_weights, save_weights
+
+CFG = """
+[net]
+channels=2
+height=8
+width=8
+
+[convolutional]
+batch_normalize=1
+filters=4
+size=3
+stride=1
+pad=1
+activation=leaky
+
+[connected]
+output=3
+activation=linear
+"""
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_outputs(self, rng, tmp_path):
+        net = parse_cfg(CFG, name="a")
+        x = rng.standard_normal((2, 8, 8)).astype(np.float32)
+        before = net.forward(x)
+        path = save_weights(net, tmp_path / "w.npz")
+        twin = parse_cfg(CFG, name="b")
+        load_weights(twin, path)
+        np.testing.assert_allclose(twin.forward(x), before, atol=1e-6)
+
+    def test_modified_weights_survive(self, rng, tmp_path):
+        net = parse_cfg(CFG)
+        net._weights[0] = rng.standard_normal(
+            net.weight_for(0).shape
+        ).astype(np.float32)
+        path = save_weights(net, tmp_path / "w.npz")
+        twin = parse_cfg(CFG)
+        load_weights(twin, path)
+        np.testing.assert_array_equal(twin.weight_for(0), net.weight_for(0))
+
+    def test_bn_overrides_change_forward(self, rng, tmp_path):
+        net = parse_cfg(CFG)
+        x = rng.standard_normal((2, 8, 8)).astype(np.float32)
+        default_out = net.forward(x)
+        # perturb BN parameters, save, reload into a fresh twin
+        mean, var, scales, bias = net.batchnorm_params(0)
+        net._bn_overrides = {0: (mean + 1.0, var, scales, bias)}
+        path = save_weights(net, tmp_path / "w.npz")
+        twin = parse_cfg(CFG)
+        load_weights(twin, path)
+        assert not np.allclose(twin.forward(x), default_out)
+
+    def test_full_model_roundtrip(self, rng, tmp_path):
+        net = yolov3_tiny_network(input_size=64)
+        x = rng.standard_normal((3, 64, 64)).astype(np.float32)
+        before = net.forward(x)
+        path = save_weights(net, tmp_path / "tiny.npz")
+        twin = yolov3_tiny_network(input_size=64)
+        load_weights(twin, path)
+        np.testing.assert_allclose(twin.forward(x), before, atol=1e-6)
+
+
+class TestValidation:
+    def test_missing_file(self):
+        net = parse_cfg(CFG)
+        with pytest.raises(NetworkError, match="does not exist"):
+            load_weights(net, "/nonexistent/w.npz")
+
+    def test_layer_count_mismatch(self, tmp_path):
+        net = parse_cfg(CFG)
+        path = save_weights(net, tmp_path / "w.npz")
+        other = parse_cfg(CFG + "\n[softmax]\n")
+        with pytest.raises(NetworkError, match="layers"):
+            load_weights(other, path)
+
+    def test_shape_mismatch(self, tmp_path):
+        net = parse_cfg(CFG)
+        path = save_weights(net, tmp_path / "w.npz")
+        other = parse_cfg(CFG.replace("filters=4", "filters=8"))
+        with pytest.raises(NetworkError, match="shape"):
+            load_weights(other, path)
+
+    def test_bad_archive(self, tmp_path):
+        net = parse_cfg(CFG)
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, foo=np.zeros(3))
+        with pytest.raises(NetworkError, match="version"):
+            load_weights(net, bad)

@@ -1,0 +1,182 @@
+"""Tests for Pareto utilities, network-time policies, and co-location."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, ExperimentError
+from repro.nn.models import vgg16_conv_specs
+from repro.serving import (
+    ColocationScenario,
+    evaluate_colocation,
+    network_cycles,
+)
+from repro.serving.pareto import (
+    ParetoPoint,
+    is_dominated,
+    pareto_frontier,
+    pareto_optimal,
+)
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class TestPareto:
+    def test_dominance(self):
+        a = ParetoPoint(cost=1.0, value=2.0)
+        b = ParetoPoint(cost=2.0, value=1.0)
+        assert a.dominates(b) and not b.dominates(a)
+
+    def test_equal_points_dont_dominate(self):
+        a = ParetoPoint(1.0, 1.0)
+        b = ParetoPoint(1.0, 1.0)
+        assert not a.dominates(b) and not b.dominates(a)
+
+    def test_frontier_simple(self):
+        pts = [ParetoPoint(1, 1), ParetoPoint(2, 3), ParetoPoint(3, 2),
+               ParetoPoint(1.5, 0.5)]
+        frontier = pareto_frontier(pts)
+        assert [(p.cost, p.value) for p in frontier] == [(1, 1), (2, 3)]
+
+    def test_frontier_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            pareto_frontier([])
+
+    def test_pareto_optimal_knee(self):
+        pts = [ParetoPoint(1, 1), ParetoPoint(2, 10), ParetoPoint(10, 11)]
+        assert pareto_optimal(pts).cost == 2
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(0.1, 100), st.floats(0.1, 100)),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=40)
+    def test_frontier_properties(self, raw):
+        """No frontier point is dominated; every dropped point is dominated."""
+        pts = [ParetoPoint(c, v) for c, v in raw]
+        frontier = pareto_frontier(pts)
+        for p in frontier:
+            assert not is_dominated(p, frontier)
+        kept = {(p.cost, p.value) for p in frontier}
+        for p in pts:
+            if (p.cost, p.value) not in kept:
+                assert is_dominated(p, frontier)
+
+    def test_frontier_sorted_by_cost(self):
+        pts = [ParetoPoint(c, v) for c, v in [(5, 5), (1, 1), (3, 3)]]
+        costs = [p.cost for p in pareto_frontier(pts)]
+        assert costs == sorted(costs)
+
+
+class TestNetworkCycles:
+    @pytest.fixture(scope="class")
+    def specs(self):
+        return vgg16_conv_specs()
+
+    @pytest.fixture(scope="class")
+    def hw(self):
+        return HardwareConfig.paper2_rvv(512, 1.0)
+
+    def test_optimal_below_singles(self, specs, hw):
+        opt = network_cycles(specs, hw, "optimal").total_cycles
+        for name in ("direct", "im2col_gemm3", "im2col_gemm6", "winograd"):
+            assert opt <= network_cycles(specs, hw, name).total_cycles
+
+    def test_winograd_star_fallback(self, hw):
+        """Winograd policy on a 1x1 layer silently uses GEMM-6."""
+        from repro.nn.models import yolov3_conv_specs
+
+        specs = yolov3_conv_specs()
+        t = network_cycles(specs, hw, "winograd")
+        one_by_one = [s.index for s in specs if s.kh == 1]
+        for idx in one_by_one:
+            assert t.chosen[idx] == "im2col_gemm6"
+
+    def test_predicted_policy_needs_selector(self, specs, hw):
+        with pytest.raises(ExperimentError):
+            network_cycles(specs, hw, "predicted")
+
+    def test_predicted_close_to_optimal(self, specs, hw, trained_selector):
+        opt = network_cycles(specs, hw, "optimal").total_cycles
+        pred = network_cycles(
+            specs, hw, "predicted", selector=trained_selector
+        ).total_cycles
+        assert pred <= 1.10 * opt  # paper: at most 10% relative error
+
+    def test_unknown_policy(self, specs, hw):
+        with pytest.raises(ExperimentError):
+            network_cycles(specs, hw, "fft")
+
+    def test_seconds(self, specs, hw):
+        t = network_cycles(specs, hw, "optimal")
+        assert t.seconds(2.0) == pytest.approx(t.total_cycles / 2e9)
+
+
+class TestColocation:
+    def test_partitioning(self):
+        s = ColocationScenario(cores=4, vlen_bits=512, shared_l2_mib=16.0,
+                               instances=4)
+        assert s.l2_per_instance_mib == 4.0
+
+    def test_more_instances_than_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            ColocationScenario(cores=2, vlen_bits=512, shared_l2_mib=4.0,
+                               instances=4)
+
+    def test_partition_floor(self):
+        with pytest.raises(ConfigError, match="0.25"):
+            ColocationScenario(cores=64, vlen_bits=512, shared_l2_mib=1.0,
+                               instances=64)
+
+    def test_throughput_scales_with_instances(self):
+        specs = vgg16_conv_specs()
+        one = evaluate_colocation(
+            ColocationScenario(cores=1, vlen_bits=512, shared_l2_mib=16.0,
+                               instances=1),
+            specs,
+        )
+        four = evaluate_colocation(
+            ColocationScenario(cores=4, vlen_bits=512, shared_l2_mib=64.0,
+                               instances=4),
+            specs,
+        )
+        # same per-instance L2 slice -> ~4x throughput on 4 cores
+        assert four.throughput_images_per_cycle == pytest.approx(
+            4 * one.throughput_images_per_cycle, rel=1e-6
+        )
+        assert four.area_mm2 > one.area_mm2
+
+    def test_cache_contention_hurts(self):
+        """Same chip, more instances sharing the L2: per-image time grows."""
+        specs = vgg16_conv_specs()
+        alone = evaluate_colocation(
+            ColocationScenario(cores=4, vlen_bits=512, shared_l2_mib=16.0,
+                               instances=1),
+            specs,
+        )
+        packed = evaluate_colocation(
+            ColocationScenario(cores=4, vlen_bits=512, shared_l2_mib=16.0,
+                               instances=4),
+            specs,
+        )
+        assert packed.cycles_per_image >= alone.cycles_per_image
+        # ... but total throughput still wins
+        assert (
+            packed.throughput_images_per_cycle
+            > alone.throughput_images_per_cycle
+        )
+
+    def test_throughput_per_area_and_ips(self):
+        specs = vgg16_conv_specs()
+        r = evaluate_colocation(
+            ColocationScenario(cores=1, vlen_bits=512, shared_l2_mib=1.0,
+                               instances=1),
+            specs,
+        )
+        assert r.throughput_per_area > 0
+        assert r.images_per_second(2.0) == pytest.approx(
+            r.throughput_images_per_cycle * 2e9
+        )

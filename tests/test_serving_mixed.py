@@ -1,0 +1,86 @@
+"""Tests for heterogeneous (mixed-model) co-location."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.cli import run_experiment
+from repro.experiments.configs import workload
+from repro.serving.mixed import ModelGroup, evaluate_mixed
+
+
+@pytest.fixture(scope="module")
+def vgg_group():
+    return ModelGroup("vgg16", tuple(workload("vgg16")), instances=4)
+
+
+@pytest.fixture(scope="module")
+def yolo_group():
+    return ModelGroup("yolov3", tuple(workload("yolov3")), instances=4)
+
+
+class TestMixedEvaluation:
+    def test_basic(self, vgg_group, yolo_group):
+        result = evaluate_mixed([vgg_group, yolo_group], 2048, 16.0)
+        assert result.total_instances == 8
+        assert result.aggregate_images_per_second() > 0
+        assert set(result.per_group_cycles) == {"vgg16", "yolov3"}
+
+    def test_group_validation(self):
+        with pytest.raises(ConfigError):
+            ModelGroup("x", tuple(), instances=1)
+        with pytest.raises(ConfigError):
+            ModelGroup("x", tuple(workload("vgg16")), instances=0)
+
+    def test_duplicate_names_rejected(self, vgg_group):
+        with pytest.raises(ConfigError, match="duplicate"):
+            evaluate_mixed([vgg_group, vgg_group], 2048, 16.0)
+
+    def test_partition_floor(self, vgg_group, yolo_group):
+        with pytest.raises(ConfigError, match="floor"):
+            evaluate_mixed([vgg_group, yolo_group], 2048, 1.0)
+
+    def test_empty_deployment(self):
+        with pytest.raises(ConfigError):
+            evaluate_mixed([], 2048, 16.0)
+
+    def test_matches_homogeneous_colocation(self, vgg_group):
+        """A single-group mixed deployment equals the Fig. 12 model."""
+        from repro.serving.colocation import ColocationScenario, evaluate_colocation
+
+        mixed = evaluate_mixed([vgg_group], 2048, 16.0)
+        homo = evaluate_colocation(
+            ColocationScenario(cores=4, vlen_bits=2048, shared_l2_mib=16.0,
+                               instances=4),
+            list(vgg_group.specs),
+        )
+        assert mixed.per_group_cycles["vgg16"] == pytest.approx(
+            homo.cycles_per_image
+        )
+        assert mixed.area_mm2 == pytest.approx(homo.area_mm2)
+
+    def test_more_tenants_smaller_slices_slower_each(self, vgg_group):
+        alone = evaluate_mixed([vgg_group], 2048, 16.0)
+        crowded = evaluate_mixed(
+            [vgg_group,
+             ModelGroup("yolov3", tuple(workload("yolov3")), instances=12)],
+            2048, 16.0,
+        )
+        assert (
+            crowded.per_group_cycles["vgg16"]
+            >= alone.per_group_cycles["vgg16"]
+        )
+
+
+class TestMixedStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("serving-mixed")
+
+    def test_selection_helps_every_split(self, result):
+        assert all(g > 1.2 for g in result.data["selection_gains"].values())
+
+    def test_throughput_per_area_stays_efficient(self, result):
+        """Optimal-policy efficiency varies < 10% across tenant mixes."""
+        pts = result.data["points"]
+        eff = [v["per_area"] for (split, pol), v in pts.items() if pol == "optimal"]
+        assert max(eff) / min(eff) < 1.10

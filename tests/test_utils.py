@@ -1,0 +1,140 @@
+"""Tests for repro.utils: validation, units, tables, deterministic RNG."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils import (
+    GiB,
+    KiB,
+    MiB,
+    Table,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_type,
+    human_bytes,
+    human_count,
+    make_rng,
+)
+from repro.utils.prng import DEFAULT_SEED, synthetic_tensor
+from repro.utils.validation import is_power_of_two
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        check_positive("x", 1)
+        check_positive("x", 0.5)
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_check_positive_rejects(self, bad):
+        with pytest.raises(ConfigError, match="x must be positive"):
+            check_positive("x", bad)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ConfigError):
+            check_non_negative("x", -1)
+
+    @pytest.mark.parametrize("good", [1, 2, 4, 1024, 16384])
+    def test_power_of_two_accepts(self, good):
+        check_power_of_two("x", good)
+        assert is_power_of_two(good)
+
+    @pytest.mark.parametrize("bad", [0, 3, 6, -4, 1.0, "4"])
+    def test_power_of_two_rejects(self, bad):
+        assert not is_power_of_two(bad)
+        with pytest.raises(ConfigError):
+            check_power_of_two("x", bad)
+
+    def test_check_in(self):
+        check_in("x", "a", ["a", "b"])
+        with pytest.raises(ConfigError, match="must be one of"):
+            check_in("x", "c", ["a", "b"])
+
+    def test_check_type_rejects_bool_as_int(self):
+        check_type("x", 3, int)
+        with pytest.raises(ConfigError):
+            check_type("x", True, int)
+        with pytest.raises(ConfigError):
+            check_type("x", "3", int)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KiB == 1024
+        assert MiB == 1024**2
+        assert GiB == 1024**3
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(0, "0B"), (512, "512B"), (1536, "1.50KiB"), (3 * MiB, "3.00MiB"),
+         (2 * GiB, "2.00GiB")],
+    )
+    def test_human_bytes(self, n, expected):
+        assert human_bytes(n) == expected
+
+    def test_human_bytes_negative(self):
+        assert human_bytes(-1536) == "-1.50KiB"
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(5, "5"), (1500, "1.50k"), (2.5e6, "2.50M"), (1.2e9, "1.20G"),
+         (3e12, "3.00T")],
+    )
+    def test_human_count(self, n, expected):
+        assert human_count(n) == expected
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        t = Table(["a", "bee"], title="T")
+        t.add_row([1, 2.34567])
+        t.add_row(["xx", "y"])
+        out = t.render()
+        assert out.startswith("T\n")
+        lines = out.splitlines()
+        assert len({len(l) for l in lines[1:]}) <= 2  # header/sep/rows aligned
+
+    def test_float_formatting(self):
+        t = Table(["v"])
+        t.add_row([1.234567])
+        assert "1.235" in t.render()
+
+    def test_row_length_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError, match="2 columns"):
+            t.add_row([1])
+
+    def test_csv(self):
+        t = Table(["a", "b"])
+        t.add_row([1, 2])
+        assert t.to_csv() == "a,b\n1,2\n"
+
+
+class TestPrng:
+    def test_default_seed_is_deterministic(self):
+        assert make_rng().integers(0, 100, 5).tolist() == make_rng().integers(
+            0, 100, 5
+        ).tolist()
+
+    def test_explicit_seed_differs(self):
+        a = make_rng(1).random()
+        b = make_rng(2).random()
+        assert a != b
+
+    def test_synthetic_tensor_deterministic(self):
+        a = synthetic_tensor((3, 4), seed=7)
+        b = synthetic_tensor((3, 4), seed=7)
+        np.testing.assert_array_equal(a, b)
+        assert a.dtype == np.float32
+
+    def test_synthetic_tensor_bounded(self):
+        t = synthetic_tensor((100,), seed=1, scale=0.5)
+        assert np.abs(t).max() <= 0.5
+
+    def test_synthetic_tensor_shape_changes_values(self):
+        a = synthetic_tensor((4, 3), seed=7)
+        b = synthetic_tensor((3, 4), seed=7)
+        assert not np.array_equal(a.reshape(-1), b.reshape(-1))

@@ -1,0 +1,33 @@
+"""Tests for the reproduction-verdict report."""
+
+import pytest
+
+from repro.experiments.cli import run_experiment
+from repro.experiments.verdict import build_checks
+
+
+class TestVerdict:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("verdict")
+
+    def test_all_checks_pass(self, result):
+        failed = [c for c, ok in result.data["results"].items() if not ok]
+        assert not failed, f"failed anchors: {failed}"
+        assert result.data["passed"] == result.data["total"]
+
+    def test_covers_both_papers(self, result):
+        claims = " ".join(result.data["results"])
+        assert "Paper I" in claims
+        assert "Pareto" in claims and "RF" in claims
+
+    def test_table_has_verdict_marks(self, result):
+        text = result.table.render()
+        assert "✓" in text
+
+    def test_checks_are_well_formed(self):
+        for check in build_checks():
+            assert check.claim and check.paper
+            text, ok = check.evaluate()
+            assert isinstance(ok, bool)
+            assert isinstance(text, str) and text

@@ -1,0 +1,120 @@
+"""Tests for the Paper I A64FX Winograd headlines and strided Winograd."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.winograd import WinogradConv
+from repro.errors import NotApplicableError
+from repro.experiments.cli import run_experiment
+from repro.isa import VectorMachine
+from repro.nn.layer import ConvSpec
+from repro.nn.reference import conv2d_reference
+
+
+class TestStridedWinograd:
+    @pytest.fixture
+    def strided(self):
+        return WinogradConv(allow_strided=True)
+
+    def test_default_rejects_stride2(self):
+        spec = ConvSpec(ic=4, oc=4, ih=12, iw=12, kh=3, kw=3, stride=2)
+        assert not WinogradConv().applicable(spec)
+
+    def test_strided_variant_accepts_stride2_only(self, strided):
+        assert strided.applicable(
+            ConvSpec(ic=4, oc=4, ih=12, iw=12, kh=3, kw=3, stride=2)
+        )
+        assert not strided.applicable(
+            ConvSpec(ic=4, oc=4, ih=12, iw=12, kh=1, kw=1)
+        )
+
+    @pytest.mark.parametrize(
+        "dims",
+        [dict(ic=4, oc=6, ih=14, iw=12), dict(ic=8, oc=4, ih=13, iw=13),
+         dict(ic=5, oc=5, ih=20, iw=10)],
+    )
+    def test_functional_correctness(self, rng, strided, dims):
+        spec = ConvSpec(kh=3, kw=3, stride=2, **dims)
+        x = rng.standard_normal((spec.ic, spec.ih, spec.iw)).astype(np.float32)
+        w = (0.3 * rng.standard_normal((spec.oc, spec.ic, 3, 3))).astype(
+            np.float32
+        )
+        np.testing.assert_allclose(
+            strided.run(spec, x, w), conv2d_reference(spec, x, w), atol=5e-4
+        )
+
+    def test_vectorized_path(self, rng, strided):
+        spec = ConvSpec(ic=4, oc=4, ih=12, iw=12, kh=3, kw=3, stride=2)
+        x = rng.standard_normal((4, 12, 12)).astype(np.float32)
+        w = (0.3 * rng.standard_normal((4, 4, 3, 3))).astype(np.float32)
+        machine = VectorMachine(512, trace=False)
+        out = strided.run_vectorized(spec, x, w, machine)
+        np.testing.assert_allclose(
+            out, conv2d_reference(spec, x, w), atol=2e-3
+        )
+
+    def test_stride2_costs_more_than_stride1_per_output(self, strided):
+        """The subsampling waste: ~4x the tile work per retained output."""
+        from repro.simulator.analytical.model import AnalyticalTimingModel
+        from repro.simulator.hwconfig import HardwareConfig
+
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        model = AnalyticalTimingModel(hw)
+        s2 = ConvSpec(ic=64, oc=64, ih=56, iw=56, kh=3, kw=3, stride=2)
+        s1_same_out = ConvSpec(ic=64, oc=64, ih=28, iw=28, kh=3, kw=3)
+        c2 = model.evaluate("wg", strided.schedule(s2, hw)).cycles
+        c1 = model.evaluate("wg", strided.schedule(s1_same_out, hw)).cycles
+        assert c2 > 2.5 * c1
+
+
+class TestA64fxHeadlines:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("paper1-winograd-a64fx")
+
+    def test_stride1_speedup_band(self, result):
+        """Paper: 2.4x on 3x3/s1 layers; we require a clear win (>=1.4x
+        median) with the same direction."""
+        med = float(np.median(result.data["s1_speedups"]))
+        assert 1.4 <= med <= 3.0
+
+    def test_stride2_is_slower(self, result):
+        """Paper: strided Winograd loses to im2col+GEMM on every s2 layer."""
+        assert all(s < 1.0 for s in result.data["s2_speedups"])
+
+    def test_network_gains_in_band(self, result):
+        """Paper: 1.35x (YOLOv3) / 1.5x (VGG-16)."""
+        assert 1.2 <= result.data["yolo_gain"] <= 1.8
+        assert 1.3 <= result.data["vgg_gain"] <= 2.2
+
+    def test_vgg_gains_more_than_yolo(self, result):
+        """VGG-16 is all 3x3/s1; YOLOv3 mixes in 1x1 GEMM layers."""
+        assert result.data["vgg_gain"] > result.data["yolo_gain"]
+
+    def test_38_applicable_layers(self, result):
+        """Paper: 38 of YOLOv3's 75 conv layers are 3x3."""
+        assert len(result.data["s1_speedups"]) == 33
+        assert len(result.data["s2_speedups"]) == 5
+
+
+class TestIsaAwareWinogradCosts:
+    def test_sve_tuple_cheaper_than_rvv(self):
+        """Paper I §VII: the RVV port (no zip/transpose intrinsics) is
+        handicapped relative to SVE at identical geometry."""
+        from repro.simulator.analytical.model import AnalyticalTimingModel
+        from repro.simulator.hwconfig import HardwareConfig
+
+        spec = ConvSpec(ic=64, oc=64, ih=56, iw=56, kh=3, kw=3)
+        wg = WinogradConv(online_weight_transform=False)
+        rvv = HardwareConfig.paper2_rvv(512, 1.0)
+        sve = rvv.with_(isa="sve")
+        c_rvv = AnalyticalTimingModel(rvv).evaluate("w", wg.schedule(spec, rvv)).cycles
+        c_sve = AnalyticalTimingModel(sve).evaluate("w", wg.schedule(spec, sve)).cycles
+        assert c_sve < c_rvv
+
+    def test_isa_validation(self):
+        from repro.errors import ConfigError
+        from repro.simulator.hwconfig import HardwareConfig
+
+        with pytest.raises(ConfigError):
+            HardwareConfig(isa="avx")

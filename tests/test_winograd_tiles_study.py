@@ -1,0 +1,56 @@
+"""Tests for the Winograd tile-size accuracy study."""
+
+import pytest
+
+from repro.algorithms.winograd_transforms import DEFAULT_POINTS, winograd_matrices
+from repro.experiments.ablation_winograd_tiles import (
+    ERROR_BUDGET,
+    single_pass_error,
+    stacked_error,
+)
+from repro.experiments.cli import run_experiment
+
+
+class TestLargerTileConstruction:
+    @pytest.mark.parametrize("m", [8, 10, 12])
+    def test_large_tiles_exact_in_float64(self, rng, m):
+        """The constructions themselves are exact; only fp32 breaks them."""
+        import numpy as np
+
+        wm = winograd_matrices(m, 3)
+        d = rng.standard_normal(wm.alpha)
+        g = rng.standard_normal(3)
+        y = wm.AT @ ((wm.G @ g) * (wm.BT @ d))
+        ref = np.array([(d[i : i + 3] * g).sum() for i in range(m)])
+        np.testing.assert_allclose(y, ref, atol=1e-8)
+
+    def test_default_points_cover_study(self):
+        assert set(DEFAULT_POINTS) >= {2, 4, 6, 8, 10, 12}
+
+
+class TestAccuracyStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ablation-winograd-tiles")
+
+    def test_error_grows_with_tile_size(self, result):
+        s = result.data["single"]
+        assert s[12] > 100 * s[2]
+        assert s[12] > s[8] > s[4]
+
+    def test_f63_is_the_largest_admissible_tile(self, result):
+        """The paper's design point: 8x8 tiles (F(6,3)), no larger."""
+        assert result.data["largest_ok"] == 6
+
+    def test_f63_well_within_budget(self, result):
+        assert result.data["single"][6] < 0.5 * ERROR_BUDGET
+
+    def test_stacked_error_same_conclusion(self, result):
+        st = result.data["stacked"]
+        assert st[12] > 10 * st[6]
+
+    def test_single_pass_error_deterministic(self):
+        assert single_pass_error(4, trials=50) == single_pass_error(4, trials=50)
+
+    def test_stacked_error_finite(self):
+        assert 0.0 <= stacked_error(6, depth=4) < 1.0

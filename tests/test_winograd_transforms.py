@@ -1,0 +1,122 @@
+"""Tests for the Cook-Toom Winograd transform generator."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.winograd_transforms import (
+    DEFAULT_POINTS,
+    WinogradMatrices,
+    f63,
+    winograd_1d,
+    winograd_matrices,
+)
+from repro.errors import AlgorithmError
+
+
+def valid_correlation(d: np.ndarray, g: np.ndarray) -> np.ndarray:
+    """The oracle: y[i] = sum_j d[i+j] * g[j]."""
+    m = len(d) - len(g) + 1
+    return np.array([(d[i : i + len(g)] * g).sum() for i in range(m)])
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_shapes(self, m):
+        wm = winograd_matrices(m, 3)
+        alpha = m + 2
+        assert wm.AT.shape == (m, alpha)
+        assert wm.G.shape == (alpha, 3)
+        assert wm.BT.shape == (alpha, alpha)
+
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_exact_on_random_inputs(self, rng, m):
+        wm = winograd_matrices(m, 3)
+        for _ in range(10):
+            d = rng.standard_normal(wm.alpha)
+            g = rng.standard_normal(3)
+            np.testing.assert_allclose(
+                winograd_1d(d, g, wm), valid_correlation(d, g), atol=1e-10
+            )
+
+    def test_f63_multiplication_count(self):
+        """F(6,3) needs alpha=8 multiplies per output strip vs 18 naive."""
+        wm = f63()
+        assert wm.alpha == 8 and wm.m == 6
+
+    def test_f63_cached(self):
+        assert f63() is f63()
+
+    def test_custom_points(self):
+        pts = (Fraction(0), Fraction(1), Fraction(-1))
+        wm = winograd_matrices(3, 2, points=pts)
+        d = np.arange(4.0)
+        g = np.array([2.0, -1.0])
+        np.testing.assert_allclose(
+            winograd_1d(d, g, wm), valid_correlation(d, g), atol=1e-10
+        )
+
+    def test_bt_integer_rows_for_f23(self):
+        """F(2,3) with points {0,1,-1} has the classic integer B^T."""
+        wm = winograd_matrices(2, 3)
+        assert np.allclose(wm.BT, np.round(wm.BT))
+
+
+class TestValidation:
+    def test_wrong_point_count(self):
+        with pytest.raises(AlgorithmError, match="needs"):
+            winograd_matrices(2, 3, points=(Fraction(0), Fraction(1)))
+
+    def test_duplicate_points(self):
+        with pytest.raises(AlgorithmError, match="distinct"):
+            winograd_matrices(2, 3, points=(Fraction(0), Fraction(0), Fraction(1)))
+
+    def test_no_defaults_for_odd_sizes(self):
+        with pytest.raises(AlgorithmError, match="no default points"):
+            winograd_matrices(3, 5)
+
+    def test_bad_m_r(self):
+        with pytest.raises(AlgorithmError):
+            winograd_matrices(0, 3)
+
+    def test_winograd_1d_shape_check(self):
+        wm = f63()
+        with pytest.raises(AlgorithmError):
+            winograd_1d(np.zeros(7), np.zeros(3), wm)
+
+    def test_default_points_counts(self):
+        for m, pts in DEFAULT_POINTS.items():
+            assert len(pts) == m + 3 - 2
+
+
+class TestNumericalStability:
+    def test_f63_fp32_accuracy(self, rng):
+        """The 8x8 tile stays accurate in fp32 — the paper's reason for
+        fixing the tile size and growing channels instead."""
+        wm = f63()
+        at = wm.AT.astype(np.float32)
+        g_mat = wm.G.astype(np.float32)
+        bt = wm.BT.astype(np.float32)
+        errs = []
+        for _ in range(50):
+            d = rng.uniform(-1, 1, wm.alpha).astype(np.float32)
+            g = rng.uniform(-1, 1, 3).astype(np.float32)
+            y = at @ ((g_mat @ g) * (bt @ d))
+            errs.append(np.abs(y - valid_correlation(d, g)).max())
+        assert max(errs) < 1e-4
+
+    @given(
+        d=st.lists(st.floats(-2, 2), min_size=8, max_size=8),
+        g=st.lists(st.floats(-2, 2), min_size=3, max_size=3),
+    )
+    @settings(max_examples=50)
+    def test_f63_property(self, d, g):
+        """Winograd F(6,3) equals direct correlation for arbitrary inputs."""
+        d = np.asarray(d)
+        g = np.asarray(g)
+        np.testing.assert_allclose(
+            winograd_1d(d, g, f63()), valid_correlation(d, g), atol=1e-8
+        )

@@ -1,0 +1,117 @@
+"""Tests for parametric F(m,3) Winograd and the tile/L1 extension studies."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AlgorithmError, NotApplicableError
+from repro.experiments.cli import run_experiment
+from repro.extensions.winograd_variants import SUPPORTED_M, WinogradFm3
+from repro.nn.layer import ConvSpec
+from repro.nn.reference import conv2d_reference
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+
+
+class TestParametricWinograd:
+    @pytest.mark.parametrize("m", SUPPORTED_M)
+    @pytest.mark.parametrize(
+        "dims",
+        [dict(ic=4, oc=5, ih=13, iw=11), dict(ic=7, oc=3, ih=9, iw=16)],
+    )
+    def test_functional_correctness(self, rng, m, dims):
+        spec = ConvSpec(kh=3, kw=3, **dims)
+        x = rng.standard_normal((spec.ic, spec.ih, spec.iw)).astype(np.float32)
+        w = (0.3 * rng.standard_normal((spec.oc, spec.ic, 3, 3))).astype(
+            np.float32
+        )
+        out = WinogradFm3(m).run(spec, x, w)
+        np.testing.assert_allclose(
+            out, conv2d_reference(spec, x, w), atol=5e-4
+        )
+
+    def test_unsupported_m(self):
+        with pytest.raises(AlgorithmError):
+            WinogradFm3(8)
+
+    def test_applicability(self):
+        algo = WinogradFm3(4)
+        assert algo.applicable(ConvSpec(ic=4, oc=4, ih=8, iw=8, kh=3, kw=3))
+        assert not algo.applicable(ConvSpec(ic=4, oc=4, ih=8, iw=8, kh=1, kw=1))
+        with pytest.raises(NotApplicableError):
+            algo.run(
+                ConvSpec(ic=4, oc=4, ih=8, iw=8, kh=1, kw=1),
+                np.zeros((4, 8, 8), np.float32), np.zeros((4, 4, 1, 1), np.float32),
+            )
+
+    def test_f63_matches_main_implementation(self):
+        """The parametric F(6,3) schedule agrees with the calibrated one
+        within a small factor (shared constants, same structure)."""
+        from repro.algorithms.winograd import WinogradConv
+
+        spec = ConvSpec(ic=64, oc=64, ih=56, iw=56, kh=3, kw=3)
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        model = AnalyticalTimingModel(hw)
+        main = model.evaluate(
+            "w", WinogradConv(online_weight_transform=False).schedule(spec, hw)
+        ).cycles
+        param = model.evaluate(
+            "w", WinogradFm3(6).schedule(spec, hw)
+        ).cycles
+        assert param == pytest.approx(main, rel=0.35)
+
+    def test_smaller_tiles_saturate_earlier(self):
+        """F(2,3)'s 16-position tuple = 512 bits: no gain at 2048 bits."""
+        spec = ConvSpec(ic=64, oc=64, ih=112, iw=112, kh=3, kw=3)
+        for m, expect_gain in ((2, False), (6, True)):
+            algo = WinogradFm3(m)
+            c = {}
+            for vl in (512, 2048):
+                hw = HardwareConfig.paper2_rvv(vl, 1.0)
+                c[vl] = AnalyticalTimingModel(hw).evaluate(
+                    "w", algo.schedule(spec, hw)
+                ).cycles
+            gain = c[512] / c[2048]
+            if expect_gain:
+                assert gain > 1.8
+            else:
+                assert gain < 1.3
+
+
+class TestTileTradeoffStudy:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension-tile-tradeoff")
+
+    def test_f63_wins_everywhere(self, result):
+        """The paper's tile is performance-optimal among admissible tiles."""
+        assert set(result.data["winners"].values()) == {6}
+
+    def test_all_tiles_in_accuracy_budget(self, result):
+        assert all(e <= 1e-5 for e in result.data["errors"].values())
+
+    def test_mult_reduction_ordering(self, result):
+        """At 512b, larger tiles are faster (fewer multiplies/output)."""
+        c = result.data["cycles"]
+        for layer in (1, 2, 3):
+            assert c[(6, layer, 512)] < c[(4, layer, 512)] < c[(2, layer, 512)]
+
+
+class TestL1Study:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("extension-l1")
+
+    def test_l1_flips_choices(self, result):
+        assert len(result.data["flipped_layers"]) >= 2
+
+    def test_bigger_l1_favors_winograd(self, result):
+        """Growing the L1 absorbs the tuple working set: Winograd takes
+        layers back from GEMM."""
+        w = result.data["winners"]
+        wg_small = sum(1 for x in w[32] if x == "winograd")
+        wg_big = sum(1 for x in w[256] if x == "winograd")
+        assert wg_big > wg_small
+
+    def test_l1_and_direct_layer1_stable(self, result):
+        w = result.data["winners"]
+        assert all(w[l1][0] == "direct" for l1 in w)
