@@ -71,3 +71,43 @@ def test_winograd_transform_generation(benchmark):
 
     wm = benchmark(lambda: winograd_matrices(6, 3))
     assert wm.alpha == 8
+
+
+# ---------------------------------------------------------------------- #
+# evaluation engine: cold vs warm cache
+# ---------------------------------------------------------------------- #
+
+def test_engine_cold_vs_warm_full_grid(benchmark):
+    """Full VGG-16 + YOLOv3 grid (28 layers x 16 configs x 4 algorithms)
+    through the memoized engine: the warm-cache pass must be >= 5x faster
+    than the cold pass, with identical totals."""
+    import time
+
+    from repro.engine import EvaluationEngine
+    from repro.experiments.configs import grid
+    from repro.nn.models import yolov3_conv_specs
+
+    specs = vgg16_conv_specs() + yolov3_conv_specs()
+    configs = grid()
+    engine = EvaluationEngine()
+    algorithms = ("direct", "im2col_gemm3", "im2col_gemm6", "winograd")
+
+    def full_grid() -> float:
+        records = engine.sweep(specs, configs, algorithms)
+        return sum(r.cycles for r in records.values())
+
+    start = time.perf_counter()
+    cold_total = full_grid()
+    cold_s = time.perf_counter() - start
+
+    warm_total = benchmark(full_grid)
+    start = time.perf_counter()
+    full_grid()
+    warm_s = time.perf_counter() - start
+
+    assert warm_total == cold_total
+    assert engine.cache.stats.hits > 0
+    speedup = cold_s / warm_s
+    print(f"\nengine grid: cold {cold_s * 1e3:.1f} ms, warm "
+          f"{warm_s * 1e3:.1f} ms, speedup {speedup:.0f}x")
+    assert speedup >= 5.0, f"warm cache only {speedup:.1f}x faster"

@@ -1,0 +1,76 @@
+"""Memoized + parallel evaluation engine for the analytical model.
+
+The figure harnesses, the campaign runner and the selection dataset all
+evaluate cells of the same (layer, algorithm, hardware) grid; this package
+gives them a shared substrate:
+
+* :mod:`repro.engine.keys` — content-addressed cache keys (SHA-256 over a
+  canonical encoding of spec + config + algorithm + calibration version);
+* :mod:`repro.engine.cache` — an in-memory LRU tier plus an optional
+  on-disk JSON tier under ``results/cache/``;
+* :mod:`repro.engine.executor` — the :class:`EvaluationEngine` facade and
+  a deterministic process-parallel batch executor.
+
+A process-wide default engine (memory tier only, serial) backs the adapters
+in :mod:`repro.experiments.common`; ``repro-experiments --workers/--no-cache``
+reconfigures it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.engine.cache import DEFAULT_CACHE_DIR, CacheStats, MemoCache
+from repro.engine.executor import EvalTask, EvaluationEngine
+from repro.engine.keys import (
+    CALIBRATION_VERSION,
+    cache_key,
+    calibration_fingerprint,
+    record_from_dict,
+    record_to_dict,
+)
+
+__all__ = [
+    "CALIBRATION_VERSION",
+    "CacheStats",
+    "DEFAULT_CACHE_DIR",
+    "EvalTask",
+    "EvaluationEngine",
+    "MemoCache",
+    "cache_key",
+    "calibration_fingerprint",
+    "configure_default",
+    "default_engine",
+    "record_from_dict",
+    "record_to_dict",
+]
+
+_default: EvaluationEngine | None = None
+
+
+def default_engine() -> EvaluationEngine:
+    """The process-wide shared engine (created lazily, memory tier only)."""
+    global _default
+    if _default is None:
+        _default = EvaluationEngine()
+    return _default
+
+
+def configure_default(
+    max_workers: int | None = None,
+    use_cache: bool | None = None,
+    disk_dir=None,
+) -> EvaluationEngine:
+    """Reconfigure the shared engine (CLI ``--workers`` / ``--no-cache``).
+
+    Passing ``disk_dir`` attaches the on-disk tier (e.g.
+    :data:`DEFAULT_CACHE_DIR`); ``None`` leaves the current tier unchanged.
+    """
+    engine = default_engine()
+    if max_workers is not None:
+        engine.max_workers = max_workers
+    if use_cache is not None:
+        engine.use_cache = use_cache
+    if disk_dir is not None:
+        engine.cache.disk_dir = Path(disk_dir)
+    return engine

@@ -1,0 +1,169 @@
+"""Two-tier memo cache for analytical-model records.
+
+Tier 1 is an in-memory LRU (an :class:`~collections.OrderedDict` bounded by
+``capacity``); tier 2 is an optional on-disk JSON store, one file per key
+sharded by the first two hex digits (``results/cache/ab/ab03...json``).
+Disk hits are promoted into the memory tier; memory evictions do **not**
+drop disk entries, so a long campaign's working set survives process exits.
+
+Writes are atomic (temp file + ``os.replace``) so a crashed or parallel
+writer can never leave a truncated JSON behind; corrupt or stale-schema
+files are treated as misses and ignored.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.keys import SCHEMA_VERSION, record_from_dict, record_to_dict
+from repro.errors import EngineError
+from repro.simulator.analytical.model import LayerCycles
+
+#: Default location of the disk tier (gitignored, next to the CSV artifacts).
+DEFAULT_CACHE_DIR = Path("results") / "cache"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`MemoCache`."""
+
+    hits: int = 0  # memory-tier hits
+    disk_hits: int = 0  # disk-tier hits (promoted to memory)
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.disk_hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return (self.hits + self.disk_hits) / self.lookups
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class MemoCache:
+    """LRU memory tier + optional JSON disk tier, keyed by content hash."""
+
+    capacity: int = 8192
+    disk_dir: Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise EngineError(f"cache capacity must be >= 1, got {self.capacity}")
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+        self._memory: OrderedDict[str, LayerCycles] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or self._disk_path_if_exists(key) is not None
+
+    # ------------------------------------------------------------------ #
+    # lookup / store
+    # ------------------------------------------------------------------ #
+    def get(self, key: str) -> LayerCycles | None:
+        """Cached record for ``key``, or None (accounted as a miss)."""
+        record = self._memory.get(key)
+        if record is not None:
+            self._memory.move_to_end(key)
+            self.stats.hits += 1
+            return record
+        record = self._disk_get(key)
+        if record is not None:
+            self.stats.disk_hits += 1
+            self._memory_put(key, record)  # promote
+            return record
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, record: LayerCycles) -> None:
+        """Store a record in both tiers."""
+        self.stats.stores += 1
+        self._memory_put(key, record)
+        self._disk_put(key, record)
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and, with ``disk=True``, the disk tier)."""
+        self._memory.clear()
+        if disk and self.disk_dir is not None and self.disk_dir.exists():
+            for path in self.disk_dir.glob("*/*.json"):
+                path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------ #
+    # memory tier
+    # ------------------------------------------------------------------ #
+    def _memory_put(self, key: str, record: LayerCycles) -> None:
+        self._memory[key] = record
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # disk tier
+    # ------------------------------------------------------------------ #
+    def _disk_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / key[:2] / f"{key}.json"
+
+    def _disk_path_if_exists(self, key: str) -> Path | None:
+        if self.disk_dir is None:
+            return None
+        path = self._disk_path(key)
+        return path if path.exists() else None
+
+    def _disk_get(self, key: str) -> LayerCycles | None:
+        path = self._disk_path_if_exists(key)
+        if path is None:
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("schema") != SCHEMA_VERSION:
+                return None
+            return record_from_dict(payload["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None  # corrupt entry: recompute and overwrite
+
+    def _disk_put(self, key: str, record: LayerCycles) -> None:
+        if self.disk_dir is None:
+            return
+        path = self._disk_path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            payload = {
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "record": record_to_dict(record),
+            }
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except OSError:
+            pass  # read-only filesystem etc.: cache degrades to memory-only

@@ -1,0 +1,223 @@
+"""Memoized + parallel evaluation of analytical-model grid cells.
+
+:class:`EvaluationEngine` is the single entry point the experiment
+harnesses, the campaign runner and the selection dataset route through.
+It guarantees:
+
+* **bit-identical records** — a cached (memory or disk) or parallel
+  evaluation returns exactly the floats a direct
+  :func:`repro.algorithms.registry.layer_cycles` call produces;
+* **deterministic ordering** — :meth:`evaluate_many` returns records in
+  task-submission order regardless of worker completion order;
+* **dedup** — a batch containing the same cell twice computes it once.
+
+``max_workers=1`` (the default) never touches ``multiprocessing``; larger
+values fan misses out over a :class:`~concurrent.futures.
+ProcessPoolExecutor`, falling back to serial execution when process
+spawning is unavailable (sandboxes, restricted CI runners).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.algorithms.registry import effective_algorithm, layer_cycles
+from repro.engine.cache import MemoCache
+from repro.engine.keys import cache_key
+from repro.errors import EngineError
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.calibration import Calibration
+from repro.simulator.analytical.model import LayerCycles
+from repro.simulator.hwconfig import HardwareConfig
+
+#: Cells handed to one worker task (amortizes pickling/dispatch overhead).
+_CHUNK = 32
+
+
+@dataclass(frozen=True)
+class EvalTask:
+    """One grid cell: an algorithm applied to a layer on a configuration."""
+
+    algorithm: str
+    spec: ConvSpec
+    hw: HardwareConfig
+    fallback: bool = True
+
+
+def _compute_chunk(
+    items: list[tuple[int, str, ConvSpec, HardwareConfig]],
+    calibration: Calibration | None,
+) -> list[tuple[int, LayerCycles]]:
+    """Worker-side evaluation of resolved cells (module-level: picklable)."""
+    return [
+        (idx, layer_cycles(name, spec, hw, fallback=False, calibration=calibration))
+        for idx, name, spec, hw in items
+    ]
+
+
+class EvaluationEngine:
+    """Content-addressed memo cache in front of the analytical model."""
+
+    def __init__(
+        self,
+        cache: MemoCache | None = None,
+        max_workers: int = 1,
+        calibration: Calibration | None = None,
+        use_cache: bool = True,
+    ) -> None:
+        if max_workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        self.cache = cache if cache is not None else MemoCache()
+        self.max_workers = max_workers
+        self.calibration = calibration
+        self.use_cache = use_cache
+
+    # ------------------------------------------------------------------ #
+    # single cell
+    # ------------------------------------------------------------------ #
+    def resolve(self, task: EvalTask) -> EvalTask:
+        """Apply Winograd* fallback so the cell is content-addressable.
+
+        After resolution the task's algorithm is applicable to its layer,
+        and equal resolved tasks share one cache entry (a ``winograd``
+        fallback cell aliases the direct ``im2col_gemm6`` cell).
+        """
+        if task.fallback:
+            name = effective_algorithm(task.algorithm, task.spec).name
+            if name != task.algorithm:
+                return replace(task, algorithm=name, fallback=False)
+        return task
+
+    def key(self, task: EvalTask) -> str:
+        """The content-addressed cache key of a task."""
+        task = self.resolve(task)
+        return cache_key(task.algorithm, task.spec, task.hw, self.calibration)
+
+    def evaluate(
+        self,
+        algorithm: str,
+        spec: ConvSpec,
+        hw: HardwareConfig,
+        fallback: bool = True,
+    ) -> LayerCycles:
+        """Memoized equivalent of :func:`repro.algorithms.registry.layer_cycles`."""
+        return self.evaluate_many(
+            [EvalTask(algorithm, spec, hw, fallback=fallback)]
+        )[0]
+
+    # ------------------------------------------------------------------ #
+    # batches
+    # ------------------------------------------------------------------ #
+    def evaluate_many(
+        self,
+        tasks: Sequence[EvalTask] | Iterable[EvalTask],
+        max_workers: int | None = None,
+    ) -> list[LayerCycles]:
+        """Evaluate a batch of cells, returning records in task order.
+
+        Cache hits are served immediately; distinct missing keys are
+        computed once (serially, or across a process pool when
+        ``max_workers > 1``) and stored.
+        """
+        tasks = [self.resolve(t) for t in tasks]
+        workers = self.max_workers if max_workers is None else max_workers
+        if workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {workers}")
+
+        results: list[LayerCycles | None] = [None] * len(tasks)
+        missing: dict[str, list[int]] = {}  # key -> task indices needing it
+        for i, task in enumerate(tasks):
+            if not self.use_cache:
+                missing.setdefault(self.key(task), []).append(i)
+                continue
+            key = self.key(task)
+            record = self.cache.get(key)
+            if record is not None:
+                results[i] = record
+            else:
+                missing.setdefault(key, []).append(i)
+
+        if missing:
+            # one representative cell per distinct key, in first-seen order
+            cells = [
+                (indices[0], tasks[indices[0]].algorithm,
+                 tasks[indices[0]].spec, tasks[indices[0]].hw)
+                for indices in missing.values()
+            ]
+            computed = self._compute(cells, workers)
+            for (key, indices), (_, record) in zip(missing.items(), computed):
+                if self.use_cache:
+                    self.cache.put(key, record)
+                for i in indices:
+                    results[i] = record
+        return results  # type: ignore[return-value]
+
+    def sweep(
+        self,
+        specs: Sequence[ConvSpec],
+        configs: Sequence[HardwareConfig],
+        algorithms: Sequence[str],
+        fallback: bool = True,
+        max_workers: int | None = None,
+    ) -> dict[tuple[int, int, str], LayerCycles]:
+        """Evaluate a full (layer, config, algorithm) grid in one batch.
+
+        Returns ``(spec_index, config_index, algorithm) -> record`` where the
+        indices are positions in the input sequences, so callers reassemble
+        any nesting order without re-evaluating.
+        """
+        order = [
+            (si, ci, name)
+            for si in range(len(specs))
+            for ci in range(len(configs))
+            for name in algorithms
+        ]
+        records = self.evaluate_many(
+            [EvalTask(name, specs[si], configs[ci], fallback=fallback)
+             for si, ci, name in order],
+            max_workers=max_workers,
+        )
+        return dict(zip(order, records))
+
+    # ------------------------------------------------------------------ #
+    # execution backends
+    # ------------------------------------------------------------------ #
+    def _compute(
+        self,
+        cells: list[tuple[int, str, ConvSpec, HardwareConfig]],
+        workers: int,
+    ) -> list[tuple[int, LayerCycles]]:
+        """Compute cells (serially or in parallel), preserving input order."""
+        if workers > 1 and len(cells) > 1:
+            try:
+                return self._compute_parallel(cells, workers)
+            except (OSError, ImportError, RuntimeError):
+                pass  # no process spawning here: degrade to serial
+        return _compute_chunk(cells, self.calibration)
+
+    def _compute_parallel(
+        self,
+        cells: list[tuple[int, str, ConvSpec, HardwareConfig]],
+        workers: int,
+    ) -> list[tuple[int, LayerCycles]]:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        chunks = [cells[i:i + _CHUNK] for i in range(0, len(cells), _CHUNK)]
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            ctx = multiprocessing.get_context()
+        out: list[tuple[int, LayerCycles]] = []
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(chunks)), mp_context=ctx
+        ) as pool:
+            futures = [
+                pool.submit(_compute_chunk, chunk, self.calibration)
+                for chunk in chunks
+            ]
+            # collect in submission order — completion order is irrelevant
+            for future in futures:
+                out.extend(future.result())
+        return out

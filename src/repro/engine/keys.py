@@ -1,0 +1,133 @@
+"""Content-addressed cache keys for analytical-model evaluations.
+
+A cache entry is addressed by the *content* of everything the analytical
+model reads when timing one grid cell:
+
+* the :class:`~repro.nn.layer.ConvSpec` (all constructor fields),
+* the :class:`~repro.simulator.hwconfig.HardwareConfig` (all fields),
+* the algorithm name (after Winograd* fallback resolution, so a fallback
+  evaluation shares its entry with the direct ``im2col_gemm6`` call),
+* a fingerprint of the :class:`~repro.simulator.analytical.calibration.
+  Calibration` constants, so editing any calibration value invalidates
+  every cached record automatically.
+
+Keys are SHA-256 over a canonical (sorted-keys, fixed-separator) JSON
+encoding — stable across processes, interpreter hash seeds, and the
+insertion order of payload dicts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import fields
+from enum import Enum
+from functools import lru_cache
+
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.simulator.analytical.model import LayerCycles, PhaseCycles
+from repro.simulator.hwconfig import HardwareConfig
+
+#: Bump when the record serialization schema changes (old entries ignored).
+SCHEMA_VERSION = 1
+
+
+def _jsonable(value):
+    """Canonical JSON-compatible form of a dataclass field value."""
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, float):
+        # distinguish 1 from 1.0 so int/float field edits change the key
+        return float(value)
+    return value
+
+
+def dataclass_payload(obj) -> dict:
+    """All constructor fields of a (frozen) dataclass as a plain dict."""
+    return {f.name: _jsonable(getattr(obj, f.name)) for f in fields(obj)}
+
+
+def calibration_fingerprint(calibration: Calibration | None = None) -> str:
+    """Short stable digest of the calibration constants (key component)."""
+    cal = calibration or DEFAULT_CALIBRATION
+    blob = json.dumps(dataclass_payload(cal), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+#: Fingerprint of the shipped constants — the "calibration version".
+CALIBRATION_VERSION = calibration_fingerprint(DEFAULT_CALIBRATION)
+
+
+def key_from_payload(payload: dict) -> str:
+    """SHA-256 hex key of an already-assembled payload dict.
+
+    Canonicalization (``sort_keys``) makes the key independent of dict
+    insertion order, so semantically equal payloads always collide — and
+    nothing else does, up to SHA-256 collisions.
+    """
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@lru_cache(maxsize=65536)
+def cache_key(
+    algorithm: str,
+    spec: ConvSpec,
+    hw: HardwareConfig,
+    calibration: Calibration | None = None,
+) -> str:
+    """The content-addressed key of one (algorithm, layer, config) cell.
+
+    All four inputs are hashable (frozen dataclasses), so key derivation
+    itself is memoized — repeat lookups of a hot cell skip the canonical
+    JSON + SHA-256 work entirely without affecting the derived value.
+    """
+    return key_from_payload(
+        {
+            "schema": SCHEMA_VERSION,
+            "algorithm": algorithm,
+            "spec": dataclass_payload(spec),
+            "hw": dataclass_payload(hw),
+            "calibration": calibration_fingerprint(calibration),
+        }
+    )
+
+
+# ---------------------------------------------------------------------- #
+# record (de)serialization — bit-identical float round-trips
+# ---------------------------------------------------------------------- #
+
+def record_to_dict(record: LayerCycles) -> dict:
+    """Serialize a :class:`LayerCycles` to a JSON-compatible dict.
+
+    Python's ``json`` emits shortest-round-trip ``repr`` floats, so every
+    float survives a dump/load cycle bit-identically.
+    """
+    return {
+        "algorithm": record.algorithm,
+        "phases": [
+            {
+                "name": p.name,
+                "vector_cycles": p.vector_cycles,
+                "scalar_cycles": p.scalar_cycles,
+                "l2_cycles": p.l2_cycles,
+                "dram_cycles": p.dram_cycles,
+                "latency_cycles": p.latency_cycles,
+                "startup_cycles": p.startup_cycles,
+                "dram_bytes": p.dram_bytes,
+                "l2_bytes": p.l2_bytes,
+            }
+            for p in record.phases
+        ],
+    }
+
+
+def record_from_dict(payload: dict) -> LayerCycles:
+    """Inverse of :func:`record_to_dict`."""
+    return LayerCycles(
+        algorithm=payload["algorithm"],
+        phases=[PhaseCycles(**phase) for phase in payload["phases"]],
+    )

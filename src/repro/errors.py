@@ -62,3 +62,7 @@ class NotFittedError(SelectionError):
 
 class ExperimentError(ReproError):
     """An experiment harness was invoked with inconsistent parameters."""
+
+
+class EngineError(ReproError):
+    """The memoized evaluation engine was misused or hit corrupt state."""

@@ -7,8 +7,9 @@ Fig. 8 = YOLO @4096 b.
 
 from __future__ import annotations
 
-from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm, layer_cycles
-from repro.experiments.configs import FREQ_GHZ, L2_SIZES_MIB, workload
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.experiments.common import per_layer_seconds
+from repro.experiments.configs import L2_SIZES_MIB, workload
 from repro.experiments.report import ExperimentResult
 from repro.simulator.hwconfig import HardwareConfig
 from repro.utils.ascii_chart import bar_chart
@@ -23,18 +24,9 @@ def cache_sweep(
     seconds: dict[tuple[str, float], list[float | None]] = {}
     for l2 in L2_SIZES_MIB:
         hw = HardwareConfig.paper2_rvv(vlen_bits, l2)
+        data = per_layer_seconds(specs, hw)  # engine-memoized
         for name in ALGORITHM_NAMES:
-            algo = get_algorithm(name)
-            col: list[float | None] = []
-            for spec in specs:
-                if not algo.applicable(spec):
-                    col.append(None)
-                    continue
-                col.append(
-                    layer_cycles(name, spec, hw, fallback=False).cycles
-                    / (FREQ_GHZ * 1e9)
-                )
-            seconds[(name, l2)] = col
+            seconds[(name, l2)] = data[name]
 
     # cache benefit = t(1MB) / t(64MB) per layer
     benefit: dict[str, list[float | None]] = {}

@@ -16,7 +16,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Iterable
 
-from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm, layer_cycles
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.engine import EvalTask, EvaluationEngine, default_engine
 from repro.errors import ExperimentError
 from repro.nn.layer import ConvSpec
 from repro.simulator.hwconfig import HardwareConfig
@@ -114,44 +115,61 @@ def run_campaign(
     algorithms: tuple[str, ...] = ALGORITHM_NAMES,
     name: str = "campaign",
     progress: Callable[[str], None] | None = None,
+    engine: EvaluationEngine | None = None,
+    max_workers: int | None = None,
 ) -> Campaign:
-    """Evaluate the full grid with the analytical model."""
+    """Evaluate the full grid through the shared memoized engine.
+
+    Applicable cells are batched per workload and fanned out over the
+    engine's executor (``max_workers`` overrides the engine's default);
+    record order is the deterministic nested loop order regardless of
+    worker completion order.
+    """
+    engine = engine if engine is not None else default_engine()
     campaign = Campaign(name=name)
     configs = list(configs)
+    algos = {n: get_algorithm(n) for n in algorithms}
     for wname, specs in workloads.items():
         if progress:
             progress(f"{wname}: {len(specs)} layers x {len(configs)} configs")
-        for spec in specs:
-            for hw in configs:
-                for algo_name in algorithms:
-                    algo = get_algorithm(algo_name)
-                    applicable = algo.applicable(spec)
-                    if applicable:
-                        lc = layer_cycles(algo_name, spec, hw, fallback=False)
-                        cycles = lc.cycles
-                        dram = lc.dram_bytes
-                        bound = lc.dominant_bound()
-                    else:
-                        cycles = float("inf")
-                        dram = 0.0
-                        bound = "n/a"
-                    campaign.records.append(
-                        {
-                            "workload": wname,
-                            "layer": spec.index,
-                            "algorithm": algo_name,
-                            "vlen_bits": hw.vlen_bits,
-                            "l2_mib": hw.l2_mib,
-                            "cycles": cycles,
-                            "dram_bytes": dram,
-                            "bound": bound,
-                            "applicable": applicable,
-                        }
-                    )
+        cells = [
+            (spec, hw, algo_name)
+            for spec in specs
+            for hw in configs
+            for algo_name in algorithms
+        ]
+        tasks = {
+            i: EvalTask(algo_name, spec, hw, fallback=False)
+            for i, (spec, hw, algo_name) in enumerate(cells)
+            if algos[algo_name].applicable(spec)
+        }
+        records = engine.evaluate_many(
+            list(tasks.values()), max_workers=max_workers
+        )
+        by_cell = dict(zip(tasks.keys(), records))
+        for i, (spec, hw, algo_name) in enumerate(cells):
+            lc = by_cell.get(i)
+            campaign.records.append(
+                {
+                    "workload": wname,
+                    "layer": spec.index,
+                    "algorithm": algo_name,
+                    "vlen_bits": hw.vlen_bits,
+                    "l2_mib": hw.l2_mib,
+                    "cycles": lc.cycles if lc else float("inf"),
+                    "dram_bytes": lc.dram_bytes if lc else 0.0,
+                    "bound": lc.dominant_bound() if lc else "n/a",
+                    "applicable": lc is not None,
+                }
+            )
     return campaign
 
 
-def paper2_campaign(progress: Callable[[str], None] | None = None) -> Campaign:
+def paper2_campaign(
+    progress: Callable[[str], None] | None = None,
+    engine: EvaluationEngine | None = None,
+    max_workers: int | None = None,
+) -> Campaign:
     """The full Paper II grid: 28 layers x 16 configs x 4 algorithms."""
     from repro.experiments.configs import grid, workload
 
@@ -160,4 +178,6 @@ def paper2_campaign(progress: Callable[[str], None] | None = None) -> Campaign:
         grid(),
         name="paper2",
         progress=progress,
+        engine=engine,
+        max_workers=max_workers,
     )

@@ -85,12 +85,35 @@ def main(argv: list[str] | None = None) -> int:
         "--out", metavar="DIR", default=None,
         help="also write each experiment's table as DIR/<name>.csv",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for grid evaluation (1 = serial, default)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the shared memo cache (recompute every grid cell)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="attach the on-disk cache tier at DIR (persists across runs)",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    from repro.engine import configure_default
+
+    configure_default(
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        disk_dir=args.cache_dir,
+    )
 
     names = args.names or [
         n for n in EXPERIMENTS

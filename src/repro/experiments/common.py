@@ -1,8 +1,16 @@
-"""Shared computation helpers for the figure harnesses."""
+"""Shared computation helpers for the figure harnesses.
+
+Both helpers route every cell through :mod:`repro.engine`'s shared memoized
+engine, so the ~15 harnesses that re-ask about the same 448-point grid pay
+for each (layer, algorithm, config) cell once per process — records are
+bit-identical to direct :func:`repro.algorithms.registry.layer_cycles`
+calls (locked by ``tests/test_engine.py``).
+"""
 
 from __future__ import annotations
 
-from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm, layer_cycles
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.engine import EvalTask, EvaluationEngine, default_engine
 from repro.experiments.configs import FREQ_GHZ
 from repro.nn.layer import ConvSpec
 from repro.simulator.hwconfig import HardwareConfig
@@ -14,21 +22,32 @@ def per_layer_seconds(
     hw: HardwareConfig,
     algorithms: tuple[str, ...] = ALGORITHM_NAMES,
     skip_inapplicable: bool = True,
+    engine: EvaluationEngine | None = None,
 ) -> dict[str, list[float | None]]:
     """Execution time (s) of each algorithm on each layer.
 
     Inapplicable (algorithm, layer) pairs are ``None`` — the papers' figures
     omit those bars (e.g. Winograd on 1x1 or stride-2 layers).
     """
+    engine = engine if engine is not None else default_engine()
+    # one registry lookup per algorithm per call, hoisted out of the loops
+    algos = {name: get_algorithm(name) for name in algorithms}
+    tasks: list[EvalTask] = []
+    slots: list[tuple[str, int]] = []  # (algorithm, layer position) per task
     out: dict[str, list[float | None]] = {name: [] for name in algorithms}
-    for spec in specs:
+    for i, spec in enumerate(specs):
         for name in algorithms:
-            algo = get_algorithm(name)
-            if skip_inapplicable and not algo.applicable(spec):
+            if skip_inapplicable and not algos[name].applicable(spec):
                 out[name].append(None)
                 continue
-            cycles = layer_cycles(name, spec, hw, fallback=not skip_inapplicable)
-            out[name].append(cycles.cycles / (FREQ_GHZ * 1e9))
+            out[name].append(0.0)  # placeholder, filled from the batch below
+            tasks.append(
+                EvalTask(name, spec, hw, fallback=not skip_inapplicable)
+            )
+            slots.append((name, i))
+    records = engine.evaluate_many(tasks)
+    for (name, i), record in zip(slots, records):
+        out[name][i] = record.cycles / (FREQ_GHZ * 1e9)
     return out
 
 
@@ -51,11 +70,13 @@ def sweep_seconds(
     specs: list[ConvSpec],
     configs: list[HardwareConfig],
     algorithms: tuple[str, ...] = ALGORITHM_NAMES,
+    engine: EvaluationEngine | None = None,
 ) -> dict[tuple[str, str], list[float | None]]:
     """(algorithm, config-label) -> per-layer seconds across a config sweep."""
+    engine = engine if engine is not None else default_engine()
     out: dict[tuple[str, str], list[float | None]] = {}
     for hw in configs:
-        data = per_layer_seconds(specs, hw, algorithms)
+        data = per_layer_seconds(specs, hw, algorithms, engine=engine)
         for name in algorithms:
             out[(name, hw.label())] = data[name]
     return out

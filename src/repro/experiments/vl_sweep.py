@@ -6,8 +6,9 @@ Shared implementation; :mod:`fig03_vgg_vl_sweep` and
 
 from __future__ import annotations
 
-from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm, layer_cycles
-from repro.experiments.configs import FREQ_GHZ, VECTOR_LENGTHS, workload
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.experiments.common import per_layer_seconds
+from repro.experiments.configs import VECTOR_LENGTHS, workload
 from repro.experiments.report import ExperimentResult
 from repro.simulator.hwconfig import HardwareConfig
 from repro.utils.ascii_chart import bar_chart
@@ -20,18 +21,9 @@ def vl_sweep(model: str, experiment: str, fig_no: int) -> ExperimentResult:
     seconds: dict[tuple[str, int], list[float | None]] = {}
     for vl in VECTOR_LENGTHS:
         hw = HardwareConfig.paper2_rvv(vl, 1.0)
+        data = per_layer_seconds(specs, hw)  # engine-memoized
         for name in ALGORITHM_NAMES:
-            algo = get_algorithm(name)
-            col: list[float | None] = []
-            for spec in specs:
-                if not algo.applicable(spec):
-                    col.append(None)
-                    continue
-                col.append(
-                    layer_cycles(name, spec, hw, fallback=False).cycles
-                    / (FREQ_GHZ * 1e9)
-                )
-            seconds[(name, vl)] = col
+            seconds[(name, vl)] = data[name]
 
     # scalability = t(512) / t(vl_max) per layer — the paper's headline
     scalability: dict[str, list[float | None]] = {}

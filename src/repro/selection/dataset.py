@@ -12,7 +12,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.algorithms.registry import ALGORITHM_NAMES, best_algorithm
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.engine import EvalTask, EvaluationEngine, default_engine
+from repro.errors import AlgorithmError
 from repro.nn.layer import ConvSpec
 from repro.nn.models import vgg16_conv_specs, yolov3_conv_specs
 from repro.simulator.hwconfig import HardwareConfig
@@ -68,28 +70,52 @@ def paper_layers() -> list[ConvSpec]:
 def build_dataset(
     specs: list[ConvSpec] | None = None,
     configs: list[HardwareConfig] | None = None,
+    engine: EvaluationEngine | None = None,
+    max_workers: int | None = None,
 ) -> SelectionDataset:
-    """Evaluate the full grid with the analytical model and label each point.
+    """Evaluate the full grid through the memoized engine and label each point.
 
-    With the defaults this is the paper's 28 x 16 = 448-point dataset.
+    With the defaults this is the paper's 28 x 16 = 448-point dataset.  All
+    applicable cells are submitted as one batch, so the engine can serve
+    them from cache (bit-identical to direct ``layer_cycles`` calls) or fan
+    them out over worker processes; labels use the same first-wins ``min``
+    tie-break as :func:`repro.algorithms.registry.best_algorithm`.
     """
     specs = paper_layers() if specs is None else specs
     configs = paper_grid() if configs is None else configs
+    engine = engine if engine is not None else default_engine()
+    algos = {name: get_algorithm(name) for name in ALGORITHM_NAMES}
+    points = [(spec, hw) for spec in specs for hw in configs]
+    cells = [
+        (i, name)
+        for i, (spec, hw) in enumerate(points)
+        for name in ALGORITHM_NAMES
+        if algos[name].applicable(spec)
+    ]
+    records = engine.evaluate_many(
+        [EvalTask(name, points[i][0], points[i][1], fallback=False)
+         for i, name in cells],
+        max_workers=max_workers,
+    )
+    cycles_by_point: list[dict[str, float]] = [{} for _ in points]
+    for (i, name), record in zip(cells, records):
+        cycles_by_point[i][name] = record.cycles
     rows_x: list[list[float]] = []
     rows_y: list[str] = []
     rows_c: list[list[float]] = []
     row_specs: list[ConvSpec] = []
     row_cfgs: list[HardwareConfig] = []
-    for spec in specs:
-        for hw in configs:
-            winner, cycles = best_algorithm(spec, hw)
-            rows_x.append([float(hw.vlen_bits), float(hw.l2_mib)] + spec.features())
-            rows_y.append(winner)
-            rows_c.append(
-                [cycles.get(name, np.inf) for name in ALGORITHM_NAMES]
-            )
-            row_specs.append(spec)
-            row_cfgs.append(hw)
+    for (spec, hw), cycles in zip(points, cycles_by_point):
+        if not cycles:
+            raise AlgorithmError(f"no applicable algorithm for {spec.describe()}")
+        winner = min(cycles, key=cycles.get)
+        rows_x.append([float(hw.vlen_bits), float(hw.l2_mib)] + spec.features())
+        rows_y.append(winner)
+        rows_c.append(
+            [cycles.get(name, np.inf) for name in ALGORITHM_NAMES]
+        )
+        row_specs.append(spec)
+        row_cfgs.append(hw)
     return SelectionDataset(
         X=np.asarray(rows_x, dtype=np.float64),
         y=np.asarray(rows_y, dtype=object),

@@ -1,0 +1,305 @@
+"""Tests for the memoized + parallel evaluation engine (repro.engine)."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_NAMES, layer_cycles
+from repro.engine import (
+    CALIBRATION_VERSION,
+    EvalTask,
+    EvaluationEngine,
+    MemoCache,
+    cache_key,
+    calibration_fingerprint,
+    record_from_dict,
+    record_to_dict,
+)
+from repro.nn.layer import ConvSpec
+from repro.simulator.analytical.calibration import Calibration
+from repro.simulator.hwconfig import HardwareConfig
+
+SRC_DIR = Path(__file__).resolve().parents[1] / "src"
+
+
+def phases_equal(a, b) -> bool:
+    """Exact (bit-identical) equality of two LayerCycles records."""
+    return a.algorithm == b.algorithm and [
+        p.__dict__ for p in a.phases
+    ] == [p.__dict__ for p in b.phases]
+
+
+@pytest.fixture
+def spec() -> ConvSpec:
+    return ConvSpec(ic=16, oc=32, ih=28, iw=28, kh=3, kw=3, index=3)
+
+
+@pytest.fixture
+def hw() -> HardwareConfig:
+    return HardwareConfig.paper2_rvv(512, 1.0)
+
+
+class TestCacheKeys:
+    def test_deterministic(self, spec, hw):
+        assert cache_key("direct", spec, hw) == cache_key("direct", spec, hw)
+
+    def test_distinct_inputs_distinct_keys(self, spec, hw):
+        base = cache_key("direct", spec, hw)
+        assert cache_key("winograd", spec, hw) != base
+        assert cache_key("direct", spec.__class__(**{
+            **{f: getattr(spec, f) for f in
+               ("ic", "oc", "ih", "iw", "kh", "kw", "stride", "pad", "index")},
+            "ic": spec.ic + 1,
+        }), hw) != base
+        assert cache_key("direct", spec, hw.with_(vlen_bits=1024)) != base
+
+    def test_calibration_changes_key(self, spec, hw):
+        tweaked = Calibration(dram_efficiency=0.71)
+        assert calibration_fingerprint(tweaked) != CALIBRATION_VERSION
+        assert cache_key("direct", spec, hw, tweaked) != cache_key(
+            "direct", spec, hw
+        )
+
+    def test_stable_across_processes(self, spec, hw):
+        """The key must not depend on the interpreter's hash seed."""
+        code = (
+            "from repro.engine import cache_key\n"
+            "from repro.nn.layer import ConvSpec\n"
+            "from repro.simulator.hwconfig import HardwareConfig\n"
+            "print(cache_key('direct',"
+            " ConvSpec(ic=16, oc=32, ih=28, iw=28, kh=3, kw=3, index=3),"
+            " HardwareConfig.paper2_rvv(512, 1.0)))"
+        )
+        keys = []
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed, PYTHONPATH=str(SRC_DIR))
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True, env=env,
+            )
+            keys.append(out.stdout.strip())
+        assert keys[0] == keys[1] == cache_key("direct", spec, hw)
+
+
+class TestRecordSerialization:
+    def test_round_trip_bit_identical(self, spec, hw):
+        record = layer_cycles("im2col_gemm6", spec, hw)
+        # through an actual JSON text round-trip, as the disk tier does
+        payload = json.loads(json.dumps(record_to_dict(record)))
+        assert phases_equal(record_from_dict(payload), record)
+
+
+class TestMemoCacheTiers:
+    def test_hit_miss_accounting(self, spec, hw):
+        cache = MemoCache()
+        key = cache_key("direct", spec, hw)
+        assert cache.get(key) is None
+        assert cache.stats.misses == 1 and cache.stats.hits == 0
+        cache.put(key, layer_cycles("direct", spec, hw))
+        assert cache.get(key) is not None
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_capacity_bound(self, hw):
+        cache = MemoCache(capacity=4)
+        specs = [ConvSpec(ic=4, oc=4, ih=8, iw=8, index=i) for i in range(6)]
+        keys = [cache_key("direct", s, hw) for s in specs]
+        for s, k in zip(specs, keys):
+            cache.put(k, layer_cycles("direct", s, hw))
+        assert len(cache) == 4
+        assert cache.stats.evictions == 2
+        # oldest two evicted, newest four retained (LRU order)
+        assert cache.get(keys[0]) is None and cache.get(keys[1]) is None
+        assert all(cache.get(k) is not None for k in keys[2:])
+
+    def test_lru_touch_on_get_protects_entry(self, hw):
+        cache = MemoCache(capacity=2)
+        specs = [ConvSpec(ic=4, oc=4, ih=8, iw=8, index=i) for i in range(3)]
+        keys = [cache_key("direct", s, hw) for s in specs]
+        cache.put(keys[0], layer_cycles("direct", specs[0], hw))
+        cache.put(keys[1], layer_cycles("direct", specs[1], hw))
+        cache.get(keys[0])  # touch: 1 becomes least-recently-used
+        cache.put(keys[2], layer_cycles("direct", specs[2], hw))
+        assert cache.get(keys[0]) is not None
+        assert cache.get(keys[1]) is None
+
+    def test_disk_round_trip(self, tmp_path, spec, hw):
+        key = cache_key("winograd", spec, hw)
+        record = layer_cycles("winograd", spec, hw)
+        writer = MemoCache(disk_dir=tmp_path)
+        writer.put(key, record)
+        # a fresh cache (fresh process stand-in) reads it back bit-identically
+        reader = MemoCache(disk_dir=tmp_path)
+        got = reader.get(key)
+        assert got is not None and phases_equal(got, record)
+        assert reader.stats.disk_hits == 1
+        # promoted to memory: second get is a memory hit
+        reader.get(key)
+        assert reader.stats.hits == 1
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path, spec, hw):
+        key = cache_key("direct", spec, hw)
+        cache = MemoCache(disk_dir=tmp_path)
+        cache.put(key, layer_cycles("direct", spec, hw))
+        path = tmp_path / key[:2] / f"{key}.json"
+        path.write_text("{ truncated")
+        assert MemoCache(disk_dir=tmp_path).get(key) is None
+
+    def test_memory_eviction_keeps_disk_entry(self, tmp_path, hw):
+        cache = MemoCache(capacity=1, disk_dir=tmp_path)
+        specs = [ConvSpec(ic=4, oc=4, ih=8, iw=8, index=i) for i in range(2)]
+        keys = [cache_key("direct", s, hw) for s in specs]
+        for s, k in zip(specs, keys):
+            cache.put(k, layer_cycles("direct", s, hw))
+        assert cache.get(keys[0]) is not None  # served from disk
+        assert cache.stats.disk_hits == 1
+
+
+class TestEvaluationEngine:
+    def test_cold_equals_direct_warm_equals_cold(self, spec, hw):
+        """Engine records are bit-identical to direct layer_cycles calls."""
+        engine = EvaluationEngine()
+        for name in ALGORITHM_NAMES:
+            direct = layer_cycles(name, spec, hw)
+            cold = engine.evaluate(name, spec, hw)
+            warm = engine.evaluate(name, spec, hw)
+            assert phases_equal(cold, direct)
+            assert phases_equal(warm, direct)
+        assert engine.cache.stats.hits >= len(ALGORITHM_NAMES)
+
+    def test_disk_tier_round_trip_bit_identical(self, tmp_path, spec, hw):
+        hot = EvaluationEngine(cache=MemoCache(disk_dir=tmp_path))
+        records = [hot.evaluate(n, spec, hw) for n in ALGORITHM_NAMES]
+        cold_process = EvaluationEngine(cache=MemoCache(disk_dir=tmp_path))
+        for name, expected in zip(ALGORITHM_NAMES, records):
+            assert phases_equal(cold_process.evaluate(name, spec, hw), expected)
+        assert cold_process.cache.stats.misses == 0
+
+    def test_fallback_aliases_im2col_gemm6(self, hw):
+        one_by_one = ConvSpec(ic=8, oc=8, ih=14, iw=14, kh=1, kw=1, index=5)
+        engine = EvaluationEngine()
+        assert engine.key(EvalTask("winograd", one_by_one, hw)) == engine.key(
+            EvalTask("im2col_gemm6", one_by_one, hw, fallback=False)
+        )
+        record = engine.evaluate("winograd", one_by_one, hw)
+        assert record.algorithm == "im2col_gemm6"
+        assert phases_equal(record, layer_cycles("winograd", one_by_one, hw))
+
+    def test_not_applicable_raises_without_fallback(self, hw):
+        from repro.errors import NotApplicableError
+
+        one_by_one = ConvSpec(ic=8, oc=8, ih=14, iw=14, kh=1, kw=1, index=5)
+        with pytest.raises(NotApplicableError):
+            EvaluationEngine().evaluate(
+                "winograd", one_by_one, hw, fallback=False
+            )
+
+    def test_batch_dedup_and_order(self, spec, hw):
+        engine = EvaluationEngine()
+        tasks = [
+            EvalTask("direct", spec, hw),
+            EvalTask("winograd", spec, hw),
+            EvalTask("direct", spec, hw),  # duplicate of task 0
+        ]
+        records = engine.evaluate_many(tasks)
+        assert [r.algorithm for r in records] == ["direct", "winograd", "direct"]
+        assert engine.cache.stats.stores == 2  # duplicate computed once
+        assert phases_equal(records[0], records[2])
+
+    def test_no_cache_mode_recomputes(self, spec, hw):
+        engine = EvaluationEngine(use_cache=False)
+        a = engine.evaluate("direct", spec, hw)
+        b = engine.evaluate("direct", spec, hw)
+        assert engine.cache.stats.stores == 0 and len(engine.cache) == 0
+        assert phases_equal(a, b)
+
+    def test_parallel_records_identical_to_serial(self, hw):
+        specs = [ConvSpec(ic=8, oc=8, ih=16, iw=16, index=i) for i in range(4)]
+        tasks = [
+            EvalTask(name, s, hw) for s in specs for name in ALGORITHM_NAMES
+        ]
+        serial = EvaluationEngine(max_workers=1).evaluate_many(tasks)
+        parallel = EvaluationEngine(max_workers=2).evaluate_many(tasks)
+        assert len(serial) == len(parallel) == len(tasks)
+        for a, b in zip(serial, parallel):
+            assert phases_equal(a, b)
+
+    def test_rejects_bad_worker_counts(self):
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            EvaluationEngine(max_workers=0)
+        with pytest.raises(EngineError):
+            EvaluationEngine().evaluate_many([], max_workers=0)
+
+
+class TestDefaultEngine:
+    def test_configure_default(self):
+        import repro.engine as eng
+
+        engine = eng.default_engine()
+        try:
+            eng.configure_default(max_workers=3, use_cache=False)
+            assert engine.max_workers == 3 and engine.use_cache is False
+        finally:
+            eng.configure_default(max_workers=1, use_cache=True)
+        assert eng.default_engine() is engine
+
+    def test_cli_flags_reach_default_engine(self, capsys):
+        from repro.experiments.cli import main
+        import repro.engine as eng
+
+        try:
+            # unknown experiment exits early (rc 2) but after flag plumbing
+            assert main(["--workers", "2", "--no-cache", "nonexistent"]) == 2
+            engine = eng.default_engine()
+            assert engine.max_workers == 2 and engine.use_cache is False
+            assert main(["--workers", "0", "table1"]) == 2
+        finally:
+            eng.configure_default(max_workers=1, use_cache=True)
+
+
+class TestAdapters:
+    """The experiment-facing entry points route through the engine."""
+
+    def test_per_layer_seconds_uses_engine_cache(self, hw):
+        from repro.experiments.common import per_layer_seconds
+        from repro.experiments.configs import workload
+
+        engine = EvaluationEngine()
+        specs = workload("vgg16")[:3]
+        first = per_layer_seconds(specs, hw, engine=engine)
+        misses = engine.cache.stats.misses
+        second = per_layer_seconds(specs, hw, engine=engine)
+        assert engine.cache.stats.misses == misses  # all warm
+        assert first == second
+
+    def test_campaign_records_identical_cold_and_warm(self, hw):
+        from repro.experiments.campaign import run_campaign
+        from repro.experiments.configs import workload
+
+        engine = EvaluationEngine()
+        workloads = {"vgg16": workload("vgg16")[:3]}
+        cold = run_campaign(workloads, [hw], engine=engine)
+        warm = run_campaign(workloads, [hw], engine=engine)
+        assert cold.records == warm.records
+        assert engine.cache.stats.hits > 0
+
+    def test_build_dataset_matches_best_algorithm(self, hw):
+        from repro.algorithms.registry import best_algorithm
+        from repro.selection.dataset import build_dataset
+        from repro.experiments.configs import workload
+
+        specs = workload("yolov3")[:4]
+        ds = build_dataset(specs=specs, configs=[hw])
+        for row, spec in enumerate(specs):
+            winner, cycles = best_algorithm(spec, hw)
+            assert ds.y[row] == winner
+            for name, expected in cycles.items():
+                assert ds.cycles_for(row, name) == expected

@@ -35,6 +35,26 @@ class TestPerLayerSeconds:
         data = per_layer_seconds(specs, BASELINE, skip_inapplicable=False)
         assert all(v is not None for v in data["winograd"])
 
+    def test_single_registry_lookup_per_algorithm(self, monkeypatch):
+        """The registry lookup is hoisted out of the per-layer loop: exactly
+        one ``get_algorithm`` call per algorithm per invocation, however
+        many layers are evaluated."""
+        import repro.experiments.common as common
+        from repro.algorithms.registry import get_algorithm as real_lookup
+
+        calls: list[str] = []
+
+        def counting_lookup(name: str):
+            calls.append(name)
+            return real_lookup(name)
+
+        monkeypatch.setattr(common, "get_algorithm", counting_lookup)
+        specs = workload("vgg16")[:5]
+        per_layer_seconds(specs, BASELINE)
+        assert sorted(calls) == sorted(
+            ["direct", "im2col_gemm3", "im2col_gemm6", "winograd"]
+        )
+
 
 class TestComparisonTable:
     def test_renders_na(self):

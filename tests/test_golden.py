@@ -18,6 +18,34 @@ import pytest
 GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "headlines.json"
 
 
+def _campaign_baseline_rows(engine=None) -> dict:
+    """One full campaign grid row per workload at the 512b x 1MB baseline:
+    per-algorithm cycle totals over applicable layers, evaluated through
+    the memoized engine (locks memoization against paper-number drift)."""
+    from repro.algorithms.registry import ALGORITHM_NAMES
+    from repro.engine import EvaluationEngine
+    from repro.experiments.campaign import run_campaign
+    from repro.experiments.configs import BASELINE, workload
+
+    campaign = run_campaign(
+        {"vgg16": workload("vgg16"), "yolov3": workload("yolov3")},
+        [BASELINE],
+        engine=engine if engine is not None else EvaluationEngine(),
+    )
+    return {
+        wname: {
+            algo: round(sum(
+                r["cycles"]
+                for r in campaign.filter(
+                    workload=wname, algorithm=algo, applicable=True
+                )
+            ), 1)
+            for algo in ALGORITHM_NAMES
+        }
+        for wname in ("vgg16", "yolov3")
+    }
+
+
 def _current(selector) -> dict:
     from repro.experiments.cli import run_experiment
     from repro.experiments.fig09_vgg_selection import run as f9
@@ -26,6 +54,7 @@ def _current(selector) -> dict:
     r9 = f9(selector=selector)
     r10 = f10(selector=selector)
     return {
+        "campaign_baseline_rows": _campaign_baseline_rows(),
         "fig01_winners": run_experiment("fig01").data["winners"],
         "fig02_winners": run_experiment("fig02").data["winners"],
         "fig09_ratios": {
@@ -104,3 +133,27 @@ class TestGoldenHeadlines:
         assert trained_selector.report.mean_accuracy == pytest.approx(
             golden["rf_mean_accuracy"], abs=0.02
         )
+
+    def test_campaign_rows_via_engine(self, golden):
+        """Campaign rows evaluated through the memoized engine must match
+        the golden snapshot — and stay bit-identical whether served cold,
+        warm, or computed directly without the engine."""
+        from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm, layer_cycles
+        from repro.engine import EvaluationEngine
+        from repro.experiments.configs import BASELINE, workload
+
+        engine = EvaluationEngine()
+        cold = _campaign_baseline_rows(engine)
+        warm = _campaign_baseline_rows(engine)  # cache-served second pass
+        assert cold == warm == golden["campaign_baseline_rows"]
+        assert engine.cache.stats.hits > 0
+        # engine bypass: direct layer_cycles totals agree exactly
+        for wname, row in cold.items():
+            for algo, expected in row.items():
+                a = get_algorithm(algo)
+                direct = sum(
+                    layer_cycles(algo, s, BASELINE, fallback=False).cycles
+                    for s in workload(wname)
+                    if a.applicable(s)
+                )
+                assert round(direct, 1) == expected, (wname, algo)

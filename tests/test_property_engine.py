@@ -1,0 +1,126 @@
+"""Property tests for the evaluation engine (hypothesis).
+
+Pins the two invariants everything else leans on:
+
+* the content-addressed key is *injective* on distinct inputs and *stable*
+  under payload dict/field reordering;
+* the batch executor's output order equals the serial per-task order for
+  any shuffled submission order (parallel included).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.registry import ALGORITHM_NAMES, layer_cycles
+from repro.engine import EvalTask, EvaluationEngine, cache_key
+from repro.engine.keys import dataclass_payload, key_from_payload
+from repro.nn.layer import ConvSpec
+from repro.simulator.hwconfig import HardwareConfig
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+conv_specs = st.builds(
+    ConvSpec,
+    ic=st.integers(1, 64),
+    oc=st.integers(1, 64),
+    ih=st.integers(8, 64),
+    iw=st.integers(8, 64),
+    kh=st.sampled_from([1, 3, 5]),
+    kw=st.sampled_from([1, 3, 5]),
+    stride=st.sampled_from([1, 2]),
+    index=st.integers(0, 30),
+)
+
+hw_configs = st.builds(
+    HardwareConfig.paper2_rvv,
+    vlen_bits=st.sampled_from([512, 1024, 2048, 4096]),
+    l2_mib=st.sampled_from([1.0, 4.0, 16.0, 64.0]),
+)
+
+algorithms = st.sampled_from(ALGORITHM_NAMES)
+
+
+# ---------------------------------------------------------------------- #
+# key properties
+# ---------------------------------------------------------------------- #
+
+@given(a1=algorithms, s1=conv_specs, h1=hw_configs,
+       a2=algorithms, s2=conv_specs, h2=hw_configs)
+def test_key_injective_on_distinct_inputs(a1, s1, h1, a2, s2, h2):
+    """Equal inputs -> equal keys; distinct inputs -> distinct keys."""
+    k1 = cache_key(a1, s1, h1)
+    k2 = cache_key(a2, s2, h2)
+    if (a1, s1, h1) == (a2, s2, h2):
+        assert k1 == k2
+    else:
+        assert k1 != k2
+
+
+@given(spec=conv_specs, hw=hw_configs, algo=algorithms, data=st.data())
+def test_key_stable_under_field_reordering(spec, hw, algo, data):
+    """Payload dict insertion order must never change the key."""
+    payload = {
+        "schema": 1,
+        "algorithm": algo,
+        "spec": dataclass_payload(spec),
+        "hw": dataclass_payload(hw),
+        "calibration": "abc",
+    }
+
+    def shuffled(d: dict) -> dict:
+        keys = data.draw(st.permutations(sorted(d)))
+        return {
+            k: shuffled(d[k]) if isinstance(d[k], dict) else d[k] for k in keys
+        }
+
+    assert key_from_payload(payload) == key_from_payload(shuffled(payload))
+
+
+@given(spec=conv_specs, hw=hw_configs)
+def test_key_separates_every_hardware_axis(spec, hw):
+    """Perturbing any single grid axis must change the key."""
+    base = cache_key("direct", spec, hw)
+    assert cache_key("direct", spec, hw.with_(l2_mib=hw.l2_mib * 2)) != base
+    assert cache_key("direct", spec, hw.with_(lmul=2)) != base
+    assert cache_key("direct", spec, hw.with_(dram_bw_gib_s=25.6)) != base
+
+
+# ---------------------------------------------------------------------- #
+# executor ordering
+# ---------------------------------------------------------------------- #
+
+_SPECS = [ConvSpec(ic=4 * (i + 1), oc=8, ih=12, iw=12, index=i) for i in range(3)]
+_HW = HardwareConfig.paper2_rvv(512, 1.0)
+_TASKS = [EvalTask(name, s, _HW) for s in _SPECS for name in ALGORITHM_NAMES]
+
+
+def _records_equal(a, b) -> bool:
+    return a.algorithm == b.algorithm and [
+        p.__dict__ for p in a.phases
+    ] == [p.__dict__ for p in b.phases]
+
+
+@given(order=st.permutations(range(len(_TASKS))))
+@settings(max_examples=20, deadline=None)
+def test_serial_batch_order_matches_submission_order(order):
+    """evaluate_many returns records aligned with the (shuffled) input."""
+    shuffled = [_TASKS[i] for i in order]
+    records = EvaluationEngine().evaluate_many(shuffled)
+    for task, record in zip(shuffled, records):
+        assert _records_equal(record, layer_cycles(task.algorithm, task.spec, _HW))
+
+
+@given(order=st.permutations(range(len(_TASKS))))
+@settings(max_examples=3, deadline=None)
+def test_parallel_order_equals_serial_order(order):
+    """Worker completion order never leaks into the record order."""
+    shuffled = [_TASKS[i] for i in order]
+    serial = EvaluationEngine(max_workers=1).evaluate_many(shuffled)
+    parallel = EvaluationEngine(max_workers=3).evaluate_many(shuffled)
+    assert len(serial) == len(parallel)
+    for a, b in zip(serial, parallel):
+        assert _records_equal(a, b)
