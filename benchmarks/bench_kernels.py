@@ -65,6 +65,96 @@ def test_vector_machine_saxpy(benchmark):
     assert benchmark(saxpy) > 0
 
 
+# ---------------------------------------------------------------------- #
+# ISA simulation: batched fast path vs per-op baseline
+# ---------------------------------------------------------------------- #
+
+BATCH_SPEC = ConvSpec(ic=8, oc=16, ih=20, iw=20, kh=3, kw=3, index=1)
+
+
+def _best_of(func, repeats: int = 3) -> float:
+    """Min wall time over a few runs (stabilizes the speedup ratio)."""
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_intrinsics_batched_vs_perop(benchmark):
+    """The batched/counts-mode ISA path must be >= 5x faster than the
+    per-op instruction baseline on the same kernel, with bit-identical
+    outputs and identical instruction statistics (see docs/PERF.md)."""
+    from repro.algorithms.direct import DirectConv
+
+    alg = DirectConv()
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(
+        (BATCH_SPEC.ic, BATCH_SPEC.ih, BATCH_SPEC.iw)
+    ).astype(np.float32)
+    w = (
+        0.3 * rng.standard_normal((BATCH_SPEC.oc, BATCH_SPEC.ic, 3, 3))
+    ).astype(np.float32)
+
+    def perop():
+        m = VectorMachine(512)
+        y = alg.run_vectorized_perop(BATCH_SPEC, x, w, m)
+        return m.trace.stats, y
+
+    def batched_counts():
+        m = VectorMachine(512, trace="counts")
+        y = alg.run_vectorized(BATCH_SPEC, x, w, m)
+        return m.trace.stats, y
+
+    ref_stats, ref_y = perop()
+    fast_stats, fast_y = batched_counts()
+    assert np.array_equal(ref_y, fast_y)
+    assert fast_stats == ref_stats
+
+    perop_s = _best_of(perop)
+    fast_s = _best_of(batched_counts)
+    benchmark(batched_counts)
+
+    speedup = perop_s / fast_s
+    rate = ref_stats.total_instrs / fast_s / 1e6
+    print(f"\nintrinsics path: per-op {perop_s * 1e3:.1f} ms, batched/counts "
+          f"{fast_s * 1e3:.2f} ms, speedup {speedup:.0f}x "
+          f"({rate:.0f}M instrs/s)")
+    assert speedup >= 5.0, f"batched path only {speedup:.1f}x faster"
+
+
+def test_vgg_conv3_1_counts_mode(benchmark):
+    """Full instruction-level simulation of VGG-16 conv3_1 (128->256 ch,
+    56x56) in counts mode — the tentpole feasibility target: single-digit
+    seconds for a 10^8-instruction layer."""
+    import time
+
+    from repro.algorithms.direct import DirectConv
+
+    spec = next(s for s in vgg16_conv_specs() if (s.ic, s.oc, s.ih) == (128, 256, 56))
+    alg = DirectConv()
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((spec.ic, spec.ih, spec.iw)).astype(np.float32)
+    w = (
+        0.05 * rng.standard_normal((spec.oc, spec.ic, 3, 3))
+    ).astype(np.float32)
+
+    def run():
+        start = time.perf_counter()
+        m = VectorMachine(512, trace="counts")
+        alg.run_vectorized(spec, x, w, m)
+        return m.trace.stats, time.perf_counter() - start
+
+    stats, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nconv3_1 counts mode: {stats.total_instrs / 1e6:.0f}M instrs in "
+          f"{elapsed:.2f} s ({stats.total_instrs / elapsed / 1e6:.0f}M instrs/s)")
+    assert stats.total_instrs > 100_000_000
+    assert elapsed < 10.0, f"conv3_1 counts-mode run took {elapsed:.1f} s"
+
+
 def test_winograd_transform_generation(benchmark):
     """Exact Cook-Toom construction of F(6,3)."""
     from repro.algorithms.winograd_transforms import winograd_matrices

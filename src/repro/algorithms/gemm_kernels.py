@@ -62,6 +62,14 @@ def gemm_functional(a: np.ndarray, b: np.ndarray, alpha: float = 1.0) -> np.ndar
 # --------------------------------------------------------------------- #
 # intrinsics kernels
 # --------------------------------------------------------------------- #
+def _scale_a_rows(a: np.ndarray, i0: int, u: int, k: int, alpha: float) -> np.ndarray:
+    """``float32(alpha * float64(A[i0:i0+u, :]))`` — the exact scalar operand
+    sequence of the per-op loop (``alpha * float(a[..])`` is a float64
+    product, rounded to float32 by ``vfmacc_vf``)."""
+    rows = a[i0 * k : (i0 + u) * k].reshape(u, k).astype(np.float64)
+    return (np.float64(alpha) * rows).astype(np.float32)
+
+
 def gemm3_vectorized(
     machine: VectorMachine,
     a_buf: Buffer,
@@ -77,7 +85,41 @@ def gemm3_vectorized(
     Register map: v0 holds the B vector; v1..v16 hold the C accumulators of
     the unrolled i-block.  C is assumed zero-initialised (Darknet's GEMM is
     ``C += alpha*A*B`` with C pre-zeroed by ``fill_cpu``).
+
+    Batched fast path: the unrolled i-block issues one ``*_seq`` intrinsic
+    per block instead of one call per register — bit-identical results and
+    trace to :func:`gemm3_vectorized_perop`.
     """
+    a = a_buf.array
+    j = 0
+    while j < n:
+        gvl = machine.vsetvl(n - j)
+        for i0 in range(0, m, UNROLL):
+            u = min(UNROLL, m - i0)
+            machine.scalar(2, "loop_i")
+            rows = (i0 + np.arange(u, dtype=np.int64)) * n + j
+            machine.vload_seq(1, c_buf, rows)
+            a_scaled = _scale_a_rows(a, i0, u, k, alpha)
+            for kk in range(k):
+                machine.scalar(2, "loop_k")
+                machine.vload(0, b_buf, kk * n + j)
+                machine.scalar(u, "a_load")
+                machine.vfmacc_vf_seq(1, a_scaled[:, kk], 0)
+            machine.vstore_seq(1, c_buf, rows)
+        j += gvl
+
+
+def gemm3_vectorized_perop(
+    machine: VectorMachine,
+    a_buf: Buffer,
+    b_buf: Buffer,
+    c_buf: Buffer,
+    m: int,
+    k: int,
+    n: int,
+    alpha: float = 1.0,
+) -> None:
+    """Per-op reference for :func:`gemm3_vectorized` (one call per instr)."""
     a = a_buf.array
     j = 0
     while j < n:
@@ -108,17 +150,10 @@ def _pack_b_block(
     jb: int,
     n: int,
 ) -> None:
-    """Pack B[k0:k0+kb, j0:j0+jb] row-major into ``packed`` (vectorized)."""
+    """Pack B[k0:k0+kb, j0:j0+jb] row-major into ``packed`` (batched)."""
     for kk in range(kb):
         machine.scalar(2, "pack_b_loop")
-        src = (k0 + kk) * n + j0
-        dst = kk * jb
-        jj = 0
-        while jj < jb:
-            gvl = machine.vsetvl(jb - jj)
-            machine.vload(0, b_buf, src + jj)
-            machine.vstore(0, packed, dst + jj)
-            jj += gvl
+        machine.vcopy_strips(b_buf, (k0 + kk) * n + j0, packed, kk * jb, jb)
 
 
 def _pack_a_block(
@@ -131,7 +166,46 @@ def _pack_a_block(
     kb: int,
     k: int,
 ) -> None:
-    """Pack A[i0:i0+ib, k0:k0+kb] row-major into ``packed`` (vectorized)."""
+    """Pack A[i0:i0+ib, k0:k0+kb] row-major into ``packed`` (batched)."""
+    for it in range(ib):
+        machine.scalar(2, "pack_a_loop")
+        machine.vcopy_strips(a_buf, (i0 + it) * k + k0, packed, it * kb, kb)
+
+
+def _pack_b_block_perop(
+    machine: VectorMachine,
+    b_buf: Buffer,
+    packed: Buffer,
+    k0: int,
+    kb: int,
+    j0: int,
+    jb: int,
+    n: int,
+) -> None:
+    """Per-op reference for :func:`_pack_b_block`."""
+    for kk in range(kb):
+        machine.scalar(2, "pack_b_loop")
+        src = (k0 + kk) * n + j0
+        dst = kk * jb
+        jj = 0
+        while jj < jb:
+            gvl = machine.vsetvl(jb - jj)
+            machine.vload(0, b_buf, src + jj)
+            machine.vstore(0, packed, dst + jj)
+            jj += gvl
+
+
+def _pack_a_block_perop(
+    machine: VectorMachine,
+    a_buf: Buffer,
+    packed: Buffer,
+    i0: int,
+    ib: int,
+    k0: int,
+    kb: int,
+    k: int,
+) -> None:
+    """Per-op reference for :func:`_pack_a_block`."""
     for it in range(ib):
         machine.scalar(2, "pack_a_loop")
         src = (i0 + it) * k + k0
@@ -162,17 +236,14 @@ def gemm6_vectorized(
     Prefetch intents are recorded as named scalar markers — the RVV toolchain
     of the paper ignores them (no Zicbop) and so does the decoupled timing
     model; platforms with prefetch benefit through the latency model instead.
+
+    Batched fast path: packing rows go through
+    :meth:`~repro.isa.machine.VectorMachine.vcopy_strips` and the micro-kernel
+    through the ``*_seq`` intrinsics — bit-identical results and trace to
+    :func:`gemm6_vectorized_perop`.
     """
-    packed_b = machine.alloc(
-        f"packB_{id(b_buf) & 0xFFFF}_{machine.trace.stats.total_instrs}",
-        block_k * block_n,
-        np.float32,
-    )
-    packed_a = machine.alloc(
-        f"packA_{id(a_buf) & 0xFFFF}_{machine.trace.stats.total_instrs}",
-        block_m * block_k,
-        np.float32,
-    )
+    packed_b = machine.alloc("packB", block_k * block_n, np.float32, unique=True)
+    packed_a = machine.alloc("packA", block_m * block_k, np.float32, unique=True)
     for j1 in range(0, n, block_n):
         jb = min(block_n, n - j1)
         for k1 in range(0, k, block_k):
@@ -181,6 +252,46 @@ def gemm6_vectorized(
             for i1 in range(0, m, block_m):
                 ib = min(block_m, m - i1)
                 _pack_a_block(machine, a_buf, packed_a, i1, ib, k1, kb, k)
+                pa_scaled = _scale_a_rows(packed_a.array, 0, ib, kb, alpha)
+                j = 0
+                while j < jb:
+                    gvl = machine.vsetvl(jb - j)
+                    machine.scalar(3, "prefetch_c")
+                    rows = (i1 + np.arange(ib, dtype=np.int64)) * n + j1 + j
+                    machine.vload_seq(1, c_buf, rows)
+                    for kk in range(kb):
+                        machine.scalar(2, "prefetch_ab")
+                        machine.vload(0, packed_b, kk * jb + j)
+                        machine.scalar(ib, "a_load")
+                        machine.vfmacc_vf_seq(1, pa_scaled[:, kk], 0)
+                    machine.vstore_seq(1, c_buf, rows)
+                    j += gvl
+
+
+def gemm6_vectorized_perop(
+    machine: VectorMachine,
+    a_buf: Buffer,
+    b_buf: Buffer,
+    c_buf: Buffer,
+    m: int,
+    k: int,
+    n: int,
+    alpha: float = 1.0,
+    block_m: int = BLOCK_M,
+    block_n: int = BLOCK_N,
+    block_k: int = BLOCK_K,
+) -> None:
+    """Per-op reference for :func:`gemm6_vectorized` (one call per instr)."""
+    packed_b = machine.alloc("packB", block_k * block_n, np.float32, unique=True)
+    packed_a = machine.alloc("packA", block_m * block_k, np.float32, unique=True)
+    for j1 in range(0, n, block_n):
+        jb = min(block_n, n - j1)
+        for k1 in range(0, k, block_k):
+            kb = min(block_k, k - k1)
+            _pack_b_block_perop(machine, b_buf, packed_b, k1, kb, j1, jb, n)
+            for i1 in range(0, m, block_m):
+                ib = min(block_m, m - i1)
+                _pack_a_block_perop(machine, a_buf, packed_a, i1, ib, k1, kb, k)
                 pa = packed_a.array
                 j = 0
                 while j < jb:

@@ -48,13 +48,38 @@ def im2col_vectorized(
     For stride 1 the per-output-row source is contiguous (unit-stride
     loads); for stride > 1 a strided load gathers every ``stride``-th
     element, matching the vectorized ``im2col`` of the paper's Darknet port.
+
+    Batched fast path: each output-row copy is one
+    :meth:`~repro.isa.machine.VectorMachine.vcopy_strips` call — bit-identical
+    results and trace to :func:`im2col_vectorized_perop`.
     """
     spec.validate_input(x.shape)
     xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
-    src = machine.alloc_from(f"im2col_src_{id(x) & 0xFFFF}", xp)
-    col = machine.alloc(
-        f"im2col_col_{id(x) & 0xFFFF}", spec.gemm_k * spec.gemm_n, np.float32
-    )
+    src = machine.alloc_from("im2col_src", xp, unique=True)
+    col = machine.alloc("im2col_col", spec.gemm_k * spec.gemm_n, np.float32, unique=True)
+    ph, pw = xp.shape[1], xp.shape[2]
+    ow, oh, s = spec.ow, spec.oh, spec.stride
+    row = 0
+    for c in range(spec.ic):
+        for dh in range(spec.kh):
+            for dw in range(spec.kw):
+                for out_y in range(oh):
+                    machine.scalar(3, "im2col_loop")
+                    src_base = c * ph * pw + (out_y * s + dh) * pw + dw
+                    dst_base = row * (oh * ow) + out_y * ow
+                    machine.vcopy_strips(src, src_base, col, dst_base, ow, src_stride=s)
+                row += 1
+    return col
+
+
+def im2col_vectorized_perop(
+    spec: ConvSpec, x: np.ndarray, machine: VectorMachine
+) -> Buffer:
+    """Per-op reference for :func:`im2col_vectorized` (one call per instr)."""
+    spec.validate_input(x.shape)
+    xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+    src = machine.alloc_from("im2col_src", xp, unique=True)
+    col = machine.alloc("im2col_col", spec.gemm_k * spec.gemm_n, np.float32, unique=True)
     ph, pw = xp.shape[1], xp.shape[2]
     ow, oh, s = spec.ow, spec.oh, spec.stride
     row = 0

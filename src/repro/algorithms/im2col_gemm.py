@@ -42,10 +42,10 @@ class _Im2colGemmBase(ConvAlgorithm):
     ) -> np.ndarray:
         col_buf = im2col_vectorized(spec, x, machine)
         a_buf = machine.alloc_from(
-            f"gemm_a_{id(w) & 0xFFFF}", w.reshape(spec.oc, spec.gemm_k)
+            "gemm_a", w.reshape(spec.oc, spec.gemm_k), unique=True
         )
         c_buf = machine.alloc(
-            f"gemm_c_{id(x) & 0xFFFF}", spec.gemm_m * spec.gemm_n, np.float32
+            "gemm_c", spec.gemm_m * spec.gemm_n, np.float32, unique=True
         )
         kernel(machine, a_buf, col_buf, c_buf, spec.gemm_m, spec.gemm_k, spec.gemm_n)
         return col2im_output(spec, c_buf.array.reshape(spec.gemm_m, spec.gemm_n))

@@ -179,16 +179,18 @@ class WinogradConv(ConvAlgorithm):
     def run_vectorized(
         self, spec: ConvSpec, x: np.ndarray, w: np.ndarray, machine: VectorMachine
     ) -> np.ndarray:
-        """Inter-tile-parallel Winograd on the vector machine.
+        """Inter-tile-parallel Winograd on the vector machine (batched).
 
-        The paper's kernel packs half-rows (4 elements) of one 8x8 tile per
-        channel into long vectors (Paper I Figs. 4-5), applies the B^T/A^T
-        linear row combinations with vector-scalar FMAs, transposes, repeats,
-        and strip-mines the 64-position tuple multiplication.  This method
-        executes that kernel: packing uses indexed gathers, both transform
-        stages run as traced vector arithmetic, and a host-side transpose
-        stands in for the register-permute intrinsics (RVV lacks them — the
-        paper notes the same limitation and uses buffers + gathers).
+        Reproduces the observable behaviour of
+        :meth:`run_vectorized_perop` — bit-identical outputs and buffer
+        contents, identical per-category instruction counts, and the same
+        ordered memory-op address stream — while computing the transforms
+        with whole-grid einsums (stride-tricks tile extraction, batched over
+        all tiles and channels) and emitting the trace in batched columnar
+        writes.  The packing gathers still run per-op (they carry exact
+        per-element index lists for the cache simulator).  Register and
+        scratch-buffer contents after the call are unspecified, as with the
+        other batched kernels.
         """
         self.check_applicable(spec)
         if spec.stride == 2:
@@ -212,15 +214,182 @@ class WinogradConv(ConvAlgorithm):
             xp, ((0, 0), (0, max(0, need_h - xp.shape[1])),
                  (0, max(0, need_w - xp.shape[2])))
         )
-        src = machine.alloc_from(f"wg_x_{id(x) & 0xFFFF}", xp)
+        src = machine.alloc_from("wg_x", xp, unique=True)
         ph, pw = xp.shape[1], xp.shape[2]
 
         # U and M are stored tile-major: [tile][channel][64 positions]
-        u_buf = machine.alloc(f"wg_u_{id(x) & 0xFFFF}", ntiles * ic * TUPLE_ELEMS)
-        m_buf = machine.alloc(f"wg_m_{id(x) & 0xFFFF}", ntiles * oc * TUPLE_ELEMS)
+        u_buf = machine.alloc("wg_u", ntiles * ic * TUPLE_ELEMS, unique=True)
+        m_buf = machine.alloc("wg_m", ntiles * oc * TUPLE_ELEMS, unique=True)
         v_host = self.transform_weights(spec, w)  # offline, as in the paper
-        v_buf = machine.alloc_from(f"wg_v_{id(w) & 0xFFFF}", v_host)
-        scratch = machine.alloc(f"wg_s_{id(x) & 0xFFFF}", vlmax * TILE_ALPHA)
+        v_buf = machine.alloc_from("wg_v", v_host, unique=True)
+        scratch = machine.alloc("wg_s", vlmax * TILE_ALPHA, unique=True)
+
+        intertile = ic >= MIN_CHANNELS
+        cb = max(1, min(ic, vlmax // PACK_ELEMS)) if intertile else 1
+        bt32 = wm.BT.astype(np.float32)
+        at32 = wm.AT.astype(np.float32)
+
+        # ---- functional compute (whole grid, per-op rounding order) ----- #
+        # tiles: (ty, tx, IC, 8, 8) view of the padded input
+        sic, sih, siw = xp.strides
+        tiles = np.lib.stride_tricks.as_strided(
+            xp,
+            shape=(ty, tx, ic, TILE_ALPHA, TILE_ALPHA),
+            strides=(TILE_M * sih, TILE_M * siw, sic, sih, siw),
+            writeable=False,
+        ).astype(np.float64)
+        # input transform: same float64 einsum the per-op group helper runs,
+        # batched over (ty, tx, IC) — einsum's contraction order per output
+        # element is independent of the leading batch axes, so this is
+        # bit-identical to the per-group evaluation.
+        bt64 = bt32.astype(np.float64)
+        u_all = np.einsum("ij,yxcjk,lk->yxcil", bt64, tiles, bt64).astype(np.float32)
+        u_buf.array[:] = u_all.reshape(-1)
+        # tuple multiplication: float32 accumulation, channels in per-op order
+        u3 = u_all.reshape(ntiles, ic, TUPLE_ELEMS)
+        v3 = v_host.reshape(oc, ic, TUPLE_ELEMS)
+        macc = np.zeros((ntiles, oc, TUPLE_ELEMS), dtype=np.float32)
+        for c in range(ic):
+            macc += u3[:, c, :][:, None, :] * v3[:, c, :][None, :, :]
+        m_buf.array[:] = macc.reshape(-1)
+        # output transform from the M buffer values
+        at64 = at32.astype(np.float64)
+        m4 = macc.reshape(ntiles, oc, TILE_ALPHA, TILE_ALPHA).astype(np.float64)
+        y_all = np.einsum("ij,tojk,lk->toil", at64, m4, at64).astype(np.float32)
+        y_grid = y_all.reshape(ty, tx, oc, TILE_M, TILE_M)
+        out = np.ascontiguousarray(
+            y_grid.transpose(2, 0, 3, 1, 4).reshape(oc, ty * TILE_M, tx * TILE_M)
+        )
+
+        # ---- trace emission (batched, same counts and address stream) --- #
+        trace = machine.trace
+        elem = scratch.array.itemsize
+        scratch_row_bases = scratch.base + (
+            np.arange(TILE_ALPHA, dtype=np.int64) * vlmax * elem
+        )
+
+        def _emit_stage(mat: np.ndarray, rows_in: int, vl: int) -> None:
+            # per-op order: rows_in loads, then per output row one vfmul.vf,
+            # the non-zero FMAs, and one store — memory stream preserved
+            rows_out = mat.shape[0]
+            nnz = int(np.count_nonzero(mat[:, 1:rows_in]))
+            trace.emit_memory_rows(
+                "vle", scratch_row_bases[:rows_in], elem, vl, elem, False
+            )
+            trace.emit_vector("vfmul.vf", vl, 32, rows_out)
+            trace.emit_vector("vfmacc.vf", vl, 32, nnz)
+            trace.emit_memory_rows(
+                "vse", scratch_row_bases[:rows_out], elem, vl, elem, True
+            )
+
+        def _emit_transform_group(
+            buf, bases: np.ndarray, mat: np.ndarray, nch: int,
+            row_stride: int, rows: int,
+        ) -> None:
+            vl = machine.vsetvl(nch * PACK_ELEMS * 2)
+            taps = np.arange(TILE_ALPHA, dtype=np.int64)
+            for row in range(rows):
+                offs = (bases[:, None] + row * row_stride + taps).reshape(-1)
+                machine.vgather(0, buf, offs, vl=min(vl, offs.size))
+                machine.vstore(0, scratch, row * vlmax, vl=min(vl, offs.size))
+                machine.scalar(int(PACK_SCALARS * nch), "wg_pack")
+            rows_out = mat.shape[0]
+            _emit_stage(mat, rows, vl)
+            machine.scalar(2 * rows_out, "wg_transpose")
+            _emit_stage(mat, rows, vl)
+
+        # input transform
+        for t in range(ntiles):
+            tyi, txi = divmod(t, tx)
+            base_row = (tyi * TILE_M) * pw + txi * TILE_M
+            for c0 in range(0, ic, cb):
+                nch = min(cb, ic - c0)
+                bases = (c0 + np.arange(nch, dtype=np.int64)) * ph * pw + base_row
+                _emit_transform_group(src, bases, bt32, nch, pw, TILE_ALPHA)
+
+        # tuple multiplication (64 positions, strip-mined)
+        c_idx = np.arange(ic, dtype=np.int64)
+        for t in range(ntiles):
+            u_bases = u_buf.base + (t * ic + c_idx) * TUPLE_ELEMS * elem
+            for o in range(oc):
+                v_bases = v_buf.base + (o * ic + c_idx) * TUPLE_ELEMS * elem
+                uv_bases = np.empty(2 * ic, dtype=np.int64)
+                uv_bases[0::2] = u_bases
+                uv_bases[1::2] = v_bases
+                pos = 0
+                while pos < TUPLE_ELEMS:
+                    vl = machine.vsetvl(TUPLE_ELEMS - pos)
+                    trace.emit_vector("vfmv", vl, 32, 1)
+                    trace.emit_scalar("wg_tuple_loop", 2 * ic)
+                    trace.emit_memory_rows(
+                        "vle", uv_bases + pos * elem, elem, vl, elem, False
+                    )
+                    trace.emit_vector("vfmacc", vl, 32, ic)
+                    trace.emit_memory(
+                        "vse", m_buf.addr((t * oc + o) * TUPLE_ELEMS + pos),
+                        elem, vl, elem, True,
+                    )
+                    pos += vl
+
+        # output transform
+        cbo = max(1, min(oc, vlmax // PACK_ELEMS)) if intertile else 1
+        for t in range(ntiles):
+            for o0 in range(0, oc, cbo):
+                nch = min(cbo, oc - o0)
+                bases = (t * oc + o0 + np.arange(nch, dtype=np.int64)) * TUPLE_ELEMS
+                _emit_transform_group(
+                    m_buf, bases, at32, nch, TILE_ALPHA, TILE_ALPHA
+                )
+        return out[:, : spec.oh, : spec.ow]
+
+    # ------------------------------------------------------------------ #
+    def run_vectorized_perop(
+        self, spec: ConvSpec, x: np.ndarray, w: np.ndarray, machine: VectorMachine
+    ) -> np.ndarray:
+        """Per-op reference: inter-tile Winograd, one call per instruction.
+
+        The paper's kernel packs half-rows (4 elements) of one 8x8 tile per
+        channel into long vectors (Paper I Figs. 4-5), applies the B^T/A^T
+        linear row combinations with vector-scalar FMAs, transposes, repeats,
+        and strip-mines the 64-position tuple multiplication.  This method
+        executes that kernel: packing uses indexed gathers, both transform
+        stages run as traced vector arithmetic, and a host-side transpose
+        stands in for the register-permute intrinsics (RVV lacks them — the
+        paper notes the same limitation and uses buffers + gathers).  This is
+        the instruction-level specification :meth:`run_vectorized`
+        reproduces; the trace-equivalence tests diff the two.
+        """
+        self.check_applicable(spec)
+        if spec.stride == 2:
+            full = self.run_vectorized_perop(
+                self._unit_stride_twin(spec), x, w, machine
+            )
+            return np.ascontiguousarray(
+                full[:, ::2, ::2][:, : spec.oh, : spec.ow]
+            )
+        spec.validate_input(x.shape)
+        wm = f63()
+        ty, tx = tile_counts(spec)
+        ntiles = ty * tx
+        ic, oc = spec.ic, spec.oc
+        vlmax = machine.vlmax()
+
+        xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+        need_h = (ty - 1) * TILE_M + TILE_ALPHA
+        need_w = (tx - 1) * TILE_M + TILE_ALPHA
+        xp = np.pad(
+            xp, ((0, 0), (0, max(0, need_h - xp.shape[1])),
+                 (0, max(0, need_w - xp.shape[2])))
+        )
+        src = machine.alloc_from("wg_x", xp, unique=True)
+        ph, pw = xp.shape[1], xp.shape[2]
+
+        # U and M are stored tile-major: [tile][channel][64 positions]
+        u_buf = machine.alloc("wg_u", ntiles * ic * TUPLE_ELEMS, unique=True)
+        m_buf = machine.alloc("wg_m", ntiles * oc * TUPLE_ELEMS, unique=True)
+        v_host = self.transform_weights(spec, w)  # offline, as in the paper
+        v_buf = machine.alloc_from("wg_v", v_host, unique=True)
+        scratch = machine.alloc("wg_s", vlmax * TILE_ALPHA, unique=True)
 
         intertile = ic >= MIN_CHANNELS
         cb = max(1, min(ic, vlmax // PACK_ELEMS)) if intertile else 1

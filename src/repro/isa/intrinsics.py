@@ -81,6 +81,22 @@ class EpiIntrinsics:
     def vredsum(self, vs: int) -> float:
         return self.m.vredsum(vs)
 
+    # -- batched sequences (one call per unrolled block) ------------------ #
+    # The EPI toolchain has no direct spelling for these; they model the
+    # fully unrolled instruction runs the compiler emits for the kernels'
+    # register-blocked inner loops (Paper I Figs. 2-3).
+    def vload_seq(self, vd0: int, buf: Buffer, offsets) -> None:
+        self.m.vload_seq(vd0, buf, offsets)
+
+    def vstore_seq(self, vs0: int, buf: Buffer, offsets) -> None:
+        self.m.vstore_seq(vs0, buf, offsets)
+
+    def vfmacc_vf_seq(self, vd0: int, scalars, vs2: int) -> None:
+        self.m.vfmacc_vf_seq(vd0, scalars, vs2)
+
+    def vbroadcast_seq(self, vd0: int, count: int, scalar: float) -> None:
+        self.m.vbroadcast_seq(vd0, count, scalar)
+
     # -- SEW shortcuts mirroring the C type suffixes ---------------------- #
     def vsetvl_e32(self, rvl: int) -> int:
         """``vsetvl`` with 32-bit elements (the kernels' float type)."""

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.errors import IsaError, RegisterError
 from repro.isa.registers import VectorRegisterFile
-from repro.isa.trace import InstructionTrace, MemoryOp, ScalarOp, VectorOp
+from repro.isa.trace import InstructionTrace
 from repro.isa.types import (
     E32,
     ElementType,
@@ -69,19 +69,25 @@ class VectorMachine:
     vlen_bits:
         Hardware maximum vector length (power of two, <= 16384).
     trace:
-        When True (default), every instruction is appended to ``self.trace``.
-        Statistics are kept either way.  Disable event storage for larger
-        kernels where only counts matter.
+        ``"full"`` (or ``True``, the default) records every instruction in
+        ``self.trace`` for cache/timing replay.  ``"counts"`` (or ``False``)
+        skips event storage entirely while keeping the instruction-count
+        statistics exact — the mode for full-size layers, where a recorded
+        trace would hold 10^8+ events.
     """
 
-    def __init__(self, vlen_bits: int, trace: bool = True) -> None:
+    def __init__(self, vlen_bits: int, trace: bool | str = True) -> None:
         validate_vlen_bits(vlen_bits)
         self.vlen_bits = vlen_bits
         self.regs = VectorRegisterFile(vlen_bits)
-        self.trace = InstructionTrace(enabled=trace)
+        if isinstance(trace, str):
+            self.trace = InstructionTrace(mode=trace)
+        else:
+            self.trace = InstructionTrace(enabled=trace)
         self.vtype = VType(sew=E32, vl=0)
         self._next_addr = _ALIGN
         self._buffers: dict[str, Buffer] = {}
+        self._alloc_seq = 0
 
     # ------------------------------------------------------------------ #
     # memory management
@@ -91,8 +97,19 @@ class VectorMachine:
         name: str,
         shape: int | tuple[int, ...],
         dtype: np.dtype | type = np.float32,
+        unique: bool = False,
     ) -> Buffer:
-        """Allocate a zeroed, cache-line-aligned buffer in the address space."""
+        """Allocate a zeroed, cache-line-aligned buffer in the address space.
+
+        With ``unique=True`` the name is suffixed with a per-machine
+        monotonic allocation counter, so kernels can reuse a readable prefix
+        without collisions (the counter never repeats on one machine,
+        unlike e.g. truncated ``id()`` values).
+        """
+        seq = self._alloc_seq
+        self._alloc_seq += 1
+        if unique:
+            name = f"{name}#{seq}"
         if name in self._buffers:
             raise IsaError(f"buffer {name!r} already allocated")
         array = np.zeros(shape, dtype=dtype).reshape(-1)
@@ -101,9 +118,11 @@ class VectorMachine:
         self._buffers[name] = buf
         return buf
 
-    def alloc_from(self, name: str, data: np.ndarray) -> Buffer:
+    def alloc_from(
+        self, name: str, data: np.ndarray, unique: bool = False
+    ) -> Buffer:
         """Allocate a buffer initialised with a copy of ``data`` (flattened)."""
-        buf = self.alloc(name, data.size, dtype=data.dtype)
+        buf = self.alloc(name, data.size, dtype=data.dtype, unique=unique)
         buf.array[:] = data.reshape(-1)
         return buf
 
@@ -128,7 +147,7 @@ class VectorMachine:
         """
         vl = grant_vl(requested, sew, self.vlen_bits, lmul)
         self.vtype = VType(sew=sew, vl=vl, lmul=lmul)
-        self.trace.emit(ScalarOp("vsetvl", 1))
+        self.trace.emit_scalar("vsetvl", 1)
         return vl
 
     @property
@@ -164,9 +183,7 @@ class VectorMachine:
                 f"{buf.name!r} ({buf.array.size} elements)"
             )
         self._write_group(vd, data)
-        self.trace.emit(
-            MemoryOp("vle", buf.addr(offset), sew.bytes, n, sew.bytes, is_store=False)
-        )
+        self.trace.emit_memory("vle", buf.addr(offset), sew.bytes, n, sew.bytes, False)
 
     def vstore(self, vs: int, buf: Buffer, offset: int, vl: int | None = None) -> None:
         """Unit-stride store of ``vl`` elements to ``buf[offset]``."""
@@ -178,9 +195,7 @@ class VectorMachine:
                 f"{buf.name!r} ({buf.array.size} elements)"
             )
         buf.array[offset : offset + n] = self._read_group(vs, n)
-        self.trace.emit(
-            MemoryOp("vse", buf.addr(offset), sew.bytes, n, sew.bytes, is_store=True)
-        )
+        self.trace.emit_memory("vse", buf.addr(offset), sew.bytes, n, sew.bytes, True)
 
     def vload_strided(
         self, vd: int, buf: Buffer, offset: int, stride_elems: int, vl: int | None = None
@@ -191,15 +206,8 @@ class VectorMachine:
         idx = offset + stride_elems * np.arange(n)
         data = buf.array[idx]
         self._write_group(vd, data)
-        self.trace.emit(
-            MemoryOp(
-                "vlse",
-                buf.addr(offset),
-                sew.bytes,
-                n,
-                stride_elems * sew.bytes,
-                is_store=False,
-            )
+        self.trace.emit_memory(
+            "vlse", buf.addr(offset), sew.bytes, n, stride_elems * sew.bytes, False
         )
 
     def vstore_strided(
@@ -210,15 +218,8 @@ class VectorMachine:
         sew = self.vtype.sew
         idx = offset + stride_elems * np.arange(n)
         buf.array[idx] = self._read_group(vs, n)
-        self.trace.emit(
-            MemoryOp(
-                "vsse",
-                buf.addr(offset),
-                sew.bytes,
-                n,
-                stride_elems * sew.bytes,
-                is_store=True,
-            )
+        self.trace.emit_memory(
+            "vsse", buf.addr(offset), sew.bytes, n, stride_elems * sew.bytes, True
         )
 
     def vgather(
@@ -230,16 +231,9 @@ class VectorMachine:
         offsets = np.asarray(offsets[:n], dtype=np.int64)
         data = buf.array[offsets]
         self._write_group(vd, data)
-        self.trace.emit(
-            MemoryOp(
-                "vluxei",
-                buf.base,
-                sew.bytes,
-                n,
-                0,
-                is_store=False,
-                indices=tuple(int(o) * sew.bytes for o in offsets),
-            )
+        self.trace.emit_memory(
+            "vluxei", buf.base, sew.bytes, n, 0, False,
+            indices=tuple(int(o) * sew.bytes for o in offsets),
         )
 
     def vscatter(
@@ -250,16 +244,9 @@ class VectorMachine:
         sew = self.vtype.sew
         offsets = np.asarray(offsets[:n], dtype=np.int64)
         buf.array[offsets] = self._read_group(vs, n)
-        self.trace.emit(
-            MemoryOp(
-                "vsuxei",
-                buf.base,
-                sew.bytes,
-                n,
-                0,
-                is_store=True,
-                indices=tuple(int(o) * sew.bytes for o in offsets),
-            )
+        self.trace.emit_memory(
+            "vsuxei", buf.base, sew.bytes, n, 0, True,
+            indices=tuple(int(o) * sew.bytes for o in offsets),
         )
 
     # ------------------------------------------------------------------ #
@@ -315,7 +302,7 @@ class VectorMachine:
         a = self._read_group(vs1, n)
         b = self._read_group(vs2, n)
         self._write_group(vd, fn(a, b))
-        self.trace.emit(VectorOp(name, n, sew.bits))
+        self.trace.emit_vector(name, n, sew.bits)
 
     def vfadd(self, vd: int, vs1: int, vs2: int) -> None:
         """``vd[i] = vs1[i] + vs2[i]``."""
@@ -341,7 +328,7 @@ class VectorMachine:
         a = self._read_group(vs1, n)
         b = self._read_group(vs2, n)
         self._write_group(vd, acc + a * b)
-        self.trace.emit(VectorOp("vfmacc", n, sew.bits))
+        self.trace.emit_vector("vfmacc", n, sew.bits)
 
     def vfmacc_vf(self, vd: int, scalar: float, vs2: int) -> None:
         """Vector-scalar FMA: ``vd[i] += scalar * vs2[i]``.
@@ -354,7 +341,7 @@ class VectorMachine:
         acc = self._read_group(vd, n)
         b = self._read_group(vs2, n)
         self._write_group(vd, acc + sew.dtype.type(scalar) * b)
-        self.trace.emit(VectorOp("vfmacc.vf", n, sew.bits))
+        self.trace.emit_vector("vfmacc.vf", n, sew.bits)
 
     def vfmul_vf(self, vd: int, scalar: float, vs2: int) -> None:
         """Vector-scalar multiply: ``vd[i] = scalar * vs2[i]``."""
@@ -362,29 +349,246 @@ class VectorMachine:
         sew = self.vtype.sew
         b = self._read_group(vs2, n)
         self._write_group(vd, sew.dtype.type(scalar) * b)
-        self.trace.emit(VectorOp("vfmul.vf", n, sew.bits))
+        self.trace.emit_vector("vfmul.vf", n, sew.bits)
 
     def vbroadcast(self, vd: int, scalar: float) -> None:
         """Splat a scalar across the active elements (``vfmv.v.f``)."""
         n = self.vtype.vl
         sew = self.vtype.sew
         self._write_group(vd, np.full(n, scalar, dtype=sew.dtype))
-        self.trace.emit(VectorOp("vfmv", n, sew.bits))
+        self.trace.emit_vector("vfmv", n, sew.bits)
 
     def vmv(self, vd: int, vs: int) -> None:
         """Register-to-register move of the active elements."""
         n = self.vtype.vl
         sew = self.vtype.sew
         self._write_group(vd, self._read_group(vs, n))
-        self.trace.emit(VectorOp("vmv", n, sew.bits))
+        self.trace.emit_vector("vmv", n, sew.bits)
 
     def vredsum(self, vs: int) -> float:
         """Sum-reduce the active elements; returns the scalar result."""
         n = self.vtype.vl
         sew = self.vtype.sew
         value = float(self._read_group(vs, n).sum(dtype=np.float64))
-        self.trace.emit(VectorOp("vredsum", n, sew.bits))
+        self.trace.emit_vector("vredsum", n, sew.bits)
         return value
+
+    # ------------------------------------------------------------------ #
+    # batched intrinsics (fast path)
+    # ------------------------------------------------------------------ #
+    # Each *_seq method is semantically an unrolled run of the per-op
+    # intrinsic above it — same register effects, same trace events, same
+    # element-wise fp rounding — issued as ONE Python call per unrolled
+    # block.  This is what lets the kernel inner loops in
+    # repro.algorithms.{direct,gemm_kernels,winograd} amortize interpreter
+    # and event-allocation overhead across a whole register block.
+
+    def _seq_block(self, reg0: int, count: int) -> np.ndarray | None:
+        """2-D (count, VLMAX) view for a register run, or None if the
+        LMUL-grouped fallback must be used."""
+        if self.vtype.lmul != 1:
+            return None
+        return self.regs.block_view(reg0, count, self.vtype.sew)
+
+    def vbroadcast_seq(
+        self, vd0: int, count: int, scalar: float, vl: int | None = None
+    ) -> None:
+        """Splat ``scalar`` into registers ``vd0 .. vd0+count-1``.
+
+        Equivalent to ``count`` successive :meth:`vbroadcast` calls.
+        """
+        n = self._active(vl)
+        sew = self.vtype.sew
+        block = self._seq_block(vd0, count)
+        if block is None:
+            for it in range(count):
+                self.vbroadcast(vd0 + it * self.vtype.lmul, scalar)
+            return
+        block[:, :n] = sew.dtype.type(scalar)
+        self.trace.emit_vector("vfmv", n, sew.bits, count)
+
+    def vload_seq(
+        self, vd0: int, buf: Buffer, offsets, vl: int | None = None
+    ) -> None:
+        """Unit-stride loads ``buf[offsets[i]] -> v(vd0+i)`` for each i.
+
+        Equivalent to ``len(offsets)`` successive :meth:`vload` calls (the
+        recorded memory ops carry the same addresses in the same order).
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n = self._active(vl)
+        sew = self.vtype.sew
+        count = offsets.size
+        if count == 0:
+            return
+        lo, hi = int(offsets.min()), int(offsets.max())
+        if lo < 0 or hi + n > buf.array.size:
+            raise IsaError(
+                f"vload_seq of {n} elements at offsets [{lo}, {hi}] overruns "
+                f"buffer {buf.name!r} ({buf.array.size} elements)"
+            )
+        block = self._seq_block(vd0, count)
+        if block is None:
+            for it, off in enumerate(offsets):
+                self.vload(vd0 + it * self.vtype.lmul, buf, int(off), vl=n)
+            return
+        gathered = buf.array[offsets[:, None] + np.arange(n)]
+        block[:, :n] = gathered.astype(sew.dtype, copy=False)
+        self.trace.emit_memory_rows(
+            "vle",
+            buf.base + offsets * buf.array.itemsize,
+            sew.bytes,
+            n,
+            sew.bytes,
+            False,
+        )
+
+    def vstore_seq(
+        self, vs0: int, buf: Buffer, offsets, vl: int | None = None
+    ) -> None:
+        """Unit-stride stores ``v(vs0+i) -> buf[offsets[i]]`` for each i.
+
+        Equivalent to successive :meth:`vstore` calls; the target windows
+        must not overlap (kernels store to distinct output rows).
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        n = self._active(vl)
+        sew = self.vtype.sew
+        count = offsets.size
+        if count == 0:
+            return
+        lo, hi = int(offsets.min()), int(offsets.max())
+        if lo < 0 or hi + n > buf.array.size:
+            raise IsaError(
+                f"vstore_seq of {n} elements at offsets [{lo}, {hi}] overruns "
+                f"buffer {buf.name!r} ({buf.array.size} elements)"
+            )
+        block = self._seq_block(vs0, count)
+        if block is None:
+            for it, off in enumerate(offsets):
+                self.vstore(vs0 + it * self.vtype.lmul, buf, int(off), vl=n)
+            return
+        buf.array[offsets[:, None] + np.arange(n)] = block[:, :n]
+        self.trace.emit_memory_rows(
+            "vse",
+            buf.base + offsets * buf.array.itemsize,
+            sew.bytes,
+            n,
+            sew.bytes,
+            True,
+        )
+
+    def vfmacc_vf_seq(
+        self, vd0: int, scalars, vs2: int, vl: int | None = None
+    ) -> None:
+        """Vector-scalar FMAs ``v(vd0+i) += scalars[i] * v(vs2)`` for each i.
+
+        Equivalent to ``len(scalars)`` successive :meth:`vfmacc_vf` calls —
+        bit-identical accumulation (each product is rounded to SEW before
+        the add, exactly as the per-op path does).  ``vs2`` must not lie in
+        the destination run.
+        """
+        scalars = np.asarray(scalars)
+        n = self._active(vl)
+        sew = self.vtype.sew
+        count = scalars.size
+        if count == 0:
+            return
+        if vd0 <= vs2 < vd0 + count * self.vtype.lmul:
+            raise IsaError(
+                f"vfmacc_vf_seq source v{vs2} overlaps destinations "
+                f"v{vd0}..v{vd0 + count - 1}"
+            )
+        block = self._seq_block(vd0, count)
+        if block is None:
+            for it, s in enumerate(scalars):
+                self.vfmacc_vf(vd0 + it * self.vtype.lmul, float(s), vs2)
+            return
+        b = self._read_group(vs2, n)
+        block[:, :n] += scalars.astype(sew.dtype, copy=False)[:, None] * b[None, :]
+        self.trace.emit_vector("vfmacc.vf", n, sew.bits, count)
+
+    def vcopy_strips(
+        self,
+        src_buf: Buffer,
+        src_off: int,
+        dst_buf: Buffer,
+        dst_off: int,
+        length: int,
+        src_stride: int = 1,
+        vreg: int = 0,
+        sew: ElementType = E32,
+        lmul: int = 1,
+    ) -> None:
+        """Strip-mined copy of ``length`` elements, issued as one call.
+
+        Equivalent to the canonical per-op loop every packing/im2col kernel
+        writes by hand::
+
+            j = 0
+            while j < length:
+                gvl = machine.vsetvl(length - j, sew, lmul)
+                machine.vload[_strided](vreg, src_buf, src_off + j*src_stride, ...)
+                machine.vstore(vreg, dst_buf, dst_off + j)
+                j += gvl
+
+        Same data movement, same trace events in the same order (one
+        ``vsetvl`` scalar per strip, load/store memory ops interleaved per
+        strip), same end state for ``vl`` and register ``vreg``.
+        """
+        if length <= 0:
+            return
+        last_src = src_off + (length - 1) * src_stride
+        if src_off < 0 or last_src + 1 > src_buf.array.size:
+            raise IsaError(
+                f"vcopy_strips source [{src_off}, {last_src}] overruns buffer "
+                f"{src_buf.name!r} ({src_buf.array.size} elements)"
+            )
+        if dst_off < 0 or dst_off + length > dst_buf.array.size:
+            raise IsaError(
+                f"vcopy_strips of {length} elements at offset {dst_off} overruns "
+                f"buffer {dst_buf.name!r} ({dst_buf.array.size} elements)"
+            )
+        vlmax = self.vlmax(sew, lmul)
+        nstrips = -(-length // vlmax)
+        starts = np.arange(nstrips, dtype=np.int64) * vlmax
+        vls = np.minimum(length - starts, vlmax)
+        # -- data movement (src dtype -> SEW register dtype -> dst dtype) -- #
+        if src_stride == 1:
+            src_vals = src_buf.array[src_off : src_off + length]
+        else:
+            src_vals = src_buf.array[src_off + src_stride * np.arange(length)]
+        data_sew = src_vals.astype(sew.dtype, copy=False)
+        dst_buf.array[dst_off : dst_off + length] = data_sew
+        # -- trace: vsetvl per strip, then load/store interleaved per strip #
+        self.trace.emit_scalar("vsetvl", nstrips)
+        load_name = "vle" if src_stride == 1 else "vlse"
+        load_bases = src_buf.base + (src_off + starts * src_stride) * src_buf.array.itemsize
+        store_bases = dst_buf.base + (dst_off + starts) * dst_buf.array.itemsize
+        bases = np.empty(2 * nstrips, dtype=np.int64)
+        bases[0::2] = load_bases
+        bases[1::2] = store_bases
+        if nstrips == 1:
+            names: str | np.ndarray = np.array([load_name, "vse"])
+            vl_rows: int | np.ndarray = int(vls[0])
+        else:
+            names = np.empty(2 * nstrips, dtype=object)
+            names[0::2] = load_name
+            names[1::2] = "vse"
+            vl_rows = np.repeat(vls, 2)
+        strides = np.empty(2 * nstrips, dtype=np.int64)
+        strides[0::2] = src_stride * sew.bytes
+        strides[1::2] = sew.bytes
+        store_flags = np.zeros(2 * nstrips, dtype=bool)
+        store_flags[1::2] = True
+        self.trace.emit_memory_rows(names, bases, sew.bytes, vl_rows, strides, store_flags)
+        # -- end state: vl/vtype and vreg as the per-op loop leaves them -- #
+        last_vl = int(vls[-1])
+        self.vtype = VType(sew=sew, vl=last_vl, lmul=lmul)
+        if nstrips >= 2:
+            pen = int(starts[-2])
+            self._write_group(vreg, data_sew[pen : pen + vlmax])
+        self._write_group(vreg, data_sew[int(starts[-1]) :])
 
     # ------------------------------------------------------------------ #
     # scalar bookkeeping
@@ -394,7 +598,7 @@ class VectorMachine:
         if count < 0:
             raise IsaError(f"scalar count must be >= 0, got {count}")
         if count:
-            self.trace.emit(ScalarOp(name, count))
+            self.trace.emit_scalar(name, count)
 
     # ------------------------------------------------------------------ #
     # debugging helpers

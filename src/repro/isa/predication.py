@@ -20,7 +20,6 @@ import numpy as np
 
 from repro.errors import IsaError, RegisterError
 from repro.isa.machine import Buffer, VectorMachine
-from repro.isa.trace import ScalarOp, VectorOp
 
 #: ARM-SVE provides 16 predicate registers (p0-p15).
 NUM_PREDICATES = 16
@@ -50,13 +49,13 @@ class PredicatedMachine:
         """All lanes active."""
         self._check_pred(pd)
         self._preds[pd] = True
-        self.m.trace.emit(ScalarOp("ptrue", 1))
+        self.m.trace.emit_scalar("ptrue", 1)
 
     def pfalse(self, pd: int) -> None:
         """All lanes inactive."""
         self._check_pred(pd)
         self._preds[pd] = False
-        self.m.trace.emit(ScalarOp("pfalse", 1))
+        self.m.trace.emit_scalar("pfalse", 1)
 
     def whilelt(self, pd: int, i: int, n: int) -> bool:
         """``whilelt``: lanes [0, n-i) active; returns True if any lane is."""
@@ -64,7 +63,7 @@ class PredicatedMachine:
         active = max(0, min(self.vlmax, n - i))
         self._preds[pd] = False
         self._preds[pd, :active] = True
-        self.m.trace.emit(ScalarOp("whilelt", 1))
+        self.m.trace.emit_scalar("whilelt", 1)
         return active > 0
 
     def active_lanes(self, pd: int) -> int:
@@ -125,7 +124,7 @@ class PredicatedMachine:
         acc = self.m.regs.read(vd, sew, self.vlmax)
         b = self.m.regs.read(vs, sew, self.vlmax)
         self._masked_write(pd, vd, acc + sew.dtype.type(scalar) * b, zeroing)
-        self.m.trace.emit(VectorOp("fmla.p", self.active_lanes(pd), sew.bits))
+        self.m.trace.emit_vector("fmla.p", self.active_lanes(pd), sew.bits)
 
     def fadd(self, vd: int, pd: int, vs1: int, vs2: int,
              zeroing: bool = False) -> None:
@@ -134,7 +133,7 @@ class PredicatedMachine:
         a = self.m.regs.read(vs1, sew, self.vlmax)
         b = self.m.regs.read(vs2, sew, self.vlmax)
         self._masked_write(pd, vd, a + b, zeroing)
-        self.m.trace.emit(VectorOp("fadd.p", self.active_lanes(pd), sew.bits))
+        self.m.trace.emit_vector("fadd.p", self.active_lanes(pd), sew.bits)
 
     def dup(self, vd: int, scalar: float) -> None:
         """Unpredicated broadcast (SVE dup)."""

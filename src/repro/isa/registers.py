@@ -66,6 +66,21 @@ class VectorRegisterFile:
             )
         view[: values.size] = values.astype(sew.dtype, copy=False)
 
+    def block_view(self, reg: int, count: int, sew: ElementType) -> np.ndarray:
+        """A writable 2-D view of ``count`` consecutive registers.
+
+        Shape is ``(count, VLEN/SEW)`` — one row per register.  This is the
+        storage the batched intrinsics (:meth:`VectorMachine.vfmacc_vf_seq`
+        and friends) operate on: one NumPy block op updates a whole run of
+        accumulator registers, instead of one Python-level read-modify-write
+        per register.
+        """
+        if count <= 0:
+            raise RegisterError(f"register block count must be positive, got {count}")
+        self._check_reg(reg)
+        self._check_reg(reg + count - 1)
+        return self._data[reg : reg + count].view(sew.dtype)
+
     def clear(self) -> None:
         """Zero the whole register file."""
         self._data[:] = 0

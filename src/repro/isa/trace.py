@@ -1,6 +1,6 @@
 """Instruction traces emitted by the functional vector machine.
 
-A trace is an ordered list of lightweight event records:
+A trace is an ordered sequence of lightweight event records:
 
 * :class:`VectorOp` — an arithmetic/permute vector instruction with its
   active element count (so the timing model can compute chimes and lane
@@ -12,14 +12,37 @@ A trace is an ordered list of lightweight event records:
 * :class:`ScalarOp` — a batch of scalar bookkeeping instructions (address
   arithmetic, loop control), recorded in bulk.
 
-Traces from full convolutional layers would hold 10^8+ events; they are only
-produced for small kernels (tests, validation of the analytical model).
+Storage is *columnar* (structure-of-arrays): instead of one Python object
+per event, the trace keeps preallocated, geometrically grown NumPy columns
+for the event kind, interned opcode id, vector length, element width, base
+address, stride and store flag.  The dataclasses above remain the public
+per-event view — iteration decodes rows back into them on demand — so the
+cache and timing simulators consume traces unchanged, while the emit path
+(including the batched ``emit_*`` entry points used by the fast kernels)
+never allocates per-event Python objects.
+
+Traces from full convolutional layers would hold 10^8+ events; for those,
+run the machine in ``counts`` mode, which skips event storage entirely but
+keeps the statistics exact (see :class:`~repro.isa.machine.VectorMachine`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Union
+
+import numpy as np
+
+#: Row tags in the columnar ``kind`` column.
+_KIND_VECTOR = 0
+_KIND_MEMORY = 1
+_KIND_SCALAR = 2
+#: A row whose payload is an arbitrary Python object (events.append of
+#: something emit() never produced — kept for API compatibility).
+_KIND_FOREIGN = 3
+
+#: Initial capacity (rows) of the columnar storage.
+_INITIAL_CAPACITY = 1024
 
 
 @dataclass(frozen=True)
@@ -51,20 +74,30 @@ class MemoryOp:
             return max(self.indices) + self.elem_bytes - min(self.indices)
         return abs(self.stride) * (self.vl - 1) + self.elem_bytes
 
+    def line_addresses(self, line_bytes: int) -> np.ndarray:
+        """Distinct cache-line addresses touched, in access order (vectorized).
+
+        Consecutive accesses to the same line are collapsed, exactly as
+        :meth:`touched_lines` does, but computed with NumPy in one pass.
+        """
+        if self.vl == 0:
+            return np.empty(0, dtype=np.int64)
+        if self.indices is not None:
+            offsets = np.asarray(self.indices, dtype=np.int64)
+        else:
+            offsets = self.stride * np.arange(self.vl, dtype=np.int64)
+        lines = (self.base + offsets) // line_bytes * line_bytes
+        if lines.size <= 1:
+            return lines
+        keep = np.empty(lines.size, dtype=bool)
+        keep[0] = True
+        np.not_equal(lines[1:], lines[:-1], out=keep[1:])
+        return lines[keep]
+
     def touched_lines(self, line_bytes: int) -> Iterator[int]:
         """Yield the distinct cache-line addresses touched, in access order."""
-        if self.vl == 0:
-            return
-        seen_last = None
-        if self.indices is not None:
-            offsets: Iterator[int] = iter(self.indices)
-        else:
-            offsets = (i * self.stride for i in range(self.vl))
-        for off in offsets:
-            line = (self.base + off) // line_bytes
-            if line != seen_last:
-                seen_last = line
-                yield line * line_bytes
+        for line in self.line_addresses(line_bytes):
+            yield int(line)
 
 
 @dataclass(frozen=True)
@@ -100,42 +133,297 @@ class TraceStats:
         return self.vector_elements / n if n else 0.0
 
 
-class InstructionTrace:
-    """An append-only sequence of trace events with running statistics."""
+class _EventsView:
+    """List-like view over a trace's events (decodes rows on access).
 
-    def __init__(self, enabled: bool = True) -> None:
-        self.enabled = enabled
-        self.events: list[TraceEvent] = []
-        self.stats = TraceStats()
+    Supports the subset of the old ``list[TraceEvent]`` API that consumers
+    used: ``len``, iteration, indexing, and ``append`` (which stores the
+    object verbatim, bypassing statistics — matching the old behaviour of
+    appending directly to the event list).
+    """
 
-    def emit(self, event: TraceEvent) -> None:
-        """Record one event (statistics update even if event storage is off)."""
-        stats = self.stats
-        if isinstance(event, VectorOp):
-            stats.vector_instrs += 1
-            stats.vector_elements += event.vl
-        elif isinstance(event, MemoryOp):
-            stats.memory_instrs += 1
-            stats.vector_elements += event.vl
-            nbytes = event.vl * event.elem_bytes
-            stats.memory_bytes += nbytes
-            if event.is_store:
-                stats.store_bytes += nbytes
-            else:
-                stats.load_bytes += nbytes
-        elif isinstance(event, ScalarOp):
-            stats.scalar_instrs += event.count
-        else:  # pragma: no cover - defensive
-            raise TypeError(f"unknown trace event {event!r}")
-        if self.enabled:
-            self.events.append(event)
+    __slots__ = ("_trace",)
+
+    def __init__(self, trace: "InstructionTrace") -> None:
+        self._trace = trace
 
     def __len__(self) -> int:
-        return len(self.events)
+        return self._trace._n
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        trace = self._trace
+        for i in range(trace._n):
+            yield trace._decode(i)
+
+    def __getitem__(self, i):
+        trace = self._trace
+        if isinstance(i, slice):
+            return [trace._decode(j) for j in range(*i.indices(trace._n))]
+        n = trace._n
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("trace event index out of range")
+        return trace._decode(i)
+
+    def append(self, event) -> None:
+        """Store an arbitrary object as an event row (no stats update)."""
+        trace = self._trace
+        row = trace._rows(1)
+        trace._kind[row] = _KIND_FOREIGN
+        trace._foreign[row] = event
+
+    def clear(self) -> None:
+        self._trace.clear()
+
+
+class InstructionTrace:
+    """An append-only event sequence with columnar storage and statistics.
+
+    ``mode`` selects what is retained:
+
+    * ``"full"`` — every event is recorded (columnar) and can be iterated
+      for trace-driven cache/timing simulation;
+    * ``"counts"`` — events are *not* stored; only the running
+      :class:`TraceStats` are maintained (exactly — batched emits update
+      them arithmetically).  This is the fast path for full-size layers.
+
+    ``enabled`` is the legacy boolean spelling (``True`` → full, ``False``
+    → counts) and is kept as a readable attribute.
+    """
+
+    def __init__(self, enabled: bool = True, mode: str | None = None) -> None:
+        if mode is None:
+            mode = "full" if enabled else "counts"
+        if mode not in ("full", "counts"):
+            raise ValueError(f"trace mode must be 'full' or 'counts', got {mode!r}")
+        self.mode = mode
+        self.enabled = mode == "full"
+        self.stats = TraceStats()
+        # interned opcode names (shared direction dicts)
+        self._name_to_id: dict[str, int] = {}
+        self._id_to_name: list[str] = []
+        self._alloc(_INITIAL_CAPACITY)
+        self._n = 0
+        self._indices: dict[int, tuple[int, ...]] = {}
+        self._foreign: dict[int, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # columnar storage
+    # ------------------------------------------------------------------ #
+    def _alloc(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._kind = np.empty(capacity, dtype=np.uint8)
+        self._op = np.empty(capacity, dtype=np.uint32)
+        # vl for vector/memory rows, count for scalar rows
+        self._vl = np.empty(capacity, dtype=np.int64)
+        # sew_bits for vector rows, elem_bytes for memory rows
+        self._aux = np.empty(capacity, dtype=np.int64)
+        self._base = np.empty(capacity, dtype=np.int64)
+        self._stride = np.empty(capacity, dtype=np.int64)
+        self._store = np.empty(capacity, dtype=bool)
+
+    def _grow(self, needed: int) -> None:
+        new_cap = self._capacity
+        while new_cap < needed:
+            new_cap *= 2
+        for col in ("_kind", "_op", "_vl", "_aux", "_base", "_stride", "_store"):
+            old = getattr(self, col)
+            grown = np.empty(new_cap, dtype=old.dtype)
+            grown[: self._n] = old[: self._n]
+            setattr(self, col, grown)
+        self._capacity = new_cap
+
+    def _rows(self, count: int) -> int:
+        """Reserve ``count`` rows; returns the first row index."""
+        row = self._n
+        if row + count > self._capacity:
+            self._grow(row + count)
+        self._n = row + count
+        return row
+
+    def _intern(self, name: str) -> int:
+        op_id = self._name_to_id.get(name)
+        if op_id is None:
+            op_id = len(self._id_to_name)
+            self._name_to_id[name] = op_id
+            self._id_to_name.append(name)
+        return op_id
+
+    def _decode(self, i: int) -> TraceEvent:
+        kind = self._kind[i]
+        if kind == _KIND_VECTOR:
+            return VectorOp(
+                self._id_to_name[self._op[i]], int(self._vl[i]), int(self._aux[i])
+            )
+        if kind == _KIND_MEMORY:
+            return MemoryOp(
+                self._id_to_name[self._op[i]],
+                int(self._base[i]),
+                int(self._aux[i]),
+                int(self._vl[i]),
+                int(self._stride[i]),
+                bool(self._store[i]),
+                self._indices.get(i),
+            )
+        if kind == _KIND_SCALAR:
+            return ScalarOp(self._id_to_name[self._op[i]], int(self._vl[i]))
+        return self._foreign[i]  # _KIND_FOREIGN
+
+    @property
+    def events(self) -> _EventsView:
+        """List-like view of the recorded events (decoded on access)."""
+        return _EventsView(self)
+
+    # ------------------------------------------------------------------ #
+    # per-event emission (dataclass API, kept for compatibility)
+    # ------------------------------------------------------------------ #
+    def emit(self, event: TraceEvent) -> None:
+        """Record one event (statistics update even if event storage is off)."""
+        if isinstance(event, VectorOp):
+            self.emit_vector(event.name, event.vl, event.sew_bits)
+        elif isinstance(event, MemoryOp):
+            self.emit_memory(
+                event.name,
+                event.base,
+                event.elem_bytes,
+                event.vl,
+                event.stride,
+                event.is_store,
+                event.indices,
+            )
+        elif isinstance(event, ScalarOp):
+            self.emit_scalar(event.name, event.count)
+        else:
+            raise TypeError(f"unknown trace event {event!r}")
+
+    # ------------------------------------------------------------------ #
+    # batched columnar emission (the fast path)
+    # ------------------------------------------------------------------ #
+    def emit_vector(
+        self, name: str, vl: int, sew_bits: int, count: int = 1
+    ) -> None:
+        """Record ``count`` identical vector instructions of ``vl`` elements."""
+        stats = self.stats
+        stats.vector_instrs += count
+        stats.vector_elements += count * vl
+        if self.mode != "full" or count == 0:
+            return
+        row = self._rows(count)
+        end = row + count
+        self._kind[row:end] = _KIND_VECTOR
+        self._op[row:end] = self._intern(name)
+        self._vl[row:end] = vl
+        self._aux[row:end] = sew_bits
+
+    def emit_scalar(self, name: str, count: int = 1) -> None:
+        """Record one ScalarOp event accounting ``count`` instructions."""
+        self.stats.scalar_instrs += count
+        if self.mode != "full":
+            return
+        row = self._rows(1)
+        self._kind[row] = _KIND_SCALAR
+        self._op[row] = self._intern(name)
+        self._vl[row] = count
+
+    def emit_memory(
+        self,
+        name: str,
+        base: int,
+        elem_bytes: int,
+        vl: int,
+        stride: int,
+        is_store: bool,
+        indices: tuple[int, ...] | None = None,
+    ) -> None:
+        """Record one vector memory instruction."""
+        stats = self.stats
+        stats.memory_instrs += 1
+        stats.vector_elements += vl
+        nbytes = vl * elem_bytes
+        stats.memory_bytes += nbytes
+        if is_store:
+            stats.store_bytes += nbytes
+        else:
+            stats.load_bytes += nbytes
+        if self.mode != "full":
+            return
+        row = self._rows(1)
+        self._kind[row] = _KIND_MEMORY
+        self._op[row] = self._intern(name)
+        self._vl[row] = vl
+        self._aux[row] = elem_bytes
+        self._base[row] = base
+        self._stride[row] = stride
+        self._store[row] = is_store
+        if indices is not None:
+            self._indices[row] = tuple(indices)
+
+    def emit_memory_rows(
+        self,
+        name,
+        bases,
+        elem_bytes: int,
+        vl,
+        stride,
+        is_store,
+    ) -> None:
+        """Record a *sequence* of memory instructions in one call.
+
+        ``bases`` is an array of byte addresses; ``name``, ``vl``, ``stride``
+        and ``is_store`` may each be a scalar (applied to every row) or an
+        array of the same length (per-row values — this is how interleaved
+        load/store streams are emitted while preserving the exact address
+        order the per-op path would produce).  Indexed ops are not batchable
+        (their per-element offsets are irregular); use :meth:`emit_memory`.
+        """
+        bases = np.asarray(bases, dtype=np.int64)
+        count = bases.size
+        if count == 0:
+            return
+        stats = self.stats
+        stats.memory_instrs += count
+        if isinstance(vl, (int, np.integer)) and isinstance(is_store, bool):
+            # uniform rows: O(1) statistics arithmetic
+            vl_arr: np.ndarray | int = vl
+            store_arr: np.ndarray | bool = is_store
+            total_elems = count * int(vl)
+            store_elems = total_elems if is_store else 0
+        else:
+            vl_arr = np.broadcast_to(np.asarray(vl, dtype=np.int64), (count,))
+            store_arr = np.broadcast_to(np.asarray(is_store, dtype=bool), (count,))
+            total_elems = int(vl_arr.sum())
+            store_elems = int(vl_arr[store_arr].sum())
+        stats.vector_elements += total_elems
+        stats.memory_bytes += total_elems * elem_bytes
+        stats.store_bytes += store_elems * elem_bytes
+        stats.load_bytes += (total_elems - store_elems) * elem_bytes
+        if self.mode != "full":
+            return
+        row = self._rows(count)
+        end = row + count
+        self._kind[row:end] = _KIND_MEMORY
+        if isinstance(name, str):
+            self._op[row:end] = self._intern(name)
+        else:
+            self._op[row:end] = [self._intern(n) for n in name]
+        self._vl[row:end] = vl_arr
+        self._aux[row:end] = elem_bytes
+        self._base[row:end] = bases
+        self._stride[row:end] = stride
+        self._store[row:end] = store_arr
+
+    # ------------------------------------------------------------------ #
+    # sequence API
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._n
 
     def __iter__(self) -> Iterator[TraceEvent]:
         return iter(self.events)
 
     def clear(self) -> None:
-        self.events.clear()
+        self._n = 0
+        self._indices.clear()
+        self._foreign.clear()
         self.stats = TraceStats()

@@ -196,8 +196,8 @@ class CacheHierarchy:
         """Replay a whole vector memory op; returns (l1_misses, l2_misses)."""
         l1_misses = 0
         l2_misses = 0
-        for line in op.touched_lines(self.line_bytes):
-            res = self.access_line(line, op.is_store, vector=True)
+        for line in op.line_addresses(self.line_bytes):
+            res = self.access_line(int(line), op.is_store, vector=True)
             if res["l1_hit"] is False:
                 l1_misses += 1
             if res["l2_hit"] is False:

@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
+from repro.errors import SimulationError
 from repro.isa.trace import InstructionTrace, MemoryOp, ScalarOp, VectorOp
 from repro.simulator.cache import CacheHierarchy
 from repro.simulator.hwconfig import HardwareConfig
@@ -72,6 +73,16 @@ class TraceTimingModel:
 
     def run(self, trace: InstructionTrace, flush: bool = False) -> TimingResult:
         """Time a trace; ``flush=True`` starts from cold caches."""
+        if (
+            isinstance(trace, InstructionTrace)
+            and trace.mode != "full"
+            and trace.stats.total_instrs > 0
+        ):
+            raise SimulationError(
+                "trace was recorded in 'counts' mode (statistics only, no "
+                "events) and cannot be replayed for timing; run the machine "
+                "with trace='full' to time this kernel"
+            )
         if flush:
             self.hierarchy.flush()
         cfg = self.config

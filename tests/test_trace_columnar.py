@@ -1,0 +1,257 @@
+"""Property tests: columnar ``InstructionTrace`` vs a list-of-dataclasses
+reference.
+
+The columnar storage must be observationally a ``list[TraceEvent]`` plus a
+running :class:`TraceStats`: random event sequences pushed through
+``emit()`` must round-trip through ``len``/iteration/indexing identically,
+and the statistics must match a straightforward recomputation — including
+across the geometric-growth boundaries of the backing arrays, which the
+tests force by shrinking the initial capacity to a single row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.trace import (
+    InstructionTrace,
+    MemoryOp,
+    ScalarOp,
+    TraceStats,
+    VectorOp,
+)
+
+names = st.sampled_from(["vle", "vse", "vfmacc.vf", "vfmv", "vsetvl", "op_x"])
+
+vector_ops = st.builds(
+    VectorOp,
+    name=names,
+    vl=st.integers(0, 256),
+    sew_bits=st.sampled_from([8, 16, 32, 64]),
+)
+scalar_ops = st.builds(ScalarOp, name=names, count=st.integers(0, 1000))
+memory_ops = st.builds(
+    MemoryOp,
+    name=names,
+    base=st.integers(0, 1 << 40),
+    elem_bytes=st.sampled_from([1, 2, 4, 8]),
+    vl=st.integers(0, 256),
+    stride=st.integers(-64, 64),
+    is_store=st.booleans(),
+    indices=st.one_of(
+        st.none(),
+        st.lists(st.integers(0, 1 << 16), min_size=1, max_size=8).map(tuple),
+    ),
+)
+event_lists = st.lists(
+    st.one_of(vector_ops, scalar_ops, memory_ops), max_size=120
+)
+
+
+def reference_stats(events) -> TraceStats:
+    """Recompute TraceStats the obvious way from a list of events."""
+    s = TraceStats()
+    for e in events:
+        if isinstance(e, VectorOp):
+            s.vector_instrs += 1
+            s.vector_elements += e.vl
+        elif isinstance(e, MemoryOp):
+            s.memory_instrs += 1
+            s.vector_elements += e.vl
+            nbytes = e.vl * e.elem_bytes
+            s.memory_bytes += nbytes
+            if e.is_store:
+                s.store_bytes += nbytes
+            else:
+                s.load_bytes += nbytes
+        elif isinstance(e, ScalarOp):
+            s.scalar_instrs += e.count
+    return s
+
+
+def tiny_trace(mode: str = "full", capacity: int = 1) -> InstructionTrace:
+    """A trace whose columns start at ``capacity`` rows, so that even short
+    random sequences cross several growth boundaries."""
+    t = InstructionTrace(mode=mode)
+    t._alloc(capacity)
+    return t
+
+
+@given(event_lists)
+def test_emit_round_trips_like_a_list(events):
+    t = tiny_trace()
+    for e in events:
+        t.emit(e)
+    assert len(t) == len(events)
+    assert list(t) == events
+    assert list(t.events) == events
+    assert len(t.events) == len(events)
+    assert [t.events[i] for i in range(len(events))] == events
+    # negative indexing and slices behave like a list's
+    assert [t.events[i - len(events)] for i in range(len(events))] == events
+    assert t.events[: len(events) // 2] == events[: len(events) // 2]
+    assert t.events[1::2] == events[1::2]
+    assert t.stats == reference_stats(events)
+
+
+@given(event_lists)
+def test_counts_mode_same_stats_no_storage(events):
+    t = tiny_trace(mode="counts")
+    for e in events:
+        t.emit(e)
+    assert len(t) == 0
+    assert list(t) == []
+    assert t.stats == reference_stats(events)
+
+
+@given(
+    names,
+    st.integers(0, 256),
+    st.sampled_from([32, 64]),
+    st.integers(0, 50),
+)
+def test_emit_vector_batched_equals_singles(name, vl, sew_bits, count):
+    batched = tiny_trace()
+    batched.emit_vector(name, vl, sew_bits, count)
+    singles = tiny_trace()
+    for _ in range(count):
+        singles.emit_vector(name, vl, sew_bits)
+    assert list(batched) == list(singles)
+    assert batched.stats == singles.stats
+
+
+@given(
+    st.lists(
+        st.tuples(
+            names,
+            st.integers(0, 1 << 40),  # base
+            st.integers(0, 256),  # vl
+            st.integers(-64, 64),  # stride
+            st.booleans(),  # is_store
+        ),
+        min_size=1,
+        max_size=40,
+    ),
+    st.sampled_from([4, 8]),
+    st.booleans(),
+)
+def test_emit_memory_rows_equals_singles(rows, elem_bytes, uniform):
+    batched = tiny_trace()
+    singles = tiny_trace()
+    if uniform:
+        # scalar name/vl/stride/is_store broadcast over the bases array
+        name, _, vl, stride, is_store = rows[0]
+        rows = [(name, base, vl, stride, is_store) for _, base, *_ in rows]
+        batched.emit_memory_rows(
+            name,
+            np.array([r[1] for r in rows], dtype=np.int64),
+            elem_bytes,
+            vl,
+            stride,
+            is_store,
+        )
+    else:
+        batched.emit_memory_rows(
+            np.array([r[0] for r in rows], dtype=object),
+            np.array([r[1] for r in rows], dtype=np.int64),
+            elem_bytes,
+            np.array([r[2] for r in rows], dtype=np.int64),
+            np.array([r[3] for r in rows], dtype=np.int64),
+            np.array([r[4] for r in rows], dtype=bool),
+        )
+    for name, base, vl, stride, is_store in rows:
+        singles.emit_memory(name, base, elem_bytes, vl, stride, is_store)
+    assert list(batched) == list(singles)
+    assert batched.stats == singles.stats
+    # counts mode sees the identical statistics
+    counted = tiny_trace(mode="counts")
+    if uniform:
+        name, _, vl, stride, is_store = rows[0]
+        counted.emit_memory_rows(
+            name,
+            np.array([r[1] for r in rows], dtype=np.int64),
+            elem_bytes,
+            vl,
+            stride,
+            is_store,
+        )
+    else:
+        counted.emit_memory_rows(
+            np.array([r[0] for r in rows], dtype=object),
+            np.array([r[1] for r in rows], dtype=np.int64),
+            elem_bytes,
+            np.array([r[2] for r in rows], dtype=np.int64),
+            np.array([r[3] for r in rows], dtype=np.int64),
+            np.array([r[4] for r in rows], dtype=bool),
+        )
+    assert counted.stats == singles.stats
+    assert len(counted) == 0
+
+
+@given(names, st.integers(0, 1000))
+def test_emit_scalar_coalesces_counts(name, count):
+    """One ``emit_scalar(name, n)`` equals n singles in *statistics* (the
+    event stream records one coalesced ScalarOp — the documented contract)."""
+    batched = tiny_trace()
+    batched.emit_scalar(name, count)
+    singles = tiny_trace()
+    for _ in range(count):
+        singles.emit_scalar(name)
+    assert batched.stats == singles.stats
+    assert list(batched) == [ScalarOp(name, count)]
+
+
+@given(event_lists, st.sampled_from([1, 2, 3, 1024]))
+def test_growth_preserves_prefix(events, capacity):
+    """Whatever the starting capacity, the decoded sequence is the same."""
+    t = tiny_trace(capacity=capacity)
+    for e in events:
+        t.emit(e)
+    assert list(t) == events
+
+
+@given(event_lists)
+def test_clear_resets(events):
+    t = tiny_trace()
+    for e in events:
+        t.emit(e)
+    t.events.append(object())
+    t.clear()
+    assert len(t) == 0
+    assert list(t) == []
+    assert t.stats == TraceStats()
+    # trace remains usable after clear
+    for e in events:
+        t.emit(e)
+    assert list(t) == events
+
+
+def test_foreign_append_round_trips_without_stats():
+    t = tiny_trace()
+    t.emit(VectorOp("vfmacc.vf", 8, 32))
+    marker = object()
+    t.events.append(marker)
+    t.emit(ScalarOp("loop", 3))
+    assert len(t) == 3
+    decoded = list(t)
+    assert decoded[0] == VectorOp("vfmacc.vf", 8, 32)
+    assert decoded[1] is marker
+    assert decoded[2] == ScalarOp("loop", 3)
+    # foreign rows never contribute to statistics
+    assert t.stats == reference_stats([decoded[0], decoded[2]])
+
+
+def test_emit_rejects_unknown_event_type():
+    t = tiny_trace()
+    with pytest.raises(TypeError):
+        t.emit("not an event")
+
+
+def test_mode_validation():
+    with pytest.raises(ValueError):
+        InstructionTrace(mode="bogus")
+    assert InstructionTrace(enabled=False).mode == "counts"
+    assert InstructionTrace().mode == "full"
