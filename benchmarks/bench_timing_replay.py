@@ -1,0 +1,94 @@
+"""Benchmarks of the batched (columnar) trace-timing replay path.
+
+Guards the PR's headline numbers: the set-partitioned batched replay of a
+kernel trace must be >= 5x faster than the per-event sequential engine
+with bit-identical results, and a full real VGG-16 conv layer trace must
+replay in single-digit seconds.  ``REPLAY_BENCH_QUICK=1`` (set by the CI
+bench-smoke job) skips the large-layer run.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.algorithms.direct import DirectConv
+from repro.isa import VectorMachine
+from repro.nn.layer import ConvSpec
+from repro.nn.models import vgg16_conv_specs
+from repro.simulator.hwconfig import HardwareConfig
+from repro.simulator.timing import TraceTimingModel
+
+QUICK = os.environ.get("REPLAY_BENCH_QUICK") == "1"
+
+REPLAY_SPEC = ConvSpec(ic=8, oc=16, ih=20, iw=20, kh=3, kw=3, index=1)
+
+
+def _best_of(func, repeats: int = 3) -> float:
+    """Min wall time over a few runs (stabilizes the speedup ratio)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _trace_for(spec: ConvSpec, vlen_bits: int = 512):
+    rng = np.random.default_rng(4)
+    x = rng.standard_normal((spec.ic, spec.ih, spec.iw)).astype(np.float32)
+    w = (
+        0.1 * rng.standard_normal((spec.oc, spec.ic, spec.kh, spec.kw))
+    ).astype(np.float32)
+    machine = VectorMachine(vlen_bits)
+    DirectConv().run_vectorized(spec, x, w, machine)
+    return machine.trace
+
+
+def test_timing_replay_batched_vs_sequential(benchmark):
+    """Batched replay must be >= 5x faster than the per-event engine on the
+    same trace, with identical TimingResult (see docs/PERF.md)."""
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    trace = _trace_for(REPLAY_SPEC)
+    model = TraceTimingModel(cfg)
+
+    def sequential():
+        return model.run(trace, flush=True, engine="sequential")
+
+    def batched():
+        return model.run(trace, flush=True, engine="batched")
+
+    assert sequential() == batched()
+
+    seq_s = _best_of(sequential)
+    bat_s = _best_of(batched)
+    benchmark(batched)
+
+    speedup = seq_s / bat_s
+    rate = len(trace) / bat_s / 1e6
+    print(f"\ntiming replay: sequential {seq_s * 1e3:.1f} ms, batched "
+          f"{bat_s * 1e3:.2f} ms, speedup {speedup:.0f}x "
+          f"({len(trace)} events, {rate:.1f}M events/s)")
+    assert speedup >= 5.0, f"batched replay only {speedup:.1f}x faster"
+
+
+@pytest.mark.skipif(QUICK, reason="REPLAY_BENCH_QUICK=1: skip large layer")
+def test_vgg_conv1_1_full_trace_replay(benchmark):
+    """Full-trace timing of VGG-16 conv1_1 (3->64 ch, 224x224): the
+    acceptance target is single-digit seconds for the batched replay of a
+    multi-million-event real-layer trace."""
+    spec = vgg16_conv_specs()[0]
+    trace = _trace_for(spec)
+    model = TraceTimingModel(HardwareConfig.paper2_rvv(512, 1.0))
+
+    def run():
+        start = time.perf_counter()
+        res = model.run(trace, flush=True, engine="batched")
+        return res, time.perf_counter() - start
+
+    res, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nconv1_1 trace replay: {len(trace) / 1e6:.1f}M events in "
+          f"{elapsed:.2f} s ({len(trace) / elapsed / 1e6:.1f}M events/s)")
+    assert res.cycles > 0 and res.memory_instrs > 0
+    assert elapsed < 10.0, f"conv1_1 batched replay took {elapsed:.1f} s"

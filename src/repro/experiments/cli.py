@@ -56,6 +56,7 @@ EXPERIMENTS: dict[str, str] = {
     "extension-tile-tradeoff": "repro.experiments.extension_tile_tradeoff",
     "extension-lmul": "repro.experiments.extension_lmul",
     "layer-report": "repro.experiments.layer_report",
+    "trace-report": "repro.experiments.trace_report",
     "profile-breakdown": "repro.experiments.profile_breakdown",
     "verdict": "repro.experiments.verdict",
 }
@@ -97,6 +98,11 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-dir", metavar="DIR", default=None,
         help="attach the on-disk cache tier at DIR (persists across runs)",
     )
+    parser.add_argument(
+        "--trace-timing", metavar="MODEL:LAYER", default=None,
+        help="also run the trace-driven timing report (full-trace batched "
+             "replay) for the given layer, e.g. vgg16:1",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -119,7 +125,7 @@ def main(argv: list[str] | None = None) -> int:
         n for n in EXPERIMENTS
         if not n.startswith(
             ("paper1", "ablation", "serving", "extension", "layer",
-             "verdict", "profile")
+             "verdict", "profile", "trace")
         )
     ]
     unknown = [n for n in names if n not in EXPERIMENTS]
@@ -139,6 +145,18 @@ def main(argv: list[str] | None = None) -> int:
         if out_dir:
             (out_dir / f"{name}.csv").write_text(result.table.to_csv())
         print(f"[{name} completed in {time.time() - start:.1f}s]\n")
+    if args.trace_timing:
+        from repro.experiments import trace_report
+
+        start = time.time()
+        result = trace_report.run(args.trace_timing)
+        if args.csv:
+            print(result.table.to_csv())
+        else:
+            print(result.render())
+        if out_dir:
+            (out_dir / "trace-report.csv").write_text(result.table.to_csv())
+        print(f"[trace-report completed in {time.time() - start:.1f}s]\n")
     return 0
 
 

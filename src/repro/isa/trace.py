@@ -29,20 +29,67 @@ keeps the statistics exact (see :class:`~repro.isa.machine.VectorMachine`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Union
+from typing import Iterator, NamedTuple, Union
 
 import numpy as np
 
-#: Row tags in the columnar ``kind`` column.
-_KIND_VECTOR = 0
-_KIND_MEMORY = 1
-_KIND_SCALAR = 2
+#: Row tags in the columnar ``kind`` column (public: the batched replay
+#: engines in ``repro.simulator`` select rows by these).
+KIND_VECTOR = 0
+KIND_MEMORY = 1
+KIND_SCALAR = 2
 #: A row whose payload is an arbitrary Python object (events.append of
 #: something emit() never produced — kept for API compatibility).
-_KIND_FOREIGN = 3
+KIND_FOREIGN = 3
+
+#: Legacy private aliases.
+_KIND_VECTOR = KIND_VECTOR
+_KIND_MEMORY = KIND_MEMORY
+_KIND_SCALAR = KIND_SCALAR
+_KIND_FOREIGN = KIND_FOREIGN
 
 #: Initial capacity (rows) of the columnar storage.
 _INITIAL_CAPACITY = 1024
+
+#: Target cache-line-expansion chunk size (elements) for
+#: :meth:`InstructionTrace.memory_line_stream` — bounds peak memory while
+#: keeping each chunk big enough to amortize the NumPy call overhead.
+_STREAM_CHUNK_ELEMS = 1 << 22
+
+
+class TraceColumns(NamedTuple):
+    """Read-only views of the trace's columnar storage (trimmed to length).
+
+    ``vl`` holds the active element count for vector/memory rows and the
+    instruction count for scalar rows; ``aux`` holds ``sew_bits`` for
+    vector rows and ``elem_bytes`` for memory rows.
+    """
+
+    kind: np.ndarray
+    op: np.ndarray
+    vl: np.ndarray
+    aux: np.ndarray
+    base: np.ndarray
+    stride: np.ndarray
+    store: np.ndarray
+
+
+class MemoryOpColumns(NamedTuple):
+    """Per-memory-op columns (copies) for batched replay.
+
+    ``rows`` are the trace row indices of the memory ops, in trace order;
+    the remaining arrays are aligned with it.  ``indexed`` marks gather/
+    scatter ops (their per-element offsets are irregular and come from the
+    op's index tuple).
+    """
+
+    rows: np.ndarray
+    vl: np.ndarray
+    elem_bytes: np.ndarray
+    base: np.ndarray
+    stride: np.ndarray
+    is_store: np.ndarray
+    indexed: np.ndarray
 
 
 @dataclass(frozen=True)
@@ -274,6 +321,129 @@ class InstructionTrace:
     def events(self) -> _EventsView:
         """List-like view of the recorded events (decoded on access)."""
         return _EventsView(self)
+
+    @property
+    def has_foreign_events(self) -> bool:
+        """True if ``events.append`` stored objects ``emit`` never produced.
+
+        Such rows carry arbitrary payloads, so the batched replay engines
+        fall back to per-event decoding when any are present.
+        """
+        return bool(self._foreign)
+
+    # ------------------------------------------------------------------ #
+    # columnar read access (the batched replay path)
+    # ------------------------------------------------------------------ #
+    def columns(self) -> TraceColumns:
+        """Read-only views of the raw columns, trimmed to the event count.
+
+        The views alias the trace's storage (zero copy) but are marked
+        non-writeable; appending to the trace may reallocate the storage,
+        so re-fetch after emitting.
+        """
+        views = []
+        for col in (
+            self._kind, self._op, self._vl, self._aux,
+            self._base, self._stride, self._store,
+        ):
+            view = col[: self._n]
+            view.flags.writeable = False
+            views.append(view)
+        return TraceColumns(*views)
+
+    def memory_columns(self) -> MemoryOpColumns:
+        """Per-op columns of every memory row, in trace order (copies)."""
+        rows = np.nonzero(self._kind[: self._n] == KIND_MEMORY)[0]
+        indexed = np.zeros(rows.size, dtype=bool)
+        if self._indices and rows.size:
+            idx_rows = np.fromiter(self._indices.keys(), dtype=np.int64)
+            idx_rows = idx_rows[idx_rows < self._n]
+            pos = np.searchsorted(rows, idx_rows)
+            ok = pos < rows.size
+            ok[ok] = rows[pos[ok]] == idx_rows[ok]
+            indexed[pos[ok]] = True
+        return MemoryOpColumns(
+            rows,
+            self._vl[rows],
+            self._aux[rows],
+            self._base[rows],
+            self._stride[rows],
+            self._store[rows],
+            indexed,
+        )
+
+    def memory_line_stream(
+        self, line_bytes: int, rows: np.ndarray | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Expand memory ops to one cache-line stream with op markers.
+
+        Returns ``(lines, op_ids)``: ``lines`` is the concatenation of
+        :meth:`MemoryOp.line_addresses` over the selected memory rows in
+        trace order, and ``op_ids[k]`` is the ordinal (0..M-1, position
+        within ``rows``) of the op that access ``k`` belongs to.  The
+        expansion is exact — consecutive same-line accesses collapse
+        *within* each op, never across op boundaries — and is chunked so
+        peak memory stays bounded for 10^8-element traces.
+        """
+        if rows is None:
+            rows = np.nonzero(self._kind[: self._n] == KIND_MEMORY)[0]
+        m = rows.size
+        empty = np.empty(0, dtype=np.int64)
+        if m == 0:
+            return empty, empty
+        vl = self._vl[rows]
+        base = self._base[rows]
+        stride = self._stride[rows]
+        # per-op expansion lengths: ``vl`` elements, except indexed ops use
+        # their full index tuple (as MemoryOp.line_addresses does) and
+        # vl == 0 ops expand to nothing either way
+        counts = np.where(vl > 0, vl, 0)
+        indexed: dict[int, np.ndarray] = {}
+        if self._indices:
+            for row, offsets in self._indices.items():
+                if row >= self._n:
+                    continue
+                p = int(np.searchsorted(rows, row))
+                if p < m and rows[p] == row and vl[p] > 0:
+                    offs = np.asarray(offsets, dtype=np.int64)
+                    counts[p] = offs.size
+                    indexed[p] = offs
+        cum = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(counts, out=cum[1:])
+        if cum[-1] == 0:
+            return empty, empty
+        out_lines: list[np.ndarray] = []
+        out_ops: list[np.ndarray] = []
+        start = 0
+        while start < m:
+            stop = int(
+                np.searchsorted(
+                    cum, cum[start] + _STREAM_CHUNK_ELEMS, side="right"
+                )
+            ) - 1
+            stop = min(max(stop, start + 1), m)
+            total = int(cum[stop] - cum[start])
+            if total == 0:
+                start = stop
+                continue
+            chunk_counts = counts[start:stop]
+            op_of = np.repeat(
+                np.arange(start, stop, dtype=np.int64), chunk_counts
+            )
+            local_start = np.repeat(cum[start:stop] - cum[start], chunk_counts)
+            j = np.arange(total, dtype=np.int64) - local_start
+            offs = stride[op_of] * j
+            for p, poffs in indexed.items():
+                if start <= p < stop:
+                    lo = int(cum[p] - cum[start])
+                    offs[lo : lo + poffs.size] = poffs
+            lines = (base[op_of] + offs) // line_bytes * line_bytes
+            keep = j == 0  # op starts always survive the collapse
+            np.logical_or(keep[1:], lines[1:] != lines[:-1], out=keep[1:])
+            out_lines.append(lines[keep])
+            out_ops.append(op_of[keep])
+            start = stop
+        return np.concatenate(out_lines), np.concatenate(out_ops)
 
     # ------------------------------------------------------------------ #
     # per-event emission (dataclass API, kept for compatibility)

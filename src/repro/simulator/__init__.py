@@ -15,6 +15,7 @@ The analytical model is validated against the trace engine in
 
 from repro.simulator.hwconfig import HardwareConfig, VectorUnitStyle
 from repro.simulator.cache import SetAssociativeCache, CacheHierarchy, CacheStats
+from repro.simulator.cache_fast import replay_line_stream, simulate_cache_stream
 from repro.simulator.memory import DramModel
 from repro.simulator.timing import TraceTimingModel, TimingResult
 
@@ -27,4 +28,6 @@ __all__ = [
     "DramModel",
     "TraceTimingModel",
     "TimingResult",
+    "replay_line_stream",
+    "simulate_cache_stream",
 ]

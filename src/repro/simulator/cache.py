@@ -12,12 +12,24 @@ keeping Python-level work per access O(associativity) with NumPy storage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TypedDict
 
 import numpy as np
 
 from repro.errors import ConfigError, SimulationError
 from repro.isa.trace import MemoryOp
 from repro.utils.validation import check_positive, check_power_of_two
+
+
+class LineAccessResult(TypedDict):
+    """Which hierarchy levels a line access hit.
+
+    A value of ``None`` means the level was not probed (``l1_hit`` when the
+    access bypassed L1 on a decoupled unit, ``l2_hit`` on an L1 hit).
+    """
+
+    l1_hit: bool | None
+    l2_hit: bool | None
 
 
 @dataclass
@@ -161,13 +173,12 @@ class CacheHierarchy:
     def line_bytes(self) -> int:
         return self.l1.line_bytes
 
-    def access_line(self, line_addr: int, is_store: bool, vector: bool = True) -> dict:
-        """Access a line; returns which levels hit.
-
-        The return dict has keys ``l1_hit``, ``l2_hit`` (``l1_hit`` is None
-        when the access bypassed L1).
-        """
-        result: dict[str, bool | None] = {"l1_hit": None, "l2_hit": None}
+    def access_line(
+        self, line_addr: int, is_store: bool, vector: bool = True
+    ) -> LineAccessResult:
+        """Access a line; returns which levels hit (see
+        :class:`LineAccessResult`)."""
+        result: LineAccessResult = {"l1_hit": None, "l2_hit": None}
         if vector and self.vector_at_l2:
             hit2, victim2 = self.l2.access(line_addr, is_store)
             result["l2_hit"] = hit2
@@ -202,9 +213,6 @@ class CacheHierarchy:
                 l1_misses += 1
             if res["l2_hit"] is False:
                 l2_misses += 1
-            if res["l1_hit"] is None and res["l2_hit"] is False:
-                # decoupled: L2 miss is the only miss level
-                pass
         return l1_misses, l2_misses
 
     def flush(self) -> None:

@@ -1,0 +1,167 @@
+"""Set-partitioned vectorized replay of the LRU cache hierarchy.
+
+The sequential model in :mod:`repro.simulator.cache` walks every cache line
+through Python — fine for unit tests, but a real conv layer touches 10^7+
+lines, which makes per-line Python calls the bottleneck of trace-driven
+timing.  This module replays the *same* model with array operations, in the
+classic trace-driven style (Dinero-like): each set's reference stream is
+independent under set-associative LRU, so the global line stream is
+partitioned by set index and all touched sets advance one access per
+NumPy step.  A step costs a constant number of array operations over
+``(touched sets, assoc)``, so Python-level work per access drops by roughly
+the number of touched sets.
+
+Both entry points mutate the sequential structures
+(:class:`~repro.simulator.cache.SetAssociativeCache` tags/dirty/LRU/tick
+and stats, :class:`~repro.simulator.cache.CacheHierarchy` DRAM counters)
+**bit-identically** to the per-access path — including the LRU tick values
+— so sequential and batched replays can be freely interleaved on one
+hierarchy.  Equivalence is locked by ``tests/test_replay_equivalence.py``
+and the hypothesis suite in ``tests/test_property_cache_fast.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulator.cache import CacheHierarchy, SetAssociativeCache
+
+
+def simulate_cache_stream(
+    cache: SetAssociativeCache, lines: np.ndarray, stores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized equivalent of ``cache.access(lines[k], stores[k])`` ∀k.
+
+    Mutates ``cache`` (tags, dirty bits, LRU ticks, tick counter, stats)
+    exactly as the sequential accesses would.  Returns per-access arrays
+    ``(hits, writebacks, victims)``: ``victims[k]`` is the dirty line
+    address evicted by access ``k`` and is only meaningful where
+    ``writebacks[k]`` is True (it is -1 elsewhere, but a victim line can
+    legitimately be address 0 — test ``writebacks``, not ``victims``).
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    stores = np.ascontiguousarray(stores, dtype=bool)
+    n = lines.size
+    hits = np.zeros(n, dtype=bool)
+    writebacks = np.zeros(n, dtype=bool)
+    victims = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return hits, writebacks, victims
+    misaligned = lines % cache.line_bytes != 0
+    if misaligned.any():
+        bad = int(lines[misaligned][0])
+        raise SimulationError(
+            f"{cache.name}: access address {bad:#x} not line-aligned"
+        )
+    sets = (lines // cache.line_bytes) & (cache.num_sets - 1)
+    order = np.argsort(sets, kind="stable")
+    uniq, starts, counts = np.unique(
+        sets[order], return_index=True, return_counts=True
+    )
+    # order touched sets by access count so the sets still active at any
+    # time step are a shrinking prefix
+    by_count = np.argsort(-counts, kind="stable")
+    uniq, starts, counts = uniq[by_count], starts[by_count], counts[by_count]
+    tags, dirty, lru = cache._tags, cache._dirty, cache._lru
+    tick0 = cache._tick
+    k = uniq.size
+    row_ids = np.arange(k)
+    for t in range(int(counts[0])):
+        while counts[k - 1] <= t:
+            k -= 1
+        rows = uniq[:k]
+        g = order[starts[:k] + t]  # original stream positions, one per set
+        addr = lines[g]
+        st = stores[g]
+        tg = tags[rows]  # (k, assoc) gather
+        match = tg == addr[:, None]
+        hit = match.any(axis=1)
+        invalid = tg == -1
+        # victim way on a miss: first invalid way if any, else true LRU
+        # (argmax/argmin both take the first way on ties, as the
+        # sequential np.nonzero(...)[0] / np.argmin do)
+        way = np.where(
+            hit,
+            match.argmax(axis=1),
+            np.where(
+                invalid.any(axis=1),
+                invalid.argmax(axis=1),
+                lru[rows].argmin(axis=1),
+            ),
+        )
+        old_tag = tg[row_ids[:k], way]
+        old_dirty = dirty[rows, way]
+        wb = ~hit & (old_tag != -1) & old_dirty
+        hits[g] = hit
+        writebacks[g] = wb
+        victims[g[wb]] = old_tag[wb]
+        tags[rows, way] = addr
+        dirty[rows, way] = np.where(hit, old_dirty | st, st)
+        # the sequential path bumps the tick before each access, so access
+        # number g (0-based) lands tick0 + g + 1 on the touched way
+        lru[rows, way] = tick0 + 1 + g
+    cache._tick = tick0 + n
+    stats = cache.stats
+    nhits = int(np.count_nonzero(hits))
+    stats.accesses += n
+    stats.hits += nhits
+    stats.misses += n - nhits
+    stats.writebacks += int(np.count_nonzero(writebacks))
+    return hits, writebacks, victims
+
+
+def replay_line_stream(
+    hierarchy: CacheHierarchy,
+    lines: np.ndarray,
+    stores: np.ndarray,
+    op_ids: np.ndarray,
+    num_ops: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized equivalent of per-line ``CacheHierarchy.access_line``.
+
+    ``lines``/``stores`` describe vector line accesses in stream order and
+    ``op_ids[k]`` names the memory op (0..num_ops-1) access ``k`` belongs
+    to.  Updates both cache levels and the hierarchy's DRAM counters
+    exactly as the sequential walk would, and returns per-op
+    ``(l1_misses, l2_misses)`` count arrays of length ``num_ops`` — the
+    same attribution ``access_memop`` produces op by op.
+    """
+    lines = np.ascontiguousarray(lines, dtype=np.int64)
+    stores = np.ascontiguousarray(stores, dtype=bool)
+    op_ids = np.ascontiguousarray(op_ids, dtype=np.int64)
+    if hierarchy.vector_at_l2:
+        # decoupled VPU: vector accesses go straight to the L2
+        hits2, wbs2, _ = simulate_cache_stream(hierarchy.l2, lines, stores)
+        miss2 = ~hits2
+        hierarchy.dram_lines += int(np.count_nonzero(miss2))
+        hierarchy.dram_writeback_lines += int(np.count_nonzero(wbs2))
+        l2_per_op = np.bincount(op_ids[miss2], minlength=num_ops)
+        return np.zeros(num_ops, dtype=np.int64), l2_per_op
+    hits1, wbs1, victims1 = simulate_cache_stream(hierarchy.l1, lines, stores)
+    miss1 = ~hits1
+    l1_per_op = np.bincount(op_ids[miss1], minlength=num_ops)
+    # Reconstruct the L2 reference stream in its original global order:
+    # each L1 miss emits (dirty victim writeback, then the line fill); an
+    # L1 hit emits nothing.
+    emitted = wbs1.astype(np.int64) + miss1.astype(np.int64)
+    ends = np.cumsum(emitted)
+    total = int(ends[-1]) if emitted.size else 0
+    if total == 0:
+        return l1_per_op, np.zeros(num_ops, dtype=np.int64)
+    l2_lines = np.empty(total, dtype=np.int64)
+    l2_stores = np.empty(total, dtype=bool)
+    wb_pos = (ends - emitted)[wbs1]
+    l2_lines[wb_pos] = victims1[wbs1]
+    l2_stores[wb_pos] = True
+    fill_pos = ends[miss1] - 1
+    l2_lines[fill_pos] = lines[miss1]
+    l2_stores[fill_pos] = stores[miss1]
+    hits2, wbs2, _ = simulate_cache_stream(hierarchy.l2, l2_lines, l2_stores)
+    # only line fills count toward DRAM fetches and per-op L2 misses;
+    # writeback probes update stats/state but are not attributed
+    fill_miss = ~hits2[fill_pos]
+    hierarchy.dram_lines += int(np.count_nonzero(fill_miss))
+    hierarchy.dram_writeback_lines += int(np.count_nonzero(wbs2))
+    l2_per_op = np.bincount(op_ids[miss1][fill_miss], minlength=num_ops)
+    return l1_per_op, l2_per_op

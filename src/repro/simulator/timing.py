@@ -12,6 +12,19 @@ structure of the paper's gem5 setup:
   from the two-level LRU cache hierarchy (misses overlap up to the DRAM
   model's MLP; prefetching hides most of the DRAM latency when enabled).
 
+Two replay engines produce identical results:
+
+* ``sequential`` — decodes one event at a time, the reference
+  implementation;
+* ``batched`` — consumes the columnar trace without decoding events: the
+  compute/scalar/vector cycle terms become NumPy reductions over the
+  kind/vl/sew/stride columns and the cache walk runs through the
+  set-partitioned engine in :mod:`repro.simulator.cache_fast`.  The
+  per-event formulas and the left-to-right accumulation order are
+  replicated exactly, so every :class:`TimingResult` field is
+  **bit-identical** to the sequential replay (locked by
+  ``tests/test_replay_equivalence.py``).
+
 Absolute cycles are not expected to match gem5; orderings and scaling trends
 are (and are what the tests assert).
 """
@@ -19,11 +32,21 @@ are (and are what the tests assert).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import SimulationError
-from repro.isa.trace import InstructionTrace, MemoryOp, ScalarOp, VectorOp
+from repro.isa.trace import (
+    KIND_SCALAR,
+    KIND_VECTOR,
+    InstructionTrace,
+    MemoryOp,
+    ScalarOp,
+    VectorOp,
+)
 from repro.simulator.cache import CacheHierarchy
+from repro.simulator.cache_fast import replay_line_stream
 from repro.simulator.hwconfig import HardwareConfig
 from repro.simulator.memory import DramModel
 
@@ -34,6 +57,9 @@ VMEM_STARTUP_CYCLES = 2.0
 #: Strided/indexed memory ops sustain fewer elements per cycle than unit
 #: stride; penalize their chime by this factor.
 NONUNIT_CHIME_FACTOR = 4.0
+
+#: Valid ``engine`` arguments to :meth:`TraceTimingModel.run`.
+REPLAY_ENGINES = ("auto", "batched", "sequential")
 
 
 @dataclass
@@ -63,6 +89,18 @@ class TimingResult:
         self.scalar_instrs += other.scalar_instrs
 
 
+def _exact_sum(costs: np.ndarray) -> float:
+    """Strict left-to-right fold of ``costs`` starting from 0.0.
+
+    ``np.add.accumulate`` is sequential by definition (unlike ``np.sum``'s
+    pairwise reduction), so this reproduces the sequential replay's
+    ``res.field += cost`` accumulation bit for bit.
+    """
+    if costs.size == 0:
+        return 0.0
+    return float(np.add.accumulate(costs)[-1])
+
+
 class TraceTimingModel:
     """Replays traces against a config's cache hierarchy and DRAM model."""
 
@@ -71,8 +109,26 @@ class TraceTimingModel:
         self.hierarchy = CacheHierarchy.from_config(config)
         self.dram = DramModel.from_config(config)
 
-    def run(self, trace: InstructionTrace, flush: bool = False) -> TimingResult:
-        """Time a trace; ``flush=True`` starts from cold caches."""
+    def run(
+        self,
+        trace: InstructionTrace,
+        flush: bool = False,
+        *,
+        engine: str = "auto",
+    ) -> TimingResult:
+        """Time a trace; ``flush=True`` starts from cold caches.
+
+        ``engine`` selects the replay implementation: ``"sequential"``
+        decodes one event at a time (the reference), ``"batched"`` runs
+        the columnar fast path, and ``"auto"`` (default) picks batched
+        whenever the trace supports it.  Both produce bit-identical
+        results and leave the hierarchy in bit-identical state.
+        """
+        if engine not in REPLAY_ENGINES:
+            raise SimulationError(
+                f"unknown replay engine {engine!r}; choose from "
+                f"{REPLAY_ENGINES}"
+            )
         if (
             isinstance(trace, InstructionTrace)
             and trace.mode != "full"
@@ -83,8 +139,24 @@ class TraceTimingModel:
                 "events) and cannot be replayed for timing; run the machine "
                 "with trace='full' to time this kernel"
             )
+        batchable = (
+            isinstance(trace, InstructionTrace) and not trace.has_foreign_events
+        )
+        if engine == "batched" and not batchable:
+            raise SimulationError(
+                "batched replay needs a columnar InstructionTrace without "
+                "foreign events; use engine='sequential' (or 'auto') instead"
+            )
         if flush:
             self.hierarchy.flush()
+        if engine == "sequential" or not batchable:
+            return self._run_sequential(trace)
+        return self._run_batched(trace)
+
+    # ------------------------------------------------------------------ #
+    # sequential (per-event) replay — the reference implementation
+    # ------------------------------------------------------------------ #
+    def _run_sequential(self, trace: InstructionTrace) -> TimingResult:
         cfg = self.config
         datapath = cfg.datapath_f32_per_cycle
         prefetch = cfg.software_prefetch or cfg.hardware_prefetch
@@ -128,6 +200,73 @@ class TraceTimingModel:
         )
         return res
 
+    # ------------------------------------------------------------------ #
+    # batched (columnar) replay — no per-event decoding
+    # ------------------------------------------------------------------ #
+    def _run_batched(self, trace: InstructionTrace) -> TimingResult:
+        cfg = self.config
+        datapath = cfg.datapath_f32_per_cycle
+        prefetch = cfg.software_prefetch or cfg.hardware_prefetch
+        res = TimingResult()
+        cols = trace.columns()
+
+        # vector instructions: the chime as one reduction over vl/sew
+        vec = cols.kind == KIND_VECTOR
+        res.vector_instrs = int(np.count_nonzero(vec))
+        if res.vector_instrs:
+            denom = np.maximum(1.0, (datapath * 32) / cols.aux[vec])
+            cost = np.maximum(
+                VECTOR_ISSUE_CYCLES, np.ceil(cols.vl[vec] / denom)
+            )
+            res.compute_cycles = _exact_sum(cost)
+
+        # scalar instructions: each row accounts ``count`` one-cycle ops
+        scalar_counts = cols.vl[cols.kind == KIND_SCALAR]
+        res.scalar_instrs = int(scalar_counts.sum())
+        res.scalar_cycles = float(res.scalar_instrs)
+
+        # memory instructions: expand to the line stream once, replay both
+        # cache levels set-partitioned, then price every op in one pass
+        mem = trace.memory_columns()
+        num_ops = mem.rows.size
+        res.memory_instrs = num_ops
+        if num_ops:
+            lines, op_ids = trace.memory_line_stream(
+                self.hierarchy.line_bytes, rows=mem.rows
+            )
+            l1_m, l2_m = replay_line_stream(
+                self.hierarchy, lines, mem.is_store[op_ids], op_ids, num_ops
+            )
+            res.l1_misses = int(l1_m.sum())
+            res.l2_misses = int(l2_m.sum())
+            unit = ~mem.indexed & (np.abs(mem.stride) == mem.elem_bytes)
+            eff_dp = np.where(
+                unit, float(datapath), datapath / NONUNIT_CHIME_FACTOR
+            )
+            chime = np.ceil(mem.vl / np.maximum(1.0, eff_dp))
+            penalty = (l1_m * cfg.l2_latency) / self.dram.mlp
+            penalty = penalty + (l2_m * self.dram.latency_cycles) / (
+                self.dram.mlp * (4.0 if prefetch else 1.0)
+            )
+            if self.hierarchy.vector_at_l2:
+                l2_round_trips = np.maximum(
+                    1.0, (mem.vl * mem.elem_bytes) / cfg.line_bytes
+                )
+                penalty = penalty + (l2_round_trips * cfg.l2_latency) / self.dram.mlp
+            penalty = np.maximum(
+                penalty, (l2_m * cfg.line_bytes) / self.dram.bytes_per_cycle
+            )
+            res.memory_cycles = _exact_sum(
+                (VMEM_STARTUP_CYCLES + chime) + penalty
+            )
+
+        overlap = 0.6 if cfg.out_of_order else 1.0
+        res.cycles = overlap * (
+            res.compute_cycles + res.memory_cycles + res.scalar_cycles
+        )
+        return res
+
     def reset(self) -> None:
-        """Cold caches and fresh stats."""
+        """Cold caches, fresh stats, and a freshly derived DRAM model."""
         self.hierarchy = CacheHierarchy.from_config(self.config)
+        self.dram = DramModel.from_config(self.config)

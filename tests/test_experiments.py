@@ -165,7 +165,7 @@ class TestCli:
             n for n in EXPERIMENTS
             if not n.startswith(
                 ("paper1", "ablation", "serving", "extension", "layer",
-                 "verdict", "profile")
+                 "verdict", "profile", "trace")
             )
         ]
         assert len(paper2) == 15  # table1 + figs 1-12 + selection studies

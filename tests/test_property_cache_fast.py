@@ -1,0 +1,147 @@
+"""Hypothesis properties: set-partitioned cache replay == sequential model.
+
+Random line-address streams (mixed loads/stores, many sets, tiny caches so
+evictions are frequent) must produce identical hits, misses, writebacks and
+victim streams — and leave identical cache state behind — whether replayed
+access by access through :meth:`SetAssociativeCache.access` /
+:meth:`CacheHierarchy.access_line` or in one batch through
+:mod:`repro.simulator.cache_fast`.  Both hierarchy modes are covered.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa.trace import InstructionTrace
+from repro.simulator.cache import CacheHierarchy, SetAssociativeCache
+from repro.simulator.cache_fast import replay_line_stream, simulate_cache_stream
+
+LINE = 64
+
+# (line id, is_store) streams over a small address range so tiny caches
+# see plenty of conflict misses and dirty evictions
+stream_strategy = st.lists(
+    st.tuples(st.integers(0, 47), st.booleans()), min_size=0, max_size=250
+)
+
+geometry_strategy = st.tuples(
+    st.sampled_from([1, 2, 4]),  # associativity
+    st.sampled_from([1, 2, 4, 8]),  # sets
+)
+
+
+def _caches(assoc: int, sets: int) -> tuple[SetAssociativeCache, SetAssociativeCache]:
+    size = sets * assoc * LINE
+    return (
+        SetAssociativeCache("C", size, assoc, LINE),
+        SetAssociativeCache("C", size, assoc, LINE),
+    )
+
+
+def _assert_cache_state_equal(a: SetAssociativeCache, b: SetAssociativeCache):
+    assert np.array_equal(a._tags, b._tags)
+    assert np.array_equal(a._dirty, b._dirty)
+    assert np.array_equal(a._lru, b._lru)
+    assert a._tick == b._tick
+    assert a.stats == b.stats
+
+
+@given(stream=stream_strategy, geometry=geometry_strategy)
+@settings(max_examples=120, deadline=None)
+def test_single_level_stream_equivalence(stream, geometry):
+    ref, fast = _caches(*geometry)
+    lines = np.array([lid * LINE for lid, _ in stream], dtype=np.int64)
+    stores = np.array([s for _, s in stream], dtype=bool)
+    expected = [ref.access(int(a), bool(s)) for a, s in zip(lines, stores)]
+    hits, wbs, victims = simulate_cache_stream(fast, lines, stores)
+    for (ref_hit, ref_victim), hit, wb, victim in zip(
+        expected, hits, wbs, victims
+    ):
+        assert ref_hit == bool(hit)
+        assert (ref_victim is not None) == bool(wb)
+        if ref_victim is not None:
+            assert ref_victim == int(victim)
+    _assert_cache_state_equal(ref, fast)
+
+
+@given(
+    stream=stream_strategy,
+    geometry=geometry_strategy,
+    split=st.integers(0, 250),
+)
+@settings(max_examples=60, deadline=None)
+def test_split_batches_compose_like_one(stream, geometry, split):
+    """Replaying [a|b] as two batches equals one batch — warm-start parity."""
+    one, two = _caches(*geometry)
+    lines = np.array([lid * LINE for lid, _ in stream], dtype=np.int64)
+    stores = np.array([s for _, s in stream], dtype=bool)
+    cut = min(split, lines.size)
+    h1, w1, v1 = simulate_cache_stream(one, lines, stores)
+    ha, wa, va = simulate_cache_stream(two, lines[:cut], stores[:cut])
+    hb, wb, vb = simulate_cache_stream(two, lines[cut:], stores[cut:])
+    assert np.array_equal(h1, np.concatenate([ha, hb]))
+    assert np.array_equal(w1, np.concatenate([wa, wb]))
+    assert np.array_equal(v1, np.concatenate([va, vb]))
+    _assert_cache_state_equal(one, two)
+
+
+memop_strategy = st.tuples(
+    st.integers(0, 40),  # base line id
+    st.integers(0, 33),  # vl (0 allowed: empty op)
+    st.sampled_from([4, -4, 8, 20, 256]),  # byte stride
+    st.booleans(),  # is_store
+    st.booleans(),  # indexed gather/scatter?
+)
+
+
+def _hierarchy(vector_at_l2: bool) -> CacheHierarchy:
+    l1 = SetAssociativeCache("L1", 4 * 2 * LINE, 2, LINE)
+    l2 = SetAssociativeCache("L2", 8 * 4 * LINE, 4, LINE)
+    return CacheHierarchy(l1, l2, vector_at_l2=vector_at_l2)
+
+
+@given(
+    ops=st.lists(memop_strategy, min_size=0, max_size=40),
+    vector_at_l2=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_hierarchy_memop_replay_equivalence(ops, vector_at_l2):
+    trace = InstructionTrace()
+    rng = np.random.default_rng(len(ops))
+    for base_id, vl, stride, is_store, indexed in ops:
+        name = ("vsuxei" if is_store else "vluxei") if indexed else (
+            "vse" if is_store else "vle"
+        )
+        indices = (
+            tuple(int(v) for v in rng.integers(0, 4096, size=vl))
+            if indexed
+            else None
+        )
+        trace.emit_memory(
+            name, base_id * LINE + 4, 4, vl, stride, is_store, indices=indices
+        )
+    ref = _hierarchy(vector_at_l2)
+    fast = _hierarchy(vector_at_l2)
+    mem_ops = list(trace)
+    expected = [ref.access_memop(op) for op in mem_ops]
+    mem = trace.memory_columns()
+    lines, op_ids = trace.memory_line_stream(fast.line_bytes, rows=mem.rows)
+    l1_m, l2_m = replay_line_stream(
+        fast, lines, mem.is_store[op_ids], op_ids, len(mem_ops)
+    )
+    assert [(int(a), int(b)) for a, b in zip(l1_m, l2_m)] == expected
+    _assert_cache_state_equal(ref.l1, fast.l1)
+    _assert_cache_state_equal(ref.l2, fast.l2)
+    assert ref.dram_lines == fast.dram_lines
+    assert ref.dram_writeback_lines == fast.dram_writeback_lines
+
+
+def test_empty_stream_is_a_noop():
+    ref, fast = _caches(2, 4)
+    hits, wbs, victims = simulate_cache_stream(
+        fast, np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    )
+    assert hits.size == wbs.size == victims.size == 0
+    _assert_cache_state_equal(ref, fast)

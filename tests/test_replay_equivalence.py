@@ -1,0 +1,201 @@
+"""Batched (columnar/set-partitioned) replay vs sequential: equivalence.
+
+The batched replay path (``TraceTimingModel.run(engine="batched")`` +
+``repro.simulator.cache_fast``) must be *observationally identical* to the
+per-event reference: bit-identical :class:`TimingResult` fields, identical
+:class:`CacheStats` at both levels, identical DRAM counters, identical
+per-op miss attribution, and bit-identical cache state afterwards (tags,
+dirty bits, LRU ticks) — so the two engines can be freely interleaved on
+one model.  Parametrized over kernels (incl. Winograd's indexed gathers),
+VLEN, LMUL-built traces and both ``vector_at_l2`` hierarchy modes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.direct import DirectConv
+from repro.algorithms.im2col_gemm import Im2colGemm3
+from repro.algorithms.winograd import WinogradConv
+from repro.errors import SimulationError
+from repro.isa.machine import VectorMachine
+from repro.isa.trace import InstructionTrace, MemoryOp
+from repro.nn.layer import ConvSpec
+from repro.simulator.cache import CacheHierarchy
+from repro.simulator.cache_fast import replay_line_stream
+from repro.simulator.hwconfig import HardwareConfig
+from repro.simulator.timing import TraceTimingModel
+
+SPEC = ConvSpec(ic=5, oc=7, ih=13, iw=11, kh=3, kw=3, stride=1, pad=1)
+
+CONFIGS = [
+    HardwareConfig.paper2_rvv(512, 1.0),
+    HardwareConfig.paper1_riscvv(512, 1.0),
+    HardwareConfig.paper2_rvv(512, 1.0).with_(software_prefetch=True),
+    HardwareConfig.a64fx(),
+]
+
+ALGORITHMS = [
+    ("direct", DirectConv()),
+    ("winograd", WinogradConv()),
+    ("im2col_gemm3", Im2colGemm3()),
+]
+
+
+def _kernel_trace(alg, vlen: int, seed: int = 0) -> InstructionTrace:
+    rng = np.random.default_rng(seed)
+    x = rng.standard_normal((SPEC.ic, SPEC.ih, SPEC.iw)).astype(np.float32)
+    w = (
+        0.3 * rng.standard_normal((SPEC.oc, SPEC.ic, SPEC.kh, SPEC.kw))
+    ).astype(np.float32)
+    machine = VectorMachine(vlen)
+    alg.run_vectorized(SPEC, x, w, machine)
+    return machine.trace
+
+
+def _lmul_trace(vlen: int, lmul: int) -> InstructionTrace:
+    """A synthetic strip-mined trace exercising LMUL register grouping."""
+    rng = np.random.default_rng(3)
+    machine = VectorMachine(vlen)
+    src = machine.alloc_from("src", rng.standard_normal(4096).astype(np.float32))
+    dst = machine.alloc("dst", 4096)
+    machine.vcopy_strips(src, 0, dst, 7, 1800, lmul=lmul)
+    machine.vcopy_strips(src, 11, dst, 100, 900, src_stride=3, lmul=lmul)
+    machine.vsetvl(64, lmul=lmul)
+    machine.vload(0, src, 5)
+    machine.vfmacc_vf(0, 1.5, 0)
+    machine.vstore(0, dst, 2000)
+    return machine.trace
+
+
+def _assert_hierarchy_equal(a: CacheHierarchy, b: CacheHierarchy) -> None:
+    for ca, cb in ((a.l1, b.l1), (a.l2, b.l2)):
+        assert np.array_equal(ca._tags, cb._tags)
+        assert np.array_equal(ca._dirty, cb._dirty)
+        assert np.array_equal(ca._lru, cb._lru)
+        assert ca._tick == cb._tick
+        assert ca.stats == cb.stats
+    assert a.dram_lines == b.dram_lines
+    assert a.dram_writeback_lines == b.dram_writeback_lines
+
+
+def _assert_replay_equivalent(trace: InstructionTrace, cfg: HardwareConfig):
+    seq = TraceTimingModel(cfg)
+    bat = TraceTimingModel(cfg)
+    # two back-to-back runs without flush: the second starts from the warm
+    # state the first left behind, in both engines
+    for _ in range(2):
+        r_seq = seq.run(trace, engine="sequential")
+        r_bat = bat.run(trace, engine="batched")
+        assert r_seq == r_bat  # dataclass ==: bit-exact float comparison
+        _assert_hierarchy_equal(seq.hierarchy, bat.hierarchy)
+    return r_seq
+
+
+@pytest.mark.parametrize("cfg", CONFIGS, ids=lambda c: c.name)
+@pytest.mark.parametrize("vlen", [128, 512])
+@pytest.mark.parametrize("alg", ALGORITHMS, ids=lambda a: a[0])
+def test_kernel_replay_batched_matches_sequential(alg, vlen, cfg):
+    trace = _kernel_trace(alg[1], vlen)
+    res = _assert_replay_equivalent(trace, cfg)
+    assert res.cycles > 0 and res.memory_instrs > 0
+
+
+@pytest.mark.parametrize("cfg", CONFIGS[:2], ids=lambda c: c.name)
+@pytest.mark.parametrize("lmul", [1, 2, 4])
+def test_lmul_trace_replay_matches(lmul, cfg):
+    trace = _lmul_trace(512, lmul)
+    _assert_replay_equivalent(trace, cfg)
+
+
+@pytest.mark.parametrize("cfg", CONFIGS[:2], ids=lambda c: c.name)
+def test_per_op_miss_attribution_matches(cfg):
+    trace = _kernel_trace(WinogradConv(), 256)  # includes indexed gathers
+    ops = [e for e in trace if isinstance(e, MemoryOp)]
+    h_ref = CacheHierarchy.from_config(cfg)
+    ref = [h_ref.access_memop(op) for op in ops]
+    h_fast = CacheHierarchy.from_config(cfg)
+    mem = trace.memory_columns()
+    lines, op_ids = trace.memory_line_stream(h_fast.line_bytes, rows=mem.rows)
+    l1_m, l2_m = replay_line_stream(
+        h_fast, lines, mem.is_store[op_ids], op_ids, len(ops)
+    )
+    assert [(int(a), int(b)) for a, b in zip(l1_m, l2_m)] == ref
+    _assert_hierarchy_equal(h_ref, h_fast)
+
+
+def test_engines_can_interleave_on_one_model():
+    """Sequential then batched on the same model: state stays consistent."""
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    trace = _kernel_trace(DirectConv(), 512)
+    mixed = TraceTimingModel(cfg)
+    r1 = mixed.run(trace, engine="sequential")
+    r2 = mixed.run(trace, engine="batched")
+    ref = TraceTimingModel(cfg)
+    assert r1 == ref.run(trace, engine="sequential")
+    assert r2 == ref.run(trace, engine="sequential")
+    _assert_hierarchy_equal(mixed.hierarchy, ref.hierarchy)
+
+
+def test_flush_starts_cold_in_both_engines():
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    trace = _kernel_trace(DirectConv(), 512)
+    seq = TraceTimingModel(cfg)
+    bat = TraceTimingModel(cfg)
+    seq.run(trace)
+    bat.run(trace)
+    assert seq.run(trace, flush=True, engine="sequential") == bat.run(
+        trace, flush=True, engine="batched"
+    )
+    _assert_hierarchy_equal(seq.hierarchy, bat.hierarchy)
+
+
+# --------------------------------------------------------------------- #
+# trace column/stream plumbing
+# --------------------------------------------------------------------- #
+def test_memory_line_stream_matches_per_op_expansion():
+    trace = _kernel_trace(WinogradConv(), 256)
+    line_bytes = 64
+    lines, op_ids = trace.memory_line_stream(line_bytes)
+    ops = [e for e in trace if isinstance(e, MemoryOp)]
+    expected = [op.line_addresses(line_bytes) for op in ops]
+    assert np.array_equal(lines, np.concatenate(expected))
+    expected_ids = np.repeat(np.arange(len(ops)), [e.size for e in expected])
+    assert np.array_equal(op_ids, expected_ids)
+
+
+def test_columns_are_read_only_views():
+    trace = _kernel_trace(DirectConv(), 128)
+    cols = trace.columns()
+    assert len(cols.kind) == len(trace)
+    with pytest.raises(ValueError):
+        cols.vl[0] = 99
+
+
+def test_batched_engine_rejects_foreign_events():
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    trace = InstructionTrace()
+    trace.events.append("bogus")
+    with pytest.raises(SimulationError, match="foreign"):
+        TraceTimingModel(cfg).run(trace, engine="batched")
+    # auto falls back to sequential, which rejects the unknown payload
+    with pytest.raises(TypeError):
+        TraceTimingModel(cfg).run(trace)
+
+
+def test_unknown_engine_rejected():
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    with pytest.raises(SimulationError, match="unknown replay engine"):
+        TraceTimingModel(cfg).run(InstructionTrace(), engine="warp")
+
+
+def test_trace_report_uses_batched_replay():
+    from repro.experiments.trace_report import report
+
+    spec = ConvSpec(ic=4, oc=6, ih=10, iw=10, kh=3, kw=3, stride=1, pad=1, index=1)
+    result = report(spec, HardwareConfig.paper2_rvv(512, 1.0))
+    assert set(result.data["trace_cycles"]) == set(result.data["analytical_cycles"])
+    for name, cycles in result.data["trace_cycles"].items():
+        assert cycles > 0
+        assert result.data["events"][name] > 0

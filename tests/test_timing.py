@@ -107,6 +107,29 @@ class TestTraceTiming:
         with pytest.raises(TypeError):
             model.run(trace)
 
+    def test_reset_rebuilds_dram_model(self):
+        """reset() must restore the config's DRAM model, not keep a stale one."""
+        from repro.simulator.memory import DramModel
+
+        cfg = HardwareConfig.paper2_rvv(512, 1.0)
+        model = TraceTimingModel(cfg)
+        model.dram = DramModel(bytes_per_cycle=0.5, latency_cycles=9999)
+        model.reset()
+        assert model.dram == DramModel.from_config(cfg)
+        # and timing after reset matches a fresh model's
+        trace = saxpy_trace(512, n=1024)
+        assert model.run(trace) == TraceTimingModel(cfg).run(trace)
+
+    def test_counts_mode_trace_rejected_by_both_engines(self):
+        from repro.errors import SimulationError
+
+        model = TraceTimingModel(HardwareConfig.paper2_rvv(512, 1.0))
+        trace = InstructionTrace(mode="counts")
+        trace.emit(ScalarOp("s", 1))
+        for engine in ("auto", "batched", "sequential"):
+            with pytest.raises(SimulationError, match="'counts' mode"):
+                model.run(trace, engine=engine)
+
 
 class TestKernelLevelTiming:
     """Trace timing on the real vectorized kernels (small shapes)."""
