@@ -1,0 +1,49 @@
+"""Machine-normalized metric recording for the CI perf-regression gate.
+
+Raw wall-clock times are useless as committed baselines — CI runners vary
+wildly.  The stable quantities are *ratios measured on the same machine in
+the same process* (batched vs per-op speedup, warm vs cold cache speedup):
+both sides see the same CPU, so the ratio cancels machine speed.
+
+Benchmarks call :func:`record_metric` with such ratios.  When the
+``BENCH_METRICS_PATH`` environment variable is set (the CI bench-smoke job
+sets it), each call merges the metric into that JSON file;
+``scripts/check_bench_regression.py`` then compares the file against the
+committed ``benchmarks/baselines.json``.  Without the variable the call is
+a no-op, so local benchmark runs are unaffected.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+ENV_VAR = "BENCH_METRICS_PATH"
+
+
+def metrics_path() -> Path | None:
+    """Destination JSON file, or ``None`` when recording is disabled."""
+    value = os.environ.get(ENV_VAR)
+    return Path(value) if value else None
+
+
+def record_metric(name: str, value: float) -> None:
+    """Merge ``{name: value}`` into the metrics JSON file (if enabled).
+
+    The file is read-modify-written on every call so several pytest
+    invocations (bench_kernels, then bench_timing_replay) can accumulate
+    into one file.
+    """
+    path = metrics_path()
+    if path is None:
+        return
+    data: dict[str, float] = {}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            data = {}
+    data[name] = float(value)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")

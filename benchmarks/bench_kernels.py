@@ -7,6 +7,7 @@ experiment harnesses fast as the library evolves.
 
 import numpy as np
 import pytest
+from _metrics import record_metric
 
 from repro.algorithms import get_algorithm, layer_cycles
 from repro.isa import VectorMachine
@@ -123,6 +124,7 @@ def test_intrinsics_batched_vs_perop(benchmark):
     print(f"\nintrinsics path: per-op {perop_s * 1e3:.1f} ms, batched/counts "
           f"{fast_s * 1e3:.2f} ms, speedup {speedup:.0f}x "
           f"({rate:.0f}M instrs/s)")
+    record_metric("kernels.intrinsics_batched_vs_perop_speedup", speedup)
     assert speedup >= 5.0, f"batched path only {speedup:.1f}x faster"
 
 
@@ -200,4 +202,5 @@ def test_engine_cold_vs_warm_full_grid(benchmark):
     speedup = cold_s / warm_s
     print(f"\nengine grid: cold {cold_s * 1e3:.1f} ms, warm "
           f"{warm_s * 1e3:.1f} ms, speedup {speedup:.0f}x")
+    record_metric("engine.warm_vs_cold_speedup", speedup)
     assert speedup >= 5.0, f"warm cache only {speedup:.1f}x faster"

@@ -12,6 +12,7 @@ import time
 
 import numpy as np
 import pytest
+from _metrics import record_metric
 
 from repro.algorithms.direct import DirectConv
 from repro.isa import VectorMachine
@@ -70,6 +71,7 @@ def test_timing_replay_batched_vs_sequential(benchmark):
     print(f"\ntiming replay: sequential {seq_s * 1e3:.1f} ms, batched "
           f"{bat_s * 1e3:.2f} ms, speedup {speedup:.0f}x "
           f"({len(trace)} events, {rate:.1f}M events/s)")
+    record_metric("timing.replay_batched_vs_sequential_speedup", speedup)
     assert speedup >= 5.0, f"batched replay only {speedup:.1f}x faster"
 
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over machine-normalized benchmark ratios.
+
+The bench-smoke job runs the benchmark suites with ``BENCH_METRICS_PATH``
+set, which makes them record same-machine speedup ratios (batched vs
+per-op ISA simulation, batched vs sequential trace replay, warm vs cold
+engine cache) via :mod:`benchmarks._metrics`.  This script compares those
+measured ratios against the committed floor in
+``benchmarks/baselines.json`` and exits non-zero when any metric regresses
+by more than the tolerance (default 20%) — i.e. when a fast path got
+meaningfully slower relative to its reference implementation.
+
+Ratios are used instead of wall-clock times because both sides of each
+ratio run on the same machine in the same process: machine speed cancels,
+so one committed baseline works across laptops and CI runners.
+
+Usage::
+
+    python scripts/check_bench_regression.py METRICS.json [BASELINES.json]
+
+``check()`` is importable so the test suite can verify the gate actually
+fails on an injected slowdown (``tests/test_bench_regression_gate.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: A metric regresses when ``measured < baseline * (1 - TOLERANCE)``.
+TOLERANCE = 0.20
+
+DEFAULT_BASELINES = Path(__file__).resolve().parent.parent / (
+    "benchmarks/baselines.json"
+)
+
+
+def check(
+    measured: dict[str, float],
+    baselines: dict[str, float],
+    tolerance: float = TOLERANCE,
+) -> list[str]:
+    """Return one failure message per regressed or missing metric.
+
+    Every baseline metric must be present in ``measured`` (a missing
+    metric means the benchmark silently stopped recording it — that must
+    fail loudly, not pass vacuously) and must reach at least
+    ``baseline * (1 - tolerance)``.  Extra measured metrics without a
+    baseline are ignored: they are new metrics awaiting a committed floor.
+    Keys starting with ``_`` (e.g. ``_comment``) are not metrics.
+    """
+    failures: list[str] = []
+    baselines = {
+        k: v for k, v in baselines.items() if not k.startswith("_")
+    }
+    for name, floor in sorted(baselines.items()):
+        if name not in measured:
+            failures.append(
+                f"{name}: baseline {floor:g} but no measured value "
+                f"(benchmark no longer records this metric?)"
+            )
+            continue
+        value = float(measured[name])
+        allowed = floor * (1.0 - tolerance)
+        if value < allowed:
+            failures.append(
+                f"{name}: measured {value:.2f} < allowed {allowed:.2f} "
+                f"(baseline {floor:g}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark speedup ratios regress >20% "
+        "against benchmarks/baselines.json."
+    )
+    parser.add_argument("metrics", help="JSON file written by the benchmark "
+                        "runs (BENCH_METRICS_PATH)")
+    parser.add_argument(
+        "baselines", nargs="?", default=str(DEFAULT_BASELINES),
+        help="baseline JSON (default: benchmarks/baselines.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=TOLERANCE, metavar="FRAC",
+        help=f"allowed fractional regression (default {TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    metrics_path = Path(args.metrics)
+    if not metrics_path.exists():
+        print(f"error: metrics file {metrics_path} does not exist — did the "
+              f"benchmarks run with BENCH_METRICS_PATH set?", file=sys.stderr)
+        return 2
+    measured = json.loads(metrics_path.read_text())
+    baselines = {
+        k: v
+        for k, v in json.loads(Path(args.baselines).read_text()).items()
+        if not k.startswith("_")
+    }
+
+    failures = check(measured, baselines, tolerance=args.tolerance)
+    for name in sorted(baselines):
+        status = "MISSING"
+        if name in measured:
+            status = f"{float(measured[name]):8.2f} (floor {baselines[name]:g})"
+        print(f"  {name:<48} {status}")
+    if failures:
+        print(f"\nperf-regression gate FAILED ({len(failures)} metric(s)):",
+              file=sys.stderr)
+        for msg in failures:
+            print(f"  - {msg}", file=sys.stderr)
+        return 1
+    print(f"\nperf-regression gate passed "
+          f"({len(baselines)} metric(s) within tolerance).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -3,16 +3,26 @@
 # Usage: scripts/reproduce.sh [output-dir]   (default: results/)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+# Run against the in-tree sources even when the package isn't installed.
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+STEP="startup"
+trap 'echo "reproduce.sh: FAILED during step: $STEP (exit $?)" >&2' ERR
+
 OUT="${1:-results}"
 mkdir -p "$OUT"
 
-echo "== 1/4 test suite =="
+STEP="1/4 test suite"
+echo "== $STEP =="
 python -m pytest tests/ | tee "$OUT/test_output.txt"
 
-echo "== 2/4 Paper II artifacts (tables + figures as text/CSV) =="
+STEP="2/4 Paper II artifacts"
+echo "== $STEP (tables + figures as text/CSV) =="
 python -m repro.experiments.cli --out "$OUT" | tee "$OUT/paper2_artifacts.txt"
 
-echo "== 3/4 Paper I extensions, ablations, serving studies =="
+STEP="3/4 Paper I extensions, ablations, serving studies"
+echo "== $STEP =="
 python -m repro.experiments.cli \
   paper1-table2 paper1-table3 paper1-vl paper1-cache paper1-lanes \
   paper1-winograd paper1-winograd-a64fx paper1-archcompare \
@@ -25,7 +35,8 @@ python -m repro.experiments.cli \
   selection-features layer-report verdict \
   --out "$OUT" | tee "$OUT/extensions.txt"
 
-echo "== 4/4 benchmarks =="
+STEP="4/4 benchmarks"
+echo "== $STEP =="
 python -m pytest benchmarks/ --benchmark-only | tee "$OUT/bench_output.txt"
 
 echo "All artifacts written to $OUT/"

@@ -23,6 +23,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import ConvAlgorithm
 from repro.isa.machine import VectorMachine
 from repro.nn.layer import DTYPE_BYTES, ConvSpec
@@ -89,57 +90,61 @@ class DirectConv(ConvAlgorithm):
         ``trace="counts"`` this path handles real VGG-16 layer shapes.
         """
         spec.validate_input(x.shape)
-        xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
-        x_host = np.ascontiguousarray(xp.transpose(1, 2, 0))  # (PH, PW, IC)
-        w_host = np.ascontiguousarray(w.transpose(2, 3, 1, 0))  # (KH, KW, IC, OC)
-        x_nhwc = machine.alloc_from("direct_x", x_host, unique=True)
-        w_hwio = machine.alloc_from("direct_w", w_host, unique=True)
-        out = machine.alloc(
-            "direct_y", spec.oh * spec.ow * spec.oc, np.float32, unique=True
-        )
+        with obs.span("direct.pack", cat="kernel"):
+            xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+            x_host = np.ascontiguousarray(xp.transpose(1, 2, 0))  # (PH, PW, IC)
+            w_host = np.ascontiguousarray(w.transpose(2, 3, 1, 0))  # (KH,KW,IC,OC)
+            x_nhwc = machine.alloc_from("direct_x", x_host, unique=True)
+            w_hwio = machine.alloc_from("direct_w", w_host, unique=True)
+            out = machine.alloc(
+                "direct_y", spec.oh * spec.ow * spec.oc, np.float32, unique=True
+            )
         ic, oc, s = spec.ic, spec.oc, spec.stride
         oh, ow, kh, kw = spec.oh, spec.ow, spec.kh, spec.kw
         # -- functional compute: one whole-plane FMA per kernel tap -------- #
         # Tap order (c, dh, dw) matches the per-op loop nest; float32
         # products/adds are elementwise, so every output element sees the
         # per-op rounding sequence exactly.
-        acc = np.zeros((oh, ow, oc), dtype=np.float32)
-        for c in range(ic):
-            xc = x_host[:, :, c]
-            for dh in range(kh):
-                for dw in range(kw):
-                    window = xc[dh : dh + s * oh : s, dw : dw + s * ow : s]
-                    acc += window[:, :, None] * w_host[dh, dw, c][None, None, :]
-        out.array[:] = acc.reshape(-1)
+        with obs.span("direct.gemm", cat="kernel"):
+            acc = np.zeros((oh, ow, oc), dtype=np.float32)
+            for c in range(ic):
+                xc = x_host[:, :, c]
+                for dh in range(kh):
+                    for dw in range(kw):
+                        window = xc[dh : dh + s * oh : s, dw : dw + s * ow : s]
+                        acc += window[:, :, None] * w_host[dh, dw, c][None, None, :]
+            out.array[:] = acc.reshape(-1)
         # -- trace emission: batched, same counts and address stream ------ #
-        elem = out.array.itemsize
-        # weight-load element offsets in tap order (constant per OC group)
-        hw_grid = np.tile(np.arange(kh * kw, dtype=np.int64), ic)
-        c_grid = np.repeat(np.arange(ic, dtype=np.int64), kh * kw)
-        woffs = (hw_grid * ic + c_grid) * oc
-        ntaps = woffs.size
-        trace = machine.trace
-        uw = _unroll_ow(ow)
-        for oc0 in range(0, oc, machine.vlmax()):
-            gvl = machine.vsetvl(oc - oc0)
-            w_bases = w_hwio.base + (woffs + oc0) * elem
-            for oy in range(oh):
-                for ox0 in range(0, ow, uw):
-                    u = min(uw, ow - ox0)
-                    trace.emit_scalar("loop_owb", 3)
-                    trace.emit_vector("vfmv", gvl, 32, u)
-                    trace.emit_scalar("loop_k", 2 * ntaps)
-                    trace.emit_scalar("x_load", u * ntaps)
-                    trace.emit_memory_rows("vle", w_bases, elem, gvl, elem, False)
-                    trace.emit_vector("vfmacc.vf", gvl, 32, u * ntaps)
-                    store_offs = (
-                        oy * ow + ox0 + np.arange(u, dtype=np.int64)
-                    ) * oc + oc0
-                    trace.emit_memory_rows(
-                        "vse", out.base + store_offs * elem, elem, gvl, elem, True
-                    )
-        result = out.array.reshape(oh, ow, oc)
-        return np.ascontiguousarray(result.transpose(2, 0, 1))
+        with obs.span("direct.emit", cat="kernel"):
+            elem = out.array.itemsize
+            # weight-load element offsets in tap order (constant per OC group)
+            hw_grid = np.tile(np.arange(kh * kw, dtype=np.int64), ic)
+            c_grid = np.repeat(np.arange(ic, dtype=np.int64), kh * kw)
+            woffs = (hw_grid * ic + c_grid) * oc
+            ntaps = woffs.size
+            trace = machine.trace
+            uw = _unroll_ow(ow)
+            for oc0 in range(0, oc, machine.vlmax()):
+                gvl = machine.vsetvl(oc - oc0)
+                w_bases = w_hwio.base + (woffs + oc0) * elem
+                for oy in range(oh):
+                    for ox0 in range(0, ow, uw):
+                        u = min(uw, ow - ox0)
+                        trace.emit_scalar("loop_owb", 3)
+                        trace.emit_vector("vfmv", gvl, 32, u)
+                        trace.emit_scalar("loop_k", 2 * ntaps)
+                        trace.emit_scalar("x_load", u * ntaps)
+                        trace.emit_memory_rows("vle", w_bases, elem, gvl, elem, False)
+                        trace.emit_vector("vfmacc.vf", gvl, 32, u * ntaps)
+                        store_offs = (
+                            oy * ow + ox0 + np.arange(u, dtype=np.int64)
+                        ) * oc + oc0
+                        trace.emit_memory_rows(
+                            "vse", out.base + store_offs * elem, elem, gvl, elem, True
+                        )
+        with obs.span("direct.unpack", cat="kernel"):
+            result = out.array.reshape(oh, ow, oc)
+            return np.ascontiguousarray(result.transpose(2, 0, 1))
 
     # ------------------------------------------------------------------ #
     def run_vectorized_perop(

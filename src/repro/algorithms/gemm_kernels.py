@@ -19,6 +19,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ShapeError
 from repro.isa.machine import Buffer, VectorMachine
 from repro.simulator.analytical.phases import DataStream, Phase
@@ -248,10 +249,12 @@ def gemm6_vectorized(
         jb = min(block_n, n - j1)
         for k1 in range(0, k, block_k):
             kb = min(block_k, k - k1)
-            _pack_b_block(machine, b_buf, packed_b, k1, kb, j1, jb, n)
+            with obs.span("gemm6.pack_b", cat="kernel"):
+                _pack_b_block(machine, b_buf, packed_b, k1, kb, j1, jb, n)
             for i1 in range(0, m, block_m):
                 ib = min(block_m, m - i1)
-                _pack_a_block(machine, a_buf, packed_a, i1, ib, k1, kb, k)
+                with obs.span("gemm6.pack_a", cat="kernel"):
+                    _pack_a_block(machine, a_buf, packed_a, i1, ib, k1, kb, k)
                 pa_scaled = _scale_a_rows(packed_a.array, 0, ib, kb, alpha)
                 j = 0
                 while j < jb:

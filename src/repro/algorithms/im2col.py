@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.isa.machine import Buffer, VectorMachine
 from repro.nn.layer import DTYPE_BYTES, ConvSpec
 from repro.nn.reference import pad_input
@@ -54,22 +55,27 @@ def im2col_vectorized(
     results and trace to :func:`im2col_vectorized_perop`.
     """
     spec.validate_input(x.shape)
-    xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
-    src = machine.alloc_from("im2col_src", xp, unique=True)
-    col = machine.alloc("im2col_col", spec.gemm_k * spec.gemm_n, np.float32, unique=True)
-    ph, pw = xp.shape[1], xp.shape[2]
-    ow, oh, s = spec.ow, spec.oh, spec.stride
-    row = 0
-    for c in range(spec.ic):
-        for dh in range(spec.kh):
-            for dw in range(spec.kw):
-                for out_y in range(oh):
-                    machine.scalar(3, "im2col_loop")
-                    src_base = c * ph * pw + (out_y * s + dh) * pw + dw
-                    dst_base = row * (oh * ow) + out_y * ow
-                    machine.vcopy_strips(src, src_base, col, dst_base, ow, src_stride=s)
-                row += 1
-    return col
+    with obs.span("im2col.pack", cat="kernel"):
+        xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+        src = machine.alloc_from("im2col_src", xp, unique=True)
+        col = machine.alloc(
+            "im2col_col", spec.gemm_k * spec.gemm_n, np.float32, unique=True
+        )
+        ph, pw = xp.shape[1], xp.shape[2]
+        ow, oh, s = spec.ow, spec.oh, spec.stride
+        row = 0
+        for c in range(spec.ic):
+            for dh in range(spec.kh):
+                for dw in range(spec.kw):
+                    for out_y in range(oh):
+                        machine.scalar(3, "im2col_loop")
+                        src_base = c * ph * pw + (out_y * s + dh) * pw + dw
+                        dst_base = row * (oh * ow) + out_y * ow
+                        machine.vcopy_strips(
+                            src, src_base, col, dst_base, ow, src_stride=s
+                        )
+                    row += 1
+        return col
 
 
 def im2col_vectorized_perop(

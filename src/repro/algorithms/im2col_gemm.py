@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms import gemm_kernels as gk
 from repro.algorithms.base import ConvAlgorithm
 from repro.algorithms.im2col import (
@@ -40,15 +41,22 @@ class _Im2colGemmBase(ConvAlgorithm):
         machine: VectorMachine,
         kernel,
     ) -> np.ndarray:
-        col_buf = im2col_vectorized(spec, x, machine)
+        col_buf = im2col_vectorized(spec, x, machine)  # spans as im2col.pack
         a_buf = machine.alloc_from(
             "gemm_a", w.reshape(spec.oc, spec.gemm_k), unique=True
         )
         c_buf = machine.alloc(
             "gemm_c", spec.gemm_m * spec.gemm_n, np.float32, unique=True
         )
-        kernel(machine, a_buf, col_buf, c_buf, spec.gemm_m, spec.gemm_k, spec.gemm_n)
-        return col2im_output(spec, c_buf.array.reshape(spec.gemm_m, spec.gemm_n))
+        with obs.span(f"{self.name}.gemm", cat="kernel"):
+            kernel(
+                machine, a_buf, col_buf, c_buf,
+                spec.gemm_m, spec.gemm_k, spec.gemm_n,
+            )
+        with obs.span(f"{self.name}.unpack", cat="kernel"):
+            return col2im_output(
+                spec, c_buf.array.reshape(spec.gemm_m, spec.gemm_n)
+            )
 
 
 def _needs_im2col(spec: ConvSpec) -> bool:
@@ -103,8 +111,9 @@ class Im2colGemmNaive(_Im2colGemmBase):
     def run_vectorized(self, spec, x, w, machine):
         # the baseline is unvectorized; run the functional path and account
         # scalar work so traces remain meaningful
-        out = self.run(spec, x, w)
-        machine.scalar(4 * spec.macs, "naive_gemm")
+        with obs.span(f"{self.name}.gemm", cat="kernel"):
+            out = self.run(spec, x, w)
+            machine.scalar(4 * spec.macs, "naive_gemm")
         return out
 
     def schedule(self, spec: ConvSpec, hw: HardwareConfig) -> list[Phase]:

@@ -31,6 +31,7 @@ import math
 
 import numpy as np
 
+from repro import obs
 from repro.algorithms.base import ConvAlgorithm
 from repro.algorithms.winograd_transforms import f63
 from repro.isa.machine import Buffer, VectorMachine
@@ -207,22 +208,23 @@ class WinogradConv(ConvAlgorithm):
         ic, oc = spec.ic, spec.oc
         vlmax = machine.vlmax()
 
-        xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
-        need_h = (ty - 1) * TILE_M + TILE_ALPHA
-        need_w = (tx - 1) * TILE_M + TILE_ALPHA
-        xp = np.pad(
-            xp, ((0, 0), (0, max(0, need_h - xp.shape[1])),
-                 (0, max(0, need_w - xp.shape[2])))
-        )
-        src = machine.alloc_from("wg_x", xp, unique=True)
-        ph, pw = xp.shape[1], xp.shape[2]
+        with obs.span("winograd.pack", cat="kernel"):
+            xp = pad_input(np.asarray(x, dtype=np.float32), spec.pad)
+            need_h = (ty - 1) * TILE_M + TILE_ALPHA
+            need_w = (tx - 1) * TILE_M + TILE_ALPHA
+            xp = np.pad(
+                xp, ((0, 0), (0, max(0, need_h - xp.shape[1])),
+                     (0, max(0, need_w - xp.shape[2])))
+            )
+            src = machine.alloc_from("wg_x", xp, unique=True)
+            ph, pw = xp.shape[1], xp.shape[2]
 
-        # U and M are stored tile-major: [tile][channel][64 positions]
-        u_buf = machine.alloc("wg_u", ntiles * ic * TUPLE_ELEMS, unique=True)
-        m_buf = machine.alloc("wg_m", ntiles * oc * TUPLE_ELEMS, unique=True)
-        v_host = self.transform_weights(spec, w)  # offline, as in the paper
-        v_buf = machine.alloc_from("wg_v", v_host, unique=True)
-        scratch = machine.alloc("wg_s", vlmax * TILE_ALPHA, unique=True)
+            # U and M are stored tile-major: [tile][channel][64 positions]
+            u_buf = machine.alloc("wg_u", ntiles * ic * TUPLE_ELEMS, unique=True)
+            m_buf = machine.alloc("wg_m", ntiles * oc * TUPLE_ELEMS, unique=True)
+            v_host = self.transform_weights(spec, w)  # offline, as in the paper
+            v_buf = machine.alloc_from("wg_v", v_host, unique=True)
+            scratch = machine.alloc("wg_s", vlmax * TILE_ALPHA, unique=True)
 
         intertile = ic >= MIN_CHANNELS
         cb = max(1, min(ic, vlmax // PACK_ELEMS)) if intertile else 1
@@ -231,35 +233,40 @@ class WinogradConv(ConvAlgorithm):
 
         # ---- functional compute (whole grid, per-op rounding order) ----- #
         # tiles: (ty, tx, IC, 8, 8) view of the padded input
-        sic, sih, siw = xp.strides
-        tiles = np.lib.stride_tricks.as_strided(
-            xp,
-            shape=(ty, tx, ic, TILE_ALPHA, TILE_ALPHA),
-            strides=(TILE_M * sih, TILE_M * siw, sic, sih, siw),
-            writeable=False,
-        ).astype(np.float64)
-        # input transform: same float64 einsum the per-op group helper runs,
-        # batched over (ty, tx, IC) — einsum's contraction order per output
-        # element is independent of the leading batch axes, so this is
-        # bit-identical to the per-group evaluation.
-        bt64 = bt32.astype(np.float64)
-        u_all = np.einsum("ij,yxcjk,lk->yxcil", bt64, tiles, bt64).astype(np.float32)
-        u_buf.array[:] = u_all.reshape(-1)
+        with obs.span("winograd.transform_in", cat="kernel"):
+            sic, sih, siw = xp.strides
+            tiles = np.lib.stride_tricks.as_strided(
+                xp,
+                shape=(ty, tx, ic, TILE_ALPHA, TILE_ALPHA),
+                strides=(TILE_M * sih, TILE_M * siw, sic, sih, siw),
+                writeable=False,
+            ).astype(np.float64)
+            # input transform: same float64 einsum the per-op group helper
+            # runs, batched over (ty, tx, IC) — einsum's contraction order per
+            # output element is independent of the leading batch axes, so this
+            # is bit-identical to the per-group evaluation.
+            bt64 = bt32.astype(np.float64)
+            u_all = np.einsum(
+                "ij,yxcjk,lk->yxcil", bt64, tiles, bt64
+            ).astype(np.float32)
+            u_buf.array[:] = u_all.reshape(-1)
         # tuple multiplication: float32 accumulation, channels in per-op order
-        u3 = u_all.reshape(ntiles, ic, TUPLE_ELEMS)
-        v3 = v_host.reshape(oc, ic, TUPLE_ELEMS)
-        macc = np.zeros((ntiles, oc, TUPLE_ELEMS), dtype=np.float32)
-        for c in range(ic):
-            macc += u3[:, c, :][:, None, :] * v3[:, c, :][None, :, :]
-        m_buf.array[:] = macc.reshape(-1)
+        with obs.span("winograd.gemm", cat="kernel"):
+            u3 = u_all.reshape(ntiles, ic, TUPLE_ELEMS)
+            v3 = v_host.reshape(oc, ic, TUPLE_ELEMS)
+            macc = np.zeros((ntiles, oc, TUPLE_ELEMS), dtype=np.float32)
+            for c in range(ic):
+                macc += u3[:, c, :][:, None, :] * v3[:, c, :][None, :, :]
+            m_buf.array[:] = macc.reshape(-1)
         # output transform from the M buffer values
-        at64 = at32.astype(np.float64)
-        m4 = macc.reshape(ntiles, oc, TILE_ALPHA, TILE_ALPHA).astype(np.float64)
-        y_all = np.einsum("ij,tojk,lk->toil", at64, m4, at64).astype(np.float32)
-        y_grid = y_all.reshape(ty, tx, oc, TILE_M, TILE_M)
-        out = np.ascontiguousarray(
-            y_grid.transpose(2, 0, 3, 1, 4).reshape(oc, ty * TILE_M, tx * TILE_M)
-        )
+        with obs.span("winograd.transform_out", cat="kernel"):
+            at64 = at32.astype(np.float64)
+            m4 = macc.reshape(ntiles, oc, TILE_ALPHA, TILE_ALPHA).astype(np.float64)
+            y_all = np.einsum("ij,tojk,lk->toil", at64, m4, at64).astype(np.float32)
+            y_grid = y_all.reshape(ty, tx, oc, TILE_M, TILE_M)
+            out = np.ascontiguousarray(
+                y_grid.transpose(2, 0, 3, 1, 4).reshape(oc, ty * TILE_M, tx * TILE_M)
+            )
 
         # ---- trace emission (batched, same counts and address stream) --- #
         trace = machine.trace
@@ -299,47 +306,52 @@ class WinogradConv(ConvAlgorithm):
             _emit_stage(mat, rows, vl)
 
         # input transform
-        for t in range(ntiles):
-            tyi, txi = divmod(t, tx)
-            base_row = (tyi * TILE_M) * pw + txi * TILE_M
-            for c0 in range(0, ic, cb):
-                nch = min(cb, ic - c0)
-                bases = (c0 + np.arange(nch, dtype=np.int64)) * ph * pw + base_row
-                _emit_transform_group(src, bases, bt32, nch, pw, TILE_ALPHA)
+        with obs.span("winograd.emit_input", cat="kernel"):
+            for t in range(ntiles):
+                tyi, txi = divmod(t, tx)
+                base_row = (tyi * TILE_M) * pw + txi * TILE_M
+                for c0 in range(0, ic, cb):
+                    nch = min(cb, ic - c0)
+                    bases = (c0 + np.arange(nch, dtype=np.int64)) * ph * pw + base_row
+                    _emit_transform_group(src, bases, bt32, nch, pw, TILE_ALPHA)
 
         # tuple multiplication (64 positions, strip-mined)
-        c_idx = np.arange(ic, dtype=np.int64)
-        for t in range(ntiles):
-            u_bases = u_buf.base + (t * ic + c_idx) * TUPLE_ELEMS * elem
-            for o in range(oc):
-                v_bases = v_buf.base + (o * ic + c_idx) * TUPLE_ELEMS * elem
-                uv_bases = np.empty(2 * ic, dtype=np.int64)
-                uv_bases[0::2] = u_bases
-                uv_bases[1::2] = v_bases
-                pos = 0
-                while pos < TUPLE_ELEMS:
-                    vl = machine.vsetvl(TUPLE_ELEMS - pos)
-                    trace.emit_vector("vfmv", vl, 32, 1)
-                    trace.emit_scalar("wg_tuple_loop", 2 * ic)
-                    trace.emit_memory_rows(
-                        "vle", uv_bases + pos * elem, elem, vl, elem, False
-                    )
-                    trace.emit_vector("vfmacc", vl, 32, ic)
-                    trace.emit_memory(
-                        "vse", m_buf.addr((t * oc + o) * TUPLE_ELEMS + pos),
-                        elem, vl, elem, True,
-                    )
-                    pos += vl
+        with obs.span("winograd.emit_tuple", cat="kernel"):
+            c_idx = np.arange(ic, dtype=np.int64)
+            for t in range(ntiles):
+                u_bases = u_buf.base + (t * ic + c_idx) * TUPLE_ELEMS * elem
+                for o in range(oc):
+                    v_bases = v_buf.base + (o * ic + c_idx) * TUPLE_ELEMS * elem
+                    uv_bases = np.empty(2 * ic, dtype=np.int64)
+                    uv_bases[0::2] = u_bases
+                    uv_bases[1::2] = v_bases
+                    pos = 0
+                    while pos < TUPLE_ELEMS:
+                        vl = machine.vsetvl(TUPLE_ELEMS - pos)
+                        trace.emit_vector("vfmv", vl, 32, 1)
+                        trace.emit_scalar("wg_tuple_loop", 2 * ic)
+                        trace.emit_memory_rows(
+                            "vle", uv_bases + pos * elem, elem, vl, elem, False
+                        )
+                        trace.emit_vector("vfmacc", vl, 32, ic)
+                        trace.emit_memory(
+                            "vse", m_buf.addr((t * oc + o) * TUPLE_ELEMS + pos),
+                            elem, vl, elem, True,
+                        )
+                        pos += vl
 
         # output transform
-        cbo = max(1, min(oc, vlmax // PACK_ELEMS)) if intertile else 1
-        for t in range(ntiles):
-            for o0 in range(0, oc, cbo):
-                nch = min(cbo, oc - o0)
-                bases = (t * oc + o0 + np.arange(nch, dtype=np.int64)) * TUPLE_ELEMS
-                _emit_transform_group(
-                    m_buf, bases, at32, nch, TILE_ALPHA, TILE_ALPHA
-                )
+        with obs.span("winograd.emit_output", cat="kernel"):
+            cbo = max(1, min(oc, vlmax // PACK_ELEMS)) if intertile else 1
+            for t in range(ntiles):
+                for o0 in range(0, oc, cbo):
+                    nch = min(cbo, oc - o0)
+                    bases = (
+                        t * oc + o0 + np.arange(nch, dtype=np.int64)
+                    ) * TUPLE_ELEMS
+                    _emit_transform_group(
+                        m_buf, bases, at32, nch, TILE_ALPHA, TILE_ALPHA
+                    )
         return out[:, : spec.oh, : spec.ow]
 
     # ------------------------------------------------------------------ #

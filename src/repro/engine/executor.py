@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
+from repro import obs
 from repro.algorithms.registry import effective_algorithm, layer_cycles
 from repro.engine.cache import MemoCache
 from repro.engine.keys import cache_key
@@ -50,10 +51,33 @@ def _compute_chunk(
     calibration: Calibration | None,
 ) -> list[tuple[int, LayerCycles]]:
     """Worker-side evaluation of resolved cells (module-level: picklable)."""
-    return [
-        (idx, layer_cycles(name, spec, hw, fallback=False, calibration=calibration))
-        for idx, name, spec, hw in items
-    ]
+    out: list[tuple[int, LayerCycles]] = []
+    for idx, name, spec, hw in items:
+        with obs.span("engine.point", cat="engine", algorithm=name, layer=spec.index):
+            out.append(
+                (idx, layer_cycles(name, spec, hw, fallback=False,
+                                   calibration=calibration))
+            )
+    return out
+
+
+def _compute_chunk_profiled(
+    items: list[tuple[int, str, ConvSpec, HardwareConfig]],
+    calibration: Calibration | None,
+) -> tuple[list[tuple[int, LayerCycles]], dict]:
+    """Worker-side chunk evaluation with a private recorder.
+
+    Used instead of :func:`_compute_chunk` when the parent process is
+    profiling: the worker records its per-point spans into a fresh
+    recorder (replacing whatever the fork inherited) and ships the
+    snapshot back for the parent to merge, so pool workers appear as
+    separate pid lanes in the Chrome trace.
+    """
+    recorder = obs.enable()
+    try:
+        return _compute_chunk(items, calibration), recorder.snapshot()
+    finally:
+        obs.disable()
 
 
 class EvaluationEngine:
@@ -125,32 +149,41 @@ class EvaluationEngine:
         if workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {workers}")
 
-        results: list[LayerCycles | None] = [None] * len(tasks)
-        missing: dict[str, list[int]] = {}  # key -> task indices needing it
-        for i, task in enumerate(tasks):
-            if not self.use_cache:
-                missing.setdefault(self.key(task), []).append(i)
-                continue
-            key = self.key(task)
-            record = self.cache.get(key)
-            if record is not None:
-                results[i] = record
-            else:
-                missing.setdefault(key, []).append(i)
-
-        if missing:
-            # one representative cell per distinct key, in first-seen order
-            cells = [
-                (indices[0], tasks[indices[0]].algorithm,
-                 tasks[indices[0]].spec, tasks[indices[0]].hw)
-                for indices in missing.values()
-            ]
-            computed = self._compute(cells, workers)
-            for (key, indices), (_, record) in zip(missing.items(), computed):
-                if self.use_cache:
-                    self.cache.put(key, record)
-                for i in indices:
+        with obs.span("engine.evaluate_many", cat="engine", tasks=len(tasks)):
+            disk_hits_before = self.cache.stats.disk_hits
+            results: list[LayerCycles | None] = [None] * len(tasks)
+            missing: dict[str, list[int]] = {}  # key -> task indices needing it
+            for i, task in enumerate(tasks):
+                if not self.use_cache:
+                    missing.setdefault(self.key(task), []).append(i)
+                    continue
+                key = self.key(task)
+                record = self.cache.get(key)
+                if record is not None:
                     results[i] = record
+                else:
+                    missing.setdefault(key, []).append(i)
+
+            if obs.enabled():
+                served = len(tasks) - sum(len(ix) for ix in missing.values())
+                disk_hits = self.cache.stats.disk_hits - disk_hits_before
+                obs.count("engine.cache.memory_hits", served - disk_hits)
+                obs.count("engine.cache.disk_hits", disk_hits)
+                obs.count("engine.cache.misses", len(missing))
+
+            if missing:
+                # one representative cell per distinct key, in first-seen order
+                cells = [
+                    (indices[0], tasks[indices[0]].algorithm,
+                     tasks[indices[0]].spec, tasks[indices[0]].hw)
+                    for indices in missing.values()
+                ]
+                computed = self._compute(cells, workers)
+                for (key, indices), (_, record) in zip(missing.items(), computed):
+                    if self.use_cache:
+                        self.cache.put(key, record)
+                    for i in indices:
+                        results[i] = record
         return results  # type: ignore[return-value]
 
     def sweep(
@@ -209,15 +242,40 @@ class EvaluationEngine:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # platforms without fork
             ctx = multiprocessing.get_context()
+        profiling = obs.enabled()
+        chunk_fn = _compute_chunk_profiled if profiling else _compute_chunk
+        pool_size = min(workers, len(chunks))
         out: list[tuple[int, LayerCycles]] = []
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(chunks)), mp_context=ctx
-        ) as pool:
-            futures = [
-                pool.submit(_compute_chunk, chunk, self.calibration)
-                for chunk in chunks
-            ]
-            # collect in submission order — completion order is irrelevant
-            for future in futures:
-                out.extend(future.result())
+        with obs.span(
+            "engine.parallel", cat="engine",
+            chunks=len(chunks), workers=pool_size,
+        ) as dispatch:
+            with ProcessPoolExecutor(
+                max_workers=pool_size, mp_context=ctx
+            ) as pool:
+                futures = [
+                    pool.submit(chunk_fn, chunk, self.calibration)
+                    for chunk in chunks
+                ]
+                # collect in submission order — completion order is irrelevant
+                for future in futures:
+                    result = future.result()
+                    if profiling:
+                        records, snapshot = result
+                        out.extend(records)
+                        recorder = obs.get_recorder()
+                        if isinstance(recorder, obs.Recorder):
+                            recorder.merge(
+                                snapshot,
+                                parent_id=getattr(dispatch, "span_id", -1),
+                            )
+                        # worker utilization: evaluated points per pool pid
+                        for row in snapshot["spans"]:
+                            if row[2] == "engine.point":
+                                obs.count(f"engine.worker.{row[6]}.points")
+                    else:
+                        out.extend(result)
+        if profiling:
+            obs.gauge("engine.pool_workers", pool_size)
+            obs.count("engine.parallel_chunks", len(chunks))
         return out

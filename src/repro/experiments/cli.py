@@ -103,6 +103,14 @@ def main(argv: list[str] | None = None) -> int:
         help="also run the trace-driven timing report (full-trace batched "
              "replay) for the given layer, e.g. vgg16:1",
     )
+    parser.add_argument(
+        "--profile", nargs="?", const="trace.json", default=None,
+        metavar="PATH",
+        help="collect spans/counters while running, print the span table, "
+             "and write a Chrome trace_event file to PATH (default "
+             "trace.json; open in https://ui.perfetto.dev). Use the "
+             "--profile=PATH form when experiment names follow the flag.",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -113,6 +121,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    from repro import obs
     from repro.engine import configure_default
 
     configure_default(
@@ -120,6 +129,8 @@ def main(argv: list[str] | None = None) -> int:
         use_cache=not args.no_cache,
         disk_dir=args.cache_dir,
     )
+    if args.profile is not None:
+        obs.enable()
 
     names = args.names or [
         n for n in EXPERIMENTS
@@ -137,7 +148,8 @@ def main(argv: list[str] | None = None) -> int:
         out_dir.mkdir(parents=True, exist_ok=True)
     for name in names:
         start = time.time()
-        result = run_experiment(name)
+        with obs.span(f"experiment.{name}", cat="experiment"):
+            result = run_experiment(name)
         if args.csv:
             print(result.table.to_csv())
         else:
@@ -149,7 +161,8 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments import trace_report
 
         start = time.time()
-        result = trace_report.run(args.trace_timing)
+        with obs.span("experiment.trace-report", cat="experiment"):
+            result = trace_report.run(args.trace_timing)
         if args.csv:
             print(result.table.to_csv())
         else:
@@ -157,6 +170,14 @@ def main(argv: list[str] | None = None) -> int:
         if out_dir:
             (out_dir / "trace-report.csv").write_text(result.table.to_csv())
         print(f"[trace-report completed in {time.time() - start:.1f}s]\n")
+    if args.profile is not None:
+        recorder = obs.get_recorder()
+        if isinstance(recorder, obs.Recorder):
+            print(obs.render_table(recorder))
+            obs.write_chrome_trace(recorder, args.profile)
+            print(f"\n[chrome trace written to {args.profile} — open in "
+                  f"https://ui.perfetto.dev]")
+        obs.disable()
     return 0
 
 

@@ -1,0 +1,153 @@
+"""Lightweight, zero-dependency observability for the reproduction.
+
+Hierarchical **spans**, named **counters/gauges/histograms**, and
+exporters to JSON, a terminal table, and the Chrome ``trace_event``
+format (viewable in Perfetto) — see ``docs/OBSERVABILITY.md``.
+
+The module-level functions are the instrumentation API; they delegate to
+a process-global recorder that defaults to a no-op
+(:data:`~repro.obs.recorder.NULL_RECORDER`), so instrumented hot paths
+cost one dynamic dispatch when profiling is off:
+
+>>> from repro import obs
+>>> with obs.span("engine.evaluate_many", cat="engine", tasks=448):
+...     obs.count("engine.cache.memory_hits", 440)
+>>> obs.observe("serving.latency_s", 0.012)
+
+Enable collection with :func:`enable` (the ``repro-experiments
+--profile`` flag does this), then export:
+
+>>> recorder = obs.enable()
+>>> ...
+>>> from repro.obs.export import render_table, write_chrome_trace
+>>> print(render_table(recorder))
+>>> write_chrome_trace(recorder, "trace.json")
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, TypeVar
+
+from repro.obs.export import (
+    chrome_trace,
+    render_table,
+    to_dict,
+    to_json,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    CounterStore,
+    GaugeStore,
+    Histogram,
+    HistogramStore,
+    HistogramSummary,
+    percentile,
+)
+from repro.obs.recorder import (
+    NOOP_SPAN,
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    SpanRecord,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "NULL_RECORDER",
+    "CounterStore",
+    "GaugeStore",
+    "Histogram",
+    "HistogramStore",
+    "HistogramSummary",
+    "NullRecorder",
+    "Recorder",
+    "SpanRecord",
+    "chrome_trace",
+    "count",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_recorder",
+    "instrument",
+    "observe",
+    "percentile",
+    "render_table",
+    "span",
+    "to_dict",
+    "to_json",
+    "write_chrome_trace",
+]
+
+_recorder: NullRecorder | Recorder = NULL_RECORDER
+
+
+def enable(recorder: Recorder | None = None) -> Recorder:
+    """Install ``recorder`` (or a fresh one) as the global collector."""
+    global _recorder
+    _recorder = recorder if recorder is not None else Recorder()
+    return _recorder
+
+
+def disable() -> None:
+    """Restore the no-op recorder (instrumentation cost drops to ~nothing)."""
+    global _recorder
+    _recorder = NULL_RECORDER
+
+
+def enabled() -> bool:
+    """True when a real recorder is installed."""
+    return _recorder.enabled
+
+
+def get_recorder() -> NullRecorder | Recorder:
+    """The currently installed recorder (null or real)."""
+    return _recorder
+
+
+# --------------------------------------------------------------------- #
+# instrumentation API — safe to call unconditionally from hot paths
+# --------------------------------------------------------------------- #
+def span(name: str, cat: str = "", **attrs: Any):
+    """A context manager timing one hierarchical span.
+
+    Nesting is tracked per thread; ``attrs`` become Chrome-trace ``args``.
+    When profiling is disabled this returns a shared no-op singleton.
+    """
+    return _recorder.span(name, cat, attrs or None)
+
+
+def count(name: str, n: float = 1.0) -> None:
+    """Add ``n`` to the named counter."""
+    _recorder.count(name, n)
+
+
+def gauge(name: str, value: float) -> None:
+    """Sample the named gauge (tracks last/min/mean/max)."""
+    _recorder.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one observation into the named histogram (p50/p95/p99)."""
+    _recorder.observe(name, value)
+
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+
+def instrument(name: str | None = None, cat: str = "") -> Callable[[_F], _F]:
+    """Decorator form of :func:`span` (span name defaults to the function's
+    qualified name)."""
+
+    def deco(fn: _F) -> _F:
+        span_name = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            with _recorder.span(span_name, cat, None):
+                return fn(*args, **kwargs)
+
+        return wrapper  # type: ignore[return-value]
+
+    return deco

@@ -18,9 +18,35 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ConfigError
 from repro.serving.colocation import ColocationResult
 from repro.utils.prng import make_rng
+
+
+def _record_serving_obs(
+    records: list["RequestRecord"], arrivals: np.ndarray
+) -> None:
+    """Feed a finished run into the observability layer (profiling only).
+
+    Emits request latency / queue-wait histograms and samples the
+    ``serving.queue_depth`` gauge at every arrival instant (the number of
+    earlier requests that had arrived but not yet started service —
+    starts are nondecreasing under FCFS, so one sorted search gives the
+    depth).
+    """
+    if not obs.enabled():
+        return
+    starts = np.array([r.start for r in records])
+    depths = np.arange(len(records)) - np.searchsorted(
+        starts, arrivals, side="right"
+    )
+    for depth in depths:
+        obs.gauge("serving.queue_depth", float(max(0, int(depth))))
+    for r in records:
+        obs.observe("serving.latency_s", r.latency)
+        obs.observe("serving.queue_wait_s", r.queue_wait)
+    obs.count("serving.requests", len(records))
 
 
 @dataclass(frozen=True)
@@ -136,23 +162,30 @@ class ServingSimulator:
             raise ConfigError("arrival_rate_rps must be positive")
         if n_requests < 1:
             raise ConfigError("n_requests must be >= 1")
-        rng = make_rng(self.seed)
-        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate_rps, n_requests))
-        # min-heap of server-free times
-        free_at = [0.0] * self.servers
-        heapq.heapify(free_at)
-        records: list[RequestRecord] = []
-        for arrival in arrivals:
-            earliest = heapq.heappop(free_at)
-            start = max(float(arrival), earliest)
-            finish = start + self.service_time
-            heapq.heappush(free_at, finish)
-            records.append(RequestRecord(float(arrival), start, finish))
-        horizon = max(r.finish for r in records)
-        return ServingStats(
-            records=records, horizon=horizon, servers=self.servers,
-            service_time=self.service_time,
-        )
+        with obs.span(
+            "serving.run", cat="serving",
+            servers=self.servers, n_requests=n_requests,
+        ):
+            rng = make_rng(self.seed)
+            arrivals = np.cumsum(
+                rng.exponential(1.0 / arrival_rate_rps, n_requests)
+            )
+            # min-heap of server-free times
+            free_at = [0.0] * self.servers
+            heapq.heapify(free_at)
+            records: list[RequestRecord] = []
+            for arrival in arrivals:
+                earliest = heapq.heappop(free_at)
+                start = max(float(arrival), earliest)
+                finish = start + self.service_time
+                heapq.heappush(free_at, finish)
+                records.append(RequestRecord(float(arrival), start, finish))
+            horizon = max(r.finish for r in records)
+            _record_serving_obs(records, arrivals)
+            return ServingStats(
+                records=records, horizon=horizon, servers=self.servers,
+                service_time=self.service_time,
+            )
 
     def load_sweep(
         self, fractions: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9),
@@ -202,20 +235,27 @@ class ContentionAwareSimulator(ServingSimulator):
             raise ConfigError("arrival_rate_rps must be positive")
         if n_requests < 1:
             raise ConfigError("n_requests must be >= 1")
-        rng = make_rng(self.seed)
-        arrivals = np.cumsum(rng.exponential(1.0 / arrival_rate_rps, n_requests))
-        free_at = [0.0] * self.servers
-        heapq.heapify(free_at)
-        records: list[RequestRecord] = []
-        for arrival in arrivals:
-            earliest = heapq.heappop(free_at)
-            start = max(float(arrival), earliest)
-            busy_others = sum(1 for t in free_at if t > start)
-            finish = start + self._service_for_occupancy(busy_others)
-            heapq.heappush(free_at, finish)
-            records.append(RequestRecord(float(arrival), start, finish))
-        horizon = max(r.finish for r in records)
-        return ServingStats(
-            records=records, horizon=horizon, servers=self.servers,
-            service_time=self.service_time,
-        )
+        with obs.span(
+            "serving.run_contended", cat="serving",
+            servers=self.servers, n_requests=n_requests,
+        ):
+            rng = make_rng(self.seed)
+            arrivals = np.cumsum(
+                rng.exponential(1.0 / arrival_rate_rps, n_requests)
+            )
+            free_at = [0.0] * self.servers
+            heapq.heapify(free_at)
+            records: list[RequestRecord] = []
+            for arrival in arrivals:
+                earliest = heapq.heappop(free_at)
+                start = max(float(arrival), earliest)
+                busy_others = sum(1 for t in free_at if t > start)
+                finish = start + self._service_for_occupancy(busy_others)
+                heapq.heappush(free_at, finish)
+                records.append(RequestRecord(float(arrival), start, finish))
+            horizon = max(r.finish for r in records)
+            _record_serving_obs(records, arrivals)
+            return ServingStats(
+                records=records, horizon=horizon, servers=self.servers,
+                service_time=self.service_time,
+            )

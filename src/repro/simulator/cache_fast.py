@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.simulator.cache import CacheHierarchy, SetAssociativeCache
 
@@ -130,38 +131,50 @@ def replay_line_stream(
     lines = np.ascontiguousarray(lines, dtype=np.int64)
     stores = np.ascontiguousarray(stores, dtype=bool)
     op_ids = np.ascontiguousarray(op_ids, dtype=np.int64)
-    if hierarchy.vector_at_l2:
-        # decoupled VPU: vector accesses go straight to the L2
-        hits2, wbs2, _ = simulate_cache_stream(hierarchy.l2, lines, stores)
-        miss2 = ~hits2
-        hierarchy.dram_lines += int(np.count_nonzero(miss2))
-        hierarchy.dram_writeback_lines += int(np.count_nonzero(wbs2))
-        l2_per_op = np.bincount(op_ids[miss2], minlength=num_ops)
-        return np.zeros(num_ops, dtype=np.int64), l2_per_op
-    hits1, wbs1, victims1 = simulate_cache_stream(hierarchy.l1, lines, stores)
-    miss1 = ~hits1
-    l1_per_op = np.bincount(op_ids[miss1], minlength=num_ops)
-    # Reconstruct the L2 reference stream in its original global order:
-    # each L1 miss emits (dirty victim writeback, then the line fill); an
-    # L1 hit emits nothing.
-    emitted = wbs1.astype(np.int64) + miss1.astype(np.int64)
-    ends = np.cumsum(emitted)
-    total = int(ends[-1]) if emitted.size else 0
-    if total == 0:
-        return l1_per_op, np.zeros(num_ops, dtype=np.int64)
-    l2_lines = np.empty(total, dtype=np.int64)
-    l2_stores = np.empty(total, dtype=bool)
-    wb_pos = (ends - emitted)[wbs1]
-    l2_lines[wb_pos] = victims1[wbs1]
-    l2_stores[wb_pos] = True
-    fill_pos = ends[miss1] - 1
-    l2_lines[fill_pos] = lines[miss1]
-    l2_stores[fill_pos] = stores[miss1]
-    hits2, wbs2, _ = simulate_cache_stream(hierarchy.l2, l2_lines, l2_stores)
-    # only line fills count toward DRAM fetches and per-op L2 misses;
-    # writeback probes update stats/state but are not attributed
-    fill_miss = ~hits2[fill_pos]
-    hierarchy.dram_lines += int(np.count_nonzero(fill_miss))
-    hierarchy.dram_writeback_lines += int(np.count_nonzero(wbs2))
-    l2_per_op = np.bincount(op_ids[miss1][fill_miss], minlength=num_ops)
-    return l1_per_op, l2_per_op
+    with obs.span("timing.cache_replay", cat="timing", lines=int(lines.size)):
+        if hierarchy.vector_at_l2:
+            # decoupled VPU: vector accesses go straight to the L2
+            hits2, wbs2, _ = simulate_cache_stream(hierarchy.l2, lines, stores)
+            miss2 = ~hits2
+            dram_fills = int(np.count_nonzero(miss2))
+            dram_wbs = int(np.count_nonzero(wbs2))
+            hierarchy.dram_lines += dram_fills
+            hierarchy.dram_writeback_lines += dram_wbs
+            obs.count("cache.l2.misses", dram_fills)
+            obs.count("cache.dram.fill_lines", dram_fills)
+            obs.count("cache.dram.writeback_lines", dram_wbs)
+            l2_per_op = np.bincount(op_ids[miss2], minlength=num_ops)
+            return np.zeros(num_ops, dtype=np.int64), l2_per_op
+        hits1, wbs1, victims1 = simulate_cache_stream(hierarchy.l1, lines, stores)
+        miss1 = ~hits1
+        obs.count("cache.l1.misses", int(np.count_nonzero(miss1)))
+        l1_per_op = np.bincount(op_ids[miss1], minlength=num_ops)
+        # Reconstruct the L2 reference stream in its original global order:
+        # each L1 miss emits (dirty victim writeback, then the line fill); an
+        # L1 hit emits nothing.
+        emitted = wbs1.astype(np.int64) + miss1.astype(np.int64)
+        ends = np.cumsum(emitted)
+        total = int(ends[-1]) if emitted.size else 0
+        if total == 0:
+            return l1_per_op, np.zeros(num_ops, dtype=np.int64)
+        l2_lines = np.empty(total, dtype=np.int64)
+        l2_stores = np.empty(total, dtype=bool)
+        wb_pos = (ends - emitted)[wbs1]
+        l2_lines[wb_pos] = victims1[wbs1]
+        l2_stores[wb_pos] = True
+        fill_pos = ends[miss1] - 1
+        l2_lines[fill_pos] = lines[miss1]
+        l2_stores[fill_pos] = stores[miss1]
+        hits2, wbs2, _ = simulate_cache_stream(hierarchy.l2, l2_lines, l2_stores)
+        # only line fills count toward DRAM fetches and per-op L2 misses;
+        # writeback probes update stats/state but are not attributed
+        fill_miss = ~hits2[fill_pos]
+        dram_fills = int(np.count_nonzero(fill_miss))
+        dram_wbs = int(np.count_nonzero(wbs2))
+        hierarchy.dram_lines += dram_fills
+        hierarchy.dram_writeback_lines += dram_wbs
+        obs.count("cache.l2.misses", dram_fills)
+        obs.count("cache.dram.fill_lines", dram_fills)
+        obs.count("cache.dram.writeback_lines", dram_wbs)
+        l2_per_op = np.bincount(op_ids[miss1][fill_miss], minlength=num_ops)
+        return l1_per_op, l2_per_op

@@ -36,6 +36,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import SimulationError
 from repro.isa.trace import (
     KIND_SCALAR,
@@ -149,9 +150,20 @@ class TraceTimingModel:
             )
         if flush:
             self.hierarchy.flush()
-        if engine == "sequential" or not batchable:
-            return self._run_sequential(trace)
-        return self._run_batched(trace)
+        used = "sequential" if (engine == "sequential" or not batchable) else "batched"
+        with obs.span(
+            "timing.run", cat="timing", engine=used,
+            events=len(trace) if isinstance(trace, InstructionTrace) else None,
+        ):
+            if used == "sequential":
+                res = self._run_sequential(trace)
+            else:
+                res = self._run_batched(trace)
+            obs.count("timing.l1_misses", res.l1_misses)
+            obs.count("timing.l2_misses", res.l2_misses)
+            obs.count("timing.vector_instrs", res.vector_instrs)
+            obs.count("timing.memory_instrs", res.memory_instrs)
+        return res
 
     # ------------------------------------------------------------------ #
     # sequential (per-event) replay — the reference implementation
@@ -211,19 +223,20 @@ class TraceTimingModel:
         cols = trace.columns()
 
         # vector instructions: the chime as one reduction over vl/sew
-        vec = cols.kind == KIND_VECTOR
-        res.vector_instrs = int(np.count_nonzero(vec))
-        if res.vector_instrs:
-            denom = np.maximum(1.0, (datapath * 32) / cols.aux[vec])
-            cost = np.maximum(
-                VECTOR_ISSUE_CYCLES, np.ceil(cols.vl[vec] / denom)
-            )
-            res.compute_cycles = _exact_sum(cost)
+        with obs.span("timing.vector", cat="timing"):
+            vec = cols.kind == KIND_VECTOR
+            res.vector_instrs = int(np.count_nonzero(vec))
+            if res.vector_instrs:
+                denom = np.maximum(1.0, (datapath * 32) / cols.aux[vec])
+                cost = np.maximum(
+                    VECTOR_ISSUE_CYCLES, np.ceil(cols.vl[vec] / denom)
+                )
+                res.compute_cycles = _exact_sum(cost)
 
-        # scalar instructions: each row accounts ``count`` one-cycle ops
-        scalar_counts = cols.vl[cols.kind == KIND_SCALAR]
-        res.scalar_instrs = int(scalar_counts.sum())
-        res.scalar_cycles = float(res.scalar_instrs)
+            # scalar instructions: each row accounts ``count`` one-cycle ops
+            scalar_counts = cols.vl[cols.kind == KIND_SCALAR]
+            res.scalar_instrs = int(scalar_counts.sum())
+            res.scalar_cycles = float(res.scalar_instrs)
 
         # memory instructions: expand to the line stream once, replay both
         # cache levels set-partitioned, then price every op in one pass
@@ -231,34 +244,37 @@ class TraceTimingModel:
         num_ops = mem.rows.size
         res.memory_instrs = num_ops
         if num_ops:
-            lines, op_ids = trace.memory_line_stream(
-                self.hierarchy.line_bytes, rows=mem.rows
-            )
-            l1_m, l2_m = replay_line_stream(
-                self.hierarchy, lines, mem.is_store[op_ids], op_ids, num_ops
-            )
-            res.l1_misses = int(l1_m.sum())
-            res.l2_misses = int(l2_m.sum())
-            unit = ~mem.indexed & (np.abs(mem.stride) == mem.elem_bytes)
-            eff_dp = np.where(
-                unit, float(datapath), datapath / NONUNIT_CHIME_FACTOR
-            )
-            chime = np.ceil(mem.vl / np.maximum(1.0, eff_dp))
-            penalty = (l1_m * cfg.l2_latency) / self.dram.mlp
-            penalty = penalty + (l2_m * self.dram.latency_cycles) / (
-                self.dram.mlp * (4.0 if prefetch else 1.0)
-            )
-            if self.hierarchy.vector_at_l2:
-                l2_round_trips = np.maximum(
-                    1.0, (mem.vl * mem.elem_bytes) / cfg.line_bytes
+            with obs.span("timing.memory", cat="timing", ops=num_ops):
+                lines, op_ids = trace.memory_line_stream(
+                    self.hierarchy.line_bytes, rows=mem.rows
                 )
-                penalty = penalty + (l2_round_trips * cfg.l2_latency) / self.dram.mlp
-            penalty = np.maximum(
-                penalty, (l2_m * cfg.line_bytes) / self.dram.bytes_per_cycle
-            )
-            res.memory_cycles = _exact_sum(
-                (VMEM_STARTUP_CYCLES + chime) + penalty
-            )
+                l1_m, l2_m = replay_line_stream(
+                    self.hierarchy, lines, mem.is_store[op_ids], op_ids, num_ops
+                )
+                res.l1_misses = int(l1_m.sum())
+                res.l2_misses = int(l2_m.sum())
+                unit = ~mem.indexed & (np.abs(mem.stride) == mem.elem_bytes)
+                eff_dp = np.where(
+                    unit, float(datapath), datapath / NONUNIT_CHIME_FACTOR
+                )
+                chime = np.ceil(mem.vl / np.maximum(1.0, eff_dp))
+                penalty = (l1_m * cfg.l2_latency) / self.dram.mlp
+                penalty = penalty + (l2_m * self.dram.latency_cycles) / (
+                    self.dram.mlp * (4.0 if prefetch else 1.0)
+                )
+                if self.hierarchy.vector_at_l2:
+                    l2_round_trips = np.maximum(
+                        1.0, (mem.vl * mem.elem_bytes) / cfg.line_bytes
+                    )
+                    penalty = penalty + (
+                        l2_round_trips * cfg.l2_latency
+                    ) / self.dram.mlp
+                penalty = np.maximum(
+                    penalty, (l2_m * cfg.line_bytes) / self.dram.bytes_per_cycle
+                )
+                res.memory_cycles = _exact_sum(
+                    (VMEM_STARTUP_CYCLES + chime) + penalty
+                )
 
         overlap = 0.6 if cfg.out_of_order else 1.0
         res.cycles = overlap * (

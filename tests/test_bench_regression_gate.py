@@ -1,0 +1,109 @@
+"""Tests of the CI perf-regression gate (``scripts/check_bench_regression``).
+
+The gate compares machine-normalized speedup ratios recorded by the
+benchmark suites against committed floors in ``benchmarks/baselines.json``
+and must demonstrably fail on a 25% slowdown while tolerating small noise.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+SCRIPT = REPO / "scripts" / "check_bench_regression.py"
+BASELINES_FILE = REPO / "benchmarks" / "baselines.json"
+
+
+def _load_gate():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", SCRIPT)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+gate = _load_gate()
+
+
+@pytest.fixture
+def baselines() -> dict[str, float]:
+    data = json.loads(BASELINES_FILE.read_text())
+    return {k: v for k, v in data.items() if not k.startswith("_")}
+
+
+class TestCheckFunction:
+    def test_passes_at_baseline(self, baselines):
+        assert gate.check(dict(baselines), baselines) == []
+
+    def test_passes_small_noise_regression(self, baselines):
+        measured = {k: v * 0.90 for k, v in baselines.items()}  # -10%
+        assert gate.check(measured, baselines) == []
+
+    def test_fails_injected_25pct_slowdown(self, baselines):
+        measured = {k: v * 0.75 for k, v in baselines.items()}  # -25%
+        failures = gate.check(measured, baselines)
+        assert len(failures) == len(baselines)
+
+    def test_fails_single_regressed_metric(self, baselines):
+        name = sorted(baselines)[0]
+        measured = dict(baselines)
+        measured[name] = baselines[name] * 0.75
+        failures = gate.check(measured, baselines)
+        assert len(failures) == 1 and name in failures[0]
+
+    def test_missing_metric_fails_loudly(self, baselines):
+        name = sorted(baselines)[0]
+        measured = {k: v for k, v in baselines.items() if k != name}
+        failures = gate.check(measured, baselines)
+        assert len(failures) == 1 and "no measured value" in failures[0]
+
+    def test_extra_measured_metric_is_ignored(self, baselines):
+        measured = dict(baselines)
+        measured["new.metric_without_baseline"] = 1.0
+        assert gate.check(measured, baselines) == []
+
+    def test_improvements_pass(self, baselines):
+        measured = {k: v * 10.0 for k, v in baselines.items()}
+        assert gate.check(measured, baselines) == []
+
+    def test_comment_keys_are_not_metrics(self):
+        assert gate.check({}, {"_comment": "not a metric"}) == []
+
+
+class TestCLI:
+    def _run(self, tmp_path, measured: dict[str, float]) -> subprocess.CompletedProcess:
+        metrics = tmp_path / "metrics.json"
+        metrics.write_text(json.dumps(measured))
+        return subprocess.run(
+            [sys.executable, str(SCRIPT), str(metrics)],
+            capture_output=True, text=True, cwd=REPO,
+        )
+
+    def test_cli_passes_on_healthy_metrics(self, tmp_path, baselines):
+        result = self._run(tmp_path, {k: v * 2 for k, v in baselines.items()})
+        assert result.returncode == 0, result.stderr
+        assert "passed" in result.stdout
+
+    def test_cli_fails_on_injected_slowdown(self, tmp_path, baselines):
+        result = self._run(tmp_path, {k: v * 0.75 for k, v in baselines.items()})
+        assert result.returncode == 1
+        assert "FAILED" in result.stderr
+
+    def test_cli_fails_on_missing_metrics_file(self, tmp_path):
+        result = subprocess.run(
+            [sys.executable, str(SCRIPT), str(tmp_path / "nope.json")],
+            capture_output=True, text=True, cwd=REPO,
+        )
+        assert result.returncode == 2
+
+    def test_committed_baselines_are_valid(self, baselines):
+        assert baselines, "baselines.json has no metrics"
+        assert all(
+            isinstance(v, (int, float)) and v > 0 for v in baselines.values()
+        )
