@@ -21,7 +21,8 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.engine.cache import DEFAULT_CACHE_DIR, CacheStats, MemoCache
-from repro.engine.executor import EvalTask, EvaluationEngine
+from repro.engine.checkpoint import CheckpointJournal, grid_fingerprint
+from repro.engine.executor import CellError, EvalTask, EvaluationEngine
 from repro.engine.keys import (
     CALIBRATION_VERSION,
     cache_key,
@@ -33,6 +34,8 @@ from repro.engine.keys import (
 __all__ = [
     "CALIBRATION_VERSION",
     "CacheStats",
+    "CellError",
+    "CheckpointJournal",
     "DEFAULT_CACHE_DIR",
     "EvalTask",
     "EvaluationEngine",
@@ -41,6 +44,7 @@ __all__ = [
     "calibration_fingerprint",
     "configure_default",
     "default_engine",
+    "grid_fingerprint",
     "record_from_dict",
     "record_to_dict",
 ]
@@ -60,11 +64,17 @@ def configure_default(
     max_workers: int | None = None,
     use_cache: bool | None = None,
     disk_dir=None,
+    chunk_timeout_s: float | None = None,
+    max_retries: int | None = None,
+    retry_backoff_s: float | None = None,
 ) -> EvaluationEngine:
     """Reconfigure the shared engine (CLI ``--workers`` / ``--no-cache``).
 
     Passing ``disk_dir`` attaches the on-disk tier (e.g.
     :data:`DEFAULT_CACHE_DIR`); ``None`` leaves the current tier unchanged.
+    The resilience knobs (``chunk_timeout_s``, ``max_retries``,
+    ``retry_backoff_s``) mirror the :class:`EvaluationEngine` constructor
+    and back the CLI ``--chunk-timeout`` / ``--max-retries`` flags.
     """
     engine = default_engine()
     if max_workers is not None:
@@ -73,4 +83,10 @@ def configure_default(
         engine.use_cache = use_cache
     if disk_dir is not None:
         engine.cache.disk_dir = Path(disk_dir)
+    if chunk_timeout_s is not None:
+        engine.chunk_timeout_s = chunk_timeout_s
+    if max_retries is not None:
+        engine.max_retries = max_retries
+    if retry_backoff_s is not None:
+        engine.retry_backoff_s = retry_backoff_s
     return engine

@@ -7,8 +7,12 @@ Disk hits are promoted into the memory tier; memory evictions do **not**
 drop disk entries, so a long campaign's working set survives process exits.
 
 Writes are atomic (temp file + ``os.replace``) so a crashed or parallel
-writer can never leave a truncated JSON behind; corrupt or stale-schema
-files are treated as misses and ignored.
+writer can never leave a truncated JSON behind; corrupt files (external
+truncation, bit rot, injected via :mod:`repro.faults`) are treated as
+misses, **deleted** so they are not re-parsed on every lookup, and counted
+in :attr:`CacheStats.corrupt_entries` / the ``engine.cache.corrupt_entries``
+observability counter.  Failed writes degrade the cache to memory-only but
+are counted (``engine.cache.write_errors``) instead of vanishing silently.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro import faults, obs
 from repro.engine.keys import SCHEMA_VERSION, record_from_dict, record_to_dict
 from repro.errors import EngineError
 from repro.simulator.analytical.model import LayerCycles
@@ -37,6 +42,8 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    corrupt_entries: int = 0  # unparseable disk files (deleted, recomputed)
+    write_errors: int = 0  # disk writes that failed (memory-only degrade)
 
     @property
     def lookups(self) -> int:
@@ -55,6 +62,8 @@ class CacheStats:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "corrupt_entries": self.corrupt_entries,
+            "write_errors": self.write_errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -141,29 +150,51 @@ class MemoCache:
         try:
             payload = json.loads(path.read_text())
             if payload.get("schema") != SCHEMA_VERSION:
-                return None
+                return None  # stale schema: miss; put() overwrites it
             return record_from_dict(payload["record"])
-        except (OSError, ValueError, KeyError, TypeError):
-            return None  # corrupt entry: recompute and overwrite
+        except OSError:
+            return None  # transient read failure: plain miss
+        except (ValueError, KeyError, TypeError):
+            # Corrupt entry: delete it (so it is not re-parsed on every
+            # lookup), count the forced recompute, and report a miss.
+            self.stats.corrupt_entries += 1
+            obs.count("engine.cache.corrupt_entries")
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+            return None
 
     def _disk_put(self, key: str, record: LayerCycles) -> None:
         if self.disk_dir is None:
             return
         path = self._disk_path(key)
+        plan = faults.active_plan()
         try:
+            if plan is not None and plan.write_fails(key):
+                faults.mark_injected("cache.write_error")
+                raise OSError(f"injected cache write error for {key[:12]}")
             path.parent.mkdir(parents=True, exist_ok=True)
             payload = {
                 "schema": SCHEMA_VERSION,
                 "key": key,
                 "record": record_to_dict(record),
             }
+            text = json.dumps(payload)
+            if plan is not None and plan.corrupts_write(key):
+                # Injected corruption: persist a truncated payload, which a
+                # later _disk_get must detect, delete and recompute around.
+                faults.mark_injected("cache.corrupt")
+                text = text[: max(1, len(text) // 2)]
             fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "w") as fh:
-                    json.dump(payload, fh)
+                    fh.write(text)
                 os.replace(tmp, path)
             except BaseException:
                 os.unlink(tmp)
                 raise
         except OSError:
-            pass  # read-only filesystem etc.: cache degrades to memory-only
+            # Read-only filesystem etc.: degrade to memory-only, visibly.
+            self.stats.write_errors += 1
+            obs.count("engine.cache.write_errors")

@@ -1,0 +1,153 @@
+"""Atomic JSONL checkpoint journal for long-running campaigns.
+
+A :class:`CheckpointJournal` is an append-only JSON-Lines file under
+``results/``: one header line binding the journal to a specific grid (a
+fingerprint over every cell identity), then one line per completed
+record.  Appends are flushed and fsynced, so a killed process loses at
+most the line being written — and a torn trailing line is detected and
+dropped on load, never mistaken for data.
+
+``repro-experiments campaign --resume`` uses this to recompute only the
+cells missing from the journal after a crash (see ``docs/ROBUSTNESS.md``
+for the on-disk format).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro import obs
+from repro.errors import EngineError
+
+#: Bump when the journal line format changes (old journals are rejected).
+JOURNAL_SCHEMA = 1
+
+
+def grid_fingerprint(identities: Iterable[tuple]) -> str:
+    """A stable hash of every cell identity a campaign will evaluate.
+
+    Resuming against a journal written for a *different* grid would
+    silently merge incompatible records; the fingerprint makes that a
+    hard error instead.
+    """
+    canon = json.dumps(sorted(list(i) for i in identities))
+    return hashlib.sha256(canon.encode()).hexdigest()[:16]
+
+
+class CheckpointJournal:
+    """Append-only, crash-safe record journal for one campaign run."""
+
+    def __init__(self, path: str | Path, fingerprint: str, name: str) -> None:
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.name = name
+        self._fh: Any = None
+        self.appended = 0
+
+    # ------------------------------------------------------------------ #
+    # load (resume)
+    # ------------------------------------------------------------------ #
+    def load(self) -> list[dict]:
+        """Records already journaled, or ``[]`` when starting fresh.
+
+        Raises :class:`EngineError` when the journal belongs to a
+        different campaign grid (wrong fingerprint or schema) — resuming
+        would corrupt the result set.  A torn trailing line (the crash
+        landed mid-write) is dropped and counted under
+        ``engine.journal_torn_lines``.
+        """
+        if not self.path.exists():
+            return []
+        raw = self.path.read_text()
+        lines = raw.splitlines(keepends=True)
+        if not lines:
+            return []
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            raise EngineError(
+                f"checkpoint journal {self.path} has an unreadable header; "
+                "delete it to start over"
+            ) from None
+        if (header.get("kind") != "header"
+                or header.get("schema") != JOURNAL_SCHEMA):
+            raise EngineError(
+                f"checkpoint journal {self.path} has an incompatible header "
+                f"(schema {header.get('schema')!r}, want {JOURNAL_SCHEMA})"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise EngineError(
+                f"checkpoint journal {self.path} was written for a different "
+                f"campaign grid (fingerprint {header.get('fingerprint')!r}, "
+                f"this grid is {self.fingerprint!r}); delete it or pass a "
+                "different --journal path"
+            )
+        records: list[dict] = []
+        offset = len(lines[0])  # bytes of journal verified so far
+        for lineno, line in enumerate(lines[1:], start=2):
+            try:
+                row = json.loads(line)
+                if row.get("kind") != "record":
+                    raise ValueError(f"unexpected kind {row.get('kind')!r}")
+                records.append(row["data"])
+                offset += len(line)
+            except (ValueError, KeyError, TypeError):
+                if lineno == len(lines):
+                    # Torn final line: the crash landed mid-append.  Drop
+                    # it *on disk* too, so later appends start on a clean
+                    # line instead of concatenating onto the fragment.
+                    obs.count("engine.journal_torn_lines")
+                    with open(self.path, "r+") as fh:
+                        fh.truncate(offset)
+                    break
+                raise EngineError(
+                    f"checkpoint journal {self.path} is corrupt at line "
+                    f"{lineno}; delete it to start over"
+                ) from None
+        return records
+
+    # ------------------------------------------------------------------ #
+    # append
+    # ------------------------------------------------------------------ #
+    def _open(self) -> None:
+        if self._fh is not None:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = open(self.path, "a")
+        if fresh:
+            header = {
+                "kind": "header",
+                "schema": JOURNAL_SCHEMA,
+                "name": self.name,
+                "fingerprint": self.fingerprint,
+            }
+            self._fh.write(json.dumps(header) + "\n")
+            self._flush()
+
+    def append(self, record: dict) -> None:
+        """Durably append one completed record (flush + fsync)."""
+        self._open()
+        self._fh.write(json.dumps({"kind": "record", "data": record}) + "\n")
+        self._flush()
+        self.appended += 1
+        obs.count("engine.journal_appends")
+
+    def _flush(self) -> None:
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

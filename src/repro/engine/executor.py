@@ -9,24 +9,39 @@ It guarantees:
   :func:`repro.algorithms.registry.layer_cycles` call produces;
 * **deterministic ordering** — :meth:`evaluate_many` returns records in
   task-submission order regardless of worker completion order;
-* **dedup** — a batch containing the same cell twice computes it once.
+* **dedup** — a batch containing the same cell twice computes it once;
+* **crash resilience** — a crashed or hung pool worker costs one bounded
+  retry of the affected chunks on a fresh pool; chunks that already
+  completed are preserved, never recomputed (see ``docs/ROBUSTNESS.md``).
 
 ``max_workers=1`` (the default) never touches ``multiprocessing``; larger
 values fan misses out over a :class:`~concurrent.futures.
 ProcessPoolExecutor`, falling back to serial execution when process
-spawning is unavailable (sandboxes, restricted CI runners).
+spawning is unavailable (sandboxes, restricted CI runners) — audibly, via
+a one-time :class:`RuntimeWarning` and the ``engine.serial_fallbacks``
+counter.
+
+Failures are isolated per cell: a cell whose evaluation raises yields a
+structured :class:`CellError` naming the cell instead of poisoning its
+whole batch (``evaluate_many(..., on_error="record")`` returns the error
+records in place; the default ``on_error="raise"`` re-raises the first
+failure with the cell identity attached).
 """
 
 from __future__ import annotations
 
+import importlib
+import os
+import time
+import warnings
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from typing import Iterable, NoReturn, Sequence, cast
 
-from repro import obs
+from repro import faults, obs
 from repro.algorithms.registry import effective_algorithm, layer_cycles
 from repro.engine.cache import MemoCache
 from repro.engine.keys import cache_key
-from repro.errors import EngineError
+from repro.errors import EngineError, InjectedFaultError
 from repro.nn.layer import ConvSpec
 from repro.simulator.analytical.calibration import Calibration
 from repro.simulator.analytical.model import LayerCycles
@@ -34,6 +49,17 @@ from repro.simulator.hwconfig import HardwareConfig
 
 #: Cells handed to one worker task (amortizes pickling/dispatch overhead).
 _CHUNK = 32
+
+#: Exit code of an injected worker crash (recognizable in core-dump triage).
+_CRASH_EXIT = 17
+
+#: One-time flag for the serial-degradation warning (reset by tests).
+_warned_serial_fallback = False
+
+#: A cell is one (index, algorithm, spec, hardware) tuple in a chunk.
+_Cell = tuple[int, str, ConvSpec, HardwareConfig]
+#: A chunk evaluation yields records or per-cell structured errors.
+_CellResult = tuple[int, "LayerCycles | CellError"]
 
 
 @dataclass(frozen=True)
@@ -46,25 +72,101 @@ class EvalTask:
     fallback: bool = True
 
 
+@dataclass(frozen=True)
+class CellError:
+    """Structured record of one grid cell whose evaluation raised.
+
+    Picklable (it crosses the pool boundary) and reconstructable: in
+    ``on_error="raise"`` mode the original exception type is re-raised
+    with the cell identity prepended to the message.
+    """
+
+    algorithm: str
+    layer: int
+    vlen_bits: int
+    l2_mib: float
+    error_type: str
+    error_module: str
+    message: str
+
+    def describe(self) -> str:
+        return (
+            f"{self.algorithm} on layer {self.layer} "
+            f"(VL={self.vlen_bits}b, L2={self.l2_mib:g}MB) failed: "
+            f"{self.error_type}: {self.message}"
+        )
+
+    def reraise(self) -> NoReturn:
+        """Raise the original exception type (or :class:`EngineError`)."""
+        try:
+            module = importlib.import_module(self.error_module)
+            cls = getattr(module, self.error_type)
+            if isinstance(cls, type) and issubclass(cls, Exception):
+                raise cls(self.describe())
+        except (ImportError, AttributeError, TypeError):
+            pass
+        raise EngineError(self.describe())
+
+
+def _cell_token(name: str, spec: ConvSpec, hw: HardwareConfig) -> str:
+    """Stable identity of a cell for fault-injection decisions."""
+    return f"{name}:{spec.index}:{hw.vlen_bits}:{hw.l2_mib:g}"
+
+
 def _compute_chunk(
-    items: list[tuple[int, str, ConvSpec, HardwareConfig]],
+    items: list[_Cell],
     calibration: Calibration | None,
-) -> list[tuple[int, LayerCycles]]:
-    """Worker-side evaluation of resolved cells (module-level: picklable)."""
-    out: list[tuple[int, LayerCycles]] = []
+    chunk_index: int = 0,
+    attempt: int = 0,
+    in_worker: bool = False,
+) -> list[_CellResult]:
+    """Worker-side evaluation of resolved cells (module-level: picklable).
+
+    Worker-level faults (crash/hang) fire only when ``in_worker`` is set —
+    the serial path must never ``os._exit`` the caller's process.  Cell
+    evaluation errors are captured per cell as :class:`CellError` records
+    so one bad cell cannot poison its chunk.
+    """
+    plan = faults.active_plan()
+    if in_worker and plan is not None:
+        kind = plan.worker_fault(chunk_index, attempt)
+        if kind == "crash":
+            os._exit(_CRASH_EXIT)
+        elif kind == "hang":
+            time.sleep(plan.hang_seconds)
+    out: list[_CellResult] = []
     for idx, name, spec, hw in items:
         with obs.span("engine.point", cat="engine", algorithm=name, layer=spec.index):
-            out.append(
-                (idx, layer_cycles(name, spec, hw, fallback=False,
-                                   calibration=calibration))
-            )
+            try:
+                if plan is not None and plan.cell_fails(_cell_token(name, spec, hw)):
+                    faults.mark_injected("engine.cell")
+                    raise InjectedFaultError(
+                        f"injected cell error for {_cell_token(name, spec, hw)}"
+                    )
+                record: LayerCycles | CellError = layer_cycles(
+                    name, spec, hw, fallback=False, calibration=calibration
+                )
+            except Exception as exc:  # per-cell isolation (not BaseException)
+                record = CellError(
+                    algorithm=name,
+                    layer=spec.index,
+                    vlen_bits=hw.vlen_bits,
+                    l2_mib=hw.l2_mib,
+                    error_type=type(exc).__name__,
+                    error_module=type(exc).__module__,
+                    message=str(exc),
+                )
+            out.append((idx, record))
     return out
 
 
 def _compute_chunk_profiled(
-    items: list[tuple[int, str, ConvSpec, HardwareConfig]],
+    items: list[_Cell],
     calibration: Calibration | None,
-) -> tuple[list[tuple[int, LayerCycles]], dict]:
+    chunk_index: int = 0,
+    attempt: int = 0,
+    in_worker: bool = False,
+) -> tuple[list[_CellResult], dict]:
     """Worker-side chunk evaluation with a private recorder.
 
     Used instead of :func:`_compute_chunk` when the parent process is
@@ -75,13 +177,26 @@ def _compute_chunk_profiled(
     """
     recorder = obs.enable()
     try:
-        return _compute_chunk(items, calibration), recorder.snapshot()
+        records = _compute_chunk(
+            items, calibration,
+            chunk_index=chunk_index, attempt=attempt, in_worker=in_worker,
+        )
+        return records, recorder.snapshot()
     finally:
         obs.disable()
 
 
 class EvaluationEngine:
-    """Content-addressed memo cache in front of the analytical model."""
+    """Content-addressed memo cache in front of the analytical model.
+
+    The resilience knobs (``chunk_timeout_s``, ``max_retries``,
+    ``retry_backoff_s``) govern the parallel path only: a chunk whose
+    worker crashes (``BrokenProcessPool``) or exceeds the collection
+    timeout is retried on a fresh pool with exponential backoff, while
+    chunks that already completed are kept; a chunk that exhausts its
+    retries is rescued serially in-process, so ``evaluate_many`` makes
+    progress under any fault the pool can throw at it.
+    """
 
     def __init__(
         self,
@@ -89,13 +204,29 @@ class EvaluationEngine:
         max_workers: int = 1,
         calibration: Calibration | None = None,
         use_cache: bool = True,
+        chunk_timeout_s: float | None = None,
+        max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        if chunk_timeout_s is not None and chunk_timeout_s <= 0:
+            raise EngineError(
+                f"chunk_timeout_s must be positive or None, got {chunk_timeout_s}"
+            )
+        if max_retries < 0:
+            raise EngineError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise EngineError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self.cache = cache if cache is not None else MemoCache()
         self.max_workers = max_workers
         self.calibration = calibration
         self.use_cache = use_cache
+        self.chunk_timeout_s = chunk_timeout_s
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
 
     # ------------------------------------------------------------------ #
     # single cell
@@ -126,9 +257,9 @@ class EvaluationEngine:
         fallback: bool = True,
     ) -> LayerCycles:
         """Memoized equivalent of :func:`repro.algorithms.registry.layer_cycles`."""
-        return self.evaluate_many(
+        return cast(LayerCycles, self.evaluate_many(
             [EvalTask(algorithm, spec, hw, fallback=fallback)]
-        )[0]
+        )[0])
 
     # ------------------------------------------------------------------ #
     # batches
@@ -137,13 +268,24 @@ class EvaluationEngine:
         self,
         tasks: Sequence[EvalTask] | Iterable[EvalTask],
         max_workers: int | None = None,
-    ) -> list[LayerCycles]:
+        on_error: str = "raise",
+    ) -> list[LayerCycles | CellError]:
         """Evaluate a batch of cells, returning records in task order.
 
         Cache hits are served immediately; distinct missing keys are
         computed once (serially, or across a process pool when
         ``max_workers > 1``) and stored.
+
+        ``on_error`` controls what a failing cell does: ``"raise"`` (the
+        default) re-raises the first failure with the cell named in the
+        message; ``"record"`` leaves a :class:`CellError` in that cell's
+        result slots (duplicates of a failing cell share one error record)
+        and never caches it.
         """
+        if on_error not in ("raise", "record"):
+            raise EngineError(
+                f"on_error must be 'raise' or 'record', got {on_error!r}"
+            )
         tasks = [self.resolve(t) for t in tasks]
         workers = self.max_workers if max_workers is None else max_workers
         if workers < 1:
@@ -151,7 +293,7 @@ class EvaluationEngine:
 
         with obs.span("engine.evaluate_many", cat="engine", tasks=len(tasks)):
             disk_hits_before = self.cache.stats.disk_hits
-            results: list[LayerCycles | None] = [None] * len(tasks)
+            results: list[LayerCycles | CellError | None] = [None] * len(tasks)
             missing: dict[str, list[int]] = {}  # key -> task indices needing it
             for i, task in enumerate(tasks):
                 if not self.use_cache:
@@ -180,11 +322,18 @@ class EvaluationEngine:
                 ]
                 computed = self._compute(cells, workers)
                 for (key, indices), (_, record) in zip(missing.items(), computed):
-                    if self.use_cache:
+                    if isinstance(record, CellError):
+                        obs.count("engine.cell_errors")
+                        if on_error == "raise":
+                            record.reraise()
+                        # failed cells are never cached: a later retry of
+                        # the same key recomputes instead of replaying the
+                        # failure from the cache
+                    elif self.use_cache:
                         self.cache.put(key, record)
                     for i in indices:
                         results[i] = record
-        return results  # type: ignore[return-value]
+        return cast("list[LayerCycles | CellError]", results)
 
     def sweep(
         self,
@@ -211,70 +360,190 @@ class EvaluationEngine:
              for si, ci, name in order],
             max_workers=max_workers,
         )
-        return dict(zip(order, records))
+        return dict(zip(order, cast("list[LayerCycles]", records)))
 
     # ------------------------------------------------------------------ #
     # execution backends
     # ------------------------------------------------------------------ #
     def _compute(
         self,
-        cells: list[tuple[int, str, ConvSpec, HardwareConfig]],
+        cells: list[_Cell],
         workers: int,
-    ) -> list[tuple[int, LayerCycles]]:
+    ) -> list[_CellResult]:
         """Compute cells (serially or in parallel), preserving input order."""
         if workers > 1 and len(cells) > 1:
+            # The except is scoped to *pool acquisition* only — failures
+            # mid-run go through the retry machinery in _compute_parallel
+            # (or propagate) instead of being silently absorbed here.
             try:
-                return self._compute_parallel(cells, workers)
-            except (OSError, ImportError, RuntimeError):
-                pass  # no process spawning here: degrade to serial
+                ctx = self._pool_context()
+            except (OSError, ImportError, RuntimeError) as exc:
+                self._serial_degrade(exc)
+            else:
+                return self._compute_parallel(cells, workers, ctx)
         return _compute_chunk(cells, self.calibration)
+
+    @staticmethod
+    def _pool_context():
+        import multiprocessing
+
+        try:
+            return multiprocessing.get_context("fork")
+        except ValueError:  # platforms without fork
+            return multiprocessing.get_context()
+
+    @staticmethod
+    def _new_pool(ctx, size: int):
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=size, mp_context=ctx)
+
+    @staticmethod
+    def _stop_pool(pool) -> None:
+        """Tear a pool down even when a worker is wedged.
+
+        ``shutdown`` alone would join a hung worker forever, so any live
+        worker processes are terminated first (idle ones die instantly).
+        """
+        processes = getattr(pool, "_processes", None) or {}
+        for proc in list(processes.values()):
+            try:
+                proc.terminate()
+            except (OSError, AttributeError):
+                pass
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    @staticmethod
+    def _serial_degrade(exc: BaseException) -> None:
+        """Account (and warn once) for degrading to in-process execution."""
+        global _warned_serial_fallback
+        obs.count("engine.serial_fallbacks")
+        if not _warned_serial_fallback:
+            _warned_serial_fallback = True
+            warnings.warn(
+                f"process pool unavailable ({type(exc).__name__}: {exc}); "
+                "evaluating serially in-process",
+                RuntimeWarning,
+                stacklevel=4,
+            )
+
+    def _absorb(self, result, profiling: bool, dispatch) -> list[_CellResult]:
+        """Unpack one chunk result, merging the worker recorder snapshot."""
+        if not profiling:
+            return result
+        records, snapshot = result
+        recorder = obs.get_recorder()
+        if isinstance(recorder, obs.Recorder):
+            recorder.merge(
+                snapshot, parent_id=getattr(dispatch, "span_id", -1)
+            )
+        # worker utilization: evaluated points per pool pid
+        for row in snapshot["spans"]:
+            if row[2] == "engine.point":
+                obs.count(f"engine.worker.{row[6]}.points")
+        return records
 
     def _compute_parallel(
         self,
-        cells: list[tuple[int, str, ConvSpec, HardwareConfig]],
+        cells: list[_Cell],
         workers: int,
-    ) -> list[tuple[int, LayerCycles]]:
-        import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
+        ctx,
+    ) -> list[_CellResult]:
+        """Fan chunks over a process pool with bounded retry + salvage.
 
-        chunks = [cells[i:i + _CHUNK] for i in range(0, len(cells), _CHUNK)]
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # platforms without fork
-            ctx = multiprocessing.get_context()
+        One dispatch round submits every pending chunk; a crash
+        (``BrokenProcessPool``) or a chunk exceeding ``chunk_timeout_s``
+        kills the pool, *salvages every chunk that already finished*, and
+        retries only the rest on a fresh pool with exponential backoff.
+        Chunks that exhaust ``max_retries`` are rescued serially
+        in-process, so this method always terminates with a full result.
+        """
+        from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures.process import BrokenProcessPool
+
+        plan = faults.active_plan()
         profiling = obs.enabled()
         chunk_fn = _compute_chunk_profiled if profiling else _compute_chunk
+        chunks = [cells[i:i + _CHUNK] for i in range(0, len(cells), _CHUNK)]
         pool_size = min(workers, len(chunks))
-        out: list[tuple[int, LayerCycles]] = []
+        pending: dict[int, list[_Cell]] = dict(enumerate(chunks))
+        attempts: dict[int, int] = {i: 0 for i in pending}
+        done: dict[int, list[_CellResult]] = {}
+
         with obs.span(
             "engine.parallel", cat="engine",
             chunks=len(chunks), workers=pool_size,
         ) as dispatch:
-            with ProcessPoolExecutor(
-                max_workers=pool_size, mp_context=ctx
-            ) as pool:
-                futures = [
-                    pool.submit(chunk_fn, chunk, self.calibration)
-                    for chunk in chunks
-                ]
-                # collect in submission order — completion order is irrelevant
-                for future in futures:
-                    result = future.result()
-                    if profiling:
-                        records, snapshot = result
-                        out.extend(records)
-                        recorder = obs.get_recorder()
-                        if isinstance(recorder, obs.Recorder):
-                            recorder.merge(
-                                snapshot,
-                                parent_id=getattr(dispatch, "span_id", -1),
-                            )
-                        # worker utilization: evaluated points per pool pid
-                        for row in snapshot["spans"]:
-                            if row[2] == "engine.point":
-                                obs.count(f"engine.worker.{row[6]}.points")
-                    else:
-                        out.extend(result)
+            while pending:
+                try:
+                    pool = self._new_pool(ctx, min(pool_size, len(pending)))
+                except (OSError, ImportError, RuntimeError) as exc:
+                    self._serial_degrade(exc)
+                    break
+                broken = False
+                try:
+                    futures = {}
+                    for i in sorted(pending):
+                        if plan is not None:
+                            kind = plan.worker_fault(i, attempts[i])
+                            if kind is not None:
+                                faults.mark_injected(f"engine.worker.{kind}")
+                        futures[pool.submit(
+                            chunk_fn, pending[i], self.calibration,
+                            chunk_index=i, attempt=attempts[i], in_worker=True,
+                        )] = i
+                    # collect in submission order — completion order is
+                    # irrelevant for the (deterministic) output order
+                    for future, i in futures.items():
+                        try:
+                            result = future.result(timeout=self.chunk_timeout_s)
+                        except FuturesTimeout:
+                            obs.count("engine.chunk_timeouts")
+                            broken = True
+                            break
+                        except BrokenProcessPool:
+                            broken = True
+                            break
+                        done[i] = self._absorb(result, profiling, dispatch)
+                    if broken:
+                        obs.count("engine.pool_restarts")
+                        # keep every chunk that finished before the failure
+                        for future, i in futures.items():
+                            if i in done:
+                                continue
+                            if (future.done() and not future.cancelled()
+                                    and future.exception() is None):
+                                done[i] = self._absorb(
+                                    future.result(), profiling, dispatch
+                                )
+                                obs.count("engine.chunks_salvaged")
+                finally:
+                    self._stop_pool(pool)
+                for i in list(done):
+                    pending.pop(i, None)
+                if not pending:
+                    break
+                # every still-pending chunk failed this round
+                for i in pending:
+                    attempts[i] += 1
+                exhausted = sorted(
+                    i for i in pending if attempts[i] > self.max_retries
+                )
+                for i in exhausted:
+                    # retry budget spent: rescue the chunk in-process
+                    obs.count("engine.chunk_serial_rescues")
+                    done[i] = _compute_chunk(pending.pop(i), self.calibration)
+                if pending:
+                    obs.count("engine.retries", len(pending))
+                    round_no = min(attempts[i] for i in pending)
+                    delay = self.retry_backoff_s * (2 ** (round_no - 1))
+                    if delay > 0:
+                        time.sleep(delay)
+        # pool acquisition degraded mid-campaign: finish serially
+        for i in sorted(pending):
+            done[i] = _compute_chunk(pending[i], self.calibration)
+
+        out = [pair for i in sorted(done) for pair in done[i]]
         if profiling:
             obs.gauge("engine.pool_workers", pool_size)
             obs.count("engine.parallel_chunks", len(chunks))

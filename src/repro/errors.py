@@ -66,3 +66,19 @@ class ExperimentError(ReproError):
 
 class EngineError(ReproError):
     """The memoized evaluation engine was misused or hit corrupt state."""
+
+
+class FaultSpecError(ReproError):
+    """A ``REPRO_FAULTS`` fault-injection spec could not be parsed."""
+
+
+class InjectedFaultError(ReproError):
+    """An error raised on purpose by the fault-injection plane.
+
+    Only :mod:`repro.faults` raises this; seeing it outside a chaos test
+    means a fault plan leaked into a production run.
+    """
+
+
+class CampaignAbortedError(ReproError):
+    """A checkpointed campaign was aborted mid-run (resume with ``--resume``)."""

@@ -3,6 +3,11 @@
 Runs the requested experiment harnesses (default: all Paper II artifacts)
 and prints their tables — the textual equivalent of regenerating every
 figure/table in the paper's evaluation.
+
+``repro-experiments campaign`` runs the full raw-record grid with a
+crash-safe checkpoint journal; ``--resume`` continues a killed run.
+Failures surface as one-line messages with distinct exit codes (see
+``docs/ROBUSTNESS.md``).
 """
 
 from __future__ import annotations
@@ -12,6 +17,26 @@ import importlib
 import sys
 import time
 from pathlib import Path
+
+from repro.errors import (
+    CampaignAbortedError,
+    ConfigError,
+    EngineError,
+    ExperimentError,
+    FaultSpecError,
+    ReproError,
+)
+
+#: ReproError subclass -> process exit code (first match wins; order from
+#: most to least specific so subclasses beat their bases).
+ERROR_EXIT_CODES: tuple[tuple[type[ReproError], int], ...] = (
+    (CampaignAbortedError, 20),
+    (FaultSpecError, 6),
+    (EngineError, 5),
+    (ExperimentError, 4),
+    (ConfigError, 3),
+    (ReproError, 10),
+)
 
 #: Experiment name -> harness module (each exposes ``run()``).
 EXPERIMENTS: dict[str, str] = {
@@ -68,7 +93,47 @@ def run_experiment(name: str):
     return module.run()
 
 
+def _run_campaign_command(args, out_dir: Path | None) -> None:
+    """``repro-experiments campaign``: the full grid, checkpoint-journaled."""
+    from repro.experiments.campaign import paper2_campaign
+
+    journal = Path(args.journal) if args.journal else Path("results/campaign.jsonl")
+    start = time.time()
+    campaign = paper2_campaign(
+        progress=lambda msg: print(f"  {msg}", file=sys.stderr),
+        journal=journal,
+        resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
+    )
+    errors = sum(1 for r in campaign.records if r["bound"] == "error")
+    applicable = sum(1 for r in campaign.records if r["applicable"])
+    print(f"campaign {campaign.name}: {len(campaign)} records "
+          f"({applicable} applicable, {errors} errored), "
+          f"journal {journal}")
+    target = out_dir if out_dir is not None else Path("results")
+    json_path = campaign.save(target / f"{campaign.name}_campaign.json")
+    csv_path = campaign.write_csv(target / f"{campaign.name}_campaign.csv")
+    print(f"saved {json_path} and {csv_path}")
+    print(f"[campaign completed in {time.time() - start:.1f}s]\n")
+
+
 def main(argv: list[str] | None = None) -> int:
+    """Parse args and dispatch; maps :class:`ReproError` to exit codes."""
+    try:
+        return _main(argv)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        line = str(exc).splitlines()[0] if str(exc) else "(no detail)"
+        print(f"error [{type(exc).__name__}]: {line}", file=sys.stderr)
+        for cls, code in ERROR_EXIT_CODES:
+            if isinstance(exc, cls):
+                return code
+        return 10  # pragma: no cover - ReproError entry is the catch-all
+
+
+def _main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
         description="Regenerate the paper's tables and figures (as text).",
@@ -99,6 +164,30 @@ def main(argv: list[str] | None = None) -> int:
         help="attach the on-disk cache tier at DIR (persists across runs)",
     )
     parser.add_argument(
+        "--journal", metavar="PATH", default=None,
+        help="checkpoint journal for the campaign command "
+             "(default results/campaign.jsonl)",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the campaign from its checkpoint journal, recomputing "
+             "only unfinished cells",
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=64, metavar="N",
+        help="journal flush batch size for the campaign command (default 64)",
+    )
+    parser.add_argument(
+        "--chunk-timeout", type=float, default=None, metavar="S",
+        help="seconds before a parallel work chunk is declared hung and "
+             "retried (default: no timeout)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="retry rounds for failed/hung parallel chunks before serial "
+             "rescue (default 2)",
+    )
+    parser.add_argument(
         "--trace-timing", metavar="MODEL:LAYER", default=None,
         help="also run the trace-driven timing report (full-trace batched "
              "replay) for the given layer, e.g. vgg16:1",
@@ -114,6 +203,7 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
+        print("campaign")
         for name in EXPERIMENTS:
             print(name)
         return 0
@@ -121,13 +211,16 @@ def main(argv: list[str] | None = None) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
-    from repro import obs
+    from repro import faults, obs
     from repro.engine import configure_default
 
+    faults.active_plan()  # fail fast (exit 6) on a malformed REPRO_FAULTS
     configure_default(
         max_workers=args.workers,
         use_cache=not args.no_cache,
         disk_dir=args.cache_dir,
+        chunk_timeout_s=args.chunk_timeout,
+        max_retries=args.max_retries,
     )
     if args.profile is not None:
         obs.enable()
@@ -139,6 +232,8 @@ def main(argv: list[str] | None = None) -> int:
              "verdict", "profile", "trace")
         )
     ]
+    run_campaign_cmd = "campaign" in names
+    names = [n for n in names if n != "campaign"]
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiments: {unknown}", file=sys.stderr)
@@ -146,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
     out_dir = Path(args.out) if args.out else None
     if out_dir:
         out_dir.mkdir(parents=True, exist_ok=True)
+    if run_campaign_cmd:
+        _run_campaign_command(args, out_dir)
     for name in names:
         start = time.time()
         with obs.span(f"experiment.{name}", cat="experiment"):

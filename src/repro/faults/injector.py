@@ -1,0 +1,81 @@
+"""Scoped activation of fault plans (context manager + ``REPRO_FAULTS``).
+
+The active plan lives in a module global *and* in the ``REPRO_FAULTS``
+environment variable while an :func:`inject` scope is open: forked pool
+workers inherit the global, spawned ones re-parse the env var, so every
+process that participates in a run sees the same deterministic plan.
+
+Production code asks :func:`active_plan` (one function call plus a None
+check when no faults are configured) and consults the plan's pure
+decision methods at each fault site; :func:`mark_injected` feeds the
+``faults.injected.<site>`` observability counters so chaos tests can
+assert exactly which faults fired.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro import obs
+from repro.faults.plan import FaultPlan, parse_fault_spec
+
+#: Environment variable carrying the fault spec across process boundaries.
+ENV_VAR = "REPRO_FAULTS"
+
+_active: FaultPlan | None = None
+#: memoized (spec string -> plan) parse of the env var, so hot paths pay a
+#: dict lookup — not a parse — per call when faults come from the env.
+_env_cache: tuple[str | None, FaultPlan | None] = (None, None)
+
+
+def active_plan() -> FaultPlan | None:
+    """The fault plan in effect, or None (the overwhelmingly common case).
+
+    Precedence: an open :func:`inject` scope, then ``REPRO_FAULTS``.
+    """
+    if _active is not None:
+        return _active
+    spec = os.environ.get(ENV_VAR)
+    if not spec:
+        return None
+    global _env_cache
+    if _env_cache[0] != spec:
+        _env_cache = (spec, parse_fault_spec(spec))
+    return _env_cache[1]
+
+
+@contextmanager
+def inject(plan: FaultPlan | str | None) -> Iterator[FaultPlan | None]:
+    """Activate ``plan`` (a :class:`FaultPlan` or spec string) for a scope.
+
+    While open, :func:`active_plan` returns the plan and ``REPRO_FAULTS``
+    carries its spec so child processes — forked or spawned — inject the
+    same faults.  Scopes nest; the previous plan (and env value) is
+    restored on exit.  ``inject(None)`` masks any ambient plan, giving a
+    guaranteed fault-free scope.
+    """
+    global _active
+    if isinstance(plan, str):
+        plan = parse_fault_spec(plan)
+    prev_active = _active
+    prev_env = os.environ.get(ENV_VAR)
+    _active = plan
+    if plan is None or not plan.to_spec():
+        os.environ.pop(ENV_VAR, None)
+    else:
+        os.environ[ENV_VAR] = plan.to_spec()
+    try:
+        yield plan
+    finally:
+        _active = prev_active
+        if prev_env is None:
+            os.environ.pop(ENV_VAR, None)
+        else:
+            os.environ[ENV_VAR] = prev_env
+
+
+def mark_injected(site: str, n: float = 1.0) -> None:
+    """Count one injected fault at ``site`` (``faults.injected.<site>``)."""
+    obs.count(f"faults.injected.{site}", n)

@@ -1,0 +1,197 @@
+"""The :class:`FaultPlan`: *what* to inject, decided by pure hashing.
+
+A plan is an immutable value object; every "should this fault fire?"
+question is answered by a pure function of ``(seed, site, token)``, so the
+same plan makes the same decisions in every process, on every retry, and
+in any call order.  That determinism is what lets the chaos suite assert
+*bit-identical* results under injected crashes: the faults themselves are
+reproducible, and the recovery machinery must erase them.
+
+Plans are written as compact comma-separated ``key=value`` specs — the
+grammar of the ``REPRO_FAULTS`` environment variable (see
+``docs/ROBUSTNESS.md``)::
+
+    seed=42,worker.crash=1,worker.hang=1,cache.corrupt=0.1
+
+Count-valued sites fire on the first N tokens (e.g. ``worker.crash=2``
+crashes chunks 0 and 1 on their first attempt); rate-valued sites fire on
+the deterministic fraction of tokens selected by the seeded hash.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+
+from repro.errors import FaultSpecError
+
+#: spec key -> (FaultPlan field, parser).  The dotted names mirror the
+#: subsystem the fault lands in; the grammar is the union of these keys.
+_SPEC_KEYS: dict[str, tuple[str, type]] = {
+    "seed": ("seed", int),
+    "worker.crash": ("worker_crash", int),
+    "worker.hang": ("worker_hang", int),
+    "hang.seconds": ("hang_seconds", float),
+    "cache.corrupt": ("cache_corrupt", float),
+    "cache.write_error": ("cache_write_error", float),
+    "cell.error": ("cell_error", float),
+    "serving.burst": ("serving_burst", float),
+    "serving.predictor_error": ("predictor_error", float),
+    "campaign.abort": ("campaign_abort", int),
+}
+
+_RATE_FIELDS = frozenset(
+    ("cache_corrupt", "cache_write_error", "cell_error", "predictor_error")
+)
+
+
+def _hash_unit(seed: int, site: str, token: str) -> float:
+    """A uniform [0, 1) draw, a pure function of (seed, site, token)."""
+    digest = hashlib.sha256(f"{seed}:{site}:{token}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults to inject.
+
+    All fields default to "off"; :func:`parse_fault_spec` builds one from
+    the ``REPRO_FAULTS`` grammar and :meth:`to_spec` is the exact inverse
+    (used to propagate the active plan to spawned worker processes).
+    """
+
+    seed: int = 0
+    #: chunks ``0..worker_crash-1`` hard-crash (``os._exit``) on attempt 0.
+    worker_crash: int = 0
+    #: the next ``worker_hang`` chunks sleep :attr:`hang_seconds` on attempt 0.
+    worker_hang: int = 0
+    hang_seconds: float = 30.0
+    #: probability a disk-cache write lands corrupted (truncated JSON).
+    cache_corrupt: float = 0.0
+    #: probability a disk-cache write raises :class:`OSError`.
+    cache_write_error: float = 0.0
+    #: probability one grid cell's evaluation raises ``InjectedFaultError``.
+    cell_error: float = 0.0
+    #: arrival-rate multiplier over the middle third of a serving run.
+    serving_burst: float = 1.0
+    #: probability the serving selector raises for one request.
+    predictor_error: float = 0.0
+    #: abort a checkpointed campaign after N journal appends (0 = never).
+    campaign_abort: int = 0
+
+    def __post_init__(self) -> None:
+        for name in _RATE_FIELDS:
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise FaultSpecError(f"{name} must be in [0, 1], got {rate}")
+        for name in ("worker_crash", "worker_hang", "campaign_abort"):
+            if getattr(self, name) < 0:
+                raise FaultSpecError(f"{name} must be >= 0")
+        if self.serving_burst < 1.0:
+            raise FaultSpecError(
+                f"serving_burst must be >= 1, got {self.serving_burst}"
+            )
+        if self.hang_seconds <= 0:
+            raise FaultSpecError("hang_seconds must be positive")
+
+    # ------------------------------------------------------------------ #
+    # decisions (pure: same answer in every process, on every retry)
+    # ------------------------------------------------------------------ #
+    def chance(self, site: str, token: str, rate: float) -> bool:
+        """True iff the seeded hash selects ``token`` at ``rate``."""
+        return rate > 0.0 and _hash_unit(self.seed, site, token) < rate
+
+    def worker_fault(self, chunk_index: int, attempt: int) -> str | None:
+        """``"crash"``, ``"hang"`` or None for one chunk execution.
+
+        Faults fire only on a chunk's first attempt, so bounded retry is
+        guaranteed to converge to the fault-free result.
+        """
+        if attempt != 0:
+            return None
+        if chunk_index < self.worker_crash:
+            return "crash"
+        if chunk_index < self.worker_crash + self.worker_hang:
+            return "hang"
+        return None
+
+    def corrupts_write(self, key: str) -> bool:
+        """Should the disk-cache write of ``key`` land corrupted?"""
+        return self.chance("cache.corrupt", key, self.cache_corrupt)
+
+    def write_fails(self, key: str) -> bool:
+        """Should the disk-cache write of ``key`` raise :class:`OSError`?"""
+        return self.chance("cache.write_error", key, self.cache_write_error)
+
+    def cell_fails(self, cell_id: str) -> bool:
+        """Should evaluating this grid cell raise ``InjectedFaultError``?"""
+        return self.chance("cell.error", cell_id, self.cell_error)
+
+    def predictor_fails(self, request_index: int) -> bool:
+        """Should the serving selector raise for this request?"""
+        return self.chance(
+            "serving.predictor_error", str(request_index), self.predictor_error
+        )
+
+    def burst_window(self, n_requests: int) -> tuple[int, int, float]:
+        """``(start, stop, factor)`` of the injected arrival burst.
+
+        Requests ``start..stop-1`` arrive at ``factor`` times the nominal
+        rate (the middle third of the run); factor 1.0 means no burst.
+        """
+        if self.serving_burst <= 1.0 or n_requests < 3:
+            return 0, 0, 1.0
+        return n_requests // 3, 2 * n_requests // 3, self.serving_burst
+
+    def aborts_campaign(self, appended: int) -> bool:
+        """True once ``appended`` journal records have been written."""
+        return self.campaign_abort > 0 and appended >= self.campaign_abort
+
+    # ------------------------------------------------------------------ #
+    # spec round-trip
+    # ------------------------------------------------------------------ #
+    def to_spec(self) -> str:
+        """The ``REPRO_FAULTS`` string this plan round-trips through."""
+        defaults = FaultPlan()
+        parts = []
+        for key, (field_name, _) in _SPEC_KEYS.items():
+            value = getattr(self, field_name)
+            if value != getattr(defaults, field_name):
+                parts.append(f"{key}={value:g}" if isinstance(value, float)
+                             else f"{key}={value}")
+        return ",".join(parts)
+
+
+def parse_fault_spec(spec: str) -> FaultPlan:
+    """Parse a ``REPRO_FAULTS`` spec string into a :class:`FaultPlan`.
+
+    Grammar: comma-separated ``key=value`` clauses; keys are the dotted
+    site names above, values are ints (counts, seed) or floats (rates,
+    factors, seconds).  Whitespace around clauses is ignored.
+    """
+    values: dict[str, int | float] = {}
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        key, sep, raw = clause.partition("=")
+        key = key.strip()
+        if not sep:
+            raise FaultSpecError(
+                f"malformed fault clause {clause!r} (expected key=value)"
+            )
+        if key not in _SPEC_KEYS:
+            known = ", ".join(_SPEC_KEYS)
+            raise FaultSpecError(
+                f"unknown fault site {key!r} (known: {known})"
+            )
+        field_name, cast = _SPEC_KEYS[key]
+        try:
+            values[field_name] = cast(raw.strip())
+        except ValueError as exc:
+            raise FaultSpecError(
+                f"bad value for {key}: {raw.strip()!r} ({exc})"
+            ) from None
+    valid = {f.name for f in fields(FaultPlan)}
+    assert set(values) <= valid
+    return FaultPlan(**values)  # type: ignore[arg-type]

@@ -13,7 +13,11 @@ from repro.serving.colocation import ColocationScenario, ColocationResult, evalu
 from repro.serving.simulator import ServingSimulator, ServingStats
 from repro.serving.recommend import DesignRecommendation, recommend_design
 from repro.serving.mixed import ModelGroup, MixedServingResult, evaluate_mixed
-from repro.serving.simulator import ContentionAwareSimulator, md1_mean_wait
+from repro.serving.simulator import (
+    ContentionAwareSimulator,
+    ResilientServingSimulator,
+    md1_mean_wait,
+)
 
 __all__ = [
     "ParetoPoint",
@@ -32,5 +36,6 @@ __all__ = [
     "MixedServingResult",
     "evaluate_mixed",
     "ContentionAwareSimulator",
+    "ResilientServingSimulator",
     "md1_mean_wait",
 ]

@@ -9,35 +9,54 @@ model predicts for its core/cache slice.  It reports the latency
 distribution and achieved throughput — which is how the benefit of
 per-layer algorithm selection shows up operationally: lower service time →
 lower tail latency at the same offered load, and a higher saturation point.
+
+Beyond the paper's steady-state load, the simulator also models *overload*
+(see ``docs/ROBUSTNESS.md``):
+
+* **admission control** — with ``queue_limit`` set, a request arriving to a
+  full queue is shed instead of admitted, keeping the latency of admitted
+  requests bounded under any offered load;
+* **degraded mode** — :class:`ResilientServingSimulator` draws per-request
+  service times from a selection predictor and falls back to a configurable
+  safe algorithm's service time when the predictor raises or is
+  unavailable, opening a circuit breaker after repeated failures;
+* **fault hooks** — an active :mod:`repro.faults` plan can inject arrival
+  bursts (``serving.burst``) and predictor failures
+  (``serving.predictor_error``).
+
+Shed, fallback and SLO-breach counts are reported in :class:`ServingStats`
+and mirrored into the ``serving.*`` observability counters.
 """
 
 from __future__ import annotations
 
 import heapq
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
-from repro import obs
-from repro.errors import ConfigError
+from repro import faults, obs
+from repro.errors import ConfigError, InjectedFaultError
 from repro.serving.colocation import ColocationResult
 from repro.utils.prng import make_rng
 
 
-def _record_serving_obs(
-    records: list["RequestRecord"], arrivals: np.ndarray
-) -> None:
+def _record_serving_obs(stats: "ServingStats") -> None:
     """Feed a finished run into the observability layer (profiling only).
 
-    Emits request latency / queue-wait histograms and samples the
-    ``serving.queue_depth`` gauge at every arrival instant (the number of
-    earlier requests that had arrived but not yet started service —
-    starts are nondecreasing under FCFS, so one sorted search gives the
-    depth).
+    Emits request latency / queue-wait histograms, shed / SLO-breach
+    counters, and samples the ``serving.queue_depth`` gauge at every
+    admitted arrival instant (the number of earlier requests that had
+    arrived but not yet started service — starts are nondecreasing under
+    FCFS, so one sorted search gives the depth).
     """
     if not obs.enabled():
         return
+    records = stats.records
     starts = np.array([r.start for r in records])
+    arrivals = np.array([r.arrival for r in records])
     depths = np.arange(len(records)) - np.searchsorted(
         starts, arrivals, side="right"
     )
@@ -47,6 +66,10 @@ def _record_serving_obs(
         obs.observe("serving.latency_s", r.latency)
         obs.observe("serving.queue_wait_s", r.queue_wait)
     obs.count("serving.requests", len(records))
+    if stats.shed:
+        obs.count("serving.shed", stats.shed)
+    if stats.slo_s is not None:
+        obs.count("serving.slo_breaches", stats.slo_breaches)
 
 
 @dataclass(frozen=True)
@@ -68,12 +91,21 @@ class RequestRecord:
 
 @dataclass
 class ServingStats:
-    """Aggregate results of a simulation run."""
+    """Aggregate results of a simulation run.
+
+    ``records`` holds *admitted* requests only; overload accounting lives
+    in ``shed_arrivals`` (arrival instants of rejected requests),
+    ``fallbacks`` (requests served in degraded mode) and, when an SLO was
+    configured, :attr:`slo_breaches`.
+    """
 
     records: list[RequestRecord]
     horizon: float  # last finish time (s)
     servers: int
     service_time: float
+    shed_arrivals: list[float] = field(default_factory=list)
+    fallbacks: int = 0
+    slo_s: float | None = None
 
     def __post_init__(self) -> None:
         self._latencies = np.array([r.latency for r in self.records])
@@ -83,14 +115,43 @@ class ServingStats:
         return len(self.records)
 
     @property
+    def shed(self) -> int:
+        """Requests rejected by admission control (never served)."""
+        return len(self.shed_arrivals)
+
+    @property
+    def offered(self) -> int:
+        """Total offered load: admitted + shed."""
+        return self.n_requests + self.shed
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def slo_breaches(self) -> int:
+        """Admitted requests whose latency exceeded the configured SLO."""
+        if self.slo_s is None or not len(self._latencies):
+            return 0
+        return int((self._latencies > self.slo_s).sum())
+
+    @property
+    def slo_breach_rate(self) -> float:
+        return self.slo_breaches / self.n_requests if self.n_requests else 0.0
+
+    @property
     def throughput_rps(self) -> float:
         return self.n_requests / self.horizon if self.horizon else 0.0
 
     def latency_percentile(self, q: float) -> float:
+        if not len(self._latencies):
+            return 0.0
         return float(np.percentile(self._latencies, q))
 
     @property
     def mean_latency(self) -> float:
+        if not len(self._latencies):
+            return 0.0
         return float(self._latencies.mean())
 
     @property
@@ -126,21 +187,36 @@ def md1_mean_wait(arrival_rate_rps: float, service_time_s: float) -> float:
 
 
 class ServingSimulator:
-    """M/D/c queue over the co-location model's replicas."""
+    """M/D/c queue over the co-location model's replicas.
+
+    With ``queue_limit`` set, at most that many admitted requests may be
+    waiting (not yet in service) at any arrival instant; excess arrivals
+    are shed.  ``slo_s`` attaches a latency SLO to the run's accounting
+    (it does not change scheduling).
+    """
 
     def __init__(
         self,
         servers: int,
         service_time_s: float,
         seed: int | None = None,
+        queue_limit: int | None = None,
+        slo_s: float | None = None,
     ) -> None:
         if servers < 1:
             raise ConfigError(f"servers must be >= 1, got {servers}")
         if service_time_s <= 0:
             raise ConfigError("service_time_s must be positive")
+        if queue_limit is not None and queue_limit < 0:
+            raise ConfigError(f"queue_limit must be >= 0, got {queue_limit}")
+        if slo_s is not None and slo_s <= 0:
+            raise ConfigError("slo_s must be positive")
         self.servers = servers
         self.service_time = service_time_s
         self.seed = seed
+        self.queue_limit = queue_limit
+        self.slo_s = slo_s
+        self._run_fallbacks = 0
 
     @staticmethod
     def from_colocation(result: ColocationResult, freq_ghz: float = 2.0,
@@ -156,6 +232,33 @@ class ServingSimulator:
         """Saturation throughput: servers / service time."""
         return self.servers / self.service_time
 
+    # ------------------------------------------------------------------ #
+    # per-run hooks (subclasses refine; the event loop is shared)
+    # ------------------------------------------------------------------ #
+    def _begin_run(self) -> None:
+        """Reset per-run state before the event loop starts."""
+        self._run_fallbacks = 0
+
+    def _service_time_for(self, index: int, busy_others: int) -> float:
+        """Service time of request ``index`` given current occupancy."""
+        return self.service_time
+
+    def _arrivals(
+        self, rng: np.random.Generator, arrival_rate_rps: float, n_requests: int
+    ) -> np.ndarray:
+        """Poisson arrival instants, reshaped by an injected burst if any."""
+        gaps = rng.exponential(1.0 / arrival_rate_rps, n_requests)
+        plan = faults.active_plan()
+        if plan is not None:
+            start, stop, factor = plan.burst_window(n_requests)
+            if factor > 1.0:
+                gaps[start:stop] /= factor
+                faults.mark_injected("serving.burst")
+        return np.cumsum(gaps)
+
+    # ------------------------------------------------------------------ #
+    # the event loop
+    # ------------------------------------------------------------------ #
     def run(self, arrival_rate_rps: float, n_requests: int = 2000) -> ServingStats:
         """Simulate ``n_requests`` Poisson arrivals at the given rate."""
         if arrival_rate_rps <= 0:
@@ -167,25 +270,36 @@ class ServingSimulator:
             servers=self.servers, n_requests=n_requests,
         ):
             rng = make_rng(self.seed)
-            arrivals = np.cumsum(
-                rng.exponential(1.0 / arrival_rate_rps, n_requests)
-            )
+            arrivals = self._arrivals(rng, arrival_rate_rps, n_requests)
+            self._begin_run()
             # min-heap of server-free times
             free_at = [0.0] * self.servers
             heapq.heapify(free_at)
             records: list[RequestRecord] = []
-            for arrival in arrivals:
+            shed: list[float] = []
+            starts: list[float] = []  # nondecreasing under FCFS
+            for i, arrival in enumerate(arrivals):
+                arrival = float(arrival)
+                if self.queue_limit is not None:
+                    waiting = len(starts) - bisect_right(starts, arrival)
+                    if waiting >= self.queue_limit:
+                        shed.append(arrival)
+                        continue
                 earliest = heapq.heappop(free_at)
-                start = max(float(arrival), earliest)
-                finish = start + self.service_time
+                start = max(arrival, earliest)
+                busy_others = sum(1 for t in free_at if t > start)
+                finish = start + self._service_time_for(i, busy_others)
                 heapq.heappush(free_at, finish)
-                records.append(RequestRecord(float(arrival), start, finish))
-            horizon = max(r.finish for r in records)
-            _record_serving_obs(records, arrivals)
-            return ServingStats(
+                starts.append(start)
+                records.append(RequestRecord(arrival, start, finish))
+            horizon = max((r.finish for r in records), default=0.0)
+            stats = ServingStats(
                 records=records, horizon=horizon, servers=self.servers,
-                service_time=self.service_time,
+                service_time=self.service_time, shed_arrivals=shed,
+                fallbacks=self._run_fallbacks, slo_s=self.slo_s,
             )
+            _record_serving_obs(stats)
+            return stats
 
     def load_sweep(
         self, fractions: tuple[float, ...] = (0.3, 0.5, 0.7, 0.9),
@@ -214,12 +328,17 @@ class ContentionAwareSimulator(ServingSimulator):
         service_time_alone_s: float,
         service_time_contended_s: float,
         seed: int | None = None,
+        queue_limit: int | None = None,
+        slo_s: float | None = None,
     ) -> None:
         if service_time_contended_s < service_time_alone_s:
             raise ConfigError(
                 "contended service time must be >= the solo service time"
             )
-        super().__init__(servers, service_time_alone_s, seed=seed)
+        super().__init__(
+            servers, service_time_alone_s, seed=seed,
+            queue_limit=queue_limit, slo_s=slo_s,
+        )
         self.service_contended = service_time_contended_s
 
     def _service_for_occupancy(self, busy_others: int) -> float:
@@ -230,32 +349,88 @@ class ContentionAwareSimulator(ServingSimulator):
             self.service_contended - self.service_time
         )
 
-    def run(self, arrival_rate_rps: float, n_requests: int = 2000) -> ServingStats:
-        if arrival_rate_rps <= 0:
-            raise ConfigError("arrival_rate_rps must be positive")
-        if n_requests < 1:
-            raise ConfigError("n_requests must be >= 1")
-        with obs.span(
-            "serving.run_contended", cat="serving",
-            servers=self.servers, n_requests=n_requests,
-        ):
-            rng = make_rng(self.seed)
-            arrivals = np.cumsum(
-                rng.exponential(1.0 / arrival_rate_rps, n_requests)
+    def _service_time_for(self, index: int, busy_others: int) -> float:
+        return self._service_for_occupancy(busy_others)
+
+
+class ResilientServingSimulator(ServingSimulator):
+    """Admission control + predictor-driven service with a safe fallback.
+
+    Models a replica whose per-request service time comes from the
+    algorithm-selection predictor (``selector(i) -> seconds``).  When the
+    selector raises — or is absent — the request is served in **degraded
+    mode** at ``fallback_service_time_s``, the service time of a
+    configurable safe algorithm (e.g. ``im2col_gemm6``, applicable to
+    every layer).  After ``max_selector_failures`` *consecutive* failures
+    the circuit breaker opens and the rest of the run stays degraded
+    (counted once under ``serving.circuit_opened``).
+
+    An active :mod:`repro.faults` plan with ``serving.predictor_error``
+    injects deterministic per-request selector failures.
+    """
+
+    def __init__(
+        self,
+        servers: int,
+        service_time_s: float,
+        seed: int | None = None,
+        queue_limit: int | None = None,
+        slo_s: float | None = None,
+        selector: Callable[[int], float] | None = None,
+        fallback_service_time_s: float | None = None,
+        max_selector_failures: int = 3,
+    ) -> None:
+        super().__init__(
+            servers, service_time_s, seed=seed,
+            queue_limit=queue_limit, slo_s=slo_s,
+        )
+        fallback = (
+            service_time_s if fallback_service_time_s is None
+            else fallback_service_time_s
+        )
+        if fallback <= 0:
+            raise ConfigError("fallback_service_time_s must be positive")
+        if max_selector_failures < 1:
+            raise ConfigError(
+                f"max_selector_failures must be >= 1, got {max_selector_failures}"
             )
-            free_at = [0.0] * self.servers
-            heapq.heapify(free_at)
-            records: list[RequestRecord] = []
-            for arrival in arrivals:
-                earliest = heapq.heappop(free_at)
-                start = max(float(arrival), earliest)
-                busy_others = sum(1 for t in free_at if t > start)
-                finish = start + self._service_for_occupancy(busy_others)
-                heapq.heappush(free_at, finish)
-                records.append(RequestRecord(float(arrival), start, finish))
-            horizon = max(r.finish for r in records)
-            _record_serving_obs(records, arrivals)
-            return ServingStats(
-                records=records, horizon=horizon, servers=self.servers,
-                service_time=self.service_time,
-            )
+        self.selector = selector
+        self.fallback_service_time = fallback
+        self.max_selector_failures = max_selector_failures
+        self._consecutive_failures = 0
+        self._circuit_open = False
+
+    def _begin_run(self) -> None:
+        super()._begin_run()
+        self._consecutive_failures = 0
+        self._circuit_open = False
+
+    def _fallback(self) -> float:
+        self._run_fallbacks += 1
+        obs.count("serving.fallbacks")
+        return self.fallback_service_time
+
+    def _service_time_for(self, index: int, busy_others: int) -> float:
+        if self.selector is None or self._circuit_open:
+            return self._fallback()
+        plan = faults.active_plan()
+        try:
+            if plan is not None and plan.predictor_fails(index):
+                faults.mark_injected("serving.predictor_error")
+                raise InjectedFaultError(
+                    f"injected predictor failure for request {index}"
+                )
+            service = float(self.selector(index))
+            if service <= 0:
+                raise ConfigError(
+                    f"selector returned non-positive service time {service}"
+                )
+        except Exception:
+            self._consecutive_failures += 1
+            if (self._consecutive_failures >= self.max_selector_failures
+                    and not self._circuit_open):
+                self._circuit_open = True
+                obs.count("serving.circuit_opened")
+            return self._fallback()
+        self._consecutive_failures = 0
+        return service

@@ -1,6 +1,9 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and a suite-wide hang watchdog for the test suite."""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import numpy as np
 import pytest
@@ -12,6 +15,44 @@ settings.load_profile("deterministic")
 
 from repro.nn.layer import ConvSpec
 from repro.simulator.hwconfig import HardwareConfig
+
+#: Per-test hang cap in seconds.  The chaos suite injects worker hangs on
+#: purpose; a regression that defeats the engine's timeout/retry machinery
+#: must fail the test, not wedge the whole suite (or a CI job) forever.
+SUITE_TIMEOUT_S = 300
+
+
+def pytest_configure(config) -> None:
+    if config.pluginmanager.hasplugin("timeout"):
+        # CI installs pytest-timeout (the ``dev`` extra); it handles
+        # threads and subprocesses better than the SIGALRM fallback below.
+        if getattr(config.option, "timeout", None) is None:
+            config.option.timeout = SUITE_TIMEOUT_S
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """SIGALRM fallback watchdog when pytest-timeout is unavailable."""
+    use_alarm = (
+        not item.config.pluginmanager.hasplugin("timeout")
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return (yield)
+
+    def _expired(signum, frame):
+        raise TimeoutError(
+            f"test exceeded the suite-wide {SUITE_TIMEOUT_S}s watchdog"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(SUITE_TIMEOUT_S)
+    try:
+        return (yield)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,275 @@
+"""Chaos suite: the engine must erase injected faults, bit-identically.
+
+The acceptance bar: with seeded worker crashes, worker hangs and ~10%
+disk-cache corruption all active, a full 448-point grid (28 layers x 4
+configs x 4 algorithms) evaluated in parallel returns *exactly* the
+records a fault-free serial run produces, and every recovery action is
+visible in the observability counters.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import faults, obs
+from repro.algorithms.registry import ALGORITHM_NAMES
+from repro.engine import (
+    CellError,
+    CheckpointJournal,
+    EvalTask,
+    EvaluationEngine,
+    MemoCache,
+    grid_fingerprint,
+)
+from repro.errors import CampaignAbortedError, EngineError
+from repro.experiments.campaign import run_campaign
+from repro.experiments.configs import workload
+from repro.simulator.hwconfig import HardwareConfig
+
+
+def phases_equal(a, b) -> bool:
+    """Exact (bit-identical) equality of two LayerCycles records."""
+    return a.algorithm == b.algorithm and [
+        p.__dict__ for p in a.phases
+    ] == [p.__dict__ for p in b.phases]
+
+
+@pytest.fixture(scope="module")
+def grid_tasks() -> list[EvalTask]:
+    """The 448-point grid: 28 layers x 4 configs x 4 algorithms."""
+    specs = workload("vgg16") + workload("yolov3")
+    configs = [HardwareConfig.paper2_rvv(v, 1.0) for v in (512, 1024, 2048, 4096)]
+    return [
+        EvalTask(name, spec, hw)
+        for spec in specs for hw in configs for name in ALGORITHM_NAMES
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline(grid_tasks):
+    """Fault-free serial records (any ambient plan explicitly masked)."""
+    with faults.inject(None):
+        return EvaluationEngine(max_workers=1).evaluate_many(grid_tasks)
+
+
+@pytest.fixture
+def recorder():
+    rec = obs.enable()
+    yield rec
+    obs.disable()
+
+
+def counters(rec) -> dict[str, float]:
+    return rec.snapshot()["counters"]
+
+
+class TestEngineChaos:
+    def test_crash_hang_corruption_bit_identical(
+        self, tmp_path, grid_tasks, baseline, recorder
+    ):
+        """The acceptance scenario: crash + hang + 10% corruption."""
+        engine = EvaluationEngine(
+            cache=MemoCache(disk_dir=tmp_path),
+            max_workers=2,
+            chunk_timeout_s=2.0,
+            retry_backoff_s=0.01,
+        )
+        plan = faults.parse_fault_spec(
+            "seed=42,worker.crash=1,worker.hang=1,hang.seconds=5,"
+            "cache.corrupt=0.1"
+        )
+        with faults.inject(plan):
+            records = engine.evaluate_many(grid_tasks)
+        assert len(records) == len(baseline) == 448
+        for got, want in zip(records, baseline):
+            assert phases_equal(got, want)
+        c = counters(recorder)
+        assert c["faults.injected.engine.worker.crash"] == 1
+        assert c["faults.injected.engine.worker.hang"] == 1
+        assert c.get("engine.pool_restarts", 0) >= 1
+        assert c.get("engine.retries", 0) >= 1
+        assert engine.cache.stats.corrupt_entries == 0  # writes, not reads
+
+        # ~10% of the disk entries landed corrupted; a fresh engine must
+        # detect them, recompute, and still match the baseline exactly.
+        fresh = EvaluationEngine(cache=MemoCache(disk_dir=tmp_path))
+        with faults.inject(None):
+            reread = fresh.evaluate_many(grid_tasks)
+        for got, want in zip(reread, baseline):
+            assert phases_equal(got, want)
+        assert fresh.cache.stats.corrupt_entries > 0
+        assert c.get("engine.cache.corrupt_entries", 0) + counters(recorder)[
+            "engine.cache.corrupt_entries"
+        ] > 0
+
+    def test_hang_timeout_salvages_finished_chunks(
+        self, grid_tasks, baseline, recorder
+    ):
+        """A hung worker trips the chunk timeout; finished chunks survive."""
+        engine = EvaluationEngine(
+            max_workers=2, chunk_timeout_s=1.0, retry_backoff_s=0.01
+        )
+        with faults.inject("seed=1,worker.hang=1,hang.seconds=30"):
+            records = engine.evaluate_many(grid_tasks)
+        for got, want in zip(records, baseline):
+            assert phases_equal(got, want)
+        c = counters(recorder)
+        assert c["engine.chunk_timeouts"] >= 1
+        assert c.get("engine.chunks_salvaged", 0) >= 1
+
+    def test_serial_path_immune_to_worker_faults(self, grid_tasks, baseline):
+        """worker.crash must never ``os._exit`` the caller's own process."""
+        engine = EvaluationEngine(max_workers=1)
+        with faults.inject("seed=1,worker.crash=5,worker.hang=5"):
+            records = engine.evaluate_many(grid_tasks[:32])
+        for got, want in zip(records, baseline[:32]):
+            assert phases_equal(got, want)
+
+    def test_cache_write_errors_are_absorbed(self, tmp_path, baseline, grid_tasks):
+        engine = EvaluationEngine(cache=MemoCache(disk_dir=tmp_path))
+        with faults.inject("seed=3,cache.write_error=0.5"):
+            records = engine.evaluate_many(grid_tasks[:64])
+        for got, want in zip(records, baseline[:64]):
+            assert phases_equal(got, want)
+        assert engine.cache.stats.write_errors > 0
+
+    def test_injected_cell_errors_are_isolated(self, grid_tasks, baseline, recorder):
+        """~10% of cells fail; the rest are still bit-identical."""
+        engine = EvaluationEngine(max_workers=2, retry_backoff_s=0.01)
+        with faults.inject("seed=5,cell.error=0.1"):
+            records = engine.evaluate_many(grid_tasks, on_error="record")
+        errors = [r for r in records if isinstance(r, CellError)]
+        assert 0 < len(errors) < len(records)
+        for got, want in zip(records, baseline):
+            if not isinstance(got, CellError):
+                assert phases_equal(got, want)
+        failing_keys = {
+            engine.key(t) for t, r in zip(grid_tasks, records)
+            if isinstance(r, CellError)
+        }
+        assert counters(recorder)["engine.cell_errors"] == len(failing_keys)
+        # failed cells were never cached: a fault-free pass on the same
+        # engine recomputes them and converges to the full baseline
+        with faults.inject(None):
+            healed = engine.evaluate_many(grid_tasks)
+        for got, want in zip(healed, baseline):
+            assert phases_equal(got, want)
+
+
+class TestCheckpointResume:
+    @pytest.fixture
+    def small_grid(self):
+        from repro.experiments.configs import grid
+
+        return {"vgg16": workload("vgg16")[:4]}, list(grid())[:4]
+
+    def test_abort_and_resume_bit_identical(self, tmp_path, small_grid, recorder):
+        """Kill mid-campaign, resume, recompute only unfinished cells."""
+        workloads, configs = small_grid
+        journal = tmp_path / "campaign.jsonl"
+        with faults.inject(None):
+            base = run_campaign(
+                workloads, configs, engine=EvaluationEngine(), name="t"
+            )
+        with faults.inject("seed=7,campaign.abort=20"):
+            with pytest.raises(CampaignAbortedError, match="--resume"):
+                run_campaign(
+                    workloads, configs, engine=EvaluationEngine(), name="t",
+                    journal=journal, checkpoint_every=8,
+                )
+        assert len(journal.read_text().splitlines()) == 21  # header + 20
+
+        resumed = run_campaign(
+            workloads, configs, engine=EvaluationEngine(), name="t",
+            journal=journal, resume=True, checkpoint_every=8,
+        )
+        assert resumed.records == base.records
+        # only the 44 unfinished cells were appended on resume
+        assert len(journal.read_text().splitlines()) == 1 + 64
+        c = counters(recorder)
+        assert c["faults.injected.campaign.abort"] == 1
+        assert c["engine.journal_appends"] == 64
+
+    def test_fresh_run_discards_stale_journal(self, tmp_path, small_grid):
+        workloads, configs = small_grid
+        journal = tmp_path / "campaign.jsonl"
+        with faults.inject("seed=7,campaign.abort=20"):
+            with pytest.raises(CampaignAbortedError):
+                run_campaign(
+                    workloads, configs, engine=EvaluationEngine(), name="t",
+                    journal=journal, checkpoint_every=8,
+                )
+        # no --resume: the stale journal is replaced, not merged
+        fresh = run_campaign(
+            workloads, configs, engine=EvaluationEngine(), name="t",
+            journal=journal, checkpoint_every=64,
+        )
+        assert len(journal.read_text().splitlines()) == 1 + 64
+        assert len(fresh.records) == 64
+
+
+class TestJournalIntegrity:
+    FP = "a" * 16
+
+    def _journal_with_records(self, path, n: int = 3) -> CheckpointJournal:
+        j = CheckpointJournal(path, self.FP, "t")
+        for i in range(n):
+            j.append({"cell": i})
+        j.close()
+        return j
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._journal_with_records(path)
+        assert CheckpointJournal(path, self.FP, "t").load() == [
+            {"cell": 0}, {"cell": 1}, {"cell": 2}
+        ]
+
+    def test_fingerprint_mismatch_is_a_hard_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._journal_with_records(path)
+        with pytest.raises(EngineError, match="different"):
+            CheckpointJournal(path, "b" * 16, "t").load()
+
+    def test_torn_trailing_line_dropped_and_truncated(self, tmp_path, recorder):
+        path = tmp_path / "j.jsonl"
+        self._journal_with_records(path)
+        clean_size = path.stat().st_size
+        with open(path, "a") as fh:
+            fh.write('{"kind": "record", "da')  # crash landed mid-append
+        j = CheckpointJournal(path, self.FP, "t")
+        assert j.load() == [{"cell": 0}, {"cell": 1}, {"cell": 2}]
+        assert path.stat().st_size == clean_size  # fragment gone on disk
+        j.append({"cell": 3})  # appends continue on a clean line
+        j.close()
+        assert CheckpointJournal(path, self.FP, "t").load()[-1] == {"cell": 3}
+        assert counters(recorder)["engine.journal_torn_lines"] == 1
+
+    def test_mid_file_corruption_is_a_hard_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._journal_with_records(path)
+        lines = path.read_text().splitlines()
+        lines[1] = "not json"
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(EngineError, match="corrupt"):
+            CheckpointJournal(path, self.FP, "t").load()
+
+    def test_unreadable_header_is_a_hard_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        path.write_text("garbage\n")
+        with pytest.raises(EngineError, match="header"):
+            CheckpointJournal(path, self.FP, "t").load()
+
+    def test_grid_fingerprint_order_independent(self):
+        a = [("w", 1, "direct", 512, 1.0), ("w", 2, "direct", 512, 1.0)]
+        assert grid_fingerprint(a) == grid_fingerprint(list(reversed(a)))
+        assert grid_fingerprint(a) != grid_fingerprint(a[:1])
+
+    def test_journal_lines_are_valid_json(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._journal_with_records(path)
+        rows = [json.loads(line) for line in path.read_text().splitlines()]
+        assert rows[0]["kind"] == "header"
+        assert all(r["kind"] == "record" for r in rows[1:])

@@ -238,6 +238,116 @@ class TestEvaluationEngine:
         with pytest.raises(EngineError):
             EvaluationEngine().evaluate_many([], max_workers=0)
 
+    def test_rejects_bad_resilience_knobs(self):
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError):
+            EvaluationEngine(chunk_timeout_s=0.0)
+        with pytest.raises(EngineError):
+            EvaluationEngine(max_retries=-1)
+        with pytest.raises(EngineError):
+            EvaluationEngine(retry_backoff_s=-0.1)
+        with pytest.raises(EngineError):
+            EvaluationEngine().evaluate_many([], on_error="ignore")
+
+
+class TestSerialFallback:
+    """Pool-less environments degrade to in-process execution, audibly."""
+
+    @pytest.fixture
+    def no_pools(self, monkeypatch):
+        import repro.engine.executor as executor
+
+        def refuse(ctx, size):
+            raise OSError("process spawning disabled")
+
+        monkeypatch.setattr(
+            EvaluationEngine, "_new_pool", staticmethod(refuse)
+        )
+        monkeypatch.setattr(executor, "_warned_serial_fallback", False)
+
+    def test_falls_back_serially_with_warning_and_counter(
+        self, hw, no_pools
+    ):
+        from repro import obs
+
+        specs = [ConvSpec(ic=8, oc=8, ih=16, iw=16, index=i) for i in range(4)]
+        tasks = [
+            EvalTask(name, s, hw) for s in specs for name in ALGORITHM_NAMES
+        ]
+        expected = EvaluationEngine(max_workers=1).evaluate_many(tasks)
+        engine = EvaluationEngine(max_workers=2)
+        recorder = obs.enable()
+        try:
+            with pytest.warns(RuntimeWarning, match="process pool unavailable"):
+                records = engine.evaluate_many(tasks)
+            assert recorder.snapshot()["counters"]["engine.serial_fallbacks"] == 1
+        finally:
+            obs.disable()
+        for got, want in zip(records, expected):
+            assert phases_equal(got, want)
+
+    def test_warns_once_only(self, hw, no_pools):
+        import warnings
+
+        specs = [ConvSpec(ic=8, oc=8, ih=16, iw=16, index=i) for i in range(2)]
+        tasks = [
+            EvalTask(name, s, hw) for s in specs for name in ALGORITHM_NAMES
+        ]
+        engine = EvaluationEngine(max_workers=2, use_cache=False)
+        with pytest.warns(RuntimeWarning):
+            engine.evaluate_many(tasks)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would raise
+            engine.evaluate_many(tasks)
+
+
+class TestCellErrorHandling:
+    """Per-cell error isolation and dedup of failing cells."""
+
+    @pytest.fixture
+    def failing_task(self, hw) -> EvalTask:
+        # winograd without fallback on a 1x1 layer raises NotApplicableError
+        one_by_one = ConvSpec(ic=8, oc=8, ih=14, iw=14, kh=1, kw=1, index=5)
+        return EvalTask("winograd", one_by_one, hw, fallback=False)
+
+    def test_record_mode_isolates_and_dedups_failures(
+        self, spec, hw, failing_task
+    ):
+        from repro.engine import CellError
+
+        engine = EvaluationEngine()
+        records = engine.evaluate_many(
+            [failing_task, EvalTask("direct", spec, hw), failing_task],
+            on_error="record",
+        )
+        assert isinstance(records[0], CellError)
+        assert records[2] is records[0]  # duplicate shares one error record
+        assert records[0].error_type == "NotApplicableError"
+        assert records[0].layer == 5 and records[0].vlen_bits == hw.vlen_bits
+        assert not isinstance(records[1], CellError)
+        assert phases_equal(records[1], layer_cycles("direct", spec, hw))
+        assert len(engine.cache) == 1  # the failure was never cached
+
+    def test_raise_mode_reraises_original_type_with_cell_named(
+        self, failing_task
+    ):
+        from repro.errors import NotApplicableError
+
+        with pytest.raises(NotApplicableError, match="winograd on layer 5"):
+            EvaluationEngine().evaluate_many([failing_task])
+
+    def test_failures_not_cached_so_retries_recompute(self, failing_task):
+        from repro.engine import CellError
+
+        engine = EvaluationEngine()
+        first = engine.evaluate_many([failing_task], on_error="record")
+        second = engine.evaluate_many([failing_task], on_error="record")
+        assert isinstance(first[0], CellError)
+        assert isinstance(second[0], CellError)
+        assert second[0] is not first[0]  # recomputed, not replayed
+        assert engine.cache.stats.stores == 0
+
 
 class TestDefaultEngine:
     def test_configure_default(self):

@@ -1,0 +1,170 @@
+"""Tests for the deterministic fault-injection plane (repro.faults)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import faults
+from repro.errors import FaultSpecError
+from repro.faults import ENV_VAR, FaultPlan, active_plan, inject, parse_fault_spec
+from repro.faults.plan import _hash_unit
+
+
+class TestSpecGrammar:
+    def test_parse_every_key(self):
+        plan = parse_fault_spec(
+            "seed=42,worker.crash=2,worker.hang=1,hang.seconds=5,"
+            "cache.corrupt=0.1,cache.write_error=0.05,cell.error=0.2,"
+            "serving.burst=3,serving.predictor_error=0.15,campaign.abort=10"
+        )
+        assert plan.seed == 42
+        assert plan.worker_crash == 2 and plan.worker_hang == 1
+        assert plan.hang_seconds == 5.0
+        assert plan.cache_corrupt == 0.1 and plan.cache_write_error == 0.05
+        assert plan.cell_error == 0.2
+        assert plan.serving_burst == 3.0 and plan.predictor_error == 0.15
+        assert plan.campaign_abort == 10
+
+    def test_empty_spec_is_the_default_plan(self):
+        assert parse_fault_spec("") == FaultPlan()
+
+    def test_whitespace_tolerated(self):
+        assert parse_fault_spec(" seed = 7 , worker.crash = 1 ") == FaultPlan(
+            seed=7, worker_crash=1
+        )
+
+    def test_round_trip_exact(self):
+        spec = ("seed=42,worker.crash=2,worker.hang=1,hang.seconds=5,"
+                "cache.corrupt=0.1,campaign.abort=10")
+        plan = parse_fault_spec(spec)
+        assert parse_fault_spec(plan.to_spec()) == plan
+
+    def test_default_plan_serializes_empty(self):
+        assert FaultPlan().to_spec() == ""
+
+    @pytest.mark.parametrize("bad", [
+        "seed",                       # no '='
+        "seed=abc",                   # non-integer seed
+        "worker.explode=1",           # unknown site
+        "cache.corrupt=1.5",          # rate out of range
+        "cache.corrupt=-0.1",
+        "worker.crash=-1",            # negative count
+        "serving.burst=0.5",          # burst below 1
+        "hang.seconds=0",             # non-positive hang
+    ])
+    def test_malformed_specs_rejected(self, bad):
+        with pytest.raises(FaultSpecError):
+            parse_fault_spec(bad)
+
+
+class TestDeterminism:
+    def test_hash_unit_is_pure_and_uniform_ish(self):
+        draws = [_hash_unit(42, "cache.corrupt", str(i)) for i in range(2000)]
+        assert draws == [
+            _hash_unit(42, "cache.corrupt", str(i)) for i in range(2000)
+        ]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        # crude uniformity: a 10% rate selects roughly 10% of tokens
+        assert 120 < sum(d < 0.1 for d in draws) < 280
+
+    def test_decisions_stable_across_instances(self):
+        a = parse_fault_spec("seed=7,cell.error=0.3")
+        b = parse_fault_spec("seed=7,cell.error=0.3")
+        tokens = [f"direct:{i}:512:1" for i in range(100)]
+        assert [a.cell_fails(t) for t in tokens] == [
+            b.cell_fails(t) for t in tokens
+        ]
+
+    def test_seed_changes_decisions(self):
+        tokens = [f"t{i}" for i in range(200)]
+        a = FaultPlan(seed=1, cache_corrupt=0.5)
+        b = FaultPlan(seed=2, cache_corrupt=0.5)
+        assert [a.corrupts_write(t) for t in tokens] != [
+            b.corrupts_write(t) for t in tokens
+        ]
+
+    def test_sites_are_independent(self):
+        plan = FaultPlan(seed=3, cache_corrupt=0.5, cache_write_error=0.5)
+        tokens = [f"t{i}" for i in range(200)]
+        assert [plan.corrupts_write(t) for t in tokens] != [
+            plan.write_fails(t) for t in tokens
+        ]
+
+    def test_worker_faults_fire_on_first_attempt_only(self):
+        plan = FaultPlan(worker_crash=2, worker_hang=1)
+        assert plan.worker_fault(0, 0) == "crash"
+        assert plan.worker_fault(1, 0) == "crash"
+        assert plan.worker_fault(2, 0) == "hang"
+        assert plan.worker_fault(3, 0) is None
+        assert all(plan.worker_fault(i, 1) is None for i in range(4))
+
+    def test_burst_window_is_middle_third(self):
+        plan = FaultPlan(serving_burst=2.0)
+        assert plan.burst_window(300) == (100, 200, 2.0)
+        assert FaultPlan().burst_window(300) == (0, 0, 1.0)
+        assert plan.burst_window(2) == (0, 0, 1.0)  # too few requests
+
+    def test_aborts_campaign_threshold(self):
+        plan = FaultPlan(campaign_abort=5)
+        assert not plan.aborts_campaign(4)
+        assert plan.aborts_campaign(5) and plan.aborts_campaign(6)
+        assert not FaultPlan().aborts_campaign(1000)
+
+
+class TestInjectScoping:
+    def test_no_ambient_plan(self):
+        assert active_plan() is None
+
+    def test_inject_sets_global_and_env(self):
+        plan = FaultPlan(seed=9, worker_crash=1)
+        with inject(plan):
+            assert active_plan() is plan
+            assert os.environ[ENV_VAR] == plan.to_spec()
+        assert active_plan() is None
+        assert ENV_VAR not in os.environ
+
+    def test_inject_accepts_spec_string(self):
+        with inject("seed=5,cell.error=0.1") as plan:
+            assert active_plan() is plan
+            assert plan.cell_error == 0.1
+
+    def test_scopes_nest_and_restore(self):
+        outer = FaultPlan(seed=1, worker_crash=1)
+        inner = FaultPlan(seed=2, worker_hang=1)
+        with inject(outer):
+            with inject(inner):
+                assert active_plan() is inner
+            assert active_plan() is outer
+            assert os.environ[ENV_VAR] == outer.to_spec()
+
+    def test_inject_none_masks_ambient_plan(self):
+        with inject(FaultPlan(seed=1, worker_crash=1)):
+            with inject(None):
+                assert active_plan() is None
+                assert ENV_VAR not in os.environ
+            assert active_plan() is not None
+
+    def test_env_var_alone_activates_a_plan(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "seed=11,cache.corrupt=0.25")
+        plan = active_plan()
+        assert plan is not None and plan.cache_corrupt == 0.25
+        # memoized: the same spec returns the identical parsed object
+        assert active_plan() is plan
+
+    def test_malformed_env_var_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "worker.crash=maybe")
+        with pytest.raises(FaultSpecError):
+            active_plan()
+
+    def test_mark_injected_counts(self):
+        from repro import obs
+
+        recorder = obs.enable()
+        try:
+            faults.mark_injected("test.site")
+            faults.mark_injected("test.site", 2)
+            assert recorder.snapshot()["counters"]["faults.injected.test.site"] == 3.0
+        finally:
+            obs.disable()
