@@ -69,6 +69,15 @@ class CheckpointJournal:
         try:
             header = json.loads(lines[0])
         except ValueError:
+            if len(lines) == 1 and not raw.endswith("\n"):
+                # Torn header: the crash landed inside the very first
+                # append, before any record existed.  There is nothing to
+                # resume, so recover by starting the journal over instead
+                # of demanding manual deletion.
+                obs.count("engine.journal_torn_lines")
+                with open(self.path, "r+") as fh:
+                    fh.truncate(0)
+                return []
             raise EngineError(
                 f"checkpoint journal {self.path} has an unreadable header; "
                 "delete it to start over"

@@ -82,3 +82,11 @@ class InjectedFaultError(ReproError):
 
 class CampaignAbortedError(ReproError):
     """A checkpointed campaign was aborted mid-run (resume with ``--resume``)."""
+
+
+class ServeError(ReproError):
+    """The prediction service was misconfigured or driven into a bad state."""
+
+
+class ProtocolError(ServeError):
+    """A serving request or response violates the wire schema."""

@@ -1,0 +1,69 @@
+"""A real async serving layer over the co-design stack.
+
+Where :mod:`repro.serving` *simulates* request-level dynamics,
+:mod:`repro.serve` actually serves: ``repro-serve`` is an asyncio
+service that answers algorithm-selection queries (which convolution
+algorithm should this layer use on this hardware, and what will it
+cost?) from the trained predictor, with an engine-backed fallback
+through the shared content-addressed memo cache, micro-batching, and
+PR 5's overload policies — admission control, shedding, SLO accounting,
+a circuit breaker — promoted from simulator internals to real
+middleware.
+
+The package ships its own proving ground: :mod:`repro.serve.loadgen`
+generates seeded diurnal/bursty traces and replays them against the
+in-process service on a virtual clock, which is how the integration
+suite (``tests/test_serve_integration.py``) pins response parity,
+SLO safety under overload and breaker behavior deterministically.
+See ``docs/SERVING.md``.
+"""
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.clock import Clock, MonotonicClock, VirtualClock
+from repro.serve.loadgen import (
+    ReplayResult,
+    TimedRequest,
+    TraceSpec,
+    default_workload,
+    generate_trace,
+    replay,
+)
+from repro.serve.middleware import (
+    AdmissionController,
+    CircuitBreaker,
+    ServingLedger,
+)
+from repro.serve.protocol import (
+    ServeRequest,
+    ServeResponse,
+    error_response,
+    shed_response,
+)
+from repro.serve.server import AsyncServeServer, ServeApp, main, stats_dict
+from repro.serve.service import FALLBACK_POLICIES, PredictionService
+
+__all__ = [
+    "AdmissionController",
+    "AsyncServeServer",
+    "CircuitBreaker",
+    "Clock",
+    "FALLBACK_POLICIES",
+    "MicroBatcher",
+    "MonotonicClock",
+    "PredictionService",
+    "ReplayResult",
+    "ServeApp",
+    "ServeRequest",
+    "ServeResponse",
+    "ServingLedger",
+    "TimedRequest",
+    "TraceSpec",
+    "VirtualClock",
+    "default_workload",
+    "error_response",
+    "generate_trace",
+    "main",
+    "replay",
+    "shed_response",
+    "stats_dict",
+]

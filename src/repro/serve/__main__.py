@@ -1,0 +1,7 @@
+"""``python -m repro.serve`` — same entry point as the ``repro-serve`` script."""
+
+import sys
+
+from repro.serve.server import main
+
+sys.exit(main())

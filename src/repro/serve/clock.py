@@ -1,0 +1,55 @@
+"""Clock abstraction: real time for the server, virtual time for tests.
+
+Everything in :mod:`repro.serve` that needs "now" asks a :class:`Clock`
+instead of :func:`time.monotonic`, so the deterministic load-test harness
+(:mod:`repro.serve.loadgen`) can drive the whole service on a
+:class:`VirtualClock` — time advances only when the harness says so, and
+two replays of the same trace see bit-identical timestamps.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import ServeError
+
+
+class Clock:
+    """Interface: a monotonically nondecreasing source of seconds."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Wall-clock time (``time.monotonic``) — what ``repro-serve`` runs on."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+
+class VirtualClock(Clock):
+    """Manually advanced time for deterministic replay.
+
+    ``advance_to`` refuses to move backwards — a harness bug that would
+    silently produce negative latencies becomes a loud :class:`ServeError`.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        if t < self._now:
+            raise ServeError(
+                f"virtual clock cannot move backwards ({t} < {self._now})"
+            )
+        self._now = float(t)
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ServeError(f"virtual clock cannot advance by {dt} < 0")
+        return self.advance_to(self._now + dt)

@@ -110,6 +110,33 @@ class ServingStats:
     def __post_init__(self) -> None:
         self._latencies = np.array([r.latency for r in self.records])
 
+    @classmethod
+    def collect(
+        cls,
+        records: list[RequestRecord],
+        servers: int,
+        shed_arrivals: list[float] | None = None,
+        fallbacks: int = 0,
+        slo_s: float | None = None,
+    ) -> "ServingStats":
+        """Build stats from already-collected request timelines.
+
+        The real serving layer (:mod:`repro.serve`) measures per-request
+        timelines itself — service times vary per request there — so the
+        horizon is the last finish and ``service_time`` is the mean
+        busy time over the run.
+        """
+        records = list(records)
+        horizon = max((r.finish for r in records), default=0.0)
+        busy = [r.finish - r.start for r in records]
+        service = float(np.mean(busy)) if busy else 0.0
+        return cls(
+            records=records, horizon=horizon, servers=servers,
+            service_time=service,
+            shed_arrivals=list(shed_arrivals or []),
+            fallbacks=fallbacks, slo_s=slo_s,
+        )
+
     @property
     def n_requests(self) -> int:
         return len(self.records)

@@ -28,6 +28,8 @@ from repro.experiments.campaign import run_campaign
 from repro.experiments.configs import workload
 from repro.simulator.hwconfig import HardwareConfig
 
+pytestmark = pytest.mark.chaos  # fault-injection suite: full-suite CI job
+
 
 def phases_equal(a, b) -> bool:
     """Exact (bit-identical) equality of two LayerCycles records."""
@@ -260,6 +262,51 @@ class TestJournalIntegrity:
         path = tmp_path / "j.jsonl"
         path.write_text("garbage\n")
         with pytest.raises(EngineError, match="header"):
+            CheckpointJournal(path, self.FP, "t").load()
+
+    def test_torn_header_recovers_by_starting_over(self, tmp_path, recorder):
+        # The crash landed inside the very first append: a partial header
+        # with no trailing newline.  Nothing was journaled yet, so load()
+        # recovers (empty journal, file truncated) instead of demanding
+        # manual deletion.
+        path = tmp_path / "j.jsonl"
+        path.write_text('{"kind": "header", "sch')
+        j = CheckpointJournal(path, self.FP, "t")
+        assert j.load() == []
+        assert path.stat().st_size == 0
+        assert counters(recorder)["engine.journal_torn_lines"] == 1
+        j.append({"cell": 0})  # a fresh header is written on next append
+        j.close()
+        assert CheckpointJournal(path, self.FP, "t").load() == [{"cell": 0}]
+
+    def test_torn_header_with_records_behind_it_is_a_hard_error(self, tmp_path):
+        # A garbled header *followed by data* is not the torn-first-append
+        # signature: recovery would silently discard journaled records.
+        path = tmp_path / "j.jsonl"
+        self._journal_with_records(path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text(lines[0][: len(lines[0]) // 2] + "\n"
+                        + "".join(lines[1:]))
+        with pytest.raises(EngineError, match="unreadable header"):
+            CheckpointJournal(path, self.FP, "t").load()
+
+    def test_garbled_fingerprint_header_is_a_hard_error(self, tmp_path):
+        # The header parses but its fingerprint bytes were damaged —
+        # indistinguishable from a journal of some other grid.
+        path = tmp_path / "j.jsonl"
+        self._journal_with_records(path)
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text(lines[0].replace(self.FP, "!" * 16)
+                        + "".join(lines[1:]))
+        with pytest.raises(EngineError, match="different"):
+            CheckpointJournal(path, self.FP, "t").load()
+
+    def test_wrong_schema_header_is_a_hard_error(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        header = {"kind": "header", "schema": 999,
+                  "name": "t", "fingerprint": self.FP}
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(EngineError, match="incompatible"):
             CheckpointJournal(path, self.FP, "t").load()
 
     def test_grid_fingerprint_order_independent(self):

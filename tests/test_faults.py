@@ -11,6 +11,8 @@ from repro.errors import FaultSpecError
 from repro.faults import ENV_VAR, FaultPlan, active_plan, inject, parse_fault_spec
 from repro.faults.plan import _hash_unit
 
+pytestmark = pytest.mark.chaos  # fault-injection suite: full-suite CI job
+
 
 class TestSpecGrammar:
     def test_parse_every_key(self):

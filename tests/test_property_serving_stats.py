@@ -1,0 +1,127 @@
+"""Property-based conservation laws for serving accounting.
+
+The ISSUE-level invariants: over *any* random arrival/capacity stream,
+``offered == admitted + shed`` and SLO-breach counts never exceed the
+number of completed requests.  Both the discrete-event simulator
+(PR 5's :class:`ServingSimulator`) and the ledger the real service
+shares with it (:class:`~repro.serve.middleware.ServingLedger`) must
+hold them — they are what makes shed traffic auditable instead of
+silently dropped.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.middleware import AdmissionController, ServingLedger
+from repro.serving.simulator import ServingSimulator
+
+sim_params = {
+    "servers": st.integers(1, 8),
+    "service_time_ms": st.floats(0.1, 50.0, allow_nan=False),
+    "rate_rps": st.floats(1.0, 5000.0, allow_nan=False),
+    "n_requests": st.integers(1, 400),
+    "queue_limit": st.one_of(st.none(), st.integers(0, 64)),
+    "slo_ms": st.one_of(st.none(), st.floats(0.1, 500.0, allow_nan=False)),
+    "seed": st.integers(0, 2**31 - 1),
+}
+
+
+class TestSimulatorConservation:
+    @given(**sim_params)
+    @settings(max_examples=60, deadline=None)
+    def test_offered_equals_admitted_plus_shed(
+        self, servers, service_time_ms, rate_rps, n_requests,
+        queue_limit, slo_ms, seed,
+    ):
+        sim = ServingSimulator(
+            servers=servers,
+            service_time_s=service_time_ms / 1e3,
+            seed=seed,
+            queue_limit=queue_limit,
+            slo_s=slo_ms / 1e3 if slo_ms is not None else None,
+        )
+        stats = sim.run(rate_rps, n_requests=n_requests)
+
+        # conservation: every offered request is admitted or shed
+        assert stats.offered == n_requests
+        assert stats.n_requests + stats.shed == stats.offered
+        assert 0.0 <= stats.shed_rate <= 1.0
+        if queue_limit is None:
+            assert stats.shed == 0
+
+        # SLO breaches are a subset of completions
+        assert 0 <= stats.slo_breaches <= stats.n_requests
+        if slo_ms is None:
+            assert stats.slo_breaches == 0
+
+        # causal timelines: nonnegative waits, latency >= service entry
+        for rec in stats.records:
+            assert rec.start >= rec.arrival
+            assert rec.finish >= rec.start
+            assert rec.queue_wait >= 0.0
+            assert rec.latency >= rec.finish - rec.start
+
+        # percentiles of a nonnegative sample are ordered and nonnegative
+        if stats.n_requests:
+            assert 0.0 <= stats.p50 <= stats.p99
+            assert stats.p99 <= max(r.latency for r in stats.records)
+
+
+class TestLedgerConservation:
+    @given(
+        outcomes=st.lists(
+            st.tuples(
+                st.booleans(),                             # admitted?
+                st.floats(0.0, 100.0, allow_nan=False),    # arrival
+                st.floats(0.0, 10.0, allow_nan=False),     # queue wait
+                st.floats(0.0, 10.0, allow_nan=False),     # service time
+            ),
+            max_size=200,
+        ),
+        slo_ms=st.one_of(st.none(), st.floats(0.1, 500.0, allow_nan=False)),
+        servers=st.integers(1, 8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ledger_stats_conserve_any_stream(self, outcomes, slo_ms, servers):
+        ledger = ServingLedger(
+            slo_s=slo_ms / 1e3 if slo_ms is not None else None
+        )
+        admitted = shed = 0
+        for ok, arrival, wait, service in outcomes:
+            if ok:
+                start = arrival + wait
+                ledger.record(arrival, start, start + service)
+                admitted += 1
+            else:
+                ledger.record_shed(arrival)
+                shed += 1
+        stats = ledger.stats(servers=servers)
+        assert stats.n_requests == admitted
+        assert stats.shed == shed
+        assert stats.offered == admitted + shed
+        assert 0 <= stats.slo_breaches <= stats.n_requests
+        assert ledger.waiting_at(float("inf")) == 0
+        assert ledger.waiting_at(-1.0) == admitted
+
+    @given(
+        decisions=st.lists(st.booleans(), max_size=300),
+        queue_limit=st.one_of(st.none(), st.integers(0, 16)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_admission_controller_counts_every_arrival(
+        self, decisions, queue_limit
+    ):
+        """admit()/started() under any interleaving conserves arrivals."""
+        ctl = AdmissionController(queue_limit=queue_limit)
+        offered = 0
+        for start_one in decisions:
+            if start_one and ctl.depth:
+                ctl.started(1)
+            else:
+                ctl.admit()
+                offered += 1
+        assert ctl.admitted + ctl.shed == offered
+        if queue_limit is not None:
+            assert ctl.depth <= max(queue_limit, 0)

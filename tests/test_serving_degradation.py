@@ -14,6 +14,8 @@ from repro import faults, obs
 from repro.errors import ConfigError
 from repro.serving import ResilientServingSimulator, ServingSimulator
 
+pytestmark = pytest.mark.chaos  # fault-injection suite: full-suite CI job
+
 
 @pytest.fixture
 def recorder():
