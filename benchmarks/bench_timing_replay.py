@@ -1,10 +1,12 @@
 """Benchmarks of the batched (columnar) trace-timing replay path.
 
-Guards the PR's headline numbers: the set-partitioned batched replay of a
+Guards the PRs' headline numbers: the set-partitioned batched replay of a
 kernel trace must be >= 5x faster than the per-event sequential engine
-with bit-identical results, and a full real VGG-16 conv layer trace must
-replay in single-digit seconds.  ``REPLAY_BENCH_QUICK=1`` (set by the CI
-bench-smoke job) skips the large-layer run.
+with bit-identical results; the Numba-compiled and process-sharded
+replays must each be >= 3x faster again than that NumPy batched path;
+and a full real VGG-16 conv layer trace must replay in single-digit
+seconds.  ``REPLAY_BENCH_QUICK=1`` (set by the CI bench-smoke job) skips
+the large-layer run and shrinks the compiled/parallel trace.
 """
 
 import os
@@ -18,12 +20,24 @@ from repro.algorithms.direct import DirectConv
 from repro.isa import VectorMachine
 from repro.nn.layer import ConvSpec
 from repro.nn.models import vgg16_conv_specs
+from repro.simulator._compiled import HAVE_NUMBA
 from repro.simulator.hwconfig import HardwareConfig
 from repro.simulator.timing import TraceTimingModel
 
 QUICK = os.environ.get("REPLAY_BENCH_QUICK") == "1"
 
 REPLAY_SPEC = ConvSpec(ic=8, oc=16, ih=20, iw=20, kh=3, kw=3, index=1)
+
+#: Trace for the compiled/parallel speedup ratios: big enough that the
+#: hot loop dominates pool/JIT overheads even in quick mode, VGG-16
+#: conv1_1 (the paper's layer) otherwise.
+MID_SPEC = ConvSpec(ic=16, oc=32, ih=56, iw=56, kh=3, kw=3, index=1)
+
+needs_numba = pytest.mark.skipif(
+    not HAVE_NUMBA,
+    reason="Numba not installed (the [compiled] extra); CI's bench-smoke "
+           "job installs it so these ratios are always gated there",
+)
 
 
 def _best_of(func, repeats: int = 3) -> float:
@@ -58,7 +72,9 @@ def test_timing_replay_batched_vs_sequential(benchmark):
         return model.run(trace, flush=True, engine="sequential")
 
     def batched():
-        return model.run(trace, flush=True, engine="batched")
+        # pinned to the numpy backend: this ratio tracks the PR 3
+        # set-partitioned engine regardless of what `auto` resolves to
+        return model.run(trace, flush=True, engine="batched", backend="numpy")
 
     assert sequential() == batched()
 
@@ -73,6 +89,71 @@ def test_timing_replay_batched_vs_sequential(benchmark):
           f"({len(trace)} events, {rate:.1f}M events/s)")
     record_metric("timing.replay_batched_vs_sequential_speedup", speedup)
     assert speedup >= 5.0, f"batched replay only {speedup:.1f}x faster"
+
+
+@needs_numba
+def test_timing_replay_compiled_vs_batched(benchmark):
+    """The Numba kernel must beat the NumPy set-partitioned engine >= 3x
+    on the same trace, bit-identically (see docs/PERF.md)."""
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    trace = _trace_for(MID_SPEC if QUICK else vgg16_conv_specs()[0])
+    model = TraceTimingModel(cfg)
+
+    def numpy_batched():
+        return model.run(trace, flush=True, engine="batched", backend="numpy")
+
+    def compiled():
+        return model.run(
+            trace, flush=True, engine="batched", backend="compiled"
+        )
+
+    assert numpy_batched() == compiled()  # also warms the JIT caches
+
+    np_s = _best_of(numpy_batched)
+    c_s = _best_of(compiled)
+    benchmark(compiled)
+
+    speedup = np_s / c_s
+    rate = len(trace) / c_s / 1e6
+    print(f"\ncompiled replay: numpy {np_s * 1e3:.1f} ms, compiled "
+          f"{c_s * 1e3:.2f} ms, speedup {speedup:.1f}x "
+          f"({len(trace)} events, {rate:.1f}M events/s)")
+    record_metric("timing.replay_compiled_vs_batched_speedup", speedup)
+    assert speedup >= 3.0, f"compiled replay only {speedup:.1f}x faster"
+
+
+@needs_numba
+def test_timing_replay_parallel_vs_batched(benchmark):
+    """Sharded replay (auto backend in every worker) must beat the NumPy
+    batched engine >= 3x with identical results."""
+    from repro.simulator import replay_parallel
+
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    trace = _trace_for(MID_SPEC if QUICK else vgg16_conv_specs()[0])
+    model = TraceTimingModel(cfg)
+    workers = max(2, min(4, os.cpu_count() or 1))
+
+    def numpy_batched():
+        return model.run(trace, flush=True, engine="batched", backend="numpy")
+
+    def parallel():
+        return model.run(trace, flush=True, engine="batched", workers=workers)
+
+    # warm the pool and every worker's JIT cache before timing
+    assert numpy_batched() == parallel()
+
+    np_s = _best_of(numpy_batched)
+    par_s = _best_of(parallel)
+    benchmark(parallel)
+    replay_parallel.shutdown_pool()
+
+    speedup = np_s / par_s
+    rate = len(trace) / par_s / 1e6
+    print(f"\nparallel replay: numpy {np_s * 1e3:.1f} ms, {workers}-worker "
+          f"sharded {par_s * 1e3:.2f} ms, speedup {speedup:.1f}x "
+          f"({len(trace)} events, {rate:.1f}M events/s)")
+    record_metric("timing.replay_parallel_vs_batched_speedup", speedup)
+    assert speedup >= 3.0, f"parallel replay only {speedup:.1f}x faster"
 
 
 @pytest.mark.skipif(QUICK, reason="REPLAY_BENCH_QUICK=1: skip large layer")

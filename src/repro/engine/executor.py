@@ -39,6 +39,7 @@ from typing import Iterable, NoReturn, Sequence, cast
 
 from repro import faults, obs
 from repro.algorithms.registry import effective_algorithm, layer_cycles
+from repro.engine import pool as pool_plumbing
 from repro.engine.cache import MemoCache
 from repro.engine.keys import cache_key
 from repro.errors import EngineError, InjectedFaultError
@@ -383,35 +384,19 @@ class EvaluationEngine:
                 return self._compute_parallel(cells, workers, ctx)
         return _compute_chunk(cells, self.calibration)
 
+    # Thin delegates to the shared plumbing in :mod:`repro.engine.pool`
+    # (kept as staticmethods so tests can monkeypatch pool acquisition).
     @staticmethod
     def _pool_context():
-        import multiprocessing
-
-        try:
-            return multiprocessing.get_context("fork")
-        except ValueError:  # platforms without fork
-            return multiprocessing.get_context()
+        return pool_plumbing.pool_context()
 
     @staticmethod
     def _new_pool(ctx, size: int):
-        from concurrent.futures import ProcessPoolExecutor
-
-        return ProcessPoolExecutor(max_workers=size, mp_context=ctx)
+        return pool_plumbing.new_pool(ctx, size)
 
     @staticmethod
     def _stop_pool(pool) -> None:
-        """Tear a pool down even when a worker is wedged.
-
-        ``shutdown`` alone would join a hung worker forever, so any live
-        worker processes are terminated first (idle ones die instantly).
-        """
-        processes = getattr(pool, "_processes", None) or {}
-        for proc in list(processes.values()):
-            try:
-                proc.terminate()
-            except (OSError, AttributeError):
-                pass
-        pool.shutdown(wait=True, cancel_futures=True)
+        pool_plumbing.stop_pool(pool)
 
     @staticmethod
     def _serial_degrade(exc: BaseException) -> None:

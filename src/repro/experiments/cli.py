@@ -26,6 +26,7 @@ from repro.errors import (
     FaultSpecError,
     ReproError,
 )
+from repro.simulator.replay_backend import BACKEND_CHOICES
 
 #: ReproError subclass -> process exit code (first match wins; order from
 #: most to least specific so subclasses beat their bases).
@@ -193,6 +194,18 @@ def _main(argv: list[str] | None = None) -> int:
              "replay) for the given layer, e.g. vgg16:1",
     )
     parser.add_argument(
+        "--replay-backend", choices=list(BACKEND_CHOICES), default=None,
+        metavar="NAME",
+        help="hot-loop backend for trace replay (auto/compiled/numpy; "
+             "'compiled' needs the [compiled] extra, results are "
+             "bit-identical either way)",
+    )
+    parser.add_argument(
+        "--replay-workers", type=int, default=None, metavar="N",
+        help="shard trace replay across N processes by cache set index "
+             "(1 = in-process, default)",
+    )
+    parser.add_argument(
         "--profile", nargs="?", const="trace.json", default=None,
         metavar="PATH",
         help="collect spans/counters while running, print the span table, "
@@ -211,8 +224,19 @@ def _main(argv: list[str] | None = None) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
+    if args.replay_workers is not None and args.replay_workers < 1:
+        print("--replay-workers must be >= 1", file=sys.stderr)
+        return 2
     from repro import faults, obs
     from repro.engine import configure_default
+    from repro.simulator import timing as trace_timing_mod
+
+    if args.replay_backend is not None or args.replay_workers is not None:
+        # validates eagerly: --replay-backend compiled without Numba is a
+        # ConfigError-style exit, not a mid-experiment surprise
+        trace_timing_mod.configure_replay(
+            backend=args.replay_backend, workers=args.replay_workers
+        )
 
     faults.active_plan()  # fail fast (exit 6) on a malformed REPRO_FAULTS
     configure_default(

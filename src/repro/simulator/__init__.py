@@ -17,17 +17,34 @@ from repro.simulator.hwconfig import HardwareConfig, VectorUnitStyle
 from repro.simulator.cache import SetAssociativeCache, CacheHierarchy, CacheStats
 from repro.simulator.cache_fast import replay_line_stream, simulate_cache_stream
 from repro.simulator.memory import DramModel
-from repro.simulator.timing import TraceTimingModel, TimingResult
+from repro.simulator.replay_backend import (
+    BACKEND_CHOICES,
+    ReplayBackend,
+    available_backends,
+    resolve_backend,
+)
+from repro.simulator.timing import (
+    TraceTimingModel,
+    TimingResult,
+    configure_replay,
+    replay_defaults,
+)
 
 __all__ = [
+    "BACKEND_CHOICES",
     "HardwareConfig",
     "VectorUnitStyle",
     "SetAssociativeCache",
     "CacheHierarchy",
     "CacheStats",
     "DramModel",
+    "ReplayBackend",
     "TraceTimingModel",
     "TimingResult",
+    "available_backends",
+    "configure_replay",
+    "replay_defaults",
     "replay_line_stream",
+    "resolve_backend",
     "simulate_cache_stream",
 ]

@@ -1,0 +1,197 @@
+"""Optional Numba-compiled hot loops for trace replay (``[compiled]`` extra).
+
+Two Python-level loops survive the columnar rewrites of PR 2–3:
+
+* the per-step true-LRU set update inside
+  :func:`repro.simulator.cache_fast.simulate_cache_stream` — the NumPy
+  set-partitioned engine still pays one Python iteration per time step;
+* the left-to-right chime/cost fold in :mod:`repro.simulator.timing` —
+  NumPy evaluates it as ~10 full-length temporaries before the
+  ``np.add.accumulate``.
+
+This module holds single-pass replacements for both, written as plain
+Python functions over NumPy arrays and JIT-compiled with
+:func:`numba.njit` when Numba is importable.  **Importing this module
+never fails**: without Numba, :data:`HAVE_NUMBA` is ``False``, the
+``compiled`` backend is simply not registered, and the undecorated
+Python functions remain importable so the test suite can validate the
+kernel *algorithms* (slowly) on any machine.
+
+Bit-identical semantics are a hard contract, not an aspiration:
+
+* :func:`replay_sets_kernel` is the literal per-access algorithm of
+  :meth:`repro.simulator.cache.SetAssociativeCache.access` (first
+  matching way, first invalid way, first-minimum LRU way, tick =
+  ``tick0 + 1 + position``) — integer state, so equality is exact;
+* the cost folds replicate the batched NumPy expressions of
+  ``timing._run_batched`` operation for operation in the same order, so
+  every IEEE-754 intermediate — and therefore the final accumulated
+  float — is bit-identical.  Locked by ``tests/test_replay_equivalence``
+  and the hypothesis suite in ``tests/test_property_cache_fast.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only on the [compiled] CI leg
+    import numba
+
+    HAVE_NUMBA = True
+except ImportError:  # the always-available fallback path
+    numba = None
+    HAVE_NUMBA = False
+
+#: Version of the optional dependency, or None (for diagnostics/tests).
+NUMBA_VERSION = getattr(numba, "__version__", None)
+
+
+def _jit(func):
+    """``numba.njit`` when available, identity otherwise.
+
+    ``cache=True`` persists the compiled machine code next to the module
+    so repeated runs (and spawned pool workers) skip recompilation;
+    ``fastmath`` stays off — reassociation would break the bit-identical
+    contract with the NumPy folds.
+    """
+    if numba is None:
+        return func
+    return numba.njit(cache=True, fastmath=False)(func)
+
+
+@_jit
+def replay_sets_kernel(
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    lru: np.ndarray,
+    sets: np.ndarray,
+    lines: np.ndarray,
+    stores: np.ndarray,
+    positions: np.ndarray,
+    tick0: int,
+    hits: np.ndarray,
+    writebacks: np.ndarray,
+    victims: np.ndarray,
+) -> None:
+    """Sequential true-LRU replay of one access stream, compiled.
+
+    ``sets[k]`` is the row of ``tags``/``dirty``/``lru`` access ``k``
+    maps to (already masked/remapped by the caller — global set indices
+    for a whole cache, local rows for a shard) and ``positions[k]`` its
+    global stream position, which fixes the LRU tick at
+    ``tick0 + 1 + positions[k]`` exactly as the per-access path does.
+    Mutates the state arrays and the preallocated output arrays in
+    place.
+    """
+    n = lines.shape[0]
+    assoc = tags.shape[1]
+    for k in range(n):
+        s = sets[k]
+        addr = lines[k]
+        st = stores[k]
+        way = -1
+        for w in range(assoc):
+            if tags[s, w] == addr:
+                way = w
+                break
+        if way >= 0:  # hit: refresh LRU, a store marks the line dirty
+            hits[k] = True
+            if st:
+                dirty[s, way] = True
+        else:  # miss: first invalid way, else the true-LRU way
+            for w in range(assoc):
+                if tags[s, w] == -1:
+                    way = w
+                    break
+            if way < 0:
+                way = 0
+                best = lru[s, 0]
+                for w in range(1, assoc):
+                    if lru[s, w] < best:
+                        best = lru[s, w]
+                        way = w
+            if tags[s, way] != -1 and dirty[s, way]:
+                writebacks[k] = True
+                victims[k] = tags[s, way]
+            tags[s, way] = addr
+            dirty[s, way] = st
+        lru[s, way] = tick0 + 1 + positions[k]
+
+
+@_jit
+def vector_cost_fold_kernel(
+    vl: np.ndarray,
+    sew_bits: np.ndarray,
+    datapath: float,
+    issue_cycles: float,
+) -> float:
+    """Fused chime computation + left-to-right fold for vector rows.
+
+    Replicates ``max(issue, ceil(vl / max(1, datapath*32/sew)))``
+    accumulated strictly left to right — the exact op sequence of the
+    NumPy fold (``np.maximum``/``np.ceil``/``np.add.accumulate``).
+    """
+    scale = datapath * 32.0
+    acc = 0.0
+    for i in range(vl.shape[0]):
+        denom = scale / sew_bits[i]
+        if denom < 1.0:
+            denom = 1.0
+        cost = np.ceil(vl[i] / denom)
+        if cost < issue_cycles:
+            cost = issue_cycles
+        acc = acc + cost
+    return acc
+
+
+@_jit
+def memory_cost_fold_kernel(
+    vl: np.ndarray,
+    elem_bytes: np.ndarray,
+    stride: np.ndarray,
+    indexed: np.ndarray,
+    l1_misses: np.ndarray,
+    l2_misses: np.ndarray,
+    datapath: float,
+    nonunit_factor: float,
+    startup_cycles: float,
+    l2_latency: float,
+    mlp: float,
+    dram_latency: float,
+    prefetch_factor: float,
+    line_bytes: int,
+    bytes_per_cycle: float,
+    vector_at_l2: bool,
+) -> float:
+    """Fused per-memory-op pricing + left-to-right fold, compiled.
+
+    Every arithmetic step mirrors the batched NumPy expression in
+    ``timing._run_batched`` (same operations, same order, scalar
+    subexpressions hoisted exactly as NumPy evaluates them once), so the
+    returned float is bit-identical to
+    ``_exact_sum((startup + chime) + penalty)``.
+    """
+    strided_dp = datapath / nonunit_factor
+    dram_den = mlp * prefetch_factor
+    acc = 0.0
+    for i in range(vl.shape[0]):
+        s = stride[i]
+        if s < 0:
+            s = -s
+        unit = (not indexed[i]) and s == elem_bytes[i]
+        eff_dp = datapath if unit else strided_dp
+        if eff_dp < 1.0:
+            eff_dp = 1.0
+        chime = np.ceil(vl[i] / eff_dp)
+        penalty = (l1_misses[i] * l2_latency) / mlp
+        penalty = penalty + (l2_misses[i] * dram_latency) / dram_den
+        if vector_at_l2:
+            round_trips = (vl[i] * elem_bytes[i]) / line_bytes
+            if round_trips < 1.0:
+                round_trips = 1.0
+            penalty = penalty + (round_trips * l2_latency) / mlp
+        floor = (l2_misses[i] * line_bytes) / bytes_per_cycle
+        if penalty < floor:
+            penalty = floor
+        acc = acc + ((startup_cycles + chime) + penalty)
+    return acc

@@ -1,23 +1,34 @@
-"""Set-partitioned vectorized replay of the LRU cache hierarchy.
+"""Batched replay of the LRU cache hierarchy (set-partitioned/compiled).
 
 The sequential model in :mod:`repro.simulator.cache` walks every cache line
 through Python — fine for unit tests, but a real conv layer touches 10^7+
 lines, which makes per-line Python calls the bottleneck of trace-driven
-timing.  This module replays the *same* model with array operations, in the
-classic trace-driven style (Dinero-like): each set's reference stream is
-independent under set-associative LRU, so the global line stream is
-partitioned by set index and all touched sets advance one access per
-NumPy step.  A step costs a constant number of array operations over
-``(touched sets, assoc)``, so Python-level work per access drops by roughly
-the number of touched sets.
+timing.  This module replays the *same* model over whole access streams,
+dispatching the hot loop through the backend registry in
+:mod:`repro.simulator.replay_backend`:
 
-Both entry points mutate the sequential structures
+* ``numpy`` (always available) — the classic trace-driven
+  set-partitioning (Dinero-like): each set's reference stream is
+  independent under set-associative LRU, so the global line stream is
+  partitioned by set index and all touched sets advance one access per
+  NumPy step;
+* ``compiled`` (``[compiled]`` extra) — a single-pass Numba kernel over
+  the stream, no per-step Python at all;
+* ``auto`` — the fastest registered backend.
+
+``workers > 1`` additionally shards the stream across a process pool by
+set index (see :mod:`repro.simulator.replay_parallel`) — legal because
+set streams are independent, and exact because per-access LRU ticks are
+derived from *global* stream positions.
+
+Every path mutates the sequential structures
 (:class:`~repro.simulator.cache.SetAssociativeCache` tags/dirty/LRU/tick
 and stats, :class:`~repro.simulator.cache.CacheHierarchy` DRAM counters)
 **bit-identically** to the per-access path — including the LRU tick values
-— so sequential and batched replays can be freely interleaved on one
-hierarchy.  Equivalence is locked by ``tests/test_replay_equivalence.py``
-and the hypothesis suite in ``tests/test_property_cache_fast.py``.
+— so sequential, batched, compiled and sharded replays can be freely
+interleaved on one hierarchy.  Equivalence is locked by
+``tests/test_replay_equivalence.py`` and the hypothesis suite in
+``tests/test_property_cache_fast.py``.
 """
 
 from __future__ import annotations
@@ -27,12 +38,44 @@ import numpy as np
 from repro import obs
 from repro.errors import SimulationError
 from repro.simulator.cache import CacheHierarchy, SetAssociativeCache
+from repro.simulator.replay_backend import resolve_backend
+
+#: How many offending addresses a misaligned-access error names.
+_MISALIGNED_EXAMPLES = 4
+
+
+def _check_alignment(cache: SetAssociativeCache, lines: np.ndarray) -> None:
+    """Raise a :class:`SimulationError` describing *all* misaligned accesses.
+
+    The message carries the total count and the first few offending
+    addresses (not just the first), so a bad address generator is
+    diagnosable from one failure.
+    """
+    misaligned = lines % cache.line_bytes != 0
+    bad_count = int(np.count_nonzero(misaligned))
+    if not bad_count:
+        return
+    examples = ", ".join(
+        f"{int(addr):#x}" for addr in lines[misaligned][:_MISALIGNED_EXAMPLES]
+    )
+    suffix = ", ..." if bad_count > _MISALIGNED_EXAMPLES else ""
+    raise SimulationError(
+        f"{cache.name}: {bad_count} of {lines.size} accesses not "
+        f"line-aligned to {cache.line_bytes} bytes (first offenders: "
+        f"{examples}{suffix})"
+    )
 
 
 def simulate_cache_stream(
-    cache: SetAssociativeCache, lines: np.ndarray, stores: np.ndarray
+    cache: SetAssociativeCache,
+    lines: np.ndarray,
+    stores: np.ndarray,
+    *,
+    backend: str = "auto",
+    workers: int = 1,
+    use_pool: bool = True,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Vectorized equivalent of ``cache.access(lines[k], stores[k])`` ∀k.
+    """Batched equivalent of ``cache.access(lines[k], stores[k])`` ∀k.
 
     Mutates ``cache`` (tags, dirty bits, LRU ticks, tick counter, stats)
     exactly as the sequential accesses would.  Returns per-access arrays
@@ -40,68 +83,37 @@ def simulate_cache_stream(
     address evicted by access ``k`` and is only meaningful where
     ``writebacks[k]`` is True (it is -1 elsewhere, but a victim line can
     legitimately be address 0 — test ``writebacks``, not ``victims``).
+
+    ``backend`` selects the hot-loop implementation (bit-identical
+    either way); ``workers > 1`` shards the stream by set index across a
+    process pool (``use_pool=False`` runs the same sharded merge
+    in-process, for tests and pool-less environments).
     """
     lines = np.ascontiguousarray(lines, dtype=np.int64)
     stores = np.ascontiguousarray(stores, dtype=bool)
     n = lines.size
-    hits = np.zeros(n, dtype=bool)
-    writebacks = np.zeros(n, dtype=bool)
-    victims = np.full(n, -1, dtype=np.int64)
     if n == 0:
-        return hits, writebacks, victims
-    misaligned = lines % cache.line_bytes != 0
-    if misaligned.any():
-        bad = int(lines[misaligned][0])
-        raise SimulationError(
-            f"{cache.name}: access address {bad:#x} not line-aligned"
+        return (
+            np.zeros(0, dtype=bool),
+            np.zeros(0, dtype=bool),
+            np.full(0, -1, dtype=np.int64),
         )
+    _check_alignment(cache, lines)
     sets = (lines // cache.line_bytes) & (cache.num_sets - 1)
-    order = np.argsort(sets, kind="stable")
-    uniq, starts, counts = np.unique(
-        sets[order], return_index=True, return_counts=True
-    )
-    # order touched sets by access count so the sets still active at any
-    # time step are a shrinking prefix
-    by_count = np.argsort(-counts, kind="stable")
-    uniq, starts, counts = uniq[by_count], starts[by_count], counts[by_count]
-    tags, dirty, lru = cache._tags, cache._dirty, cache._lru
     tick0 = cache._tick
-    k = uniq.size
-    row_ids = np.arange(k)
-    for t in range(int(counts[0])):
-        while counts[k - 1] <= t:
-            k -= 1
-        rows = uniq[:k]
-        g = order[starts[:k] + t]  # original stream positions, one per set
-        addr = lines[g]
-        st = stores[g]
-        tg = tags[rows]  # (k, assoc) gather
-        match = tg == addr[:, None]
-        hit = match.any(axis=1)
-        invalid = tg == -1
-        # victim way on a miss: first invalid way if any, else true LRU
-        # (argmax/argmin both take the first way on ties, as the
-        # sequential np.nonzero(...)[0] / np.argmin do)
-        way = np.where(
-            hit,
-            match.argmax(axis=1),
-            np.where(
-                invalid.any(axis=1),
-                invalid.argmax(axis=1),
-                lru[rows].argmin(axis=1),
-            ),
+    if workers > 1:
+        from repro.simulator.replay_parallel import replay_sets_sharded
+
+        hits, writebacks, victims = replay_sets_sharded(
+            cache, sets, lines, stores, workers=workers,
+            backend=backend, use_pool=use_pool,
         )
-        old_tag = tg[row_ids[:k], way]
-        old_dirty = dirty[rows, way]
-        wb = ~hit & (old_tag != -1) & old_dirty
-        hits[g] = hit
-        writebacks[g] = wb
-        victims[g[wb]] = old_tag[wb]
-        tags[rows, way] = addr
-        dirty[rows, way] = np.where(hit, old_dirty | st, st)
-        # the sequential path bumps the tick before each access, so access
-        # number g (0-based) lands tick0 + g + 1 on the touched way
-        lru[rows, way] = tick0 + 1 + g
+    else:
+        impl = resolve_backend(backend)
+        hits, writebacks, victims = impl.replay_sets(
+            cache._tags, cache._dirty, cache._lru,
+            sets, lines, stores, np.arange(n, dtype=np.int64), tick0,
+        )
     cache._tick = tick0 + n
     stats = cache.stats
     nhits = int(np.count_nonzero(hits))
@@ -118,23 +130,32 @@ def replay_line_stream(
     stores: np.ndarray,
     op_ids: np.ndarray,
     num_ops: int,
+    *,
+    backend: str = "auto",
+    workers: int = 1,
+    use_pool: bool = True,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized equivalent of per-line ``CacheHierarchy.access_line``.
+    """Batched equivalent of per-line ``CacheHierarchy.access_line``.
 
     ``lines``/``stores`` describe vector line accesses in stream order and
     ``op_ids[k]`` names the memory op (0..num_ops-1) access ``k`` belongs
     to.  Updates both cache levels and the hierarchy's DRAM counters
     exactly as the sequential walk would, and returns per-op
     ``(l1_misses, l2_misses)`` count arrays of length ``num_ops`` — the
-    same attribution ``access_memop`` produces op by op.
+    same attribution ``access_memop`` produces op by op.  ``backend`` and
+    ``workers`` are forwarded to :func:`simulate_cache_stream` for each
+    cache level.
     """
     lines = np.ascontiguousarray(lines, dtype=np.int64)
     stores = np.ascontiguousarray(stores, dtype=bool)
     op_ids = np.ascontiguousarray(op_ids, dtype=np.int64)
+    kwargs = dict(backend=backend, workers=workers, use_pool=use_pool)
     with obs.span("timing.cache_replay", cat="timing", lines=int(lines.size)):
         if hierarchy.vector_at_l2:
             # decoupled VPU: vector accesses go straight to the L2
-            hits2, wbs2, _ = simulate_cache_stream(hierarchy.l2, lines, stores)
+            hits2, wbs2, _ = simulate_cache_stream(
+                hierarchy.l2, lines, stores, **kwargs
+            )
             miss2 = ~hits2
             dram_fills = int(np.count_nonzero(miss2))
             dram_wbs = int(np.count_nonzero(wbs2))
@@ -145,7 +166,9 @@ def replay_line_stream(
             obs.count("cache.dram.writeback_lines", dram_wbs)
             l2_per_op = np.bincount(op_ids[miss2], minlength=num_ops)
             return np.zeros(num_ops, dtype=np.int64), l2_per_op
-        hits1, wbs1, victims1 = simulate_cache_stream(hierarchy.l1, lines, stores)
+        hits1, wbs1, victims1 = simulate_cache_stream(
+            hierarchy.l1, lines, stores, **kwargs
+        )
         miss1 = ~hits1
         obs.count("cache.l1.misses", int(np.count_nonzero(miss1)))
         l1_per_op = np.bincount(op_ids[miss1], minlength=num_ops)
@@ -165,7 +188,9 @@ def replay_line_stream(
         fill_pos = ends[miss1] - 1
         l2_lines[fill_pos] = lines[miss1]
         l2_stores[fill_pos] = stores[miss1]
-        hits2, wbs2, _ = simulate_cache_stream(hierarchy.l2, l2_lines, l2_stores)
+        hits2, wbs2, _ = simulate_cache_stream(
+            hierarchy.l2, l2_lines, l2_stores, **kwargs
+        )
         # only line fills count toward DRAM fetches and per-op L2 misses;
         # writeback probes update stats/state but are not attributed
         fill_miss = ~hits2[fill_pos]

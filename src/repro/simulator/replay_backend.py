@@ -1,0 +1,303 @@
+"""Replay backend registry: NumPy always, Numba-compiled when installed.
+
+The trace-replay hot spots (the true-LRU set update and the chime/cost
+folds) have two interchangeable implementations:
+
+* ``numpy`` — the set-partitioned / vectorized engines from PR 2–3,
+  always available;
+* ``compiled`` — the single-pass Numba kernels in
+  :mod:`repro.simulator._compiled`, registered only when the optional
+  ``[compiled]`` extra (Numba) is importable.
+
+Both are **bit-identical** by contract — same :class:`TimingResult`
+floats, same cache tags/dirty/LRU ticks, same victim streams — so
+``auto`` (the default everywhere) freely selects the fastest registered
+backend.  Selection is observable: :mod:`repro.simulator.timing` bumps a
+``timing.replay_backend.<name>`` counter for the backend that actually
+ran, so profiles are self-describing.
+
+The registry is deliberately tiny: a backend is three callables sharing
+fixed signatures (`replay_sets`, `vector_cost_fold`, `memory_cost_fold`)
+plus a name.  The sharded parallel driver
+(:mod:`repro.simulator.replay_parallel`) resolves backends *inside each
+worker process*, so a pool spanning machines with and without Numba
+would still replay identically (just at different speeds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulator import _compiled
+
+#: Valid backend arguments (`auto` resolves to the fastest registered).
+BACKEND_CHOICES = ("auto", "compiled", "numpy")
+
+
+class MemoryCostParams(NamedTuple):
+    """Scalar pricing constants for the per-memory-op cost fold."""
+
+    datapath: float
+    nonunit_factor: float
+    startup_cycles: float
+    l2_latency: float
+    mlp: float
+    dram_latency: float
+    prefetch_factor: float
+    line_bytes: int
+    bytes_per_cycle: float
+    vector_at_l2: bool
+
+
+@dataclass(frozen=True)
+class ReplayBackend:
+    """One interchangeable implementation of the replay hot loops.
+
+    ``replay_sets(tags, dirty, lru, sets, lines, stores, positions,
+    tick0)`` mutates the cache state arrays in place and returns
+    per-access ``(hits, writebacks, victims)``; the fold callables
+    return the strict left-to-right accumulated cycle totals.
+    """
+
+    name: str
+    replay_sets: Callable
+    vector_cost_fold: Callable
+    memory_cost_fold: Callable
+
+
+def exact_sum(costs: np.ndarray) -> float:
+    """Strict left-to-right fold of ``costs`` starting from 0.0.
+
+    ``np.add.accumulate`` is sequential by definition (unlike
+    ``np.sum``'s pairwise reduction), so this reproduces the sequential
+    replay's ``res.field += cost`` accumulation bit for bit.
+    """
+    if costs.size == 0:
+        return 0.0
+    return float(np.add.accumulate(costs)[-1])
+
+
+# --------------------------------------------------------------------- #
+# numpy backend — the PR 2–3 vectorized engines
+# --------------------------------------------------------------------- #
+def _replay_sets_numpy(
+    tags: np.ndarray,
+    dirty: np.ndarray,
+    lru: np.ndarray,
+    sets: np.ndarray,
+    lines: np.ndarray,
+    stores: np.ndarray,
+    positions: np.ndarray,
+    tick0: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Set-partitioned true-LRU replay: all touched sets advance per step.
+
+    Each set's reference stream is independent under set-associative
+    LRU, so one NumPy step advances every still-active set by one access
+    — Python-level work per access drops by the number of touched sets.
+    """
+    n = lines.size
+    hits = np.zeros(n, dtype=bool)
+    writebacks = np.zeros(n, dtype=bool)
+    victims = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return hits, writebacks, victims
+    order = np.argsort(sets, kind="stable")
+    uniq, starts, counts = np.unique(
+        sets[order], return_index=True, return_counts=True
+    )
+    # order touched sets by access count so the sets still active at any
+    # time step are a shrinking prefix
+    by_count = np.argsort(-counts, kind="stable")
+    uniq, starts, counts = uniq[by_count], starts[by_count], counts[by_count]
+    k = uniq.size
+    row_ids = np.arange(k)
+    for t in range(int(counts[0])):
+        while counts[k - 1] <= t:
+            k -= 1
+        rows = uniq[:k]
+        g = order[starts[:k] + t]  # original stream positions, one per set
+        addr = lines[g]
+        st = stores[g]
+        tg = tags[rows]  # (k, assoc) gather
+        match = tg == addr[:, None]
+        hit = match.any(axis=1)
+        invalid = tg == -1
+        # victim way on a miss: first invalid way if any, else true LRU
+        # (argmax/argmin both take the first way on ties, as the
+        # sequential np.nonzero(...)[0] / np.argmin do)
+        way = np.where(
+            hit,
+            match.argmax(axis=1),
+            np.where(
+                invalid.any(axis=1),
+                invalid.argmax(axis=1),
+                lru[rows].argmin(axis=1),
+            ),
+        )
+        old_tag = tg[row_ids[:k], way]
+        old_dirty = dirty[rows, way]
+        wb = ~hit & (old_tag != -1) & old_dirty
+        hits[g] = hit
+        writebacks[g] = wb
+        victims[g[wb]] = old_tag[wb]
+        tags[rows, way] = addr
+        dirty[rows, way] = np.where(hit, old_dirty | st, st)
+        # the sequential path bumps the tick before each access, so the
+        # access at global stream position p lands tick0 + p + 1
+        lru[rows, way] = tick0 + 1 + positions[g]
+    return hits, writebacks, victims
+
+
+def _vector_cost_fold_numpy(
+    vl: np.ndarray, sew_bits: np.ndarray, datapath: float, issue_cycles: float
+) -> float:
+    """Vector chimes as one reduction over the vl/sew columns."""
+    denom = np.maximum(1.0, (datapath * 32) / sew_bits)
+    cost = np.maximum(issue_cycles, np.ceil(vl / denom))
+    return exact_sum(cost)
+
+
+def _memory_cost_fold_numpy(
+    vl: np.ndarray,
+    elem_bytes: np.ndarray,
+    stride: np.ndarray,
+    indexed: np.ndarray,
+    l1_misses: np.ndarray,
+    l2_misses: np.ndarray,
+    params: MemoryCostParams,
+) -> float:
+    """Price every memory op in one vectorized pass, then fold."""
+    unit = ~indexed & (np.abs(stride) == elem_bytes)
+    eff_dp = np.where(
+        unit, float(params.datapath), params.datapath / params.nonunit_factor
+    )
+    chime = np.ceil(vl / np.maximum(1.0, eff_dp))
+    penalty = (l1_misses * params.l2_latency) / params.mlp
+    penalty = penalty + (l2_misses * params.dram_latency) / (
+        params.mlp * params.prefetch_factor
+    )
+    if params.vector_at_l2:
+        # decoupled VPU: every vector access pays the L2 round trip
+        # (hit or miss), partially pipelined
+        round_trips = np.maximum(1.0, (vl * elem_bytes) / params.line_bytes)
+        penalty = penalty + (round_trips * params.l2_latency) / params.mlp
+    # line fills also consume DRAM bandwidth
+    penalty = np.maximum(
+        penalty, (l2_misses * params.line_bytes) / params.bytes_per_cycle
+    )
+    return exact_sum((params.startup_cycles + chime) + penalty)
+
+
+# --------------------------------------------------------------------- #
+# compiled backend — thin wrappers over the njit kernels
+# --------------------------------------------------------------------- #
+def _replay_sets_compiled(
+    tags, dirty, lru, sets, lines, stores, positions, tick0
+):
+    n = lines.size
+    hits = np.zeros(n, dtype=bool)
+    writebacks = np.zeros(n, dtype=bool)
+    victims = np.full(n, -1, dtype=np.int64)
+    if n:
+        _compiled.replay_sets_kernel(
+            tags, dirty, lru, sets, lines, stores, positions, tick0,
+            hits, writebacks, victims,
+        )
+    return hits, writebacks, victims
+
+
+def _vector_cost_fold_compiled(vl, sew_bits, datapath, issue_cycles):
+    if vl.size == 0:
+        return 0.0
+    return float(
+        _compiled.vector_cost_fold_kernel(
+            np.ascontiguousarray(vl, dtype=np.int64),
+            np.ascontiguousarray(sew_bits, dtype=np.int64),
+            float(datapath),
+            float(issue_cycles),
+        )
+    )
+
+
+def _memory_cost_fold_compiled(
+    vl, elem_bytes, stride, indexed, l1_misses, l2_misses,
+    params: MemoryCostParams,
+):
+    if vl.size == 0:
+        return 0.0
+    return float(
+        _compiled.memory_cost_fold_kernel(
+            np.ascontiguousarray(vl, dtype=np.int64),
+            np.ascontiguousarray(elem_bytes, dtype=np.int64),
+            np.ascontiguousarray(stride, dtype=np.int64),
+            np.ascontiguousarray(indexed, dtype=bool),
+            np.ascontiguousarray(l1_misses, dtype=np.int64),
+            np.ascontiguousarray(l2_misses, dtype=np.int64),
+            float(params.datapath),
+            float(params.nonunit_factor),
+            float(params.startup_cycles),
+            float(params.l2_latency),
+            float(params.mlp),
+            float(params.dram_latency),
+            float(params.prefetch_factor),
+            int(params.line_bytes),
+            float(params.bytes_per_cycle),
+            bool(params.vector_at_l2),
+        )
+    )
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+NUMPY_BACKEND = ReplayBackend(
+    "numpy",
+    _replay_sets_numpy,
+    _vector_cost_fold_numpy,
+    _memory_cost_fold_numpy,
+)
+
+_REGISTRY: dict[str, ReplayBackend] = {"numpy": NUMPY_BACKEND}
+
+if _compiled.HAVE_NUMBA:
+    _REGISTRY["compiled"] = ReplayBackend(
+        "compiled",
+        _replay_sets_compiled,
+        _vector_cost_fold_compiled,
+        _memory_cost_fold_compiled,
+    )
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of the registered (directly runnable) backends."""
+    return tuple(sorted(_REGISTRY))
+
+
+def resolve_backend(name: str | None = "auto") -> ReplayBackend:
+    """Map a backend argument to an implementation.
+
+    ``auto`` (or ``None``) prefers ``compiled`` when Numba is installed
+    and falls back to ``numpy`` otherwise — both are bit-identical, so
+    the choice only affects speed.  Asking for ``compiled`` explicitly
+    without Numba raises a :class:`SimulationError` naming the extra.
+    """
+    if name is None or name == "auto":
+        return _REGISTRY.get("compiled", NUMPY_BACKEND)
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        if name == "compiled":
+            raise SimulationError(
+                "replay backend 'compiled' needs Numba — install the "
+                "[compiled] extra (pip install repro[compiled]) or use "
+                "backend='auto'/'numpy'"
+            )
+        raise SimulationError(
+            f"unknown replay backend {name!r}; choose from {BACKEND_CHOICES} "
+            f"(registered: {available_backends()})"
+        )
+    return backend

@@ -1,0 +1,180 @@
+"""Sharded parallel cache replay: fan the line stream across processes.
+
+Under set-associative LRU, each set's reference stream is completely
+independent: an access to set *s* reads and writes only row *s* of the
+tags/dirty/LRU arrays, and its LRU tick is a pure function of its
+*global* stream position (``tick0 + 1 + position``).  The set-index
+partition that PR 3's NumPy engine exploits within one process therefore
+also parallelizes across processes with **exact** results:
+
+1. split accesses into ``workers`` shards by ``set_index % workers``;
+2. ship each shard its slice of accesses, its rows of the cache state,
+   and the accesses' global stream positions;
+3. each worker replays its shard with the best backend *it* has
+   registered (:mod:`repro.simulator.replay_backend` — compiled where
+   Numba is installed, NumPy otherwise; both bit-identical);
+4. scatter the returned state rows and per-access results back — the
+   merged tags/dirty/LRU/stats and hit/writeback/victim streams equal
+   the sequential replay bit for bit.
+
+The pool is process-global and lazily built (fork-preferred via
+:mod:`repro.engine.pool`, so workers inherit JIT-compiled kernels), and
+every failure mode degrades to in-process sharded execution — same
+results, one ``timing.replay.serial_fallbacks`` counter louder.
+"""
+
+from __future__ import annotations
+
+import atexit
+
+import numpy as np
+
+from repro import obs
+from repro.engine import pool as pool_plumbing
+from repro.errors import SimulationError
+from repro.simulator.replay_backend import resolve_backend
+
+#: Lazily created process pool, reused across calls (keyed by its size).
+_POOL = None
+_POOL_SIZE = 0
+
+#: One shard's work unit: state rows + accesses + global positions.
+_ShardPayload = tuple
+
+
+def _get_pool(workers: int):
+    """Return a pool with at least ``workers`` workers, building lazily."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None and _POOL_SIZE >= workers:
+        return _POOL
+    shutdown_pool()
+    ctx = pool_plumbing.pool_context()
+    _POOL = pool_plumbing.new_pool(ctx, workers)
+    _POOL_SIZE = workers
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Stop the shared replay pool (tests, atexit)."""
+    global _POOL, _POOL_SIZE
+    if _POOL is not None:
+        pool_plumbing.stop_pool(_POOL)
+        _POOL = None
+        _POOL_SIZE = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _replay_shard(payload: _ShardPayload):
+    """Worker-side replay of one shard (module-level: picklable).
+
+    Resolves the backend *here*, in the worker process, so ``auto``
+    picks up whatever this interpreter has registered.
+    """
+    (tags, dirty, lru, local_sets, lines, stores, positions, tick0,
+     backend) = payload
+    impl = resolve_backend(backend)
+    hits, writebacks, victims = impl.replay_sets(
+        tags, dirty, lru, local_sets, lines, stores, positions, tick0
+    )
+    return tags, dirty, lru, hits, writebacks, victims
+
+
+def _shard_payloads(cache, sets, lines, stores, workers, backend):
+    """Partition the stream by set index into per-worker payloads.
+
+    Returns ``[(access_indices, state_rows, payload), ...]`` with empty
+    shards dropped.  ``state_rows`` are the (sorted, unique) global set
+    rows the shard owns; the payload's ``local_sets`` index into the
+    shipped row slices.
+    """
+    tick0 = cache._tick
+    positions = np.arange(lines.size, dtype=np.int64)
+    shard_of = sets % workers
+    shards = []
+    for w in range(workers):
+        idx = np.nonzero(shard_of == w)[0]
+        if idx.size == 0:
+            continue
+        shard_sets = sets[idx]
+        rows = np.unique(shard_sets)
+        local_sets = np.searchsorted(rows, shard_sets)
+        payload = (
+            cache._tags[rows], cache._dirty[rows], cache._lru[rows],
+            local_sets, lines[idx], stores[idx], positions[idx],
+            tick0, backend,
+        )
+        shards.append((idx, rows, payload))
+    return shards
+
+
+def _merge_shard(cache, idx, rows, result, hits, writebacks, victims):
+    """Scatter one shard's state rows and per-access results back."""
+    tags, dirty, lru, s_hits, s_wbs, s_victims = result
+    cache._tags[rows] = tags
+    cache._dirty[rows] = dirty
+    cache._lru[rows] = lru
+    hits[idx] = s_hits
+    writebacks[idx] = s_wbs
+    victims[idx] = s_victims
+
+
+def replay_sets_sharded(
+    cache,
+    sets: np.ndarray,
+    lines: np.ndarray,
+    stores: np.ndarray,
+    *,
+    workers: int,
+    backend: str = "auto",
+    use_pool: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Replay one cache's access stream sharded by set index.
+
+    Mutates ``cache``'s tags/dirty/LRU arrays exactly as the sequential
+    walk would (the caller advances the tick and stats, as for the
+    single-shard path) and returns the merged per-access
+    ``(hits, writebacks, victims)``.  ``use_pool=False`` — and any pool
+    acquisition or mid-flight failure — runs the identical shard/merge
+    in-process instead.
+    """
+    if workers < 1:
+        raise SimulationError(f"replay workers must be >= 1, got {workers}")
+    n = lines.size
+    hits = np.zeros(n, dtype=bool)
+    writebacks = np.zeros(n, dtype=bool)
+    victims = np.full(n, -1, dtype=np.int64)
+    if n == 0:
+        return hits, writebacks, victims
+    shards = _shard_payloads(cache, sets, lines, stores, workers, backend)
+    with obs.span(
+        "timing.replay_sharded", cat="timing",
+        shards=len(shards), workers=workers, pooled=use_pool,
+    ):
+        results = None
+        if use_pool and len(shards) > 1:
+            results = _run_pooled(shards)
+        if results is None:  # pool-less environment or pool failure
+            results = [_replay_shard(payload) for _, _, payload in shards]
+        for (idx, rows, _), result in zip(shards, results):
+            _merge_shard(cache, idx, rows, result, hits, writebacks, victims)
+    return hits, writebacks, victims
+
+
+def _run_pooled(shards):
+    """Map shards over the shared pool; ``None`` means fall back serial."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        pool = _get_pool(len(shards))
+    except (OSError, ImportError, RuntimeError, ValueError):
+        obs.count("timing.replay.serial_fallbacks")
+        return None
+    try:
+        return list(pool.map(_replay_shard, (p for _, _, p in shards)))
+    except (BrokenProcessPool, OSError):
+        # a dead pool poisons later calls too: rebuild lazily next time
+        shutdown_pool()
+        obs.count("timing.replay.serial_fallbacks")
+        return None

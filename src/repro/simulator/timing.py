@@ -17,13 +17,24 @@ Two replay engines produce identical results:
 * ``sequential`` — decodes one event at a time, the reference
   implementation;
 * ``batched`` — consumes the columnar trace without decoding events: the
-  compute/scalar/vector cycle terms become NumPy reductions over the
+  compute/scalar/vector cycle terms become reductions over the
   kind/vl/sew/stride columns and the cache walk runs through the
   set-partitioned engine in :mod:`repro.simulator.cache_fast`.  The
   per-event formulas and the left-to-right accumulation order are
   replicated exactly, so every :class:`TimingResult` field is
   **bit-identical** to the sequential replay (locked by
   ``tests/test_replay_equivalence.py``).
+
+The batched engine's hot loops are further dispatched through the
+backend registry (:mod:`repro.simulator.replay_backend`): ``numpy`` is
+the always-available PR 2–3 path, ``compiled`` the Numba kernels from
+the ``[compiled]`` extra, and ``auto`` (default) the fastest registered
+— all bit-identical.  ``workers > 1`` shards the cache replay across a
+process pool by set index (:mod:`repro.simulator.replay_parallel`),
+again with exact parity.  :func:`configure_replay` sets process-wide
+defaults (the ``repro-experiments --replay-backend/--replay-workers``
+flags route here), and every run bumps a
+``timing.replay_backend.<name>`` obs counter naming what actually ran.
 
 Absolute cycles are not expected to match gem5; orderings and scaling trends
 are (and are what the tests assert).
@@ -50,6 +61,12 @@ from repro.simulator.cache import CacheHierarchy
 from repro.simulator.cache_fast import replay_line_stream
 from repro.simulator.hwconfig import HardwareConfig
 from repro.simulator.memory import DramModel
+from repro.simulator.replay_backend import (
+    BACKEND_CHOICES,
+    MemoryCostParams,
+    exact_sum,
+    resolve_backend,
+)
 
 #: Issue/dispatch cost of one vector instruction in the in-order pipeline.
 VECTOR_ISSUE_CYCLES = 1.0
@@ -61,6 +78,51 @@ NONUNIT_CHIME_FACTOR = 4.0
 
 #: Valid ``engine`` arguments to :meth:`TraceTimingModel.run`.
 REPLAY_ENGINES = ("auto", "batched", "sequential")
+
+#: Process-wide replay defaults, set by :func:`configure_replay` (the CLI
+#: flags land here) and used whenever ``run()`` is called without explicit
+#: ``backend``/``workers`` arguments.
+_DEFAULT_BACKEND = "auto"
+_DEFAULT_WORKERS = 1
+
+#: Back-compat alias: the strict left-to-right fold now lives in
+#: :mod:`repro.simulator.replay_backend` (shared with the backends).
+_exact_sum = exact_sum
+
+
+def configure_replay(
+    backend: str | None = None, workers: int | None = None
+) -> tuple[str, int]:
+    """Set process-wide defaults for batched replay dispatch.
+
+    ``backend`` must be one of :data:`~repro.simulator.replay_backend.
+    BACKEND_CHOICES` (an explicit ``compiled`` is validated eagerly so a
+    missing Numba fails at configuration time, not mid-experiment);
+    ``workers`` is the shard-pool width (1 = in-process).  ``None``
+    leaves a value unchanged.  Returns the effective ``(backend,
+    workers)`` pair.
+    """
+    global _DEFAULT_BACKEND, _DEFAULT_WORKERS
+    if backend is not None:
+        if backend not in BACKEND_CHOICES:
+            raise SimulationError(
+                f"unknown replay backend {backend!r}; choose from "
+                f"{BACKEND_CHOICES}"
+            )
+        resolve_backend(backend)  # fail fast on unavailable 'compiled'
+        _DEFAULT_BACKEND = backend
+    if workers is not None:
+        if workers < 1:
+            raise SimulationError(
+                f"replay workers must be >= 1, got {workers}"
+            )
+        _DEFAULT_WORKERS = workers
+    return _DEFAULT_BACKEND, _DEFAULT_WORKERS
+
+
+def replay_defaults() -> tuple[str, int]:
+    """The current process-wide ``(backend, workers)`` replay defaults."""
+    return _DEFAULT_BACKEND, _DEFAULT_WORKERS
 
 
 @dataclass
@@ -90,18 +152,6 @@ class TimingResult:
         self.scalar_instrs += other.scalar_instrs
 
 
-def _exact_sum(costs: np.ndarray) -> float:
-    """Strict left-to-right fold of ``costs`` starting from 0.0.
-
-    ``np.add.accumulate`` is sequential by definition (unlike ``np.sum``'s
-    pairwise reduction), so this reproduces the sequential replay's
-    ``res.field += cost`` accumulation bit for bit.
-    """
-    if costs.size == 0:
-        return 0.0
-    return float(np.add.accumulate(costs)[-1])
-
-
 class TraceTimingModel:
     """Replays traces against a config's cache hierarchy and DRAM model."""
 
@@ -116,20 +166,35 @@ class TraceTimingModel:
         flush: bool = False,
         *,
         engine: str = "auto",
+        backend: str | None = None,
+        workers: int | None = None,
     ) -> TimingResult:
         """Time a trace; ``flush=True`` starts from cold caches.
 
         ``engine`` selects the replay implementation: ``"sequential"``
         decodes one event at a time (the reference), ``"batched"`` runs
         the columnar fast path, and ``"auto"`` (default) picks batched
-        whenever the trace supports it.  Both produce bit-identical
-        results and leave the hierarchy in bit-identical state.
+        whenever the trace supports it.  ``backend`` picks the batched
+        engine's hot-loop implementation (``auto``/``compiled``/
+        ``numpy``) and ``workers`` the shard-pool width; both default to
+        the process-wide values from :func:`configure_replay`.  All
+        combinations produce bit-identical results and leave the
+        hierarchy in bit-identical state.
         """
         if engine not in REPLAY_ENGINES:
             raise SimulationError(
                 f"unknown replay engine {engine!r}; choose from "
                 f"{REPLAY_ENGINES}"
             )
+        if backend is None:
+            backend = _DEFAULT_BACKEND
+        if workers is None:
+            workers = _DEFAULT_WORKERS
+        if workers < 1:
+            raise SimulationError(
+                f"replay workers must be >= 1, got {workers}"
+            )
+        impl = resolve_backend(backend)
         if (
             isinstance(trace, InstructionTrace)
             and trace.mode != "full"
@@ -151,14 +216,20 @@ class TraceTimingModel:
         if flush:
             self.hierarchy.flush()
         used = "sequential" if (engine == "sequential" or not batchable) else "batched"
+        # profiles are self-describing: name the backend that actually ran
+        used_backend = "sequential" if used == "sequential" else impl.name
+        obs.count(f"timing.replay_backend.{used_backend}")
+        if used == "batched" and workers > 1:
+            obs.count("timing.replay_sharded_runs")
         with obs.span(
-            "timing.run", cat="timing", engine=used,
+            "timing.run", cat="timing", engine=used, backend=used_backend,
+            workers=workers if used == "batched" else 1,
             events=len(trace) if isinstance(trace, InstructionTrace) else None,
         ):
             if used == "sequential":
                 res = self._run_sequential(trace)
             else:
-                res = self._run_batched(trace)
+                res = self._run_batched(trace, impl, workers)
             obs.count("timing.l1_misses", res.l1_misses)
             obs.count("timing.l2_misses", res.l2_misses)
             obs.count("timing.vector_instrs", res.vector_instrs)
@@ -215,23 +286,25 @@ class TraceTimingModel:
     # ------------------------------------------------------------------ #
     # batched (columnar) replay — no per-event decoding
     # ------------------------------------------------------------------ #
-    def _run_batched(self, trace: InstructionTrace) -> TimingResult:
+    def _run_batched(
+        self, trace: InstructionTrace, impl=None, workers: int = 1
+    ) -> TimingResult:
         cfg = self.config
         datapath = cfg.datapath_f32_per_cycle
         prefetch = cfg.software_prefetch or cfg.hardware_prefetch
+        if impl is None:
+            impl = resolve_backend(_DEFAULT_BACKEND)
         res = TimingResult()
         cols = trace.columns()
 
-        # vector instructions: the chime as one reduction over vl/sew
+        # vector instructions: the chime as one fused fold over vl/sew
         with obs.span("timing.vector", cat="timing"):
             vec = cols.kind == KIND_VECTOR
             res.vector_instrs = int(np.count_nonzero(vec))
             if res.vector_instrs:
-                denom = np.maximum(1.0, (datapath * 32) / cols.aux[vec])
-                cost = np.maximum(
-                    VECTOR_ISSUE_CYCLES, np.ceil(cols.vl[vec] / denom)
+                res.compute_cycles = impl.vector_cost_fold(
+                    cols.vl[vec], cols.aux[vec], datapath, VECTOR_ISSUE_CYCLES
                 )
-                res.compute_cycles = _exact_sum(cost)
 
             # scalar instructions: each row accounts ``count`` one-cycle ops
             scalar_counts = cols.vl[cols.kind == KIND_SCALAR]
@@ -249,31 +322,26 @@ class TraceTimingModel:
                     self.hierarchy.line_bytes, rows=mem.rows
                 )
                 l1_m, l2_m = replay_line_stream(
-                    self.hierarchy, lines, mem.is_store[op_ids], op_ids, num_ops
+                    self.hierarchy, lines, mem.is_store[op_ids], op_ids,
+                    num_ops, backend=impl.name, workers=workers,
                 )
                 res.l1_misses = int(l1_m.sum())
                 res.l2_misses = int(l2_m.sum())
-                unit = ~mem.indexed & (np.abs(mem.stride) == mem.elem_bytes)
-                eff_dp = np.where(
-                    unit, float(datapath), datapath / NONUNIT_CHIME_FACTOR
-                )
-                chime = np.ceil(mem.vl / np.maximum(1.0, eff_dp))
-                penalty = (l1_m * cfg.l2_latency) / self.dram.mlp
-                penalty = penalty + (l2_m * self.dram.latency_cycles) / (
-                    self.dram.mlp * (4.0 if prefetch else 1.0)
-                )
-                if self.hierarchy.vector_at_l2:
-                    l2_round_trips = np.maximum(
-                        1.0, (mem.vl * mem.elem_bytes) / cfg.line_bytes
-                    )
-                    penalty = penalty + (
-                        l2_round_trips * cfg.l2_latency
-                    ) / self.dram.mlp
-                penalty = np.maximum(
-                    penalty, (l2_m * cfg.line_bytes) / self.dram.bytes_per_cycle
-                )
-                res.memory_cycles = _exact_sum(
-                    (VMEM_STARTUP_CYCLES + chime) + penalty
+                res.memory_cycles = impl.memory_cost_fold(
+                    mem.vl, mem.elem_bytes, mem.stride, mem.indexed,
+                    l1_m, l2_m,
+                    MemoryCostParams(
+                        datapath=float(datapath),
+                        nonunit_factor=NONUNIT_CHIME_FACTOR,
+                        startup_cycles=VMEM_STARTUP_CYCLES,
+                        l2_latency=float(cfg.l2_latency),
+                        mlp=float(self.dram.mlp),
+                        dram_latency=float(self.dram.latency_cycles),
+                        prefetch_factor=4.0 if prefetch else 1.0,
+                        line_bytes=int(cfg.line_bytes),
+                        bytes_per_cycle=float(self.dram.bytes_per_cycle),
+                        vector_at_l2=bool(self.hierarchy.vector_at_l2),
+                    ),
                 )
 
         overlap = 0.6 if cfg.out_of_order else 1.0

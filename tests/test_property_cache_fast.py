@@ -10,15 +10,36 @@ access by access through :meth:`SetAssociativeCache.access` /
 
 from __future__ import annotations
 
+import tempfile
+from pathlib import Path
+
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.isa.trace import InstructionTrace
+from repro.simulator import replay_backend as rb
+from repro.simulator._compiled import HAVE_NUMBA
 from repro.simulator.cache import CacheHierarchy, SetAssociativeCache
 from repro.simulator.cache_fast import replay_line_stream, simulate_cache_stream
 
 LINE = 64
+
+#: simulate_cache_stream dispatch variants every property must hold under.
+#: (sharded runs in-process — use_pool=False — so hypothesis's example
+#: loop doesn't pay process-pool startup per example.)
+REPLAY_VARIANTS = [
+    pytest.param(dict(backend="numpy"), id="numpy"),
+    pytest.param(
+        dict(backend="numpy", workers=3, use_pool=False), id="sharded"
+    ),
+    pytest.param(
+        dict(backend="compiled"),
+        id="compiled",
+        marks=pytest.mark.skipif(not HAVE_NUMBA, reason="Numba not installed"),
+    ),
+]
 
 # (line id, is_store) streams over a small address range so tiny caches
 # see plenty of conflict misses and dirty evictions
@@ -48,14 +69,17 @@ def _assert_cache_state_equal(a: SetAssociativeCache, b: SetAssociativeCache):
     assert a.stats == b.stats
 
 
+@pytest.mark.parametrize("replay_kwargs", REPLAY_VARIANTS)
 @given(stream=stream_strategy, geometry=geometry_strategy)
 @settings(max_examples=120, deadline=None)
-def test_single_level_stream_equivalence(stream, geometry):
+def test_single_level_stream_equivalence(replay_kwargs, stream, geometry):
     ref, fast = _caches(*geometry)
     lines = np.array([lid * LINE for lid, _ in stream], dtype=np.int64)
     stores = np.array([s for _, s in stream], dtype=bool)
     expected = [ref.access(int(a), bool(s)) for a, s in zip(lines, stores)]
-    hits, wbs, victims = simulate_cache_stream(fast, lines, stores)
+    hits, wbs, victims = simulate_cache_stream(
+        fast, lines, stores, **replay_kwargs
+    )
     for (ref_hit, ref_victim), hit, wb, victim in zip(
         expected, hits, wbs, victims
     ):
@@ -64,6 +88,39 @@ def test_single_level_stream_equivalence(stream, geometry):
         if ref_victim is not None:
             assert ref_victim == int(victim)
     _assert_cache_state_equal(ref, fast)
+
+
+@given(stream=stream_strategy, geometry=geometry_strategy)
+@settings(max_examples=60, deadline=None)
+def test_kernel_source_matches_sequential(stream, geometry):
+    """The compiled backend's *Python source* replays exactly.
+
+    Calls the kernel wrappers directly (not through the registry), so
+    the code Numba compiles is property-tested even where Numba is not
+    installed — the njit decorator only changes speed, not semantics.
+    """
+    ref, fast = _caches(*geometry)
+    lines = np.array([lid * LINE for lid, _ in stream], dtype=np.int64)
+    stores = np.array([s for _, s in stream], dtype=bool)
+    expected = [ref.access(int(a), bool(s)) for a, s in zip(lines, stores)]
+    n = lines.size
+    sets = (lines // LINE) & (fast.num_sets - 1)
+    hits, wbs, victims = rb._replay_sets_compiled(
+        fast._tags, fast._dirty, fast._lru, sets, lines, stores,
+        np.arange(n, dtype=np.int64), fast._tick,
+    )
+    for (ref_hit, ref_victim), hit, wb, victim in zip(
+        expected, hits, wbs, victims
+    ):
+        assert ref_hit == bool(hit)
+        assert (ref_victim is not None) == bool(wb)
+        if ref_victim is not None:
+            assert ref_victim == int(victim)
+    # the raw kernel mutates state arrays only; tick/stats are the
+    # caller's job (simulate_cache_stream), so compare arrays directly
+    assert np.array_equal(ref._tags, fast._tags)
+    assert np.array_equal(ref._dirty, fast._dirty)
+    assert np.array_equal(ref._lru, fast._lru)
 
 
 @given(
@@ -138,10 +195,122 @@ def test_hierarchy_memop_replay_equivalence(ops, vector_at_l2):
     assert ref.dram_writeback_lines == fast.dram_writeback_lines
 
 
-def test_empty_stream_is_a_noop():
+@pytest.mark.parametrize("replay_kwargs", REPLAY_VARIANTS)
+def test_empty_stream_is_a_noop(replay_kwargs):
     ref, fast = _caches(2, 4)
     hits, wbs, victims = simulate_cache_stream(
-        fast, np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+        fast,
+        np.empty(0, dtype=np.int64),
+        np.empty(0, dtype=bool),
+        **replay_kwargs,
     )
     assert hits.size == wbs.size == victims.size == 0
     _assert_cache_state_equal(ref, fast)
+
+
+# --------------------------------------------------------------------- #
+# fold kernels: compiled source == numpy backend, bit for bit
+# --------------------------------------------------------------------- #
+@given(
+    rows=st.lists(
+        st.tuples(st.integers(0, 3000), st.sampled_from([8, 16, 32, 64])),
+        min_size=0,
+        max_size=60,
+    ),
+    datapath=st.sampled_from([2.0, 8.0, 16.0, 64.0]),
+)
+@settings(max_examples=80, deadline=None)
+def test_vector_fold_kernel_matches_numpy(rows, datapath):
+    vl = np.array([v for v, _ in rows], dtype=np.int64)
+    sew = np.array([s for _, s in rows], dtype=np.int64)
+    a = rb._vector_cost_fold_numpy(vl, sew, datapath, 1.0)
+    b = rb._vector_cost_fold_compiled(vl, sew, datapath, 1.0)
+    assert a == b  # bit-exact float equality, not approx
+
+
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.integers(0, 200),  # vl
+            st.sampled_from([4, 8]),  # elem_bytes
+            st.sampled_from([4, -4, 8, 20, 256]),  # stride
+            st.booleans(),  # indexed
+            st.integers(0, 50),  # l1 misses
+            st.integers(0, 50),  # l2 misses
+        ),
+        min_size=0,
+        max_size=40,
+    ),
+    vector_at_l2=st.booleans(),
+    prefetch=st.booleans(),
+)
+@settings(max_examples=80, deadline=None)
+def test_memory_fold_kernel_matches_numpy(rows, vector_at_l2, prefetch):
+    cols = (
+        np.array([r[i] for r in rows], dtype=np.int64) for i in range(6)
+    )
+    vl, elem_bytes, stride, indexed, l1_m, l2_m = cols
+    indexed = indexed.astype(bool)
+    params = rb.MemoryCostParams(
+        datapath=16.0,
+        nonunit_factor=4.0,
+        startup_cycles=2.0,
+        l2_latency=20.0,
+        mlp=4.0,
+        dram_latency=120.0,
+        prefetch_factor=4.0 if prefetch else 1.0,
+        line_bytes=LINE,
+        bytes_per_cycle=16.0,
+        vector_at_l2=vector_at_l2,
+    )
+    a = rb._memory_cost_fold_numpy(
+        vl, elem_bytes, stride, indexed, l1_m, l2_m, params
+    )
+    b = rb._memory_cost_fold_compiled(
+        vl, elem_bytes, stride, indexed, l1_m, l2_m, params
+    )
+    assert a == b  # bit-exact float equality, not approx
+
+
+# --------------------------------------------------------------------- #
+# trace spill round trip
+# --------------------------------------------------------------------- #
+@given(
+    ops=st.lists(memop_strategy, min_size=0, max_size=25),
+    extras=st.integers(0, 3),
+    mmap=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_spill_round_trip_preserves_trace(ops, extras, mmap):
+    """save → load is lossless: stats, columns, line stream, events."""
+    trace = InstructionTrace()
+    rng = np.random.default_rng(len(ops) + extras)
+    for base_id, vl, stride, is_store, indexed in ops:
+        name = ("vsuxei" if is_store else "vluxei") if indexed else (
+            "vse" if is_store else "vle"
+        )
+        indices = (
+            tuple(int(v) for v in rng.integers(0, 4096, size=vl))
+            if indexed
+            else None
+        )
+        trace.emit_memory(
+            name, base_id * LINE + 4, 4, vl, stride, is_store, indices=indices
+        )
+    for _ in range(extras):  # non-memory rows survive the trip too
+        trace.emit_vector("vfmacc", 16, 32)
+        trace.emit_scalar("addi", 2)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = trace.save(Path(tmp) / "trace")
+        loaded = InstructionTrace.load(path, mmap=mmap)
+        assert len(loaded) == len(trace)
+        assert loaded.stats == trace.stats
+        lines_a, ops_a = trace.memory_line_stream(LINE)
+        lines_b, ops_b = loaded.memory_line_stream(LINE)
+        assert np.array_equal(lines_a, lines_b)
+        assert np.array_equal(ops_a, ops_b)
+        ca, cb = trace.columns(), loaded.columns()
+        for field in ("kind", "op", "vl", "aux", "base", "stride", "store"):
+            assert np.array_equal(getattr(ca, field), getattr(cb, field))
+        assert trace._indices == loaded._indices
+        assert list(trace.events) == list(loaded.events)

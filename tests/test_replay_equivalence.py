@@ -22,12 +22,24 @@ from repro.errors import SimulationError
 from repro.isa.machine import VectorMachine
 from repro.isa.trace import InstructionTrace, MemoryOp
 from repro.nn.layer import ConvSpec
-from repro.simulator.cache import CacheHierarchy
-from repro.simulator.cache_fast import replay_line_stream
+from repro.simulator._compiled import HAVE_NUMBA
+from repro.simulator.cache import CacheHierarchy, SetAssociativeCache
+from repro.simulator.cache_fast import replay_line_stream, simulate_cache_stream
 from repro.simulator.hwconfig import HardwareConfig
-from repro.simulator.timing import TraceTimingModel
+from repro.simulator.replay_backend import available_backends, resolve_backend
+from repro.simulator.timing import TraceTimingModel, configure_replay, replay_defaults
 
 SPEC = ConvSpec(ic=5, oc=7, ih=13, iw=11, kh=3, kw=3, stride=1, pad=1)
+
+_needs_numba = pytest.mark.skipif(not HAVE_NUMBA, reason="Numba not installed")
+
+#: (backend, workers) combinations every equivalence claim is checked under.
+REPLAY_MODES = [
+    pytest.param("numpy", 1, id="numpy"),
+    pytest.param("numpy", 3, id="numpy-sharded"),
+    pytest.param("compiled", 1, id="compiled", marks=_needs_numba),
+    pytest.param("compiled", 3, id="compiled-sharded", marks=_needs_numba),
+]
 
 CONFIGS = [
     HardwareConfig.paper2_rvv(512, 1.0),
@@ -80,14 +92,21 @@ def _assert_hierarchy_equal(a: CacheHierarchy, b: CacheHierarchy) -> None:
     assert a.dram_writeback_lines == b.dram_writeback_lines
 
 
-def _assert_replay_equivalent(trace: InstructionTrace, cfg: HardwareConfig):
+def _assert_replay_equivalent(
+    trace: InstructionTrace,
+    cfg: HardwareConfig,
+    backend: str = "auto",
+    workers: int = 1,
+):
     seq = TraceTimingModel(cfg)
     bat = TraceTimingModel(cfg)
     # two back-to-back runs without flush: the second starts from the warm
     # state the first left behind, in both engines
     for _ in range(2):
         r_seq = seq.run(trace, engine="sequential")
-        r_bat = bat.run(trace, engine="batched")
+        r_bat = bat.run(
+            trace, engine="batched", backend=backend, workers=workers
+        )
         assert r_seq == r_bat  # dataclass ==: bit-exact float comparison
         _assert_hierarchy_equal(seq.hierarchy, bat.hierarchy)
     return r_seq
@@ -109,8 +128,9 @@ def test_lmul_trace_replay_matches(lmul, cfg):
     _assert_replay_equivalent(trace, cfg)
 
 
+@pytest.mark.parametrize("backend,workers", REPLAY_MODES)
 @pytest.mark.parametrize("cfg", CONFIGS[:2], ids=lambda c: c.name)
-def test_per_op_miss_attribution_matches(cfg):
+def test_per_op_miss_attribution_matches(cfg, backend, workers):
     trace = _kernel_trace(WinogradConv(), 256)  # includes indexed gathers
     ops = [e for e in trace if isinstance(e, MemoryOp)]
     h_ref = CacheHierarchy.from_config(cfg)
@@ -119,10 +139,48 @@ def test_per_op_miss_attribution_matches(cfg):
     mem = trace.memory_columns()
     lines, op_ids = trace.memory_line_stream(h_fast.line_bytes, rows=mem.rows)
     l1_m, l2_m = replay_line_stream(
-        h_fast, lines, mem.is_store[op_ids], op_ids, len(ops)
+        h_fast, lines, mem.is_store[op_ids], op_ids, len(ops),
+        backend=backend, workers=workers,
     )
     assert [(int(a), int(b)) for a, b in zip(l1_m, l2_m)] == ref
     _assert_hierarchy_equal(h_ref, h_fast)
+
+
+@pytest.mark.parametrize("backend,workers", REPLAY_MODES)
+def test_backend_modes_match_sequential(backend, workers):
+    """Every backend × sharding mode is bit-identical to sequential."""
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    for trace in (_kernel_trace(WinogradConv(), 256), _lmul_trace(512, 2)):
+        res = _assert_replay_equivalent(
+            trace, cfg, backend=backend, workers=workers
+        )
+        assert res.cycles > 0
+
+
+@pytest.mark.parametrize("backend,workers", REPLAY_MODES)
+def test_victim_stream_parity_across_modes(backend, workers):
+    """hits/writebacks/victims arrays match the per-access walk exactly."""
+    rng = np.random.default_rng(11)
+    cache_ref = SetAssociativeCache("C", 8 * 2 * 64, 2, 64)
+    cache_fast = SetAssociativeCache("C", 8 * 2 * 64, 2, 64)
+    lines = rng.integers(0, 64, size=600).astype(np.int64) * 64
+    stores = rng.random(600) < 0.4
+    expected = [
+        cache_ref.access(int(a), bool(s)) for a, s in zip(lines, stores)
+    ]
+    hits, wbs, victims = simulate_cache_stream(
+        cache_fast, lines, stores, backend=backend, workers=workers
+    )
+    for (ref_hit, ref_victim), hit, wb, victim in zip(
+        expected, hits, wbs, victims
+    ):
+        assert ref_hit == bool(hit)
+        assert (ref_victim is not None) == bool(wb)
+        if ref_victim is not None:
+            assert ref_victim == int(victim)
+    assert np.array_equal(cache_ref._tags, cache_fast._tags)
+    assert np.array_equal(cache_ref._lru, cache_fast._lru)
+    assert cache_ref.stats == cache_fast.stats
 
 
 def test_engines_can_interleave_on_one_model():
@@ -199,3 +257,142 @@ def test_trace_report_uses_batched_replay():
     for name, cycles in result.data["trace_cycles"].items():
         assert cycles > 0
         assert result.data["events"][name] > 0
+
+
+# --------------------------------------------------------------------- #
+# backend registry and process-wide replay defaults
+# --------------------------------------------------------------------- #
+def test_backend_registry_resolution():
+    assert "numpy" in available_backends()
+    assert resolve_backend("numpy").name == "numpy"
+    expected_auto = "compiled" if HAVE_NUMBA else "numpy"
+    assert resolve_backend("auto").name == expected_auto
+    assert resolve_backend(None).name == expected_auto
+    with pytest.raises(SimulationError, match="unknown replay backend"):
+        resolve_backend("warp")
+
+
+@pytest.mark.skipif(HAVE_NUMBA, reason="Numba is installed")
+def test_compiled_backend_unavailable_names_the_extra():
+    assert available_backends() == ("numpy",)
+    with pytest.raises(SimulationError, match=r"\[compiled\] extra"):
+        resolve_backend("compiled")
+
+
+@_needs_numba
+def test_compiled_backend_registered():
+    assert "compiled" in available_backends()
+    assert resolve_backend("compiled").name == "compiled"
+
+
+@pytest.fixture
+def _restore_replay_defaults():
+    yield
+    configure_replay(backend="auto", workers=1)
+
+
+def test_configure_replay_sets_process_defaults(_restore_replay_defaults):
+    assert replay_defaults() == ("auto", 1)
+    assert configure_replay(backend="numpy", workers=2) == ("numpy", 2)
+    assert replay_defaults() == ("numpy", 2)
+    # None leaves a value unchanged
+    assert configure_replay(workers=1) == ("numpy", 1)
+    with pytest.raises(SimulationError, match="unknown replay backend"):
+        configure_replay(backend="warp")
+    with pytest.raises(SimulationError, match="workers must be >= 1"):
+        configure_replay(workers=0)
+    if not HAVE_NUMBA:  # eager validation: fails at config time
+        with pytest.raises(SimulationError, match=r"\[compiled\] extra"):
+            configure_replay(backend="compiled")
+
+
+def test_run_uses_configured_defaults(_restore_replay_defaults):
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    trace = _kernel_trace(DirectConv(), 512)
+    ref = TraceTimingModel(cfg).run(trace, engine="batched")
+    configure_replay(backend="numpy", workers=2)
+    assert TraceTimingModel(cfg).run(trace, engine="batched") == ref
+
+
+def test_run_rejects_bad_backend_and_workers():
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    model = TraceTimingModel(cfg)
+    with pytest.raises(SimulationError, match="unknown replay backend"):
+        model.run(InstructionTrace(), engine="batched", backend="warp")
+    with pytest.raises(SimulationError, match="workers must be >= 1"):
+        model.run(InstructionTrace(), engine="batched", workers=0)
+
+
+# --------------------------------------------------------------------- #
+# misaligned-access diagnostics
+# --------------------------------------------------------------------- #
+def test_misaligned_stream_error_reports_count_and_addresses():
+    cache = SetAssociativeCache("L1", 4 * 2 * 64, 2, 64)
+    lines = np.array([0, 65, 128, 3, 130, 7, 9, 192], dtype=np.int64)
+    stores = np.zeros(lines.size, dtype=bool)
+    with pytest.raises(SimulationError, match="not line-aligned") as excinfo:
+        simulate_cache_stream(cache, lines, stores)
+    msg = str(excinfo.value)
+    assert "L1: 5 of 8 accesses" in msg
+    # the first few offenders, in stream order, as hex addresses
+    assert "0x41, 0x3, 0x82, 0x7" in msg
+    assert msg.endswith("...)")  # more offenders than shown
+    assert "0x9" not in msg  # truncated after the first four
+    # the stream was rejected before any state mutation
+    assert cache.stats.accesses == 0 and cache._tick == 0
+
+
+def test_misaligned_error_without_truncation():
+    cache = SetAssociativeCache("L1", 4 * 2 * 64, 2, 64)
+    lines = np.array([64, 66], dtype=np.int64)
+    with pytest.raises(SimulationError, match="1 of 2 accesses") as excinfo:
+        simulate_cache_stream(cache, lines, np.zeros(2, dtype=bool))
+    assert "..." not in str(excinfo.value)
+
+
+# --------------------------------------------------------------------- #
+# trace spill: replaying a reloaded trace is bit-identical
+# --------------------------------------------------------------------- #
+def test_spilled_trace_replays_identically(tmp_path):
+    trace = _kernel_trace(WinogradConv(), 256)  # indexed gathers included
+    path = trace.save(tmp_path / "trace")
+    loaded = InstructionTrace.load(path)
+    assert not loaded._kind.flags.writeable  # zero-copy memmap columns
+    cfg = HardwareConfig.paper2_rvv(512, 1.0)
+    ref = TraceTimingModel(cfg).run(trace, engine="batched")
+    assert TraceTimingModel(cfg).run(loaded, engine="batched") == ref
+    assert TraceTimingModel(cfg).run(loaded, engine="sequential") == ref
+    assert TraceTimingModel(cfg).run(
+        loaded, engine="batched", backend="numpy", workers=3
+    ) == ref
+
+
+def test_spilled_trace_copies_on_first_append(tmp_path):
+    trace = _lmul_trace(512, 2)
+    loaded = InstructionTrace.load(trace.save(tmp_path / "t"))
+    before = len(loaded)
+    loaded.emit_scalar("nop")  # must not blow up on read-only columns
+    assert len(loaded) == before + 1
+    assert loaded._kind.flags.writeable
+    assert list(loaded.events)[:before] == list(trace.events)
+
+
+def test_spill_refuses_foreign_events(tmp_path):
+    trace = InstructionTrace()
+    trace.events.append(object())
+    with pytest.raises(SimulationError, match="foreign"):
+        trace.save(tmp_path / "t")
+
+
+def test_load_rejects_non_container(tmp_path):
+    junk = tmp_path / "junk.npz"
+    junk.write_bytes(b"this is not a zip file")
+    with pytest.raises(SimulationError, match="not a readable"):
+        InstructionTrace.load(junk)
+    incomplete = tmp_path / "incomplete.npz"
+    import zipfile
+
+    with zipfile.ZipFile(incomplete, "w") as zf:
+        zf.writestr("meta.json", "{}")
+    with pytest.raises(SimulationError, match="missing members"):
+        InstructionTrace.load(incomplete)
