@@ -38,18 +38,37 @@ from dataclasses import dataclass, replace
 from typing import Iterable, NoReturn, Sequence, cast
 
 from repro import faults, obs
-from repro.algorithms.registry import effective_algorithm, layer_cycles
+from repro.algorithms.registry import (
+    effective_algorithm,
+    get_algorithm,
+    layer_cycles,
+)
 from repro.engine import pool as pool_plumbing
 from repro.engine.cache import MemoCache
 from repro.engine.keys import cache_key
 from repro.errors import EngineError, InjectedFaultError
 from repro.nn.layer import ConvSpec
 from repro.simulator.analytical.calibration import Calibration
+from repro.simulator.analytical.grid import (
+    GRID_BACKEND_CHOICES,
+    PhaseTable,
+    evaluate_phase_table,
+    resolve_grid_backend,
+)
 from repro.simulator.analytical.model import LayerCycles
 from repro.simulator.hwconfig import HardwareConfig
 
 #: Cells handed to one worker task (amortizes pickling/dispatch overhead).
 _CHUNK = 32
+
+#: Cold batches at or below this size never pay pool startup, regardless
+#: of ``pool_min_batch`` (counted via ``engine.small_batch_serial``).
+_SMALL_BATCH = 10
+
+#: Default ``pool_min_batch``: cold batches must exceed this many cells
+#: before ``workers > 1`` actually spins up the process pool — below it
+#: the tensorized grid path beats pool startup by orders of magnitude.
+_POOL_MIN_BATCH = 256
 
 #: Exit code of an injected worker crash (recognizable in core-dump triage).
 _CRASH_EXIT = 17
@@ -161,6 +180,64 @@ def _compute_chunk(
     return out
 
 
+def _compute_grid(
+    items: list[_Cell],
+    calibration: Calibration | None,
+    backend: str | None = None,
+) -> list[_CellResult]:
+    """Serial evaluation of resolved cells through one tensorized grid call.
+
+    Per-cell fault injection and error isolation match
+    :func:`_compute_chunk` exactly — a cell whose schedule construction
+    (or injected fault) raises yields its :class:`CellError` in place —
+    but the analytical model itself runs once over a columnar
+    :class:`~repro.simulator.analytical.grid.PhaseTable` covering every
+    surviving cell, instead of per-phase Python per cell.  Records are
+    bit-identical to :func:`repro.algorithms.registry.layer_cycles` by
+    the grid module's parity contract.
+    """
+    plan = faults.active_plan()
+    out: list[_CellResult] = []
+    grid_cells = []  # (algorithm, phases, hw) for cells whose schedule built
+    grid_slots: list[int] = []  # position in `out` to fill with the record
+    for idx, name, spec, hw in items:
+        with obs.span("engine.point", cat="engine", algorithm=name, layer=spec.index):
+            try:
+                if plan is not None and plan.cell_fails(_cell_token(name, spec, hw)):
+                    faults.mark_injected("engine.cell")
+                    raise InjectedFaultError(
+                        f"injected cell error for {_cell_token(name, spec, hw)}"
+                    )
+                algo = get_algorithm(name)
+                algo.check_applicable(spec)
+                phases = algo.schedule(spec, hw)
+            except Exception as exc:  # per-cell isolation (not BaseException)
+                out.append((idx, CellError(
+                    algorithm=name,
+                    layer=spec.index,
+                    vlen_bits=hw.vlen_bits,
+                    l2_mib=hw.l2_mib,
+                    error_type=type(exc).__name__,
+                    error_module=type(exc).__module__,
+                    message=str(exc),
+                )))
+            else:
+                grid_slots.append(len(out))
+                out.append((idx, None))  # type: ignore[arg-type]
+                grid_cells.append((algo.name, phases, hw))
+    if grid_cells:
+        with obs.span("engine.grid", cat="engine", cells=len(grid_cells)):
+            records = evaluate_phase_table(
+                PhaseTable.from_cells(grid_cells, calibration=calibration),
+                backend=backend,
+            )
+        if obs.enabled():
+            obs.count("engine.grid_cells", len(grid_cells))
+        for slot, record in zip(grid_slots, records):
+            out[slot] = (out[slot][0], record)
+    return out
+
+
 def _compute_chunk_profiled(
     items: list[_Cell],
     calibration: Calibration | None,
@@ -208,6 +285,8 @@ class EvaluationEngine:
         chunk_timeout_s: float | None = None,
         max_retries: int = 2,
         retry_backoff_s: float = 0.05,
+        pool_min_batch: int = _POOL_MIN_BATCH,
+        grid_backend: str | None = None,
     ) -> None:
         if max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
@@ -221,6 +300,17 @@ class EvaluationEngine:
             raise EngineError(
                 f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
             )
+        if pool_min_batch < 0:
+            raise EngineError(
+                f"pool_min_batch must be >= 0, got {pool_min_batch}"
+            )
+        if grid_backend is not None and grid_backend != "percell":
+            if grid_backend not in GRID_BACKEND_CHOICES:
+                raise EngineError(
+                    f"grid_backend must be one of {GRID_BACKEND_CHOICES} or "
+                    f"'percell', got {grid_backend!r}"
+                )
+            resolve_grid_backend(grid_backend)  # fail fast, not mid-batch
         self.cache = cache if cache is not None else MemoCache()
         self.max_workers = max_workers
         self.calibration = calibration
@@ -228,6 +318,8 @@ class EvaluationEngine:
         self.chunk_timeout_s = chunk_timeout_s
         self.max_retries = max_retries
         self.retry_backoff_s = retry_backoff_s
+        self.pool_min_batch = pool_min_batch
+        self.grid_backend = grid_backend
 
     # ------------------------------------------------------------------ #
     # single cell
@@ -371,8 +463,21 @@ class EvaluationEngine:
         cells: list[_Cell],
         workers: int,
     ) -> list[_CellResult]:
-        """Compute cells (serially or in parallel), preserving input order."""
+        """Compute cells (serially or in parallel), preserving input order.
+
+        Serial batches (and parallel batches at or below
+        ``pool_min_batch`` cells) go through the tensorized grid path —
+        one columnar model call over every cold cell — which beats pool
+        startup by orders of magnitude on analytical workloads.  The
+        process pool engages only for ``workers > 1`` batches larger
+        than ``pool_min_batch``, where its crash/hang resilience
+        machinery earns its dispatch overhead.
+        """
         if workers > 1 and len(cells) > 1:
+            if len(cells) <= self.pool_min_batch:
+                if len(cells) <= _SMALL_BATCH:
+                    obs.count("engine.small_batch_serial")
+                return self._compute_serial(cells)
             # The except is scoped to *pool acquisition* only — failures
             # mid-run go through the retry machinery in _compute_parallel
             # (or propagate) instead of being silently absorbed here.
@@ -382,7 +487,24 @@ class EvaluationEngine:
                 self._serial_degrade(exc)
             else:
                 return self._compute_parallel(cells, workers, ctx)
-        return _compute_chunk(cells, self.calibration)
+        return self._compute_serial(cells)
+
+    def _compute_serial(self, cells: list[_Cell]) -> list[_CellResult]:
+        """In-process evaluation: tensorized grid, per-cell on request.
+
+        ``grid_backend="percell"`` pins the pre-grid per-cell path (for
+        A/B parity checks and benchmarks); any grid-machinery failure —
+        never a per-cell evaluation error, which the grid path isolates
+        itself — falls back to the per-cell path, audibly via the
+        ``engine.grid_fallbacks`` counter.
+        """
+        if self.grid_backend == "percell":
+            return _compute_chunk(cells, self.calibration)
+        try:
+            return _compute_grid(cells, self.calibration, self.grid_backend)
+        except Exception:
+            obs.count("engine.grid_fallbacks")
+            return _compute_chunk(cells, self.calibration)
 
     # Thin delegates to the shared plumbing in :mod:`repro.engine.pool`
     # (kept as staticmethods so tests can monkeypatch pool acquisition).

@@ -26,6 +26,7 @@ from repro.errors import (
     FaultSpecError,
     ReproError,
 )
+from repro.simulator.analytical.grid import GRID_BACKEND_CHOICES
 from repro.simulator.replay_backend import BACKEND_CHOICES
 
 #: ReproError subclass -> process exit code (first match wins; order from
@@ -206,6 +207,13 @@ def _main(argv: list[str] | None = None) -> int:
              "(1 = in-process, default)",
     )
     parser.add_argument(
+        "--grid-backend", choices=list(GRID_BACKEND_CHOICES), default=None,
+        metavar="NAME",
+        help="backend for tensorized analytical-grid evaluation "
+             "(auto/compiled/numpy; 'compiled' needs the [compiled] extra, "
+             "results are bit-identical either way)",
+    )
+    parser.add_argument(
         "--profile", nargs="?", const="trace.json", default=None,
         metavar="PATH",
         help="collect spans/counters while running, print the span table, "
@@ -230,6 +238,7 @@ def _main(argv: list[str] | None = None) -> int:
     from repro import faults, obs
     from repro.engine import configure_default
     from repro.simulator import timing as trace_timing_mod
+    from repro.simulator.analytical import grid as analytical_grid_mod
 
     if args.replay_backend is not None or args.replay_workers is not None:
         # validates eagerly: --replay-backend compiled without Numba is a
@@ -237,6 +246,9 @@ def _main(argv: list[str] | None = None) -> int:
         trace_timing_mod.configure_replay(
             backend=args.replay_backend, workers=args.replay_workers
         )
+    if args.grid_backend is not None:
+        # same eager contract for the analytical-grid fast path
+        analytical_grid_mod.configure_grid(backend=args.grid_backend)
 
     faults.active_plan()  # fail fast (exit 6) on a malformed REPRO_FAULTS
     configure_default(

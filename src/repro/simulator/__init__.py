@@ -23,6 +23,15 @@ from repro.simulator.replay_backend import (
     available_backends,
     resolve_backend,
 )
+from repro.simulator.analytical.grid import (
+    GRID_BACKEND_CHOICES,
+    PhaseTable,
+    available_grid_backends,
+    configure_grid,
+    evaluate_phase_table,
+    grid_defaults,
+    resolve_grid_backend,
+)
 from repro.simulator.timing import (
     TraceTimingModel,
     TimingResult,
@@ -32,6 +41,13 @@ from repro.simulator.timing import (
 
 __all__ = [
     "BACKEND_CHOICES",
+    "GRID_BACKEND_CHOICES",
+    "PhaseTable",
+    "available_grid_backends",
+    "configure_grid",
+    "evaluate_phase_table",
+    "grid_defaults",
+    "resolve_grid_backend",
     "HardwareConfig",
     "VectorUnitStyle",
     "SetAssociativeCache",

@@ -145,6 +145,126 @@ def vector_cost_fold_kernel(
 
 
 @_jit
+def analytical_grid_kernel(
+    cell_of_row: np.ndarray,
+    vector_ops: np.ndarray,
+    vector_active: np.ndarray,
+    vmem_ops: np.ndarray,
+    vmem_active: np.ndarray,
+    nonunit_fraction: np.ndarray,
+    scalar_ops: np.ndarray,
+    stream_bytes: np.ndarray,
+    stream_passes: np.ndarray,
+    stream_reuse_ws: np.ndarray,
+    stream_scalar: np.ndarray,
+    stream_resident: np.ndarray,
+    chime_den_unit: np.ndarray,
+    chime_den_nonunit: np.ndarray,
+    deadtime: np.ndarray,
+    vector_issue: np.ndarray,
+    vmem_issue: np.ndarray,
+    scalar_cpi: np.ndarray,
+    l2_bytes_per_cycle: np.ndarray,
+    cache_bytes: np.ndarray,
+    vec_exposure: np.ndarray,
+    line_bytes: np.ndarray,
+    dram_latency: np.ndarray,
+    mlp: np.ndarray,
+    dram_bw: np.ndarray,
+    phase_startup: np.ndarray,
+    scalar_exposure_on: np.ndarray,
+    resident_source_on: np.ndarray,
+    out_vector: np.ndarray,
+    out_scalar: np.ndarray,
+    out_l2: np.ndarray,
+    out_dram: np.ndarray,
+    out_latency: np.ndarray,
+    out_startup: np.ndarray,
+    out_dram_bytes: np.ndarray,
+    out_l2_bytes: np.ndarray,
+) -> None:
+    """Per-row analytical phase timing over a whole PhaseTable, compiled.
+
+    One scalar loop over the (cell, phase) rows of
+    :class:`repro.simulator.analytical.grid.PhaseTable`, replicating the
+    elementwise NumPy backend (`grid._evaluate_rows_numpy`) — and hence
+    the per-cell :meth:`AnalyticalTimingModel.phase_cycles` — operation
+    for operation: ``np.ceil`` chimes against the per-cell hoisted
+    denominators, the exact ``(a + b) + c`` associations of the vmem
+    terms, and left-to-right folds over the zero-padded stream columns.
+    All inputs are float64 (masks bool); outputs are written in place.
+    """
+    n_rows = cell_of_row.shape[0]
+    n_streams = stream_bytes.shape[1]
+    for r in range(n_rows):
+        c = cell_of_row[r]
+        dt = deadtime[c]
+
+        chime_v = np.ceil(vector_active[r] / chime_den_unit[c])
+        if chime_v < 1.0:
+            chime_v = 1.0
+        lane = chime_v
+        if vector_issue[c] > lane:
+            lane = vector_issue[c]
+        vec = vector_ops[r] * (lane + dt)
+        if vmem_ops[r] > 0.0:
+            unit_ops = vmem_ops[r] * (1.0 - nonunit_fraction[r])
+            strided_ops = vmem_ops[r] * nonunit_fraction[r]
+            chime_m = np.ceil(vmem_active[r] / chime_den_unit[c])
+            if chime_m < 1.0:
+                chime_m = 1.0
+            chime_mn = np.ceil(vmem_active[r] / chime_den_nonunit[c])
+            if chime_mn < 1.0:
+                chime_mn = 1.0
+            vec = vec + unit_ops * ((vmem_issue[c] + chime_m) + dt)
+            vec = vec + strided_ops * ((vmem_issue[c] + chime_mn) + dt)
+        out_vector[r] = vec
+
+        out_scalar[r] = scalar_ops[r] * scalar_cpi[c]
+
+        cache = cache_bytes[c]
+        l2b = 0.0
+        dramb = 0.0
+        lat = 0.0
+        for j in range(n_streams):
+            b = stream_bytes[r, j]
+            passes = stream_passes[r, j]
+            ws = stream_reuse_ws[r, j]
+            l2b = l2b + b * passes
+            if ws > 0.0:
+                res = cache / ws
+                if res > 1.0:
+                    res = 1.0
+            else:
+                res = 1.0
+            compulsory = b
+            if stream_resident[r, j] and resident_source_on[c]:
+                if b > 0.0:
+                    res_src = cache / b
+                    if res_src > 1.0:
+                        res_src = 1.0
+                else:
+                    res_src = 1.0
+                compulsory = b * (1.0 - res_src)
+            extra = b * (passes - 1.0) * (1.0 - res)
+            sbytes = compulsory + extra
+            dramb = dramb + sbytes
+            if stream_scalar[r, j] and scalar_exposure_on[c]:
+                exposure = 1.0
+            else:
+                exposure = vec_exposure[c]
+            lat = lat + (
+                exposure * (sbytes / line_bytes[c]) * dram_latency[c] / mlp[c]
+            )
+        out_l2_bytes[r] = l2b
+        out_dram_bytes[r] = dramb
+        out_latency[r] = lat
+        out_l2[r] = l2b / l2_bytes_per_cycle[c]
+        out_dram[r] = dramb / dram_bw[c]
+        out_startup[r] = phase_startup[c]
+
+
+@_jit
 def memory_cost_fold_kernel(
     vl: np.ndarray,
     elem_bytes: np.ndarray,

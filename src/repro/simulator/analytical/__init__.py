@@ -22,6 +22,16 @@ attributes its findings to (see DESIGN.md §4).
 from repro.simulator.analytical.phases import DataStream, Phase
 from repro.simulator.analytical.cachemodel import stream_dram_bytes, residency
 from repro.simulator.analytical.model import AnalyticalTimingModel, LayerCycles
+from repro.simulator.analytical.grid import (
+    GRID_BACKEND_CHOICES,
+    PhaseTable,
+    available_grid_backends,
+    configure_grid,
+    evaluate_cells,
+    evaluate_phase_table,
+    grid_defaults,
+    resolve_grid_backend,
+)
 
 __all__ = [
     "DataStream",
@@ -30,4 +40,12 @@ __all__ = [
     "residency",
     "AnalyticalTimingModel",
     "LayerCycles",
+    "GRID_BACKEND_CHOICES",
+    "PhaseTable",
+    "available_grid_backends",
+    "configure_grid",
+    "evaluate_cells",
+    "evaluate_phase_table",
+    "grid_defaults",
+    "resolve_grid_backend",
 ]

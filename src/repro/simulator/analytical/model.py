@@ -30,7 +30,7 @@ from repro.simulator.analytical.cachemodel import (
 )
 from repro.simulator.analytical.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.simulator.analytical.phases import Phase
-from repro.simulator.hwconfig import HardwareConfig
+from repro.simulator.hwconfig import HardwareConfig, VectorUnitStyle
 from repro.simulator.memory import DramModel
 
 
@@ -122,8 +122,6 @@ class AnalyticalTimingModel:
         """Time one phase."""
         cal = self.cal
         cfg = self.config
-
-        from repro.simulator.hwconfig import VectorUnitStyle
 
         deadtime = (
             cal.decoupled_deadtime

@@ -1,0 +1,326 @@
+"""Tensorized analytical-grid evaluation: exact parity + engine fast path.
+
+The contract under test (ISSUE 8 / docs/PERF.md): evaluating a columnar
+``PhaseTable`` through :func:`repro.simulator.analytical.grid.
+evaluate_phase_table` — with either registered backend — produces
+``LayerCycles``/``PhaseCycles`` records **bit-identical** to the per-cell
+:class:`AnalyticalTimingModel`, over the paper's full 448-point grid; and
+the :class:`EvaluationEngine` routes cold serial/small batches through
+that path without changing a single output float.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import faults, obs
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.engine import EvalTask, EvaluationEngine, MemoCache
+from repro.errors import SimulationError
+from repro.nn.layer import ConvSpec
+from repro.simulator._compiled import HAVE_NUMBA
+from repro.simulator.analytical import grid
+from repro.simulator.analytical.calibration import Calibration
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.hwconfig import HardwareConfig
+
+needs_numba = pytest.mark.skipif(
+    not HAVE_NUMBA,
+    reason="Numba not installed (the [compiled] extra); CI's compiled "
+           "job runs these",
+)
+
+
+def records_equal(a, b) -> bool:
+    """Exact (bit-identical) equality of two LayerCycles records."""
+    return a.algorithm == b.algorithm and [
+        p.__dict__ for p in a.phases
+    ] == [p.__dict__ for p in b.phases]
+
+
+@pytest.fixture(scope="module")
+def paper_grid_cells():
+    """Every applicable (algorithm, schedule, hw) cell of the 448-point
+    grid, with its per-cell reference record."""
+    from repro.experiments.configs import workload
+
+    specs = workload("vgg16") + workload("yolov3")
+    configs = [
+        HardwareConfig.paper2_rvv(v, l2)
+        for v in (512, 1024, 2048, 4096)
+        for l2 in (1.0, 64.0)
+    ]
+    cells, expected = [], []
+    for hw in configs:
+        for spec in specs:
+            for name in ALGORITHM_NAMES:
+                algo = get_algorithm(name)
+                if not algo.applicable(spec):
+                    continue
+                phases = algo.schedule(spec, hw)
+                cells.append((algo.name, phases, hw))
+                expected.append(
+                    AnalyticalTimingModel(hw).evaluate(algo.name, phases)
+                )
+    return cells, expected
+
+
+@pytest.fixture
+def _restore_grid_default():
+    yield
+    grid.configure_grid(backend="auto")
+
+
+# --------------------------------------------------------------------- #
+# bit-exact parity over the paper grid
+# --------------------------------------------------------------------- #
+class TestGridParity:
+    def assert_full_parity(self, cells, expected, backend):
+        table = grid.PhaseTable.from_cells(cells)
+        got = grid.evaluate_phase_table(table, backend=backend)
+        assert len(got) == len(expected)
+        for g, e in zip(got, expected):
+            assert records_equal(g, e)
+            assert g.cycles == e.cycles
+            assert g.dram_bytes == e.dram_bytes
+            for gp, ep in zip(g.phases, e.phases):
+                assert gp.cycles == ep.cycles
+                assert gp.bound == ep.bound
+
+    def test_numpy_backend_bit_identical_on_paper_grid(self, paper_grid_cells):
+        cells, expected = paper_grid_cells
+        assert len(cells) > 400  # the full grid, not a sample
+        self.assert_full_parity(cells, expected, "numpy")
+
+    @needs_numba
+    def test_compiled_backend_bit_identical_on_paper_grid(
+        self, paper_grid_cells
+    ):
+        cells, expected = paper_grid_cells
+        self.assert_full_parity(cells, expected, "compiled")
+
+    def test_compiled_kernel_algorithm_matches_numpy_uncompiled(
+        self, paper_grid_cells
+    ):
+        """The kernel *algorithm* is validated on every machine: without
+        Numba the undecorated Python function runs (slowly) and must
+        produce the numpy backend's columns bit for bit."""
+        cells, _ = paper_grid_cells
+        table = grid.PhaseTable.from_cells(cells[:120])
+        rows_np = grid._evaluate_rows_numpy(table)
+        rows_c = grid._evaluate_rows_compiled(table)
+        for a, b, name in zip(rows_np, rows_c, rows_np._fields):
+            assert (a == b).all(), f"column {name} diverged"
+
+    def test_calibration_column_parity(self):
+        """Non-default and per-cell calibrations flow through the table."""
+        spec = ConvSpec(ic=16, oc=32, ih=28, iw=28, kh=3, kw=3, index=2)
+        hw = HardwareConfig.paper1_riscvv(1024, 4.0)  # DECOUPLED style
+        cal = Calibration(
+            nonunit_penalty=2.0, latency_exposure=0.9,
+            enable_scalar_exposure=False, phase_startup=123.0,
+        )
+        algo = get_algorithm("im2col_gemm6")
+        phases = algo.schedule(spec, hw)
+        expected = AnalyticalTimingModel(hw, cal).evaluate(algo.name, phases)
+        # table-wide calibration
+        [got] = grid.evaluate_cells([(algo.name, phases, hw)], calibration=cal)
+        assert records_equal(got, expected)
+        # per-cell override beats the table-wide default
+        [got2] = grid.evaluate_cells([(algo.name, phases, hw, cal)])
+        assert records_equal(got2, expected)
+
+    def test_empty_and_streamless_cells(self):
+        assert grid.evaluate_cells([]) == []
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        from repro.simulator.analytical.phases import Phase
+
+        phases = [Phase("bare", scalar_ops=100.0)]  # no streams at all
+        expected = AnalyticalTimingModel(hw).evaluate("x", phases)
+        [got] = grid.evaluate_cells([("x", phases, hw)])
+        assert got.cycles == expected.cycles
+        assert got.dram_bytes == expected.dram_bytes
+
+
+# --------------------------------------------------------------------- #
+# backend registry + process default
+# --------------------------------------------------------------------- #
+class TestGridBackendRegistry:
+    def test_numpy_always_registered(self):
+        assert "numpy" in grid.available_grid_backends()
+        assert grid.resolve_grid_backend("numpy").name == "numpy"
+
+    def test_auto_resolves_to_a_registered_backend(self):
+        assert grid.resolve_grid_backend("auto").name in (
+            grid.available_grid_backends()
+        )
+        assert grid.resolve_grid_backend(None).name in (
+            grid.available_grid_backends()
+        )
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="unknown grid backend"):
+            grid.resolve_grid_backend("warp")
+
+    @pytest.mark.skipif(HAVE_NUMBA, reason="only without Numba")
+    def test_compiled_without_numba_names_the_extra(self):
+        with pytest.raises(SimulationError, match=r"\[compiled\] extra"):
+            grid.resolve_grid_backend("compiled")
+
+    @needs_numba
+    def test_compiled_registered_and_preferred_by_auto(self):
+        assert "compiled" in grid.available_grid_backends()
+        assert grid.resolve_grid_backend("auto").name == "compiled"
+
+    def test_configure_grid_sets_process_default(self, _restore_grid_default):
+        assert grid.grid_defaults() == "auto"
+        assert grid.configure_grid(backend="numpy") == "numpy"
+        assert grid.grid_defaults() == "numpy"
+        assert grid.configure_grid() == "numpy"  # None leaves it unchanged
+        with pytest.raises(SimulationError, match="unknown grid backend"):
+            grid.configure_grid(backend="warp")
+        if not HAVE_NUMBA:  # eager validation: fails at config time
+            with pytest.raises(SimulationError, match=r"\[compiled\] extra"):
+                grid.configure_grid(backend="compiled")
+
+    def test_grid_backend_counter_recorded(self):
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        spec = ConvSpec(ic=8, oc=8, ih=16, iw=16, index=1)
+        algo = get_algorithm("direct")
+        rec = obs.enable()
+        try:
+            grid.evaluate_cells(
+                [(algo.name, algo.schedule(spec, hw), hw)], backend="numpy"
+            )
+            assert rec.counters.get("analytical.grid_backend.numpy") == 1
+        finally:
+            obs.disable()
+
+
+# --------------------------------------------------------------------- #
+# engine fast path
+# --------------------------------------------------------------------- #
+class TestEngineGridFastPath:
+    @pytest.fixture
+    def tasks(self):
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+        specs = [ConvSpec(ic=8, oc=8, ih=16, iw=16, index=i) for i in range(4)]
+        return [
+            EvalTask(name, s, hw) for s in specs for name in ALGORITHM_NAMES
+        ]
+
+    def test_cold_serial_batch_routes_through_grid(self, tasks):
+        rec = obs.enable()
+        try:
+            records = EvaluationEngine().evaluate_many(tasks)
+            assert (rec.counters.get("engine.grid_cells") or 0) > 0
+            names = {s.name for s in rec.spans}
+            assert "engine.grid" in names and "engine.point" in names
+        finally:
+            obs.disable()
+        expected = EvaluationEngine(grid_backend="percell").evaluate_many(tasks)
+        for got, want in zip(records, expected):
+            assert records_equal(got, want)
+
+    def test_small_parallel_batch_skips_pool_and_counts(self, tasks):
+        small = tasks[:6]
+        rec = obs.enable()
+        try:
+            records = EvaluationEngine(max_workers=4).evaluate_many(small)
+            assert rec.counters.get("engine.small_batch_serial") == 1
+            assert (rec.counters.get("engine.grid_cells") or 0) > 0
+            # and no pool machinery ran
+            assert "engine.parallel" not in {s.name for s in rec.spans}
+        finally:
+            obs.disable()
+        expected = EvaluationEngine().evaluate_many(small)
+        for got, want in zip(records, expected):
+            assert records_equal(got, want)
+
+    def test_mid_size_parallel_batch_stays_serial_below_threshold(self, tasks):
+        rec = obs.enable()
+        try:
+            EvaluationEngine(max_workers=2).evaluate_many(tasks)  # 16 cells
+            assert "engine.parallel" not in {s.name for s in rec.spans}
+            assert not rec.counters.get("engine.small_batch_serial")
+        finally:
+            obs.disable()
+
+    def test_percell_backend_disables_grid(self, tasks):
+        rec = obs.enable()
+        try:
+            EvaluationEngine(grid_backend="percell").evaluate_many(tasks)
+            assert not rec.counters.get("engine.grid_cells")
+        finally:
+            obs.disable()
+
+    def test_cell_errors_isolated_in_grid_path(self, tasks):
+        from repro.engine import CellError
+
+        hw = tasks[0].hw
+        one_by_one = ConvSpec(ic=8, oc=8, ih=14, iw=14, kh=1, kw=1, index=9)
+        bad = EvalTask("winograd", one_by_one, hw, fallback=False)
+        records = EvaluationEngine().evaluate_many(
+            [bad] + tasks[:3], on_error="record"
+        )
+        assert isinstance(records[0], CellError)
+        assert records[0].error_type == "NotApplicableError"
+        assert all(not isinstance(r, CellError) for r in records[1:])
+
+    def test_injected_cell_faults_surface_in_grid_path(self, tasks):
+        from repro.engine import CellError
+
+        with faults.inject("seed=5,cell.error=1.0"):
+            records = EvaluationEngine(use_cache=False).evaluate_many(
+                tasks[:4], on_error="record"
+            )
+        assert all(isinstance(r, CellError) for r in records)
+        assert all(r.error_type == "InjectedFaultError" for r in records)
+
+    def test_grid_machinery_failure_falls_back_per_cell(
+        self, tasks, monkeypatch
+    ):
+        import repro.engine.executor as executor
+
+        def explode(items, calibration, backend=None):
+            raise RuntimeError("grid machinery broke")
+
+        monkeypatch.setattr(executor, "_compute_grid", explode)
+        rec = obs.enable()
+        try:
+            records = EvaluationEngine().evaluate_many(tasks)
+            assert rec.counters.get("engine.grid_fallbacks") == 1
+        finally:
+            obs.disable()
+        expected = EvaluationEngine(grid_backend="percell").evaluate_many(tasks)
+        for got, want in zip(records, expected):
+            assert records_equal(got, want)
+
+    def test_engine_grid_backend_pins_evaluation_backend(self, tasks):
+        rec = obs.enable()
+        try:
+            EvaluationEngine(grid_backend="numpy").evaluate_many(tasks)
+            assert (rec.counters.get("analytical.grid_backend.numpy") or 0) >= 1
+        finally:
+            obs.disable()
+
+    def test_cold_campaign_grid_matches_percell_with_cache(self, tmp_path):
+        """Cold cache-disabled sweep: tensorized records == per-cell ones."""
+        hw = [HardwareConfig.paper2_rvv(v, 1.0) for v in (512, 2048)]
+        specs = [
+            ConvSpec(ic=8, oc=16, ih=20, iw=20, kh=3, kw=3, index=i)
+            for i in range(3)
+        ]
+        fast = EvaluationEngine(use_cache=False)
+        slow = EvaluationEngine(use_cache=False, grid_backend="percell")
+        a = fast.sweep(specs, hw, ALGORITHM_NAMES)
+        b = slow.sweep(specs, hw, ALGORITHM_NAMES)
+        assert a.keys() == b.keys()
+        for key in a:
+            assert records_equal(a[key], b[key])
+        # and records cached by the grid path replay identically
+        cached = EvaluationEngine(cache=MemoCache(disk_dir=tmp_path))
+        first = cached.sweep(specs, hw, ALGORITHM_NAMES)
+        again = cached.sweep(specs, hw, ALGORITHM_NAMES)
+        for key in first:
+            assert records_equal(first[key], again[key])

@@ -76,6 +76,45 @@ class TestExperimentsCliExitCodes:
         assert cli.main(["--list"]) == 0
 
 
+class TestGridBackendFlag:
+    """``--grid-backend`` validates eagerly, before any experiment work."""
+
+    @pytest.fixture(autouse=True)
+    def _restore_grid_default(self):
+        from repro.simulator.analytical import grid
+
+        before = grid.grid_defaults()
+        yield
+        grid.configure_grid(backend=before)
+
+    def test_invalid_choice_is_argparse_usage_error_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["table1", "--grid-backend", "simd"])
+        assert excinfo.value.code == 2
+        assert "--grid-backend" in capsys.readouterr().err
+
+    def test_compiled_without_numba_fails_fast_with_10(self, capsys):
+        from repro.simulator._compiled import HAVE_NUMBA
+
+        if HAVE_NUMBA:
+            pytest.skip("Numba installed; 'compiled' is valid here")
+        # the bogus experiment name proves eagerness: the backend is
+        # rejected before dispatch even looks at the experiment list
+        assert cli.main(
+            ["definitely-not-an-experiment", "--grid-backend", "compiled"]
+        ) == 10
+        assert "error [SimulationError]" in capsys.readouterr().err
+
+    def test_valid_backend_is_applied_before_dispatch(self, capsys):
+        from repro.simulator.analytical import grid
+
+        assert cli.main(
+            ["definitely-not-an-experiment", "--grid-backend", "numpy"]
+        ) == 2
+        assert "unknown experiments" in capsys.readouterr().err
+        assert grid.grid_defaults() == "numpy"
+
+
 class TestServeCliExitCodes:
     def test_malformed_repro_faults_is_6(self, monkeypatch, capsys):
         from repro.serve import server

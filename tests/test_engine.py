@@ -225,7 +225,10 @@ class TestEvaluationEngine:
             EvalTask(name, s, hw) for s in specs for name in ALGORITHM_NAMES
         ]
         serial = EvaluationEngine(max_workers=1).evaluate_many(tasks)
-        parallel = EvaluationEngine(max_workers=2).evaluate_many(tasks)
+        # pool_min_batch=0 forces the real pool even for this small batch
+        parallel = EvaluationEngine(
+            max_workers=2, pool_min_batch=0
+        ).evaluate_many(tasks)
         assert len(serial) == len(parallel) == len(tasks)
         for a, b in zip(serial, parallel):
             assert phases_equal(a, b)
@@ -247,6 +250,10 @@ class TestEvaluationEngine:
             EvaluationEngine(max_retries=-1)
         with pytest.raises(EngineError):
             EvaluationEngine(retry_backoff_s=-0.1)
+        with pytest.raises(EngineError):
+            EvaluationEngine(pool_min_batch=-1)
+        with pytest.raises(EngineError):
+            EvaluationEngine(grid_backend="simd")
         with pytest.raises(EngineError):
             EvaluationEngine().evaluate_many([], on_error="ignore")
 
@@ -276,7 +283,7 @@ class TestSerialFallback:
             EvalTask(name, s, hw) for s in specs for name in ALGORITHM_NAMES
         ]
         expected = EvaluationEngine(max_workers=1).evaluate_many(tasks)
-        engine = EvaluationEngine(max_workers=2)
+        engine = EvaluationEngine(max_workers=2, pool_min_batch=0)
         recorder = obs.enable()
         try:
             with pytest.warns(RuntimeWarning, match="process pool unavailable"):
@@ -294,7 +301,9 @@ class TestSerialFallback:
         tasks = [
             EvalTask(name, s, hw) for s in specs for name in ALGORITHM_NAMES
         ]
-        engine = EvaluationEngine(max_workers=2, use_cache=False)
+        engine = EvaluationEngine(
+            max_workers=2, use_cache=False, pool_min_batch=0
+        )
         with pytest.warns(RuntimeWarning):
             engine.evaluate_many(tasks)
         with warnings.catch_warnings():

@@ -1,0 +1,159 @@
+"""Property tests for the tensorized analytical grid (hypothesis).
+
+One invariant, attacked from random directions: for *any* batch of
+(schedule, hardware, calibration) cells — random phase tables, random
+stream shapes, VLEN/LMUL across the paper's range, both
+``VectorUnitStyle``s, randomized positive calibrations — the grid
+evaluator (numpy backend and the compiled kernel's algorithm) returns
+``cycles``/``dram_bytes``/``bound`` and every per-phase lane column
+**bit-identical** to the per-cell :class:`AnalyticalTimingModel`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulator.analytical import grid
+from repro.simulator.analytical.calibration import Calibration
+from repro.simulator.analytical.model import AnalyticalTimingModel
+from repro.simulator.analytical.phases import DataStream, Phase
+from repro.simulator.hwconfig import HardwareConfig
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+#: Strictly positive, boringly finite floats: every calibration constant
+#: divides something somewhere, so zero would change exceptions (Python
+#: raises ZeroDivisionError, ndarrays yield inf), not just values.
+_pos = st.floats(
+    min_value=1e-3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+_frac = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+_ops = st.floats(
+    min_value=0.0, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+_bytes = st.floats(
+    min_value=0.0, max_value=1e10, allow_nan=False, allow_infinity=False
+)
+
+calibrations = st.builds(
+    Calibration,
+    vector_issue=_pos,
+    vmem_issue=_pos,
+    nonunit_penalty=_pos,
+    scalar_cpi=_pos,
+    dram_efficiency=_pos,
+    l2_bytes_per_cycle=_pos,
+    phase_startup=st.floats(0.0, 1e5, allow_nan=False, allow_infinity=False),
+    latency_exposure=_frac,
+    prefetch_latency_factor=_frac,
+    decoupled_deadtime=st.floats(
+        0.0, 16.0, allow_nan=False, allow_infinity=False
+    ),
+    enable_scalar_exposure=st.booleans(),
+    enable_resident_source=st.booleans(),
+)
+
+integrated = st.builds(
+    HardwareConfig.paper2_rvv,
+    vlen_bits=st.sampled_from([512, 1024, 2048, 4096]),
+    l2_mib=st.sampled_from([0.25, 1.0, 4.0, 16.0, 64.0]),
+)
+decoupled = st.builds(
+    HardwareConfig.paper1_riscvv,
+    vlen_bits=st.sampled_from([512, 1024, 2048, 4096]),
+    l2_mib=st.sampled_from([0.25, 1.0, 4.0, 64.0]),
+    lanes=st.sampled_from([2, 4, 8]),
+)
+hw_configs = st.one_of(integrated, decoupled).flatmap(
+    lambda hw: st.builds(
+        hw.with_,
+        lmul=st.sampled_from([1, 2, 4, 8]),
+        software_prefetch=st.booleans(),
+        hardware_prefetch=st.booleans(),
+    )
+)
+
+streams = st.builds(
+    DataStream,
+    name=st.sampled_from(["in", "wgt", "out", "col", "u", "v"]),
+    bytes=_bytes,
+    passes=st.floats(1.0, 64.0, allow_nan=False, allow_infinity=False),
+    reuse_ws=_bytes,
+    is_write=st.booleans(),
+    scalar_access=st.booleans(),
+    resident_source=st.booleans(),
+)
+
+
+@st.composite
+def phases_(draw) -> Phase:
+    """A valid Phase: ops imply a positive matching active count."""
+    vector_ops = draw(_ops)
+    vmem_ops = draw(_ops)
+    return Phase(
+        name=draw(st.sampled_from(["pack", "gemm", "transform", "main"])),
+        vector_ops=vector_ops,
+        vector_active=draw(_pos) if vector_ops else 0.0,
+        vmem_ops=vmem_ops,
+        vmem_active=draw(_pos) if vmem_ops else 0.0,
+        nonunit_fraction=draw(_frac),
+        scalar_ops=draw(_ops),
+        streams=tuple(draw(st.lists(streams, min_size=0, max_size=4))),
+    )
+
+
+cells = st.tuples(
+    st.lists(phases_(), min_size=1, max_size=4), hw_configs, calibrations
+)
+
+
+# ---------------------------------------------------------------------- #
+# the parity property
+# ---------------------------------------------------------------------- #
+@given(batch=st.lists(cells, min_size=1, max_size=6))
+@settings(max_examples=120, deadline=None)
+def test_grid_bit_identical_to_per_cell_model(batch):
+    """Both grid backends == per-cell model, field for field, bit for bit."""
+    grid_cells = [
+        (f"algo{i}", phases, hw, cal)
+        for i, (phases, hw, cal) in enumerate(batch)
+    ]
+    expected = [
+        AnalyticalTimingModel(hw, cal).evaluate(f"algo{i}", phases)
+        for i, (phases, hw, cal) in enumerate(batch)
+    ]
+
+    table = grid.PhaseTable.from_cells(grid_cells)
+    for rows in (grid._evaluate_rows_numpy, grid._evaluate_rows_compiled):
+        backend = grid.GridBackend("test", rows)
+        # errstate: the *undecorated* kernel's scalar numpy ops warn where
+        # plain Python floats are silent; values are identical either way
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            got = backend.evaluate_rows(table)
+        r = 0
+        for record in expected:
+            for p in record.phases:
+                assert got.vector_cycles[r] == p.vector_cycles
+                assert got.scalar_cycles[r] == p.scalar_cycles
+                assert got.l2_cycles[r] == p.l2_cycles
+                assert got.dram_cycles[r] == p.dram_cycles
+                assert got.latency_cycles[r] == p.latency_cycles
+                assert got.startup_cycles[r] == p.startup_cycles
+                assert got.dram_bytes[r] == p.dram_bytes
+                assert got.l2_bytes[r] == p.l2_bytes
+                r += 1
+        assert r == table.n_rows
+
+    # and the assembled records agree on the derived quantities too
+    records = grid.evaluate_phase_table(table, backend="numpy")
+    for got_rec, want in zip(records, expected):
+        assert got_rec.cycles == want.cycles
+        assert got_rec.dram_bytes == want.dram_bytes
+        for gp, wp in zip(got_rec.phases, want.phases):
+            assert gp.bound == wp.bound

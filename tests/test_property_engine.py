@@ -120,7 +120,9 @@ def test_parallel_order_equals_serial_order(order):
     """Worker completion order never leaks into the record order."""
     shuffled = [_TASKS[i] for i in order]
     serial = EvaluationEngine(max_workers=1).evaluate_many(shuffled)
-    parallel = EvaluationEngine(max_workers=3).evaluate_many(shuffled)
+    parallel = EvaluationEngine(
+        max_workers=3, pool_min_batch=0
+    ).evaluate_many(shuffled)
     assert len(serial) == len(parallel)
     for a, b in zip(serial, parallel):
         assert _records_equal(a, b)
