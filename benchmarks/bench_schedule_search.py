@@ -1,0 +1,71 @@
+"""Benchmark + CI gate for the schedule search.
+
+Runs the bounded smoke-scope search twice on fresh engines and asserts the
+properties the schedule subsystem guarantees:
+
+* **bit-determinism** — two seeded runs produce identical reports;
+* **match-or-beat** — every (layer, VL, L2) cell's searched schedule is at
+  least as fast (predicted) as the fixed menu's best;
+* **search pays** — a variant strictly beats the menu on >= 10 % of cells.
+
+The geometric-mean menu/searched cycle ratio is recorded as
+``schedule.search_best_vs_menu_ratio`` for the committed-floor regression
+gate (``benchmarks/baselines.json``).  Unlike the wall-clock ratios, this
+metric is a pure model output: it is bit-stable across machines, so the
+floor guards the *search quality* itself — a template or cost-model change
+that stops finding better schedules fails CI.
+"""
+
+from __future__ import annotations
+
+from _metrics import record_metric
+from conftest import emit
+
+from repro.engine import EvaluationEngine
+from repro.experiments.schedule_search import (
+    QUICK_L2_SIZES_MIB,
+    QUICK_LAYER_INDICES,
+    QUICK_VECTOR_LENGTHS,
+    result_from_report,
+)
+from repro.experiments.configs import workload
+from repro.schedule.search import SearchBounds, search_schedules
+from repro.simulator.hwconfig import HardwareConfig
+
+
+def _smoke_scope():
+    specs = {s.index: s for s in workload("vgg16")}
+    return (
+        [specs[i] for i in QUICK_LAYER_INDICES],
+        [
+            HardwareConfig.paper2_rvv(vl, l2)
+            for vl in QUICK_VECTOR_LENGTHS
+            for l2 in QUICK_L2_SIZES_MIB
+        ],
+    )
+
+
+def _run_search():
+    specs, configs = _smoke_scope()
+    # a fresh engine per run: determinism must not lean on a shared cache
+    engine = EvaluationEngine()
+    return search_schedules(specs, configs, engine=engine, bounds=SearchBounds())
+
+
+def test_schedule_search_gate(benchmark):
+    """Determinism + match-or-beat + beat-fraction, with the ratio metric."""
+    report = benchmark.pedantic(_run_search, rounds=1, iterations=1)
+    rerun = _run_search()
+
+    # bit-deterministic given the seed (fresh engines on both sides)
+    assert rerun.cells == report.cells
+
+    # match-or-beat on EVERY evaluated cell (menu defaults are candidates)
+    assert report.cells
+    assert report.min_ratio >= 1.0
+
+    # the search must strictly beat the menu on at least 10% of cells
+    assert report.beat_fraction >= 0.10
+
+    emit(result_from_report(report))
+    record_metric("schedule.search_best_vs_menu_ratio", report.geomean_ratio)

@@ -32,6 +32,12 @@ from pathlib import Path
 #: A metric regresses when ``measured < baseline * (1 - TOLERANCE)``.
 TOLERANCE = 0.20
 
+#: Per-metric tolerance overrides, keyed ``_tolerances`` in the baseline
+#: JSON.  Wall-clock ratios need the loose default to absorb runner noise;
+#: pure model outputs (the schedule-search quality ratio) are bit-stable
+#: and get a tight band so a real quality regression cannot hide inside
+#: the noise allowance.
+
 DEFAULT_BASELINES = Path(__file__).resolve().parent.parent / (
     "benchmarks/baselines.json"
 )
@@ -41,17 +47,21 @@ def check(
     measured: dict[str, float],
     baselines: dict[str, float],
     tolerance: float = TOLERANCE,
+    tolerances: dict[str, float] | None = None,
 ) -> list[str]:
     """Return one failure message per regressed or missing metric.
 
     Every baseline metric must be present in ``measured`` (a missing
     metric means the benchmark silently stopped recording it — that must
     fail loudly, not pass vacuously) and must reach at least
-    ``baseline * (1 - tolerance)``.  Extra measured metrics without a
-    baseline are ignored: they are new metrics awaiting a committed floor.
-    Keys starting with ``_`` (e.g. ``_comment``) are not metrics.
+    ``baseline * (1 - tolerance)``.  ``tolerances`` overrides the
+    tolerance per metric (the ``_tolerances`` block of the baseline
+    JSON).  Extra measured metrics without a baseline are ignored: they
+    are new metrics awaiting a committed floor.  Keys starting with
+    ``_`` (e.g. ``_comment``) are not metrics.
     """
     failures: list[str] = []
+    tolerances = tolerances or {}
     baselines = {
         k: v for k, v in baselines.items() if not k.startswith("_")
     }
@@ -63,11 +73,12 @@ def check(
             )
             continue
         value = float(measured[name])
-        allowed = floor * (1.0 - tolerance)
+        tol = float(tolerances.get(name, tolerance))
+        allowed = floor * (1.0 - tol)
         if value < allowed:
             failures.append(
-                f"{name}: measured {value:.2f} < allowed {allowed:.2f} "
-                f"(baseline {floor:g}, tolerance {tolerance:.0%})"
+                f"{name}: measured {value:.4f} < allowed {allowed:.4f} "
+                f"(baseline {floor:g}, tolerance {tol:.1%})"
             )
     return failures
 
@@ -95,13 +106,13 @@ def main(argv: list[str] | None = None) -> int:
               f"benchmarks run with BENCH_METRICS_PATH set?", file=sys.stderr)
         return 2
     measured = json.loads(metrics_path.read_text())
-    baselines = {
-        k: v
-        for k, v in json.loads(Path(args.baselines).read_text()).items()
-        if not k.startswith("_")
-    }
+    raw = json.loads(Path(args.baselines).read_text())
+    tolerances = dict(raw.get("_tolerances", {}))
+    baselines = {k: v for k, v in raw.items() if not k.startswith("_")}
 
-    failures = check(measured, baselines, tolerance=args.tolerance)
+    failures = check(
+        measured, baselines, tolerance=args.tolerance, tolerances=tolerances
+    )
     for name in sorted(baselines):
         status = "MISSING"
         if name in measured:

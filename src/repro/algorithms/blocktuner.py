@@ -1,15 +1,22 @@
-"""Analytical block-size tuning for the 6-loop GEMM.
+"""Deprecated shim: block-size tuning now lives in :mod:`repro.schedule`.
 
-Paper I tuned the BLIS-like blocks to 16x512x128 *for a 1 MB L2* and both
-papers carry that choice across every cache size they sweep.  This module
-asks the follow-up question: what does re-tuning the blocks to each cache
-buy?  ``tune_blocks`` searches a small grid with the analytical model
-(exactly how BLIS picks blocks from cache parameters, but empirical), and
-the ``ablation-blocks`` study compares fixed-vs-tuned across the L2 sweep.
+Paper I tuned the BLIS-like blocks to 16x512x128 *for a 1 MB L2*; this
+module used to search a small grid around that choice with the analytical
+model.  The grid is now the 6-loop kernel template's knob space
+(:func:`repro.schedule.templates.gemm6_block_candidates`) and the general
+schedule search (:func:`repro.schedule.search.search_schedules`) subsumes
+the tuning — per (layer, VL, L2) cell, ``im2col_gemm6@bm=..,bn=..,bk=..``
+variants compete with every other schedule.
+
+The public signatures (``gemm6_cycles``, ``tune_blocks``,
+``tuned_speedup``) are kept for the ``ablation-blocks`` experiment and
+downstream callers; they delegate to the template's candidate list and
+emit a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
+import warnings
 from functools import lru_cache
 
 from repro.algorithms.gemm_kernels import BLOCK_K, BLOCK_M, BLOCK_N, gemm6_phases
@@ -18,12 +25,36 @@ from repro.simulator.analytical.model import AnalyticalTimingModel
 from repro.simulator.hwconfig import HardwareConfig
 
 #: Candidate grid (powers of two around the paper's Table II values).
-BLOCK_M_CANDIDATES: tuple[int, ...] = (16, 32)
-BLOCK_N_CANDIDATES: tuple[int, ...] = (256, 512, 1024, 2048)
-BLOCK_K_CANDIDATES: tuple[int, ...] = (64, 128, 256, 512)
+#: Kept as aliases of the template grids — the single source of truth.
+BLOCK_M_CANDIDATES: tuple[int, ...]
+BLOCK_N_CANDIDATES: tuple[int, ...]
+BLOCK_K_CANDIDATES: tuple[int, ...]
 
 #: The papers' fixed choice.
 PAPER_BLOCKS: tuple[int, int, int] = (BLOCK_M, BLOCK_N, BLOCK_K)
+
+
+def __getattr__(name: str) -> tuple[int, ...]:
+    # grid aliases resolve lazily: repro.schedule imports this package's
+    # kernels, so a module-level import here would be circular
+    if name in ("BLOCK_M_CANDIDATES", "BLOCK_N_CANDIDATES", "BLOCK_K_CANDIDATES"):
+        from repro.schedule import templates as t
+
+        return {
+            "BLOCK_M_CANDIDATES": t.GEMM6_BM_GRID,
+            "BLOCK_N_CANDIDATES": t.GEMM6_BN_GRID,
+            "BLOCK_K_CANDIDATES": t.GEMM6_BK_GRID,
+        }[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def _warn_deprecated(fn: str) -> None:
+    warnings.warn(
+        f"repro.algorithms.blocktuner.{fn} is deprecated; use "
+        f"repro.schedule.search (im2col_gemm6 block variants)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def gemm6_cycles(
@@ -38,33 +69,41 @@ def gemm6_cycles(
 
 
 @lru_cache(maxsize=4096)
+def _tune_blocks(
+    m: int, k: int, n: int, vlen_bits: int, l2_mib: float
+) -> tuple[int, int, int]:
+    from repro.schedule.templates import gemm6_block_candidates
+
+    hw = HardwareConfig.paper2_rvv(vlen_bits, l2_mib)
+    candidates = gemm6_block_candidates(hw)
+    best = candidates[0]  # the papers' fixed blocks
+    best_cycles = gemm6_cycles(m, k, n, hw, best)
+    for blocks in candidates[1:]:
+        cycles = gemm6_cycles(m, k, n, hw, blocks)
+        if cycles < best_cycles:
+            best, best_cycles = blocks, cycles
+    return best
+
+
 def tune_blocks(
     m: int, k: int, n: int, vlen_bits: int, l2_mib: float
 ) -> tuple[int, int, int]:
     """The cycle-optimal (blockM, blockN, blockK) for one GEMM and config.
 
-    Exhaustive over the candidate grid, skipping combinations whose packed-B
-    block exceeds the L2 (they always thrash).
+    Deprecated: exhaustive over the 6-loop template's candidate list
+    (identical grid, L2 filter, iteration order and strict-improvement
+    tie-break as the old standalone tuner — results are unchanged).
     """
-    hw = HardwareConfig.paper2_rvv(vlen_bits, l2_mib)
-    best = PAPER_BLOCKS
-    best_cycles = gemm6_cycles(m, k, n, hw, PAPER_BLOCKS)
-    for bm in BLOCK_M_CANDIDATES:
-        for bn in BLOCK_N_CANDIDATES:
-            for bk in BLOCK_K_CANDIDATES:
-                if bk * bn * 4 > hw.l2_bytes:
-                    continue
-                cycles = gemm6_cycles(m, k, n, hw, (bm, bn, bk))
-                if cycles < best_cycles:
-                    best, best_cycles = (bm, bn, bk), cycles
-    return best
+    _warn_deprecated("tune_blocks")
+    return _tune_blocks(m, k, n, vlen_bits, l2_mib)
 
 
 def tuned_speedup(
     m: int, k: int, n: int, hw: HardwareConfig
 ) -> tuple[tuple[int, int, int], float]:
     """(best blocks, fixed-blocks time / tuned time) for one GEMM."""
-    blocks = tune_blocks(m, k, n, hw.vlen_bits, hw.l2_mib)
+    _warn_deprecated("tuned_speedup")
+    blocks = _tune_blocks(m, k, n, hw.vlen_bits, hw.l2_mib)
     fixed = gemm6_cycles(m, k, n, hw, PAPER_BLOCKS)
     tuned = gemm6_cycles(m, k, n, hw, blocks)
     return blocks, fixed / tuned

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro import obs
 from repro.algorithms.base import ConvAlgorithm
+from repro.errors import ConfigError
 from repro.isa.machine import VectorMachine
 from repro.nn.layer import DTYPE_BYTES, ConvSpec
 from repro.nn.reference import pad_input
@@ -35,20 +36,33 @@ from repro.simulator.hwconfig import HardwareConfig
 _ACC_REGS = 24
 
 
-def _unroll_ow(ow: int) -> int:
-    """Unroll factor over OW.
+def _unroll_ow(ow: int, cap: int = _ACC_REGS) -> int:
+    """Unroll factor over OW, bounded by the accumulator-register budget.
 
     The kernel loops OC in vector-register-wide groups (outermost), so each
     unrolled output point holds one accumulator register regardless of OC.
+    ``cap`` is the schedulable knob (the paper's hand-chosen value is the
+    full :data:`_ACC_REGS` budget); the schedule IR searches over it.
     """
-    return max(1, min(ow, _ACC_REGS))
+    return max(1, min(ow, cap, _ACC_REGS))
 
 
 class DirectConv(ConvAlgorithm):
-    """NHWC direct convolution, vectorized over OC."""
+    """NHWC direct convolution, vectorized over OC.
+
+    ``unroll_ow`` caps the output-row unroll factor (default: the full
+    accumulator budget, the paper's hand-chosen schedule).  Non-default
+    values are produced by :mod:`repro.schedule` variants; all three faces
+    (functional, traced, analytical) honour the same cap.
+    """
 
     name = "direct"
     label = "Direct"
+
+    def __init__(self, unroll_ow: int = _ACC_REGS) -> None:
+        if unroll_ow < 1:
+            raise ConfigError(f"unroll_ow must be >= 1, got {unroll_ow}")
+        self.unroll_ow = unroll_ow
 
     # ------------------------------------------------------------------ #
     def run(self, spec: ConvSpec, x: np.ndarray, w: np.ndarray) -> np.ndarray:
@@ -123,7 +137,7 @@ class DirectConv(ConvAlgorithm):
             woffs = (hw_grid * ic + c_grid) * oc
             ntaps = woffs.size
             trace = machine.trace
-            uw = _unroll_ow(ow)
+            uw = _unroll_ow(ow, self.unroll_ow)
             for oc0 in range(0, oc, machine.vlmax()):
                 gvl = machine.vsetvl(oc - oc0)
                 w_bases = w_hwio.base + (woffs + oc0) * elem
@@ -173,7 +187,7 @@ class DirectConv(ConvAlgorithm):
         xarr = x_nhwc.array
         for oc0 in range(0, oc, machine.vlmax()):
             gvl = machine.vsetvl(oc - oc0)
-            uw = _unroll_ow(ow)
+            uw = _unroll_ow(ow, self.unroll_ow)
             for oy in range(oh):
                 for ox0 in range(0, ow, uw):
                     u = min(uw, ow - ox0)
@@ -223,7 +237,7 @@ class DirectConv(ConvAlgorithm):
 
         noc = math.ceil(oc / vle)
         active_oc = oc / noc
-        uw = _unroll_ow(ow)
+        uw = _unroll_ow(ow, self.unroll_ow)
         owb = math.ceil(ow / uw)
 
         # --- layout phase: NCHW->NHWC input + weights ---------------------- #

@@ -20,7 +20,7 @@ import math
 import numpy as np
 
 from repro import obs
-from repro.errors import ShapeError
+from repro.errors import ConfigError, ShapeError
 from repro.isa.machine import Buffer, VectorMachine
 from repro.simulator.analytical.phases import DataStream, Phase
 from repro.simulator.hwconfig import HardwareConfig
@@ -28,12 +28,28 @@ from repro.simulator.hwconfig import HardwareConfig
 #: Loop-unroll factor over M (Paper I: no gain beyond 16 registers on RVV).
 UNROLL = 16
 
+#: Hard register-budget cap on the 3-loop unroll: 32 architectural vector
+#: registers minus the B vector and scratch.
+MAX_UNROLL = 28
+
 #: BLIS-like block sizes (Paper I Table II optimum / Paper II §3.2).
 BLOCK_M = 16
 BLOCK_N = 512
 BLOCK_K = 128
 
 _DTYPE_BYTES = 4
+
+
+def _check_unroll(unroll: int) -> None:
+    """Validate a 3-loop unroll factor against the register file.
+
+    ``unroll`` accumulators plus the B vector (v0) and scratch must fit the
+    32 architectural vector registers.
+    """
+    if not 1 <= unroll <= MAX_UNROLL:
+        raise ConfigError(
+            f"gemm3 unroll must be in [1, {MAX_UNROLL}], got {unroll}"
+        )
 
 
 def _check_gemm(a: np.ndarray, b: np.ndarray) -> tuple[int, int, int]:
@@ -80,23 +96,27 @@ def gemm3_vectorized(
     k: int,
     n: int,
     alpha: float = 1.0,
+    unroll: int = UNROLL,
 ) -> None:
     """Optimized 3-loop GEMM (Paper I Fig. 2) on the vector machine.
 
-    Register map: v0 holds the B vector; v1..v16 hold the C accumulators of
-    the unrolled i-block.  C is assumed zero-initialised (Darknet's GEMM is
-    ``C += alpha*A*B`` with C pre-zeroed by ``fill_cpu``).
+    Register map: v0 holds the B vector; v1..v``unroll`` hold the C
+    accumulators of the unrolled i-block.  C is assumed zero-initialised
+    (Darknet's GEMM is ``C += alpha*A*B`` with C pre-zeroed by
+    ``fill_cpu``).  ``unroll`` is the schedulable knob searched by
+    :mod:`repro.schedule` (default: the paper's 16).
 
     Batched fast path: the unrolled i-block issues one ``*_seq`` intrinsic
     per block instead of one call per register — bit-identical results and
     trace to :func:`gemm3_vectorized_perop`.
     """
+    _check_unroll(unroll)
     a = a_buf.array
     j = 0
     while j < n:
         gvl = machine.vsetvl(n - j)
-        for i0 in range(0, m, UNROLL):
-            u = min(UNROLL, m - i0)
+        for i0 in range(0, m, unroll):
+            u = min(unroll, m - i0)
             machine.scalar(2, "loop_i")
             rows = (i0 + np.arange(u, dtype=np.int64)) * n + j
             machine.vload_seq(1, c_buf, rows)
@@ -119,14 +139,16 @@ def gemm3_vectorized_perop(
     k: int,
     n: int,
     alpha: float = 1.0,
+    unroll: int = UNROLL,
 ) -> None:
     """Per-op reference for :func:`gemm3_vectorized` (one call per instr)."""
+    _check_unroll(unroll)
     a = a_buf.array
     j = 0
     while j < n:
         gvl = machine.vsetvl(n - j)
-        for i0 in range(0, m, UNROLL):
-            u = min(UNROLL, m - i0)
+        for i0 in range(0, m, unroll):
+            u = min(unroll, m - i0)
             machine.scalar(2, "loop_i")
             for it in range(u):
                 machine.vload(1 + it, c_buf, (i0 + it) * n + j)
@@ -318,21 +340,31 @@ def gemm6_vectorized_perop(
 # --------------------------------------------------------------------- #
 # analytical schedules
 # --------------------------------------------------------------------- #
-def gemm3_phase(m: int, k: int, n: int, hw: HardwareConfig, b_name: str = "col") -> Phase:
+def gemm3_phase(
+    m: int,
+    k: int,
+    n: int,
+    hw: HardwareConfig,
+    b_name: str = "col",
+    unroll: int = UNROLL,
+) -> Phase:
     """Analytical cost of the 3-loop GEMM macro-kernel.
 
     The load-bearing interaction: the reuse window of the B (column-matrix)
     slice between unrolled i-blocks is ``K * gvl`` elements — it *grows with
     the vector length*, so longer vectors raise the L2 miss rate exactly as
-    the paper's Table III reports.
+    the paper's Table III reports.  ``unroll`` is the schedulable i-block
+    unroll factor (default: the paper's 16); the LMUL register-budget cap
+    below applies on top of it.
     """
+    _check_unroll(unroll)
     vle = hw.vlmax_f32
     nj = math.ceil(n / vle)
     active = n / nj
     # LMUL register grouping shrinks the architectural register count from
     # 32 to 32/LMUL groups, strangling the unroll (the accumulators of
     # Paper I Fig. 2 need one group each) and with it the B reuse per load
-    unroll = max(1, min(UNROLL, 32 // getattr(hw, "lmul", 1) - 4))
+    unroll = max(1, min(unroll, 32 // getattr(hw, "lmul", 1) - 4))
     mb = math.ceil(m / unroll)
     fma = float(nj * k * m)
     b_loads = float(nj * k * mb)
@@ -475,6 +507,8 @@ def gemm_naive_phase(m: int, k: int, n: int, hw: HardwareConfig) -> Phase:
                 passes=float(m),
                 reuse_ws=float(k * n * _DTYPE_BYTES),
             ),
-            DataStream("C", bytes=float(m * n * _DTYPE_BYTES), passes=1.0, is_write=True),
+            DataStream(
+                "C", bytes=float(m * n * _DTYPE_BYTES), passes=1.0, is_write=True
+            ),
         ),
     )

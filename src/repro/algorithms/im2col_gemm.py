@@ -19,6 +19,7 @@ from repro.algorithms.im2col import (
     im2col_phase,
     im2col_vectorized,
 )
+from repro.errors import ConfigError
 from repro.isa.machine import VectorMachine
 from repro.nn.layer import ConvSpec
 from repro.simulator.analytical.phases import Phase
@@ -65,18 +66,34 @@ def _needs_im2col(spec: ConvSpec) -> bool:
 
 
 class Im2colGemm3(_Im2colGemmBase):
-    """im2col + optimized 3-loop GEMM (Paper I Fig. 2)."""
+    """im2col + optimized 3-loop GEMM (Paper I Fig. 2).
+
+    ``unroll`` is the i-block unroll factor of the macro-kernel (default:
+    the paper's 16).  Non-default values are produced by
+    :mod:`repro.schedule` variants; the traced and analytical faces honour
+    the same factor.
+    """
 
     name = "im2col_gemm3"
     label = "im2col+GEMM - 3 loops"
 
+    def __init__(self, unroll: int = gk.UNROLL) -> None:
+        gk._check_unroll(unroll)
+        self.unroll = unroll
+
     def run_vectorized(self, spec, x, w, machine):
-        return self._vectorized(spec, x, w, machine, gk.gemm3_vectorized)
+        def kernel(machine, a_buf, b_buf, c_buf, m, k, n):
+            return gk.gemm3_vectorized(
+                machine, a_buf, b_buf, c_buf, m, k, n, unroll=self.unroll
+            )
+
+        return self._vectorized(spec, x, w, machine, kernel)
 
     def schedule(self, spec: ConvSpec, hw: HardwareConfig) -> list[Phase]:
         gemm = gk.gemm3_phase(
             spec.gemm_m, spec.gemm_k, spec.gemm_n, hw,
             b_name="col" if _needs_im2col(spec) else "input",
+            unroll=self.unroll,
         )
         if _needs_im2col(spec):
             return [im2col_phase(spec, hw), gemm]
@@ -84,18 +101,44 @@ class Im2colGemm3(_Im2colGemmBase):
 
 
 class Im2colGemm6(_Im2colGemmBase):
-    """im2col + BLIS-like 6-loop GEMM (Paper I Fig. 3)."""
+    """im2col + BLIS-like 6-loop GEMM (Paper I Fig. 3).
+
+    ``blocks`` are the BLIS-like (blockM, blockN, blockK) tile sizes
+    (default: the paper's tuned 16x512x128).  Non-default values are
+    produced by :mod:`repro.schedule` variants (absorbing the old
+    ``blocktuner`` grid); the traced and analytical faces honour the same
+    tiles.
+    """
 
     name = "im2col_gemm6"
     label = "im2col+GEMM - 6 loops"
 
+    def __init__(
+        self, blocks: tuple[int, int, int] = (gk.BLOCK_M, gk.BLOCK_N, gk.BLOCK_K)
+    ) -> None:
+        if len(blocks) != 3 or min(blocks) < 1:
+            raise ConfigError(
+                f"blocks must be three positive tile sizes, got {blocks!r}"
+            )
+        self.blocks = (int(blocks[0]), int(blocks[1]), int(blocks[2]))
+
     def run_vectorized(self, spec, x, w, machine):
-        return self._vectorized(spec, x, w, machine, gk.gemm6_vectorized)
+        bm, bn, bk = self.blocks
+
+        def kernel(machine, a_buf, b_buf, c_buf, m, k, n):
+            return gk.gemm6_vectorized(
+                machine, a_buf, b_buf, c_buf, m, k, n,
+                block_m=bm, block_n=bn, block_k=bk,
+            )
+
+        return self._vectorized(spec, x, w, machine, kernel)
 
     def schedule(self, spec: ConvSpec, hw: HardwareConfig) -> list[Phase]:
+        bm, bn, bk = self.blocks
         gemm = gk.gemm6_phases(
             spec.gemm_m, spec.gemm_k, spec.gemm_n, hw,
             b_name="col" if _needs_im2col(spec) else "input",
+            block_m=bm, block_n=bn, block_k=bk,
         )
         if _needs_im2col(spec):
             return [im2col_phase(spec, hw)] + gemm

@@ -49,13 +49,24 @@ register(WinogradConv())
 
 
 def get_algorithm(name: str) -> ConvAlgorithm:
-    """Look up an algorithm by registry name."""
+    """Look up an algorithm by registry name.
+
+    Names containing ``@`` are schedule variants (``base@param=value,...``,
+    see :mod:`repro.schedule.variants`): they are materialized on first use
+    and cached in the registry, so variant names work everywhere a base
+    name does — including inside engine worker processes, which receive
+    only the name string.
+    """
     try:
         return _REGISTRY[name]
     except KeyError:
-        raise AlgorithmError(
-            f"unknown algorithm {name!r}; known: {sorted(_REGISTRY)}"
-        )
+        pass
+    if "@" in name:
+        # Lazy import: repro.schedule sits above the algorithms layer.
+        from repro.schedule.variants import materialize
+
+        return register(materialize(name))
+    raise AlgorithmError(f"unknown algorithm {name!r}; known: {sorted(_REGISTRY)}")
 
 
 def all_algorithms() -> list[ConvAlgorithm]:

@@ -162,9 +162,8 @@ class SQLiteTier:
 
     def __len__(self) -> int:
         with self._lock:
-            (n,) = self._connection().execute(
-                "SELECT COUNT(*) FROM memo"
-            ).fetchone()
+            row = self._connection().execute("SELECT COUNT(*) FROM memo").fetchone()
+            (n,) = row
         return int(n)
 
     def __contains__(self, key: str) -> bool:

@@ -82,8 +82,7 @@ class CheckpointJournal:
                 f"checkpoint journal {self.path} has an unreadable header; "
                 "delete it to start over"
             ) from None
-        if (header.get("kind") != "header"
-                or header.get("schema") != JOURNAL_SCHEMA):
+        if header.get("kind") != "header" or header.get("schema") != JOURNAL_SCHEMA:
             raise EngineError(
                 f"checkpoint journal {self.path} has an incompatible header "
                 f"(schema {header.get('schema')!r}, want {JOURNAL_SCHEMA})"

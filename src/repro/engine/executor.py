@@ -212,7 +212,7 @@ def _compute_grid(
                 algo.check_applicable(spec)
                 phases = algo.schedule(spec, hw)
             except Exception as exc:  # per-cell isolation (not BaseException)
-                out.append((idx, CellError(
+                err = CellError(
                     algorithm=name,
                     layer=spec.index,
                     vlen_bits=hw.vlen_bits,
@@ -220,7 +220,8 @@ def _compute_grid(
                     error_type=type(exc).__name__,
                     error_module=type(exc).__module__,
                     message=str(exc),
-                )))
+                )
+                out.append((idx, err))
             else:
                 grid_slots.append(len(out))
                 out.append((idx, None))  # type: ignore[arg-type]
@@ -297,13 +298,9 @@ class EvaluationEngine:
         if max_retries < 0:
             raise EngineError(f"max_retries must be >= 0, got {max_retries}")
         if retry_backoff_s < 0:
-            raise EngineError(
-                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
-            )
+            raise EngineError(f"retry_backoff_s must be >= 0, got {retry_backoff_s}")
         if pool_min_batch < 0:
-            raise EngineError(
-                f"pool_min_batch must be >= 0, got {pool_min_batch}"
-            )
+            raise EngineError(f"pool_min_batch must be >= 0, got {pool_min_batch}")
         if grid_backend is not None and grid_backend != "percell":
             if grid_backend not in GRID_BACKEND_CHOICES:
                 raise EngineError(
@@ -350,9 +347,8 @@ class EvaluationEngine:
         fallback: bool = True,
     ) -> LayerCycles:
         """Memoized equivalent of :func:`repro.algorithms.registry.layer_cycles`."""
-        return cast(LayerCycles, self.evaluate_many(
-            [EvalTask(algorithm, spec, hw, fallback=fallback)]
-        )[0])
+        task = EvalTask(algorithm, spec, hw, fallback=fallback)
+        return cast(LayerCycles, self.evaluate_many([task])[0])
 
     # ------------------------------------------------------------------ #
     # batches
@@ -376,9 +372,7 @@ class EvaluationEngine:
         and never caches it.
         """
         if on_error not in ("raise", "record"):
-            raise EngineError(
-                f"on_error must be 'raise' or 'record', got {on_error!r}"
-            )
+            raise EngineError(f"on_error must be 'raise' or 'record', got {on_error!r}")
         tasks = [self.resolve(t) for t in tasks]
         workers = self.max_workers if max_workers is None else max_workers
         if workers < 1:
@@ -409,8 +403,12 @@ class EvaluationEngine:
             if missing:
                 # one representative cell per distinct key, in first-seen order
                 cells = [
-                    (indices[0], tasks[indices[0]].algorithm,
-                     tasks[indices[0]].spec, tasks[indices[0]].hw)
+                    (
+                        indices[0],
+                        tasks[indices[0]].algorithm,
+                        tasks[indices[0]].spec,
+                        tasks[indices[0]].hw,
+                    )
                     for indices in missing.values()
                 ]
                 computed = self._compute(cells, workers)
@@ -449,8 +447,10 @@ class EvaluationEngine:
             for name in algorithms
         ]
         records = self.evaluate_many(
-            [EvalTask(name, specs[si], configs[ci], fallback=fallback)
-             for si, ci, name in order],
+            [
+                EvalTask(name, specs[si], configs[ci], fallback=fallback)
+                for si, ci, name in order
+            ],
             max_workers=max_workers,
         )
         return dict(zip(order, cast("list[LayerCycles]", records)))
@@ -541,9 +541,7 @@ class EvaluationEngine:
         records, snapshot = result
         recorder = obs.get_recorder()
         if isinstance(recorder, obs.Recorder):
-            recorder.merge(
-                snapshot, parent_id=getattr(dispatch, "span_id", -1)
-            )
+            recorder.merge(snapshot, parent_id=getattr(dispatch, "span_id", -1))
         # worker utilization: evaluated points per pool pid
         for row in snapshot["spans"]:
             if row[2] == "engine.point":
@@ -595,10 +593,15 @@ class EvaluationEngine:
                             kind = plan.worker_fault(i, attempts[i])
                             if kind is not None:
                                 faults.mark_injected(f"engine.worker.{kind}")
-                        futures[pool.submit(
-                            chunk_fn, pending[i], self.calibration,
-                            chunk_index=i, attempt=attempts[i], in_worker=True,
-                        )] = i
+                        fut = pool.submit(
+                            chunk_fn,
+                            pending[i],
+                            self.calibration,
+                            chunk_index=i,
+                            attempt=attempts[i],
+                            in_worker=True,
+                        )
+                        futures[fut] = i
                     # collect in submission order — completion order is
                     # irrelevant for the (deterministic) output order
                     for future, i in futures.items():
@@ -618,8 +621,11 @@ class EvaluationEngine:
                         for future, i in futures.items():
                             if i in done:
                                 continue
-                            if (future.done() and not future.cancelled()
-                                    and future.exception() is None):
+                            if (
+                                future.done()
+                                and not future.cancelled()
+                                and future.exception() is None
+                            ):
                                 done[i] = self._absorb(
                                     future.result(), profiling, dispatch
                                 )
@@ -633,9 +639,7 @@ class EvaluationEngine:
                 # every still-pending chunk failed this round
                 for i in pending:
                     attempts[i] += 1
-                exhausted = sorted(
-                    i for i in pending if attempts[i] > self.max_retries
-                )
+                exhausted = sorted(i for i in pending if attempts[i] > self.max_retries)
                 for i in exhausted:
                     # retry budget spent: rescue the chunk in-process
                     obs.count("engine.chunk_serial_rescues")

@@ -40,6 +40,15 @@ class NotApplicableError(AlgorithmError):
     """The algorithm does not support the given layer configuration."""
 
 
+class ScheduleError(AlgorithmError):
+    """An illegal loop transformation or schedule-IR misuse.
+
+    Raised by :mod:`repro.schedule` when a transform sequence violates a
+    legality invariant (tiling a vectorized axis, reordering with a
+    non-permutation, exceeding the register budget, ...).
+    """
+
+
 class ShapeError(AlgorithmError):
     """Tensor shapes are inconsistent with the layer specification."""
 

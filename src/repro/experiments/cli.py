@@ -74,6 +74,7 @@ EXPERIMENTS: dict[str, str] = {
     "ablation-winograd-tiles": "repro.experiments.ablation_winograd_tiles",
     "ablation-fusion": "repro.experiments.ablation_fusion",
     "ablation-blocks": "repro.experiments.ablation_blocks",
+    "schedule-search": "repro.experiments.schedule_search",
     "serving-latency": "repro.experiments.serving_latency",
     "serving-mixed": "repro.experiments.serving_mixed",
     "extension-vit": "repro.experiments.extension_vit",

@@ -157,8 +157,11 @@ class FaultPlan:
         for key, (field_name, _) in _SPEC_KEYS.items():
             value = getattr(self, field_name)
             if value != getattr(defaults, field_name):
-                parts.append(f"{key}={value:g}" if isinstance(value, float)
-                             else f"{key}={value}")
+                parts.append(
+                    f"{key}={value:g}"
+                    if isinstance(value, float)
+                    else f"{key}={value}"
+                )
         return ",".join(parts)
 
 
@@ -182,9 +185,7 @@ def parse_fault_spec(spec: str) -> FaultPlan:
             )
         if key not in _SPEC_KEYS:
             known = ", ".join(_SPEC_KEYS)
-            raise FaultSpecError(
-                f"unknown fault site {key!r} (known: {known})"
-            )
+            raise FaultSpecError(f"unknown fault site {key!r} (known: {known})")
         field_name, cast = _SPEC_KEYS[key]
         try:
             values[field_name] = cast(raw.strip())

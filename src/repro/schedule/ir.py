@@ -1,0 +1,296 @@
+"""A compact loop-nest IR with legality-checked schedule transforms.
+
+The kernels of :mod:`repro.algorithms` hard-code the papers' hand-chosen
+schedules (jik loop order, unroll 16, 16x512x128 BLIS blocks, fixed
+Winograd tiles).  Following Exo/SYS_ATL's thesis that loop schedules are
+*searchable objects*, this module lifts them into data:
+
+* :class:`LoopNest` — a named iteration space (axes outer-to-inner, with
+  per-axis extents);
+* transforms — :class:`Tile`, :class:`Reorder`, :class:`Unroll`,
+  :class:`Vectorize` — each a frozen dataclass with a legality check;
+* :func:`apply_transforms` — folds a transform sequence over a nest into
+  a :class:`ScheduledNest`, raising :class:`~repro.errors.ScheduleError`
+  on any illegal step.
+
+The IR is deliberately *descriptive*: a :class:`ScheduledNest` does not
+generate code, it parameterizes the existing kernels (which accept the
+tile/unroll factors as arguments) and their analytical schedules.  The
+templates in :mod:`repro.schedule.templates` map nests to kernel
+parameters and back; the search in :mod:`repro.schedule.search`
+enumerates transform sequences within bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ScheduleError
+
+#: Architectural vector registers (RVV): the budget unroll factors must
+#: respect (accumulators + operands + scratch).
+VECTOR_REGS = 32
+
+
+def _split_names(axis: str) -> tuple[str, str]:
+    """Outer/inner axis names produced by tiling ``axis``."""
+    return f"{axis}.o", f"{axis}.i"
+
+
+def base_axis_of(axis: str) -> str:
+    """The base-nest axis a (possibly tiled) axis derives from."""
+    return axis.split(".", 1)[0]
+
+
+@dataclass(frozen=True)
+class LoopNest:
+    """A named loop nest: axes outer-to-inner with positive extents."""
+
+    name: str
+    axes: tuple[str, ...]
+    extents: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.axes) != len(self.extents):
+            raise ScheduleError(
+                f"nest {self.name!r}: {len(self.axes)} axes but "
+                f"{len(self.extents)} extents"
+            )
+        if len(set(self.axes)) != len(self.axes):
+            raise ScheduleError(f"nest {self.name!r}: duplicate axes {self.axes}")
+        for axis, extent in zip(self.axes, self.extents):
+            if "." in axis:
+                raise ScheduleError(
+                    f"nest {self.name!r}: base axis {axis!r} may not contain '.'"
+                )
+            if extent < 1:
+                raise ScheduleError(
+                    f"nest {self.name!r}: axis {axis!r} extent must be >= 1, "
+                    f"got {extent}"
+                )
+
+    def extent(self, axis: str) -> int:
+        return self.extents[self.axes.index(axis)]
+
+
+# --------------------------------------------------------------------- #
+# transforms
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class Tile:
+    """Split ``axis`` into an outer loop and an inner loop of ``factor``."""
+
+    axis: str
+    factor: int
+
+    def token(self) -> str:
+        return f"tile({self.axis},{self.factor})"
+
+
+@dataclass(frozen=True)
+class Reorder:
+    """Permute the current axes into ``order`` (outer-to-inner)."""
+
+    order: tuple[str, ...]
+
+    def token(self) -> str:
+        return f"reorder({','.join(self.order)})"
+
+
+@dataclass(frozen=True)
+class Unroll:
+    """Fully unroll ``axis`` (its extent becomes the unroll factor)."""
+
+    axis: str
+
+    def token(self) -> str:
+        return f"unroll({self.axis})"
+
+
+@dataclass(frozen=True)
+class Vectorize:
+    """Map ``axis`` onto the vector lanes (one axis, innermost)."""
+
+    axis: str
+
+    def token(self) -> str:
+        return f"vectorize({self.axis})"
+
+
+Transform = Tile | Reorder | Unroll | Vectorize
+
+
+# --------------------------------------------------------------------- #
+# scheduled nests
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ScheduledNest:
+    """A loop nest after a legal transform sequence.
+
+    ``axes``/``extents`` describe the current (possibly tiled) loop
+    structure outer-to-inner; ``unrolled`` axes are fully unrolled and
+    ``vector_axis`` (if any) is mapped to the vector unit.  Tail
+    iterations are implicit: a tiled axis of extent ``e`` and factor
+    ``f`` has outer extent ``ceil(e / f)`` with the last inner trip
+    ragged, exactly like the kernels' strip-mined loops.
+    """
+
+    base: LoopNest
+    axes: tuple[str, ...]
+    extents: tuple[int, ...]
+    unrolled: tuple[str, ...] = ()
+    vector_axis: str | None = None
+    transforms: tuple[Transform, ...] = field(default=(), compare=False)
+
+    def extent(self, axis: str) -> int:
+        try:
+            return self.extents[self.axes.index(axis)]
+        except ValueError:
+            raise ScheduleError(
+                f"nest {self.base.name!r} has no axis {axis!r} "
+                f"(axes: {self.axes})"
+            )
+
+    def unroll_factor(self, base_axis: str) -> int:
+        """Product of unrolled-axis extents deriving from ``base_axis``."""
+        factor = 1
+        for axis in self.unrolled:
+            if base_axis_of(axis) == base_axis:
+                factor *= self.extent(axis)
+        return factor
+
+    def tile_factor(self, base_axis: str) -> int | None:
+        """Inner extent of the innermost tile of ``base_axis`` (or None)."""
+        candidates = [
+            (axis, extent)
+            for axis, extent in zip(self.axes, self.extents)
+            if base_axis_of(axis) == base_axis and axis.endswith(".i")
+        ]
+        if not candidates:
+            return None
+        # innermost split = the axis with the most ".i" suffixes
+        axis, extent = max(candidates, key=lambda c: c[0].count("."))
+        return extent
+
+    def total_unroll(self) -> int:
+        """Product of all unroll factors (register-pressure proxy)."""
+        factor = 1
+        for axis in self.unrolled:
+            factor *= self.extent(axis)
+        return factor
+
+    def describe(self) -> str:
+        parts = []
+        for axis, extent in zip(self.axes, self.extents):
+            marks = ""
+            if axis in self.unrolled:
+                marks += "*"
+            if axis == self.vector_axis:
+                marks += "v"
+            parts.append(f"{axis}{('[' + marks + ']') if marks else ''}:{extent}")
+        return f"{self.base.name}({', '.join(parts)})"
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+def _apply_one(nest: ScheduledNest, transform: Transform) -> ScheduledNest:
+    name = nest.base.name
+    axes, extents = list(nest.axes), list(nest.extents)
+    unrolled = nest.unrolled
+    vector_axis = nest.vector_axis
+
+    if isinstance(transform, Tile):
+        axis, factor = transform.axis, transform.factor
+        if axis not in axes:
+            raise ScheduleError(f"{name}: cannot tile unknown axis {axis!r}")
+        if factor < 1:
+            raise ScheduleError(
+                f"{name}: tile factor for {axis!r} must be >= 1, got {factor}"
+            )
+        if axis in unrolled:
+            raise ScheduleError(f"{name}: cannot tile unrolled axis {axis!r}")
+        if axis == vector_axis:
+            raise ScheduleError(f"{name}: cannot tile vectorized axis {axis!r}")
+        outer, inner = _split_names(axis)
+        if outer in axes or inner in axes:
+            raise ScheduleError(f"{name}: axis {axis!r} is already tiled")
+        pos = axes.index(axis)
+        extent = extents[pos]
+        axes[pos] = outer
+        extents[pos] = _ceil_div(extent, factor)
+        axes.insert(pos + 1, inner)
+        extents.insert(pos + 1, min(factor, extent))
+    elif isinstance(transform, Reorder):
+        order = tuple(transform.order)
+        if sorted(order) != sorted(axes):
+            raise ScheduleError(
+                f"{name}: reorder {order} is not a permutation of {tuple(axes)}"
+            )
+        extents = [extents[axes.index(a)] for a in order]
+        axes = list(order)
+    elif isinstance(transform, Unroll):
+        axis = transform.axis
+        if axis not in axes:
+            raise ScheduleError(f"{name}: cannot unroll unknown axis {axis!r}")
+        if axis in unrolled:
+            raise ScheduleError(f"{name}: axis {axis!r} is already unrolled")
+        if axis == vector_axis:
+            raise ScheduleError(f"{name}: cannot unroll vectorized axis {axis!r}")
+        unrolled = unrolled + (axis,)
+    elif isinstance(transform, Vectorize):
+        axis = transform.axis
+        if axis not in axes:
+            raise ScheduleError(f"{name}: cannot vectorize unknown axis {axis!r}")
+        if vector_axis is not None:
+            raise ScheduleError(f"{name}: axis {vector_axis!r} is already vectorized")
+        if axis in unrolled:
+            raise ScheduleError(f"{name}: cannot vectorize unrolled axis {axis!r}")
+        vector_axis = axis
+    else:  # pragma: no cover - the Transform union is closed
+        raise ScheduleError(f"{name}: unknown transform {transform!r}")
+
+    return ScheduledNest(
+        base=nest.base,
+        axes=tuple(axes),
+        extents=tuple(extents),
+        unrolled=unrolled,
+        vector_axis=vector_axis,
+        transforms=nest.transforms + (transform,),
+    )
+
+
+def apply_transforms(
+    nest: LoopNest, transforms: tuple[Transform, ...] | list[Transform]
+) -> ScheduledNest:
+    """Fold ``transforms`` over ``nest``, validating every step.
+
+    Final legality invariants (beyond the per-step checks):
+
+    * the vectorized axis, if any, must be innermost — the kernels
+      strip-mine their vector axis in the innermost position;
+    * the total unroll factor must leave room in the 32-entry vector
+      register file (unrolled accumulators + operand/scratch registers).
+    """
+    sched = ScheduledNest(
+        base=nest, axes=nest.axes, extents=nest.extents, transforms=()
+    )
+    for transform in transforms:
+        sched = _apply_one(sched, transform)
+    if sched.vector_axis is not None and sched.axes[-1] != sched.vector_axis:
+        raise ScheduleError(
+            f"{nest.name}: vectorized axis {sched.vector_axis!r} must be "
+            f"innermost (axes: {sched.axes})"
+        )
+    if sched.total_unroll() > VECTOR_REGS - 4:
+        raise ScheduleError(
+            f"{nest.name}: total unroll {sched.total_unroll()} exceeds the "
+            f"register budget ({VECTOR_REGS - 4} accumulators)"
+        )
+    return sched
+
+
+def transforms_token(transforms: tuple[Transform, ...] | list[Transform]) -> str:
+    """Canonical one-line rendering of a transform sequence."""
+    return ";".join(t.token() for t in transforms)

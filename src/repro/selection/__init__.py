@@ -22,7 +22,11 @@ from repro.selection.crossval import (
     accuracy_score,
     confusion_matrix,
 )
-from repro.selection.dataset import SelectionDataset, build_dataset
+from repro.selection.dataset import (
+    SelectionDataset,
+    build_dataset,
+    build_searched_dataset,
+)
 from repro.selection.predictor import AlgorithmSelector
 
 __all__ = [
@@ -39,5 +43,6 @@ __all__ = [
     "confusion_matrix",
     "SelectionDataset",
     "build_dataset",
+    "build_searched_dataset",
     "AlgorithmSelector",
 ]

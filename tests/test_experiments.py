@@ -168,5 +168,6 @@ class TestCli:
                  "verdict", "profile", "trace")
             )
         ]
-        assert len(paper2) == 15  # table1 + figs 1-12 + selection studies
+        # table1 + figs 1-12 + selection studies + schedule-search
+        assert len(paper2) == 16
         assert len(EXPERIMENTS) >= 24  # + Paper I, ablations, serving

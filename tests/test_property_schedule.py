@@ -1,0 +1,194 @@
+"""Property tests for the schedule IR and the kernel-template identity.
+
+Two invariant families:
+
+* **IR legality** — for *any* generated transform sequence over a random
+  nest, ``apply_transforms`` either raises ``ScheduleError`` or returns a
+  :class:`ScheduledNest` whose structural invariants all hold (unique
+  axes, positive extents, coverage-preserving tiles, innermost vector
+  axis, bounded unroll).  No sequence may crash with anything else or
+  produce a malformed nest.
+
+* **schedule identity** — a default-parameter variant name must execute
+  the *same* kernel as the bare menu entry: bit-identical counts-mode
+  :class:`TraceStats` (and analytical phases) on every layer shape.  This
+  is what makes the search's match-or-beat guarantee meaningful — the IR
+  round-trip does not perturb the kernels it re-expresses.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ScheduleError
+from repro.nn.layer import ConvSpec
+from repro.schedule.ir import (
+    VECTOR_REGS,
+    LoopNest,
+    Reorder,
+    ScheduledNest,
+    Tile,
+    Unroll,
+    Vectorize,
+    apply_transforms,
+    base_axis_of,
+)
+from repro.schedule.oracle import counts_equal, counts_stats
+from repro.schedule.templates import get_template
+from repro.simulator.hwconfig import HardwareConfig
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+
+_AXES = ("a", "b", "c", "d")
+
+#: Axis names a transform may reference: base axes and plausible split
+#: names — including names that may not exist, so the unknown-axis and
+#: already-tiled legality branches get exercised too.
+_axis_names = st.sampled_from(
+    _AXES + tuple(f"{a}.o" for a in _AXES) + tuple(f"{a}.i" for a in _AXES)
+)
+
+
+@st.composite
+def nests(draw):
+    n = draw(st.integers(min_value=1, max_value=4))
+    extents = tuple(
+        draw(st.integers(min_value=1, max_value=64)) for _ in range(n)
+    )
+    return LoopNest(name="p", axes=_AXES[:n], extents=extents)
+
+
+@st.composite
+def transforms(draw):
+    kind = draw(st.sampled_from(("tile", "reorder", "unroll", "vectorize")))
+    if kind == "tile":
+        return Tile(draw(_axis_names), draw(st.integers(min_value=0, max_value=80)))
+    if kind == "reorder":
+        order = tuple(
+            draw(
+                st.lists(
+                    _axis_names, min_size=1, max_size=6, unique=True
+                )
+            )
+        )
+        return Reorder(order)
+    if kind == "unroll":
+        return Unroll(draw(_axis_names))
+    return Vectorize(draw(_axis_names))
+
+
+def assert_invariants(nest: LoopNest, sched: ScheduledNest) -> None:
+    # unique axes, one extent each, all positive
+    assert len(set(sched.axes)) == len(sched.axes)
+    assert len(sched.axes) == len(sched.extents)
+    assert all(e >= 1 for e in sched.extents)
+    # every axis derives from a base axis; split axes cover their extent
+    for axis in sched.axes:
+        assert base_axis_of(axis) in nest.axes
+    for base in nest.axes:
+        covered = 1
+        for axis, extent in zip(sched.axes, sched.extents):
+            if base_axis_of(axis) == base:
+                covered *= extent
+        assert covered >= nest.extent(base)  # tiles never drop iterations
+    # unrolled axes exist; the budget held at every step
+    assert all(axis in sched.axes for axis in sched.unrolled)
+    assert sched.total_unroll() <= VECTOR_REGS - 4
+    # at most one vector axis, and it is innermost
+    if sched.vector_axis is not None:
+        assert sched.axes[-1] == sched.vector_axis
+
+
+class TestIRProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(nest=nests(), seq=st.lists(transforms(), max_size=6))
+    def test_apply_transforms_is_total(self, nest, seq):
+        """Any sequence either raises ScheduleError or yields a legal nest."""
+        try:
+            sched = apply_transforms(nest, seq)
+        except ScheduleError:
+            return
+        assert_invariants(nest, sched)
+        assert sched.transforms == tuple(seq)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        extent=st.integers(min_value=1, max_value=512),
+        factor=st.integers(min_value=1, max_value=512),
+    )
+    def test_tile_coverage(self, extent, factor):
+        """A tile's outer x inner iterations always cover the extent."""
+        nest = LoopNest(name="p", axes=("a",), extents=(extent,))
+        sched = apply_transforms(nest, [Tile("a", factor)])
+        outer, inner = sched.extents
+        assert outer * inner >= extent
+        assert inner == min(factor, extent)
+        assert (outer - 1) * inner < extent  # no empty outer iteration
+
+    @settings(max_examples=100, deadline=None)
+    @given(nest=nests(), seq=st.lists(transforms(), max_size=6))
+    def test_legal_prefix_stays_legal(self, nest, seq):
+        """If the whole sequence is legal, so is every prefix."""
+        try:
+            apply_transforms(nest, seq)
+        except ScheduleError:
+            return
+        for cut in range(len(seq)):
+            prefix = apply_transforms(nest, seq[:cut])
+            assert_invariants(nest, prefix)
+
+
+# ---------------------------------------------------------------------- #
+# identity: default-parameter variants == menu kernels, bit for bit
+# ---------------------------------------------------------------------- #
+
+#: Small-but-representative layer: big enough to exercise strip-mining
+#: and ragged tails, small enough for counts-mode execution in a test.
+_SPEC = ConvSpec(ic=8, oc=16, ih=12, iw=12, kh=3, kw=3, index=1)
+_HW = HardwareConfig.paper2_rvv(512, 1.0)
+
+#: (menu name, default-parameter variant name) — the variant spells the
+#: template's defaults explicitly, so the pair must be the same kernel.
+_IDENTITY_PAIRS = [
+    ("direct", "direct@uw=24"),
+    ("im2col_gemm3", "im2col_gemm3@u=16"),
+    ("im2col_gemm6", "im2col_gemm6@bm=16,bn=512,bk=128"),
+]
+
+
+class TestScheduleIdentity:
+    @pytest.mark.parametrize("menu,variant", _IDENTITY_PAIRS)
+    def test_counts_mode_bit_identical(self, menu, variant):
+        assert counts_equal(menu, variant, _SPEC, 512)
+
+    @pytest.mark.parametrize("menu,variant", _IDENTITY_PAIRS)
+    def test_analytical_phases_identical(self, menu, variant):
+        from repro.algorithms.registry import get_algorithm
+
+        assert get_algorithm(menu).schedule(_SPEC, _HW) == get_algorithm(
+            variant
+        ).schedule(_SPEC, _HW)
+
+    def test_counts_are_nonempty(self):
+        stats = counts_stats("direct", _SPEC, 512)
+        assert stats.vector_instrs > 0
+        assert stats.memory_bytes > 0
+
+    def test_non_default_variant_changes_counts(self):
+        # sanity: the knob actually reaches the kernel — a different
+        # unroll produces a different instruction stream
+        base = counts_stats("im2col_gemm3", _SPEC, 512)
+        other = counts_stats("im2col_gemm3@u=4", _SPEC, 512)
+        assert base != other
+
+    @pytest.mark.parametrize("menu,variant", _IDENTITY_PAIRS)
+    def test_default_params_are_the_template_defaults(self, menu, variant):
+        template = get_template(menu)
+        defaults = template.default_params(_SPEC, _HW)
+        from repro.schedule.variants import variant_name
+
+        assert variant_name(menu, defaults) == variant

@@ -1,0 +1,204 @@
+"""Unit tests for the loop-nest schedule IR and the kernel templates."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.nn.layer import ConvSpec
+from repro.schedule.ir import (
+    VECTOR_REGS,
+    LoopNest,
+    Reorder,
+    Tile,
+    Unroll,
+    Vectorize,
+    apply_transforms,
+    base_axis_of,
+    transforms_token,
+)
+from repro.schedule.templates import (
+    TEMPLATES,
+    gemm6_block_candidates,
+    get_template,
+)
+from repro.simulator.hwconfig import HardwareConfig
+
+HW = HardwareConfig.paper2_rvv(512, 1.0)
+SPEC = ConvSpec(ic=64, oc=128, ih=56, iw=56, kh=3, kw=3, index=3)
+
+
+def nest3(i=8, j=16, k=32):
+    return LoopNest(name="t", axes=("i", "j", "k"), extents=(i, j, k))
+
+
+class TestLoopNest:
+    def test_extent_lookup(self):
+        assert nest3().extent("j") == 16
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ScheduleError, match="axes but"):
+            LoopNest(name="t", axes=("i", "j"), extents=(4,))
+
+    def test_duplicate_axes_rejected(self):
+        with pytest.raises(ScheduleError, match="duplicate"):
+            LoopNest(name="t", axes=("i", "i"), extents=(4, 4))
+
+    def test_dotted_base_axis_rejected(self):
+        with pytest.raises(ScheduleError, match="may not contain"):
+            LoopNest(name="t", axes=("i.o",), extents=(4,))
+
+    def test_nonpositive_extent_rejected(self):
+        with pytest.raises(ScheduleError, match=">= 1"):
+            LoopNest(name="t", axes=("i",), extents=(0,))
+
+    def test_base_axis_of(self):
+        assert base_axis_of("i") == "i"
+        assert base_axis_of("i.o") == "i"
+        assert base_axis_of("i.i.i") == "i"
+
+
+class TestTile:
+    def test_split_extents(self):
+        s = apply_transforms(nest3(), [Tile("k", 10)])
+        assert s.axes == ("i", "j", "k.o", "k.i")
+        # ceil(32 / 10) outer iterations, ragged last inner trip implicit
+        assert s.extent("k.o") == 4
+        assert s.extent("k.i") == 10
+
+    def test_factor_larger_than_extent_clamps(self):
+        s = apply_transforms(nest3(), [Tile("i", 64)])
+        assert s.extent("i.o") == 1
+        assert s.extent("i.i") == 8
+
+    def test_nested_tiling(self):
+        s = apply_transforms(nest3(), [Tile("k", 16), Tile("k.i", 4)])
+        assert s.axes == ("i", "j", "k.o", "k.i.o", "k.i.i")
+        assert s.tile_factor("k") == 4
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ScheduleError, match="unknown axis"):
+            apply_transforms(nest3(), [Tile("z", 4)])
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(ScheduleError, match="must be >= 1"):
+            apply_transforms(nest3(), [Tile("i", 0)])
+
+    def test_double_tile_rejected(self):
+        # the first tile consumes the axis name: re-tiling "i" is unknown
+        with pytest.raises(ScheduleError, match="unknown axis"):
+            apply_transforms(nest3(), [Tile("i", 4), Tile("i", 2)])
+
+    def test_tile_of_vectorized_axis_rejected(self):
+        with pytest.raises(ScheduleError, match="vectorized"):
+            apply_transforms(nest3(), [Vectorize("k"), Tile("k", 4)])
+
+    def test_tile_of_unrolled_axis_rejected(self):
+        with pytest.raises(ScheduleError, match="unrolled"):
+            apply_transforms(nest3(), [Unroll("k"), Tile("k", 4)])
+
+
+class TestReorder:
+    def test_permutes_axes_and_extents(self):
+        s = apply_transforms(nest3(), [Reorder(("k", "i", "j"))])
+        assert s.axes == ("k", "i", "j")
+        assert s.extents == (32, 8, 16)
+
+    def test_non_permutation_rejected(self):
+        with pytest.raises(ScheduleError, match="not a permutation"):
+            apply_transforms(nest3(), [Reorder(("i", "j"))])
+        with pytest.raises(ScheduleError, match="not a permutation"):
+            apply_transforms(nest3(), [Reorder(("i", "j", "j"))])
+
+
+class TestUnrollVectorize:
+    def test_unroll_marks_axis(self):
+        s = apply_transforms(nest3(), [Unroll("i")])
+        assert s.unrolled == ("i",)
+        assert s.unroll_factor("i") == 8
+        assert s.total_unroll() == 8
+
+    def test_double_unroll_rejected(self):
+        with pytest.raises(ScheduleError, match="already unrolled"):
+            apply_transforms(nest3(), [Unroll("i"), Unroll("i")])
+
+    def test_unroll_of_vectorized_axis_rejected(self):
+        with pytest.raises(ScheduleError, match="vectorized"):
+            apply_transforms(nest3(), [Vectorize("k"), Unroll("k")])
+
+    def test_vectorize_innermost_only(self):
+        with pytest.raises(ScheduleError, match="innermost"):
+            apply_transforms(nest3(), [Vectorize("i")])
+
+    def test_second_vectorize_rejected(self):
+        with pytest.raises(ScheduleError, match="already vectorized"):
+            apply_transforms(nest3(), [Vectorize("k"), Vectorize("j")])
+
+    def test_vectorize_of_unrolled_axis_rejected(self):
+        with pytest.raises(ScheduleError, match="unrolled"):
+            apply_transforms(nest3(), [Unroll("k"), Vectorize("k")])
+
+    def test_register_budget_enforced(self):
+        nest = LoopNest(name="t", axes=("i", "j"), extents=(32, 8))
+        with pytest.raises(ScheduleError, match="register budget"):
+            apply_transforms(nest, [Unroll("i")])
+        # VECTOR_REGS - 4 accumulators is exactly the cap
+        ok = LoopNest(name="t", axes=("i", "j"), extents=(VECTOR_REGS - 4, 8))
+        assert apply_transforms(ok, [Unroll("i")]).total_unroll() == 28
+
+
+class TestTokens:
+    def test_transform_tokens(self):
+        seq = (Tile("i", 4), Reorder(("i.o", "j", "k", "i.i")), Unroll("i.i"))
+        assert transforms_token(seq) == (
+            "tile(i,4);reorder(i.o,j,k,i.i);unroll(i.i)"
+        )
+
+    def test_describe_marks_unrolled_and_vector(self):
+        s = apply_transforms(nest3(), [Unroll("i"), Vectorize("k")])
+        text = s.describe()
+        assert "i[*]:8" in text and "k[v]:32" in text
+
+
+class TestTemplates:
+    @pytest.mark.parametrize("name", sorted(TEMPLATES))
+    def test_default_schedule_is_legal(self, name):
+        template = get_template(name)
+        params = template.default_params(SPEC, HW)
+        sched = template.scheduled(SPEC, HW, params)
+        assert sched.total_unroll() <= VECTOR_REGS - 4
+        if sched.vector_axis is not None:
+            assert sched.axes[-1] == sched.vector_axis
+
+    @pytest.mark.parametrize("name", sorted(TEMPLATES))
+    def test_candidates_default_first_and_legal(self, name):
+        template = get_template(name)
+        candidates = template.candidate_params(SPEC, HW)
+        assert candidates[0] == template.default_params(SPEC, HW)
+        for params in candidates:
+            template.scheduled(SPEC, HW, params)  # must not raise
+
+    def test_direct_default_matches_kernel_structure(self):
+        template = get_template("direct")
+        sched = template.scheduled(SPEC, HW, {"uw": 24})
+        assert sched.vector_axis == "oc.i"
+        assert sched.extent("oc.i") == HW.vlmax_f32
+        # 56-wide rows clamp the 24-row unroll to an even 14-row split
+        assert sched.unroll_factor("ow") <= 24
+
+    def test_gemm6_bm32_register_tiles_instead_of_failing(self):
+        template = get_template("im2col_gemm6")
+        sched = template.scheduled(
+            SPEC, HW, {"bm": 32, "bn": 512, "bk": 128}
+        )
+        assert sched.total_unroll() <= VECTOR_REGS - 4
+
+    def test_gemm6_candidates_respect_l2_filter(self):
+        for bm, bn, bk in gemm6_block_candidates(HW)[1:]:
+            assert bk * bn * 4 <= HW.l2_bytes
+
+    def test_unknown_template_rejected(self):
+        with pytest.raises(ScheduleError, match="no schedule template"):
+            get_template("fft")
+
+    def test_wrong_params_rejected(self):
+        with pytest.raises(ScheduleError, match="params must be exactly"):
+            get_template("direct").lower({"bogus": 1})

@@ -1,0 +1,193 @@
+"""Tests for schedule variants, the registry hook, and the seeded search."""
+
+import pytest
+
+from repro.algorithms.registry import ALGORITHM_NAMES, get_algorithm
+from repro.engine import EvaluationEngine
+from repro.errors import AlgorithmError, ScheduleError
+from repro.nn.layer import ConvSpec
+from repro.schedule.search import (
+    SearchBounds,
+    cell_candidates,
+    search_schedules,
+)
+from repro.schedule.variants import materialize, parse_variant, variant_name
+from repro.selection.dataset import build_searched_dataset
+from repro.simulator.hwconfig import HardwareConfig
+
+SPECS = [
+    ConvSpec(ic=64, oc=64, ih=56, iw=56, kh=3, kw=3, index=1),
+    ConvSpec(ic=128, oc=128, ih=28, iw=28, kh=3, kw=3, index=2),
+]
+CONFIGS = [
+    HardwareConfig.paper2_rvv(512, 1.0),
+    HardwareConfig.paper2_rvv(2048, 16.0),
+]
+
+
+def run_search(seed=0, bounds=None):
+    bounds = bounds or SearchBounds(seed=seed)
+    return search_schedules(SPECS, CONFIGS, engine=EvaluationEngine(), bounds=bounds)
+
+
+class TestVariantNames:
+    def test_canonical_key_order(self):
+        name = variant_name("im2col_gemm6", {"bk": 128, "bm": 16, "bn": 512})
+        assert name == "im2col_gemm6@bm=16,bn=512,bk=128"
+
+    def test_bare_name_for_empty_params(self):
+        assert variant_name("winograd", {}) == "winograd"
+
+    def test_parse_round_trip(self):
+        name = "im2col_gemm6@bm=32,bn=1024,bk=256"
+        variant = parse_variant(name)
+        assert variant.base == "im2col_gemm6"
+        assert variant.as_params() == {"bm": 32, "bn": 1024, "bk": 256}
+        assert variant.name == name
+
+    def test_parse_normalizes_key_order(self):
+        assert (
+            parse_variant("im2col_gemm6@bk=256,bm=32,bn=1024").name
+            == "im2col_gemm6@bm=32,bn=1024,bk=256"
+        )
+
+    def test_parse_bare_base(self):
+        variant = parse_variant("direct")
+        assert variant.is_default_named
+        assert variant.name == "direct"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "nope@u=1",  # unknown base
+            "direct@",  # empty suffix
+            "direct@uw",  # not key=value
+            "direct@uw=x",  # non-integer value
+            "direct@uw=8,uw=16",  # duplicate knob
+            "direct@u=8",  # wrong knob name
+        ],
+    )
+    def test_malformed_names_rejected(self, bad):
+        with pytest.raises(ScheduleError):
+            parse_variant(bad)
+
+
+class TestMaterialize:
+    def test_materialized_identity(self):
+        algo = materialize("im2col_gemm3@u=24")
+        assert algo.name == "im2col_gemm3@u=24"
+        assert "u=24" in algo.label
+
+    def test_registry_hook_and_cache(self):
+        first = get_algorithm("direct@uw=8")
+        again = get_algorithm("direct@uw=8")
+        assert first is again  # registered on first use
+        assert first.name == "direct@uw=8"
+
+    def test_registry_still_rejects_unknown_bases(self):
+        with pytest.raises(AlgorithmError):
+            get_algorithm("not_an_algorithm")
+        with pytest.raises(ScheduleError):
+            get_algorithm("not_an_algorithm@u=4")
+
+    def test_default_params_match_menu_schedule(self):
+        # a default-parameter variant produces the same analytical phases
+        # as the bare menu entry (only the name differs)
+        spec, hw = SPECS[0], CONFIGS[0]
+        menu = get_algorithm("im2col_gemm3").schedule(spec, hw)
+        variant = get_algorithm("im2col_gemm3@u=16").schedule(spec, hw)
+        assert menu == variant
+
+
+class TestCellCandidates:
+    def test_menu_is_prefix(self):
+        menu, names = cell_candidates(SPECS[0], CONFIGS[0], SearchBounds())
+        assert names[: len(menu)] == menu
+        for name in menu:
+            assert "@" in name or name in ALGORITHM_NAMES
+
+    def test_inapplicable_algorithms_skipped(self):
+        spec_1x1 = ConvSpec(ic=256, oc=64, ih=28, iw=28, kh=1, kw=1, index=7)
+        menu, _ = cell_candidates(spec_1x1, CONFIGS[0], SearchBounds())
+        assert "winograd" not in menu  # winograd is 3x3-only
+
+    def test_subsample_is_seeded_and_keeps_menu(self):
+        bounds = SearchBounds(max_candidates_per_cell=6, seed=7)
+        menu, first = cell_candidates(SPECS[0], CONFIGS[0], bounds)
+        _, second = cell_candidates(SPECS[0], CONFIGS[0], bounds)
+        assert first == second
+        assert len(first) <= 6
+        assert first[: len(menu)] == menu
+
+    def test_subsample_depends_on_seed_only_over_cap(self):
+        small = SearchBounds(max_candidates_per_cell=6, seed=1)
+        other = SearchBounds(max_candidates_per_cell=6, seed=2)
+        _, a = cell_candidates(SPECS[0], CONFIGS[0], small)
+        _, b = cell_candidates(SPECS[0], CONFIGS[0], other)
+        # both deterministic; they may or may not differ, but the exhaustive
+        # (uncapped) enumeration must be seed-independent
+        _, full1 = cell_candidates(SPECS[0], CONFIGS[0], SearchBounds(seed=1))
+        _, full2 = cell_candidates(SPECS[0], CONFIGS[0], SearchBounds(seed=2))
+        assert full1 == full2
+        assert len(a) == len(b)
+
+
+class TestSearch:
+    def test_deterministic_given_seed(self):
+        assert run_search(seed=3).cells == run_search(seed=3).cells
+
+    def test_match_or_beat_every_cell(self):
+        report = run_search()
+        assert report.cells
+        assert report.min_ratio >= 1.0
+        for cell in report.cells:
+            assert cell.best_cycles <= cell.menu_cycles
+
+    def test_ties_keep_the_menu_name(self):
+        report = run_search()
+        for cell in report.cells:
+            if not cell.improved:
+                assert cell.best == cell.menu_best
+                assert "@" not in cell.best
+
+    def test_winners_are_parseable(self):
+        report = run_search()
+        for name in report.winner_names():
+            parse_variant(name)  # must not raise
+
+    def test_menu_only_bounds_never_improve(self):
+        bounds = SearchBounds(algorithms=("winograd",))
+        report = search_schedules(
+            SPECS, CONFIGS, engine=EvaluationEngine(), bounds=bounds
+        )
+        # winograd has no knobs: the searched best is always the menu
+        assert all(c.best == "winograd" for c in report.cells)
+        assert report.beat_fraction == 0.0
+        assert report.geomean_ratio == 1.0
+
+    def test_report_rows_align_with_cells(self):
+        report = run_search()
+        rows = report.rows()
+        assert len(rows) == len(report.cells)
+        assert rows[0]["layer"] == report.cells[0].layer
+        assert rows[0]["ratio"] >= 1.0
+
+
+class TestSearchedDataset:
+    def test_widened_columns_and_lookup(self):
+        dataset = build_searched_dataset(
+            SPECS, CONFIGS, engine=EvaluationEngine()
+        )
+        assert dataset.algorithm_names[: len(ALGORITHM_NAMES)] == ALGORITHM_NAMES
+        assert dataset.cycles.shape[1] == len(dataset.algorithm_names)
+        for extra in dataset.algorithm_names[len(ALGORITHM_NAMES) :]:
+            assert "@" in extra
+            parse_variant(extra)
+        # per-row lookup works for widened columns too, and a widened
+        # label can never be slower than the menu's best on its row
+        for row in range(len(dataset)):
+            label = str(dataset.y[row])
+            menu_best = min(
+                dataset.cycles_for(row, name) for name in ALGORITHM_NAMES
+            )
+            assert dataset.cycles_for(row, label) <= menu_best
