@@ -38,10 +38,23 @@ _SPEC_KEYS: dict[str, tuple[str, type]] = {
     "serving.burst": ("serving_burst", float),
     "serving.predictor_error": ("predictor_error", float),
     "campaign.abort": ("campaign_abort", int),
+    "replica.crash": ("replica_crash", float),
+    "replica.hang": ("replica_hang", float),
+    "replica.slow": ("replica_slow", float),
+    "probe.drop": ("probe_drop", float),
 }
 
 _RATE_FIELDS = frozenset(
-    ("cache_corrupt", "cache_write_error", "cell_error", "predictor_error")
+    (
+        "cache_corrupt",
+        "cache_write_error",
+        "cell_error",
+        "predictor_error",
+        "replica_crash",
+        "replica_hang",
+        "replica_slow",
+        "probe_drop",
+    )
 )
 
 
@@ -78,6 +91,15 @@ class FaultPlan:
     predictor_error: float = 0.0
     #: abort a checkpointed campaign after N journal appends (0 = never).
     campaign_abort: int = 0
+    #: probability one (replica, dispatch) hard-crashes the replica — it
+    #: takes no traffic until the router's half-open recovery readmits it.
+    replica_crash: float = 0.0
+    #: probability one (replica, dispatch) hangs until the dispatch timeout.
+    replica_hang: float = 0.0
+    #: probability one (replica, dispatch) serves at 10x the modeled time.
+    replica_slow: float = 0.0
+    #: probability one active health probe is dropped (reads as a failure).
+    probe_drop: float = 0.0
 
     def __post_init__(self) -> None:
         for name in _RATE_FIELDS:
@@ -146,6 +168,27 @@ class FaultPlan:
     def aborts_campaign(self, appended: int) -> bool:
         """True once ``appended`` journal records have been written."""
         return self.campaign_abort > 0 and appended >= self.campaign_abort
+
+    def replica_fault(self, replica: str, dispatch: int) -> str | None:
+        """``"crash"``, ``"hang"``, ``"slow"`` or None for one dispatch.
+
+        The token is the replica's own dispatch ordinal, so the same plan
+        kills the same replica at the same point of a routed replay in
+        every process.  Crash outranks hang outranks slow when several
+        sites select the same dispatch.
+        """
+        token = f"{replica}:{dispatch}"
+        if self.chance("replica.crash", token, self.replica_crash):
+            return "crash"
+        if self.chance("replica.hang", token, self.replica_hang):
+            return "hang"
+        if self.chance("replica.slow", token, self.replica_slow):
+            return "slow"
+        return None
+
+    def drops_probe(self, replica: str, probe: int) -> bool:
+        """Should this active health probe be dropped (read as failed)?"""
+        return self.chance("probe.drop", f"{replica}:{probe}", self.probe_drop)
 
     # ------------------------------------------------------------------ #
     # spec round-trip

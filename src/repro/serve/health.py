@@ -1,0 +1,205 @@
+"""Per-replica health: a deterministic healthy → degraded → ejected machine.
+
+Each replica in a :class:`~repro.serve.router.ReplicaRouter` pool carries
+one :class:`ReplicaHealth`.  The router feeds it **passive** signals
+(dispatch successes, failures, slow responses) and **active** ones (the
+outcome of periodic probes); the tracker answers the only question the
+router asks — ``available(now)`` — and reports every state transition so
+the router can count it.
+
+The state machine::
+
+            failures >= degrade_after          failures >= eject_after
+    HEALTHY ─────────────────────────▶ DEGRADED ─────────────────────▶ EJECTED
+        ▲                                 │  ▲                            │
+        │   successes >= recover_after    │  │ half-open success         │
+        └─────────────────────────────────┘  └────────────────────────── │
+                                                 (now >= eject_until) ◀──┘
+
+* **HEALTHY** / **DEGRADED** replicas take traffic; DEGRADED ones are
+  deprioritized by the router's spillover order.
+* **EJECTED** replicas take no traffic until their cooldown expires, then
+  go **half-open**: the next probe or trial dispatch decides.  Success
+  readmits the replica (as DEGRADED, one success from HEALTHY); failure
+  re-ejects it with the cooldown doubled (capped).
+* **DRAINING** is an administrative state (:meth:`drain`): the replica
+  finishes in-flight work but takes no new dispatches until
+  :meth:`rejoin`, which re-enters through the half-open gate.
+
+Cooldowns are **seeded**: each ejection's length is the base cooldown
+times a backoff times a deterministic jitter drawn from the same pure
+``(seed, site, token)`` hash the fault plane uses — so a chaos replay
+recovers the same replica at the same virtual instant in every process.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ServeError
+from repro.faults.plan import _hash_unit
+
+#: The four externally visible states.
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+EJECTED = "ejected"
+DRAINING = "draining"
+
+STATES = (HEALTHY, DEGRADED, EJECTED, DRAINING)
+
+
+class ReplicaHealth:
+    """Health state for one replica, driven by passive + active signals."""
+
+    def __init__(
+        self,
+        name: str,
+        seed: int = 0,
+        degrade_after: int = 1,
+        eject_after: int = 3,
+        recover_after: int = 2,
+        slow_after: int = 3,
+        eject_for_s: float = 1.0,
+        cooldown_jitter: float = 0.5,
+        max_eject_backoff: float = 8.0,
+    ) -> None:
+        if not 1 <= degrade_after <= eject_after:
+            raise ServeError(
+                "need 1 <= degrade_after <= eject_after, got "
+                f"{degrade_after}/{eject_after}"
+            )
+        if recover_after < 1 or slow_after < 1:
+            raise ServeError("recover_after and slow_after must be >= 1")
+        if eject_for_s <= 0:
+            raise ServeError(f"eject_for_s must be positive, got {eject_for_s}")
+        if cooldown_jitter < 0 or max_eject_backoff < 1:
+            raise ServeError("bad cooldown_jitter / max_eject_backoff")
+        self.name = name
+        self.seed = seed
+        self.degrade_after = degrade_after
+        self.eject_after = eject_after
+        self.recover_after = recover_after
+        self.slow_after = slow_after
+        self.eject_for_s = eject_for_s
+        self.cooldown_jitter = cooldown_jitter
+        self.max_eject_backoff = max_eject_backoff
+        self.state = HEALTHY
+        self.ejections = 0
+        self.eject_until: float | None = None
+        self._fail_streak = 0
+        self._success_streak = 0
+        self._slow_streak = 0
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def available(self, now: float) -> bool:
+        """May the router send this replica traffic at instant ``now``?"""
+        if self.state in (HEALTHY, DEGRADED):
+            return True
+        if self.state == EJECTED:
+            return self.half_open(now)
+        return False  # DRAINING
+
+    def half_open(self, now: float) -> bool:
+        """Ejected, cooldown over: eligible for exactly one trial."""
+        return (
+            self.state == EJECTED
+            and self.eject_until is not None
+            and now >= self.eject_until
+        )
+
+    # ------------------------------------------------------------------ #
+    # signals (each returns the transition it caused, or None)
+    # ------------------------------------------------------------------ #
+    def record_success(self, now: float) -> str | None:
+        """A dispatch or probe succeeded on this replica."""
+        self._fail_streak = 0
+        self._slow_streak = 0
+        self._success_streak += 1
+        if self.state == EJECTED and self.half_open(now):
+            # half-open trial passed: readmit, one success from HEALTHY
+            self.state = DEGRADED
+            self.eject_until = None
+            self._success_streak = 1
+            return "recovered"
+        if (
+            self.state == DEGRADED
+            and self._success_streak >= self.recover_after
+        ):
+            self.state = HEALTHY
+            return "healthy"
+        return None
+
+    def record_failure(self, now: float) -> str | None:
+        """A dispatch or probe failed (error, hang, dropped probe)."""
+        self._success_streak = 0
+        self._fail_streak += 1
+        if self.state == EJECTED:
+            if self.half_open(now):
+                # half-open trial failed: back out, doubled cooldown
+                self._eject(now)
+                return "re-ejected"
+            return None
+        if self.state == DRAINING:
+            return None
+        if self._fail_streak >= self.eject_after:
+            self._eject(now)
+            return "ejected"
+        if self.state == HEALTHY and self._fail_streak >= self.degrade_after:
+            self.state = DEGRADED
+            return "degraded"
+        return None
+
+    def record_slow(self, now: float) -> str | None:
+        """A dispatch landed but took far longer than modeled."""
+        self._slow_streak += 1
+        if self.state == HEALTHY and self._slow_streak >= self.slow_after:
+            self.state = DEGRADED
+            self._slow_streak = 0
+            return "degraded"
+        return None
+
+    def force_eject(self, now: float) -> str:
+        """Eject immediately (a crash observed at dispatch)."""
+        self._success_streak = 0
+        self._fail_streak = 0
+        self._eject(now)
+        return "ejected"
+
+    # ------------------------------------------------------------------ #
+    # administrative drain / rejoin
+    # ------------------------------------------------------------------ #
+    def drain(self) -> None:
+        """Stop taking new work; in-flight work finishes normally."""
+        self.state = DRAINING
+        self.eject_until = None
+
+    def rejoin(self, now: float) -> None:
+        """Leave DRAINING through the half-open gate (must prove itself)."""
+        if self.state != DRAINING:
+            raise ServeError(
+                f"replica {self.name!r} is {self.state}, not draining"
+            )
+        self.state = EJECTED
+        self.eject_until = now  # immediately half-open
+        self._fail_streak = 0
+        self._success_streak = 0
+
+    # ------------------------------------------------------------------ #
+    def _eject(self, now: float) -> None:
+        backoff = min(2.0**self.ejections, self.max_eject_backoff)
+        jitter = 1.0 + self.cooldown_jitter * _hash_unit(
+            self.seed, "router.cooldown", f"{self.name}:{self.ejections}"
+        )
+        self.state = EJECTED
+        self.eject_until = now + self.eject_for_s * backoff * jitter
+        self.ejections += 1
+        self._fail_streak = 0
+        self._success_streak = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "ejections": self.ejections,
+            "eject_until": self.eject_until,
+            "fail_streak": self._fail_streak,
+        }

@@ -35,8 +35,9 @@ from repro.nn.layer import ConvSpec
 from repro.nn.models.vgg16 import vgg16_conv_specs
 from repro.serve.batcher import validate_batch_params
 from repro.serve.clock import VirtualClock
-from repro.serve.middleware import ServingLedger
+from repro.serve.middleware import AdmissionController, ServingLedger
 from repro.serve.protocol import ServeRequest, ServeResponse
+from repro.serve.router import ReplicaRouter, RoutedOutcome
 from repro.serve.service import PredictionService
 from repro.serving.simulator import ServingStats
 from repro.simulator.hwconfig import HardwareConfig
@@ -237,4 +238,126 @@ def replay(
         shed_ids=shed_ids,
         stats=ledger.stats(servers=servers),
         service_snapshot=service.snapshot(),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# routed replay
+# ---------------------------------------------------------------------- #
+@dataclass
+class RoutedReplayResult:
+    """Everything one routed replay produced, in admission order."""
+
+    #: response per admitted request, in admission (flush) order.
+    responses: list[ServeResponse]
+    #: full routing provenance per admitted request (same order).
+    outcomes: list[RoutedOutcome]
+    #: request ids shed by admission control.
+    shed_ids: list[str]
+    stats: ServingStats
+    #: the router's classification counters (:class:`RouterStats` dict).
+    router_stats: dict = field(default_factory=dict)
+    router_snapshot: dict = field(default_factory=dict)
+
+    def responses_by_id(self) -> dict[str, ServeResponse]:
+        return {r.id: r for r in self.responses}
+
+    def conserved(self) -> bool:
+        """The routed conservation law: every admitted request lands in
+        exactly one completion class (see :class:`RouterStats`)."""
+        rs = self.router_stats
+        admitted = len(self.responses)
+        return (
+            admitted
+            == rs["completed_direct"] + rs["completed_failover"]
+            + rs["completed_hedge"] + rs["deadline_misses"] + rs["unrouted"]
+        )
+
+
+def routed_replay(
+    router: ReplicaRouter,
+    trace: Sequence[TimedRequest],
+    queue_limit: int | None = None,
+    slo_s: float | None = None,
+    max_batch: int = 32,
+    max_wait_s: float = 0.0,
+    clock: VirtualClock | None = None,
+) -> RoutedReplayResult:
+    """Replay a trace through a replica pool on the virtual clock.
+
+    The single-service :func:`replay` loop, routed: arrivals shard by
+    hardware configuration and each shard keeps its own micro-batch
+    (flushed on size-or-age); each flush is one
+    :meth:`~repro.serve.router.ReplicaRouter.route_priced` call, where
+    the router's health/retry/hedge machinery and the fault plane's
+    ``replica.*`` sites decide which replica serves and when it finishes.
+    Admission consults the :class:`AdmissionController` with the
+    router-side backlog as extra depth, so replica outages backpressure
+    the front door.  Everything is driven by seeded hashes on the
+    virtual clock: two processes replaying the same (trace, router
+    config, fault plan) produce bit-identical results.
+    """
+    validate_batch_params(max_batch, max_wait_s)
+    clock = clock or VirtualClock()
+    admission = AdmissionController(queue_limit)
+    ledger = ServingLedger(slo_s=slo_s)
+    responses: list[ServeResponse] = []
+    outcomes: list[RoutedOutcome] = []
+    shed_ids: list[str] = []
+    pending: dict[str, list[TimedRequest]] = {}
+    opened: dict[str, float] = {}
+
+    def flush(key: str, at: float) -> None:
+        batch = pending.pop(key, [])
+        opened.pop(key, None)
+        if not batch:
+            return
+        clock.advance_to(at)
+        router.run_probes(at)
+        admission.started(len(batch))
+        routed = router.route_priced(
+            [(t.arrival, t.request) for t in batch], at
+        )
+        for timed, outcome in zip(batch, routed):
+            ledger.record(timed.arrival, outcome.start, outcome.finish)
+            if outcome.response.served_by == "fallback":
+                ledger.record_fallback()
+            responses.append(outcome.response)
+            outcomes.append(outcome)
+
+    def flush_due(before: float) -> None:
+        due = sorted(
+            (t + max_wait_s, key)
+            for key, t in opened.items()
+            if before > t + max_wait_s
+        )
+        for at, key in due:
+            flush(key, at)
+
+    for timed in sorted(trace, key=lambda t: t.arrival):
+        flush_due(timed.arrival)
+        # admission.depth is the unflushed pending count; the extra depth
+        # is the router-side backlog (flushed but still queued at a replica)
+        backlog = ledger.waiting_at(timed.arrival)
+        if not admission.admit(extra_depth=backlog):
+            ledger.record_shed(timed.arrival)
+            shed_ids.append(timed.request.id)
+            continue
+        key = router.shard_key(timed.request)
+        if key not in pending:
+            pending[key] = []
+            opened[key] = timed.arrival
+        pending[key].append(timed)
+        if len(pending[key]) >= max_batch:
+            flush(key, timed.arrival)
+    for at, key in sorted((t + max_wait_s, k) for k, t in opened.items()):
+        flush(key, at)
+
+    return RoutedReplayResult(
+        responses=responses,
+        outcomes=outcomes,
+        shed_ids=shed_ids,
+        stats=ledger.stats(servers=len(router.replicas)),
+        router_stats=router.stats.as_dict(),
+        router_snapshot=router.snapshot(),
     )

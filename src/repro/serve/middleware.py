@@ -79,9 +79,17 @@ class AdmissionController:
     def depth(self) -> int:
         return self._depth
 
-    def admit(self) -> bool:
-        """Decide one arrival; updates admitted/shed accounting."""
-        if self.queue_limit is not None and self._depth >= self.queue_limit:
+    def admit(self, extra_depth: int = 0) -> bool:
+        """Decide one arrival; updates admitted/shed accounting.
+
+        ``extra_depth`` is backpressure from beyond the local queue — a
+        router adds its replica-side backlog (dispatched-but-waiting
+        requests), so a deep downstream queue sheds at the front door.
+        """
+        if extra_depth < 0:
+            raise ServeError(f"extra_depth must be >= 0, got {extra_depth}")
+        depth = self._depth + extra_depth
+        if self.queue_limit is not None and depth >= self.queue_limit:
             self.shed += 1
             obs.count("serve.shed")
             return False

@@ -18,10 +18,15 @@ Response::
      "seconds": 6.17e-05, "dram_bytes": 98304.0}
 
 ``status`` is ``"ok"``, ``"shed"`` (admission control rejected the
-request; no algorithm was selected) or ``"error"`` (the request was
-malformed; ``error`` carries the reason).  Floats round-trip through
-``json`` at full precision, so a response is **bit-identical** to the
-direct engine evaluation of the same cell — the property the
+request; no algorithm was selected), ``"deadline"`` (the request's
+deadline budget expired before a replica could finish it) or ``"error"``
+(the request was malformed or unroutable; ``error`` carries the reason).
+When the response was routed through a
+:class:`~repro.serve.router.ReplicaRouter`, ``replica`` names the
+replica that served it and ``attempts`` counts dispatch attempts
+(1 = first try; >1 means failover retries happened).  Floats round-trip
+through ``json`` at full precision, so a response is **bit-identical**
+to the direct engine evaluation of the same cell — the property the
 integration suite pins.
 """
 
@@ -127,13 +132,15 @@ class ServeResponse:
     """One answered (or shed / rejected) request."""
 
     id: str = ""
-    status: str = "ok"  # "ok" | "shed" | "error"
+    status: str = "ok"  # "ok" | "shed" | "deadline" | "error"
     algorithm: str = ""
     served_by: str = ""  # "predictor" | "fallback"
     cycles: float = 0.0
     seconds: float = 0.0
     dram_bytes: float = 0.0
     error: str = ""
+    replica: str = ""  # router: the replica that served this response
+    attempts: int = 0  # router: dispatch attempts (>1 = failover retries)
 
     def to_dict(self) -> dict:
         return asdict(self)

@@ -39,10 +39,14 @@ from repro.serve.protocol import (
     error_response,
     shed_response,
 )
+from repro.serve.router import InProcessReplica, ReplicaRouter
 from repro.serve.service import FALLBACK_POLICIES, PredictionService
 from repro.serving.simulator import ServingStats
 
 _HTTP_VERBS = (b"GET ", b"POST ", b"PUT ", b"DELETE ", b"HEAD ")
+
+#: Largest HTTP body the server accepts; anything bigger is a 413.
+MAX_BODY_BYTES = 1 << 20
 
 
 def stats_dict(stats: ServingStats) -> dict:
@@ -63,11 +67,18 @@ def stats_dict(stats: ServingStats) -> dict:
 
 
 class ServeApp:
-    """Admission + ledger + micro-batcher around one PredictionService."""
+    """Admission + ledger + micro-batcher around one backend.
+
+    The backend is either a single :class:`PredictionService` or a
+    :class:`~repro.serve.router.ReplicaRouter` pool — both answer
+    ``handle_batch`` and ``snapshot``; the router additionally gets the
+    real arrival instants so per-request deadline budgets run from
+    arrival rather than from batch flush.
+    """
 
     def __init__(
         self,
-        service: PredictionService,
+        service: PredictionService | ReplicaRouter,
         queue_limit: int | None = None,
         slo_s: float | None = None,
         max_batch: int = 32,
@@ -88,7 +99,12 @@ class ServeApp:
         arrivals = [self._arrivals.popleft() for _ in requests]
         self.admission.started(len(requests))
         start = self.clock.now()
-        responses = self.service.handle_batch(requests)
+        if isinstance(self.service, ReplicaRouter):
+            responses = self.service.handle_timed_batch(
+                list(zip(arrivals, requests))
+            )
+        else:
+            responses = self.service.handle_batch(requests)
         finish = self.clock.now()
         for arrival, response in zip(arrivals, responses):
             self.ledger.record(arrival, max(arrival, start),
@@ -107,7 +123,12 @@ class ServeApp:
         return await self.batcher.submit(request)
 
     def stats(self) -> ServingStats:
-        return self.ledger.stats(servers=1)
+        servers = (
+            len(self.service.replicas)
+            if isinstance(self.service, ReplicaRouter)
+            else 1
+        )
+        return self.ledger.stats(servers=servers)
 
     def snapshot(self) -> dict:
         payload = self.service.snapshot()
@@ -245,21 +266,71 @@ class AsyncServeServer:
                         writer, 400, {"error": "bad content-length"}
                     )
                     return
-        body = await reader.readexactly(length) if length else b""
+        if length < 0:
+            await self._http_reply(
+                writer, 400, {"error": f"bad content-length {length}"}
+            )
+            return
+        if length > MAX_BODY_BYTES:
+            await self._http_reply(
+                writer, 413,
+                {"error": f"body too large ({length} > {MAX_BODY_BYTES} bytes)"},
+            )
+            return
+        try:
+            body = await reader.readexactly(length) if length else b""
+        except asyncio.IncompleteReadError:
+            await self._http_reply(writer, 400, {"error": "truncated body"})
+            return
 
         if verb == "GET" and path in ("/v1/health", "/healthz"):
-            await self._http_reply(
-                writer, 200,
-                {"status": "ok", "circuit_open": self.app.service.breaker.open},
-            )
+            await self._http_reply(writer, 200, self._health_payload())
         elif verb == "GET" and path == "/v1/stats":
             await self._http_reply(writer, 200, self.app.snapshot())
         elif verb == "POST" and path == "/v1/select":
             await self._http_select(writer, body)
+        elif verb == "POST" and path.startswith("/v1/replicas/"):
+            await self._http_admin(writer, path)
         else:
             await self._http_reply(
                 writer, 404, {"error": f"no route {verb} {path}"}
             )
+
+    def _health_payload(self) -> dict:
+        service = self.app.service
+        if isinstance(service, ReplicaRouter):
+            return service.health_summary()
+        return {"status": "ok", "circuit_open": service.breaker.open}
+
+    async def _http_admin(
+        self, writer: asyncio.StreamWriter, path: str
+    ) -> None:
+        """``POST /v1/replicas/<name>/{drain,rejoin}`` — pool admin."""
+        service = self.app.service
+        if not isinstance(service, ReplicaRouter):
+            await self._http_reply(
+                writer, 404, {"error": "not serving a replica pool"}
+            )
+            return
+        parts = path.strip("/").split("/")
+        if len(parts) != 4 or parts[3] not in ("drain", "rejoin"):
+            await self._http_reply(
+                writer, 404, {"error": f"no route POST {path}"}
+            )
+            return
+        name, action = parts[2], parts[3]
+        try:
+            if action == "drain":
+                service.drain(name)
+            else:
+                service.rejoin(name)
+        except ServeError as exc:
+            await self._http_reply(writer, 400, {"error": str(exc)})
+            return
+        await self._http_reply(
+            writer, 200,
+            {"replica": name, "state": service.health[name].state},
+        )
 
     async def _http_select(
         self, writer: asyncio.StreamWriter, body: bytes
@@ -288,9 +359,12 @@ class AsyncServeServer:
         writer: asyncio.StreamWriter, status: int, payload: object
     ) -> None:
         body = json.dumps(payload, sort_keys=True).encode()
-        reason = {200: "OK", 400: "Bad Request", 404: "Not Found"}.get(
-            status, "OK"
-        )
+        reason = {
+            200: "OK",
+            400: "Bad Request",
+            404: "Not Found",
+            413: "Payload Too Large",
+        }.get(status, "OK")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             "Content-Type: application/json\r\n"
@@ -304,8 +378,22 @@ class AsyncServeServer:
 # ---------------------------------------------------------------------- #
 # CLI
 # ---------------------------------------------------------------------- #
-def build_service(args: argparse.Namespace) -> PredictionService:
-    """Assemble cache, engine, selector and service from CLI arguments."""
+def _build_one_service(
+    args: argparse.Namespace, engine: EvaluationEngine, selector: object
+) -> PredictionService:
+    return PredictionService(
+        engine=engine,
+        selector=selector,  # type: ignore[arg-type]
+        safe_algorithm=args.safe_algorithm,
+        fallback_policy=args.fallback,
+        max_selector_failures=args.max_selector_failures,
+    )
+
+
+def _build_backing(
+    args: argparse.Namespace,
+) -> tuple[EvaluationEngine, object]:
+    """The engine (shared cache tiers) and trained selector, built once."""
     cache = MemoCache(
         disk_dir=Path(args.cache_dir) if args.cache_dir else None,
         sqlite_path=Path(args.sqlite_cache) if args.sqlite_cache else None,
@@ -318,12 +406,46 @@ def build_service(args: argparse.Namespace) -> PredictionService:
         selector = AlgorithmSelector(
             n_estimators=args.trees, random_state=args.seed
         ).fit()
-    return PredictionService(
-        engine=engine,
-        selector=selector,
-        safe_algorithm=args.safe_algorithm,
-        fallback_policy=args.fallback,
-        max_selector_failures=args.max_selector_failures,
+    return engine, selector
+
+
+def build_service(args: argparse.Namespace) -> PredictionService:
+    """Assemble cache, engine, selector and service from CLI arguments."""
+    engine, selector = _build_backing(args)
+    return _build_one_service(args, engine, selector)
+
+
+def build_router(args: argparse.Namespace) -> ReplicaRouter:
+    """Assemble an N-replica pool behind one router from CLI arguments.
+
+    Replicas share the engine (and its cache tiers) and the trained
+    selector — each keeps its own selection memo, breaker and counters,
+    which is the failure-isolation boundary the router manages.
+    """
+    engine, selector = _build_backing(args)
+    replicas = [
+        InProcessReplica(
+            f"replica-{i}", _build_one_service(args, engine, selector)
+        )
+        for i in range(args.replicas)
+    ]
+    return ReplicaRouter(
+        replicas,
+        seed=args.router_seed,
+        deadline_s=(
+            args.deadline_ms / 1e3 if args.deadline_ms is not None else None
+        ),
+        max_retries=args.max_retries,
+        hedge_after_s=(
+            args.hedge_after_ms / 1e3
+            if args.hedge_after_ms is not None
+            else None
+        ),
+        probe_interval_s=(
+            args.probe_interval_ms / 1e3
+            if args.probe_interval_ms is not None
+            else None
+        ),
     )
 
 
@@ -364,11 +486,42 @@ def _parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--trees", type=int, default=60)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--replicas", type=int, default=1, metavar="N",
+        help="run N service replicas behind the health-aware router "
+        "(1 = single service, no router)",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=None, metavar="MS",
+        help="per-request deadline budget from arrival (router mode)",
+    )
+    parser.add_argument(
+        "--hedge-after-ms", type=float, default=None, metavar="MS",
+        help="hedge a second dispatch when the projected queue wait "
+        "exceeds MS (router mode, priced replay)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="failed dispatches are retried on a different replica up "
+        "to N times (router mode)",
+    )
+    parser.add_argument(
+        "--probe-interval-ms", type=float, default=None, metavar="MS",
+        help="active health-probe period per replica (router mode)",
+    )
+    parser.add_argument(
+        "--router-seed", type=int, default=0,
+        help="seed for the consistent-hash ring and recovery jitter",
+    )
     return parser
 
 
 async def _amain(args: argparse.Namespace) -> int:
-    service = build_service(args)
+    service: PredictionService | ReplicaRouter
+    if args.replicas > 1:
+        service = build_router(args)
+    else:
+        service = build_service(args)
     app = ServeApp(
         service,
         queue_limit=args.queue_limit,
@@ -401,6 +554,8 @@ def main(argv: list[str] | None = None) -> int:
             raise ServeError(
                 f"--queue-limit must be >= 0, got {args.queue_limit}"
             )
+        if args.replicas < 1:
+            raise ServeError(f"--replicas must be >= 1, got {args.replicas}")
         return asyncio.run(_amain(args))
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)

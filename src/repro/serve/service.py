@@ -45,6 +45,11 @@ from repro.simulator.hwconfig import HardwareConfig
 #: Fallback policies: a fixed safe algorithm, or the engine-backed oracle.
 FALLBACK_POLICIES = ("safe", "oracle")
 
+#: The health-probe canary cell: tiny, applicable to every algorithm,
+#: memoized after the first probe so repeat probes cost a cache hit.
+_PROBE_SPEC = ConvSpec(ic=16, oc=16, ih=14, iw=14, kh=3, kw=3, stride=1)
+_PROBE_HW = HardwareConfig.paper2_rvv(512, 1.0)
+
 
 class PredictionService:
     """Algorithm selection + engine-backed evaluation over micro-batches."""
@@ -206,6 +211,27 @@ class PredictionService:
     def handle(self, request: ServeRequest) -> ServeResponse:
         """Single-request convenience wrapper over :meth:`handle_batch`."""
         return self.handle_batch([request])[0]
+
+    def probe(self) -> bool:
+        """Active health canary: price the safe algorithm on a tiny layer.
+
+        Routers call this to confirm a replica can still reach its engine
+        and cache.  The cell is fixed, so after the first probe it is a
+        memo-cache hit; a False (or raising) probe is a health failure.
+        """
+        try:
+            record = self.engine.evaluate_many(
+                [
+                    EvalTask(
+                        self.safe_algorithm, _PROBE_SPEC, _PROBE_HW,
+                        fallback=True,
+                    )
+                ],
+                on_error="record",
+            )[0]
+        except Exception:
+            return False
+        return not isinstance(record, CellError)
 
     # ------------------------------------------------------------------ #
     def snapshot(self) -> dict:

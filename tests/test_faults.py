@@ -19,7 +19,9 @@ class TestSpecGrammar:
         plan = parse_fault_spec(
             "seed=42,worker.crash=2,worker.hang=1,hang.seconds=5,"
             "cache.corrupt=0.1,cache.write_error=0.05,cell.error=0.2,"
-            "serving.burst=3,serving.predictor_error=0.15,campaign.abort=10"
+            "serving.burst=3,serving.predictor_error=0.15,campaign.abort=10,"
+            "replica.crash=0.01,replica.hang=0.02,replica.slow=0.03,"
+            "probe.drop=0.04"
         )
         assert plan.seed == 42
         assert plan.worker_crash == 2 and plan.worker_hang == 1
@@ -28,6 +30,8 @@ class TestSpecGrammar:
         assert plan.cell_error == 0.2
         assert plan.serving_burst == 3.0 and plan.predictor_error == 0.15
         assert plan.campaign_abort == 10
+        assert plan.replica_crash == 0.01 and plan.replica_hang == 0.02
+        assert plan.replica_slow == 0.03 and plan.probe_drop == 0.04
 
     def test_empty_spec_is_the_default_plan(self):
         assert parse_fault_spec("") == FaultPlan()
@@ -43,8 +47,25 @@ class TestSpecGrammar:
         plan = parse_fault_spec(spec)
         assert parse_fault_spec(plan.to_spec()) == plan
 
+    def test_round_trip_covers_the_replica_sites(self):
+        spec = ("seed=4,replica.crash=0.0005,replica.hang=0.01,"
+                "replica.slow=0.1,probe.drop=0.2")
+        plan = parse_fault_spec(spec)
+        assert parse_fault_spec(plan.to_spec()) == plan
+        for key in ("replica.crash", "replica.hang", "replica.slow",
+                    "probe.drop"):
+            assert key in plan.to_spec()
+
     def test_default_plan_serializes_empty(self):
         assert FaultPlan().to_spec() == ""
+
+    def test_unknown_site_error_lists_replica_sites(self):
+        with pytest.raises(FaultSpecError) as excinfo:
+            parse_fault_spec("replica.explode=1")
+        message = str(excinfo.value)
+        for key in ("replica.crash", "replica.hang", "replica.slow",
+                    "probe.drop"):
+            assert key in message
 
     @pytest.mark.parametrize("bad", [
         "seed",                       # no '='
@@ -55,6 +76,10 @@ class TestSpecGrammar:
         "worker.crash=-1",            # negative count
         "serving.burst=0.5",          # burst below 1
         "hang.seconds=0",             # non-positive hang
+        "replica.crash=1.5",          # replica rates validate eagerly
+        "replica.hang=-0.1",
+        "replica.slow=nope",
+        "probe.drop=2",
     ])
     def test_malformed_specs_rejected(self, bad):
         with pytest.raises(FaultSpecError):
@@ -113,6 +138,38 @@ class TestDeterminism:
         assert not plan.aborts_campaign(4)
         assert plan.aborts_campaign(5) and plan.aborts_campaign(6)
         assert not FaultPlan().aborts_campaign(1000)
+
+    def test_replica_fault_is_deterministic_per_dispatch(self):
+        plan = FaultPlan(seed=4, replica_crash=0.3, replica_hang=0.3,
+                         replica_slow=0.3)
+        decisions = [plan.replica_fault("replica-1", d) for d in range(200)]
+        again = [plan.replica_fault("replica-1", d) for d in range(200)]
+        assert decisions == again
+        assert {"crash", "hang", "slow"} <= {d for d in decisions if d}
+        # replicas draw independently
+        other = [plan.replica_fault("replica-2", d) for d in range(200)]
+        assert decisions != other
+        # crash outranks hang outranks slow: rate-1 crash always wins
+        certain = FaultPlan(
+            replica_crash=1.0, replica_hang=1.0, replica_slow=1.0
+        )
+        assert certain.replica_fault("r", 0) == "crash"
+
+    def test_replica_fault_priority_and_off_by_default(self):
+        assert FaultPlan().replica_fault("r", 0) is None
+        hang_only = FaultPlan(replica_hang=1.0, replica_slow=1.0)
+        assert hang_only.replica_fault("r", 0) == "hang"
+        slow_only = FaultPlan(replica_slow=1.0)
+        assert slow_only.replica_fault("r", 0) == "slow"
+
+    def test_drops_probe_is_deterministic(self):
+        plan = FaultPlan(seed=9, probe_drop=0.5)
+        drops = [plan.drops_probe("replica-0", p) for p in range(100)]
+        assert drops == [plan.drops_probe("replica-0", p) for p in range(100)]
+        assert any(drops) and not all(drops)
+        assert not any(
+            FaultPlan(seed=9).drops_probe("replica-0", p) for p in range(100)
+        )
 
 
 class TestInjectScoping:

@@ -7,15 +7,28 @@ number of completed requests.  Both the discrete-event simulator
 shares with it (:class:`~repro.serve.middleware.ServingLedger`) must
 hold them — they are what makes shed traffic auditable instead of
 silently dropped.
+
+PR 10 adds the routed variant: under *any* random replica up/down
+sequence (scripted dispatch failures, drains, rejoins) the
+:class:`~repro.serve.router.ReplicaRouter` partitions every admitted
+request into exactly one completion class —
+``admitted == direct + failover + hedge + deadline + unrouted`` — so a
+failover is never double-counted and a dropped request is never lost.
 """
 
 from __future__ import annotations
 
+from collections import deque
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.nn.layer import ConvSpec
 from repro.serve.middleware import AdmissionController, ServingLedger
+from repro.serve.protocol import ServeRequest, ServeResponse
+from repro.serve.router import ReplicaHandle, ReplicaRouter
 from repro.serving.simulator import ServingSimulator
+from repro.simulator.hwconfig import HardwareConfig
 
 sim_params = {
     "servers": st.integers(1, 8),
@@ -125,3 +138,135 @@ class TestLedgerConservation:
         assert ctl.admitted + ctl.shed == offered
         if queue_limit is not None:
             assert ctl.depth <= max(queue_limit, 0)
+
+
+class _FlakyReplica(ReplicaHandle):
+    """A replica whose dispatches fail on a scripted boolean schedule."""
+
+    def __init__(self, name, schedule):
+        self.name = name
+        self._fail = deque(schedule)
+
+    def dispatch(self, requests):
+        if self._fail and self._fail.popleft():
+            raise RuntimeError("scripted outage")
+        return [
+            ServeResponse(
+                id=r.id, status="ok", algorithm="stub",
+                served_by="fallback", seconds=0.001,
+            )
+            for r in requests
+        ]
+
+    def probe(self):
+        return True
+
+
+_REQ_SPEC = ConvSpec(ic=32, oc=32, ih=28, iw=28, kh=3, kw=3, stride=1)
+
+# an event stream entry is either a request arrival (None) or a
+# (replica index, drain?) toggle — drains and rejoins interleave with
+# traffic so health state churns under the router mid-flight.
+router_events = st.lists(
+    st.one_of(
+        st.none(),
+        st.tuples(st.integers(0, 3), st.booleans()),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+class TestRoutedConservation:
+    @given(
+        n_replicas=st.integers(1, 4),
+        fail_schedules=st.lists(
+            st.lists(st.booleans(), max_size=25), min_size=4, max_size=4
+        ),
+        events=router_events,
+        queue_limit=st.one_of(st.none(), st.integers(0, 6)),
+        deadline_ms=st.one_of(
+            st.none(), st.floats(0.01, 50.0, allow_nan=False)
+        ),
+        max_retries=st.integers(0, 3),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_admitted_partition_over_random_up_down_sequences(
+        self, n_replicas, fail_schedules, events, queue_limit,
+        deadline_ms, max_retries, seed,
+    ):
+        replicas = [
+            _FlakyReplica(f"replica-{i}", fail_schedules[i])
+            for i in range(n_replicas)
+        ]
+        router = ReplicaRouter(
+            replicas,
+            seed=seed,
+            deadline_s=deadline_ms / 1e3 if deadline_ms is not None else None,
+            max_retries=max_retries,
+            retry_backoff_s=0.0005,
+        )
+        admission = AdmissionController(queue_limit=queue_limit)
+        hw = HardwareConfig.paper2_rvv(512, 1.0)
+
+        offered = admitted = routed = 0
+        t = 0.0
+        pending: list[tuple[float, ServeRequest]] = []
+
+        def flush() -> None:
+            nonlocal routed
+            if not pending:
+                return
+            admission.started(len(pending))
+            outcomes = router.route_priced(list(pending), pending[0][0])
+            assert len(outcomes) == len(pending)
+            for outcome in outcomes:
+                assert outcome.response.status in ("ok", "deadline", "error")
+                if outcome.response.status == "ok":
+                    assert outcome.replica
+                    assert outcome.response.attempts >= 1
+                    assert outcome.finish >= outcome.start >= 0.0
+            routed += len(outcomes)
+            pending.clear()
+
+        for event in events:
+            t += 0.001
+            if event is None:
+                offered += 1
+                if admission.admit(extra_depth=router.backlog(t)):
+                    admitted += 1
+                    pending.append(
+                        (t, ServeRequest(spec=_REQ_SPEC, hw=hw, id=f"q-{t}"))
+                    )
+                    if len(pending) >= 4:
+                        flush()
+                continue
+            idx, drain = event
+            name = f"replica-{idx % n_replicas}"
+            state = router.health[name].state
+            if drain and state != "draining":
+                router.drain(name)
+            elif not drain and state == "draining":
+                router.rejoin(name, now=t)
+        flush()
+
+        # every offered request is admitted or shed, and every admitted
+        # request lands in exactly one of the router's completion classes
+        assert admission.admitted + admission.shed == offered
+        assert admission.admitted == admitted
+        counts = router.stats.as_dict()
+        assert routed == admitted
+        assert (
+            counts["completed_direct"]
+            + counts["completed_failover"]
+            + counts["completed_hedge"]
+            + counts["deadline_misses"]
+            + counts["unrouted"]
+        ) == admitted
+        assert counts["completed"] == counts["completed_direct"] + (
+            counts["completed_failover"] + counts["completed_hedge"]
+        )
+        assert counts["failovers"] == counts["completed_failover"]
+        assert counts["hedges"] >= counts["hedge_wins"]
+        assert counts["ejections"] >= 0 and counts["retries"] >= 0

@@ -182,6 +182,17 @@ class TestAdmissionController:
         with pytest.raises(ServeError):
             AdmissionController(queue_limit=-1)
 
+    def test_extra_depth_backpressure_sheds_early(self):
+        """Downstream (router) backlog counts against the queue limit."""
+        ctl = AdmissionController(queue_limit=4)
+        assert ctl.admit(extra_depth=2)
+        assert ctl.admit(extra_depth=2)  # depth 1 + 2 extra = 3 < 4
+        assert not ctl.admit(extra_depth=2)  # 2 + 2 = 4: shed
+        assert ctl.admit(extra_depth=0)  # local depth alone is fine
+        assert (ctl.admitted, ctl.shed, ctl.depth) == (3, 1, 3)
+        with pytest.raises(ServeError):
+            ctl.admit(extra_depth=-1)
+
 
 class TestServingLedger:
     def test_stats_conservation_and_slo(self):
@@ -385,6 +396,83 @@ class TestLoadGen:
 
 
 # ---------------------------------------------------------------------- #
+# HTTP error paths: bad bodies get an HTTP answer, never a hang-up
+# ---------------------------------------------------------------------- #
+class TestHttpErrorPaths:
+    """Satellite fix (ISSUE 10): malformed JSON → 400, oversized → 413."""
+
+    def _boot(self, tmp_path):
+        from repro.engine.executor import EvaluationEngine
+        from repro.serve import AsyncServeServer, ServeApp
+
+        service = PredictionService(engine=EvaluationEngine())
+        app = ServeApp(service, queue_limit=64, max_batch=8, max_wait_s=0.002)
+        return AsyncServeServer(app, unix_path=tmp_path / "serve.sock")
+
+    def _roundtrip(self, tmp_path, raw: bytes) -> tuple[int, dict]:
+        async def scenario():
+            server = self._boot(tmp_path)
+            await server.start()
+            try:
+                reader, writer = await asyncio.open_unix_connection(
+                    str(tmp_path / "serve.sock")
+                )
+                writer.write(raw)
+                if hasattr(writer, "write_eof"):
+                    writer.write_eof()
+                await writer.drain()
+                data = await asyncio.wait_for(reader.read(), timeout=10.0)
+                writer.close()
+                return data
+            finally:
+                await server.stop()
+
+        data = asyncio.run(scenario())
+        assert data, "the server must answer, not drop the connection"
+        head, body = data.decode().split("\r\n\r\n", 1)
+        return int(head.split()[1]), json.loads(body)
+
+    def test_malformed_json_body_is_400(self, tmp_path):
+        body = b"{this is not json"
+        raw = (
+            b"POST /v1/select HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        status, payload = self._roundtrip(tmp_path, raw)
+        assert status == 400
+        assert "bad JSON" in payload["error"]
+
+    def test_truncated_body_is_400_not_a_dropped_connection(self, tmp_path):
+        # Content-Length promises 1000 bytes; the client sends 4 and EOFs
+        raw = (
+            b"POST /v1/select HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: 1000\r\n\r\noops"
+        )
+        status, payload = self._roundtrip(tmp_path, raw)
+        assert status == 400
+        assert "truncated" in payload["error"]
+
+    def test_negative_content_length_is_400(self, tmp_path):
+        raw = (
+            b"POST /v1/select HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: -5\r\n\r\n"
+        )
+        status, payload = self._roundtrip(tmp_path, raw)
+        assert status == 400
+
+    def test_oversized_body_is_413(self, tmp_path):
+        from repro.serve.server import MAX_BODY_BYTES
+
+        raw = (
+            b"POST /v1/select HTTP/1.1\r\nHost: t\r\n"
+            b"Content-Length: %d\r\n\r\n" % (MAX_BODY_BYTES + 1)
+        )
+        status, payload = self._roundtrip(tmp_path, raw)
+        assert status == 413
+        assert "too large" in payload["error"]
+
+
+# ---------------------------------------------------------------------- #
 # prediction service core
 # ---------------------------------------------------------------------- #
 class TestPredictionService:
@@ -419,6 +507,23 @@ class TestPredictionService:
         assert service.breaker.open
         assert all(r.status == "ok" for r in responses)
         assert all(r.served_by == "fallback" for r in responses)
+
+    def test_probe_is_a_cached_canary(self):
+        service = PredictionService()
+        assert service.probe() is True
+        hits_before = service.engine.cache.stats.hits
+        assert service.probe() is True  # second probe: memo-cache hit
+        assert service.engine.cache.stats.hits > hits_before
+
+    def test_probe_reports_false_on_broken_engine(self):
+        service = PredictionService()
+
+        class Broken:
+            def evaluate_many(self, tasks, **kwargs):
+                raise RuntimeError("engine down")
+
+        service.engine = Broken()
+        assert service.probe() is False
 
     def test_validates_configuration(self):
         with pytest.raises(ServeError):
